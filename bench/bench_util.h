@@ -1,0 +1,58 @@
+// Shared helpers for the experiment benches: summary statistics and the
+// fixed-width table output every bench prints.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vids::bench {
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+inline Summary Summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  const auto pct = [&](double p) {
+    const size_t index = static_cast<size_t>(
+        p * static_cast<double>(values.size() - 1) + 0.5);
+    return values[index];
+  };
+  s.min = values.front();
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.max = values.back();
+  return s;
+}
+
+inline void PrintHeader(const std::string& id, const std::string& title,
+                        const std::string& paper_claim) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+}  // namespace vids::bench

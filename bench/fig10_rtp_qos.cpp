@@ -1,0 +1,97 @@
+// FIG-10: impact of the inline vIDS on RTP stream QoS — end-to-end delay
+// and average delay variation (jitter), with and without vIDS (Figure 10).
+//
+// Paper claim: vIDS adds ~1.5 ms to RTP delay and raises delay variation
+// by ~2.2e-5 s — both imperceptible against the 150 ms latency budget.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "testbed/testbed.h"
+
+using namespace vids;
+
+namespace {
+
+struct Arm {
+  std::vector<double> delays_ms;
+  std::vector<double> jitters_s;
+  std::vector<rtp::QosSample> series;  // time series from network-B phones
+};
+
+Arm RunArm(bool vids_enabled) {
+  testbed::TestbedConfig config;
+  config.seed = 10;
+  config.uas_per_network = 10;
+  config.vids_enabled = vids_enabled;
+  config.qos_sample_every = 25;
+  testbed::Testbed bed(config);
+  bed.RunFor(sim::Duration::Seconds(2));
+
+  testbed::WorkloadConfig workload;  // §7.1-like sporadic call load
+  workload.mean_intercall = sim::Duration::Seconds(150);
+  workload.mean_duration = sim::Duration::Seconds(60);
+  bed.StartWorkload(workload);
+  bed.RunFor(sim::Duration::Seconds(20 * 60));
+
+  Arm arm;
+  for (const auto& ua : bed.uas_b()) {
+    for (const auto& sample : ua->AllQosSamples()) {
+      arm.series.push_back(sample);
+      arm.delays_ms.push_back(sample.delay_seconds * 1000.0);
+      arm.jitters_s.push_back(sample.jitter_seconds);
+    }
+  }
+  return arm;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("FIG-10", "impact of vIDS on RTP delay and jitter",
+                     "vIDS adds ~1.5 ms RTP delay and ~2.2e-5 s delay "
+                     "variation; both imperceptible");
+
+  const Arm with_vids = RunArm(true);
+  const Arm without = RunArm(false);
+
+  // Time series excerpt (one row per minute, first sample in that minute),
+  // mirroring the x-axis of the figure.
+  std::printf("%-10s %-22s %-22s\n", "", "with vIDS", "without vIDS");
+  std::printf("%-10s %-11s %-11s %-11s %-11s\n", "t (min)", "delay ms",
+              "jitter ms", "delay ms", "jitter ms");
+  bench::PrintRule();
+  for (int minute = 1; minute <= 20; minute += 2) {
+    auto pick = [&](const Arm& arm) -> const rtp::QosSample* {
+      for (const auto& sample : arm.series) {
+        if (sample.when.ToSeconds() >= minute * 60.0) return &sample;
+      }
+      return nullptr;
+    };
+    const auto* a = pick(with_vids);
+    const auto* b = pick(without);
+    if (a == nullptr || b == nullptr) continue;
+    std::printf("%-10d %-11.2f %-11.4f %-11.2f %-11.4f\n", minute,
+                a->delay_seconds * 1000, a->jitter_seconds * 1000,
+                b->delay_seconds * 1000, b->jitter_seconds * 1000);
+  }
+
+  const auto d_with = bench::Summarize(with_vids.delays_ms);
+  const auto d_without = bench::Summarize(without.delays_ms);
+  const auto j_with = bench::Summarize(with_vids.jitters_s);
+  const auto j_without = bench::Summarize(without.jitters_s);
+  bench::PrintRule();
+  std::printf("RTP delay  (ms): with=%6.2f  without=%6.2f  delta=%+5.2f "
+              "(paper: ~+1.5)\n",
+              d_with.mean, d_without.mean, d_with.mean - d_without.mean);
+  std::printf("RTP jitter (s):  with=%.6f  without=%.6f  delta=%+.6f "
+              "(paper: ~+2.2e-5)\n",
+              j_with.mean, j_without.mean, j_with.mean - j_without.mean);
+  std::printf("one-way delay vs the 150 ms budget: p95=%.1f ms  max=%.1f ms\n",
+              d_with.p95, d_with.max);
+  const double delay_delta = d_with.mean - d_without.mean;
+  std::printf("shape check: delay delta in (0, 5] ms and p95 < 150 ms -> %s\n",
+              (delay_delta > 0.0 && delay_delta <= 5.0 && d_with.p95 < 150.0)
+                  ? "OK"
+                  : "MISMATCH");
+  return 0;
+}

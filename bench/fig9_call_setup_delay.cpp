@@ -1,0 +1,95 @@
+// FIG-9: call setup delay (INVITE sent → 180 Ringing received) with and
+// without the inline vIDS, for two representative callers (paper Figure 9).
+//
+// The same seed drives both arms, so the call schedule is identical and
+// the difference isolates the vIDS processing path. Paper claim: the vIDS
+// adds ≈ 100 ms on average, from the ~50 ms analysis charge on each of the
+// two signaling messages (INVITE in, 180 out) in the setup path.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "testbed/testbed.h"
+
+using namespace vids;
+
+namespace {
+
+struct Arm {
+  std::vector<double> all_setups_ms;
+  // Per-caller time series for callers 3 and 4 (paper's representatives).
+  std::vector<std::pair<double, double>> caller3;  // (call start s, setup ms)
+  std::vector<std::pair<double, double>> caller4;
+};
+
+Arm RunArm(bool vids_enabled) {
+  testbed::TestbedConfig config;
+  config.seed = 9;
+  config.uas_per_network = 10;
+  config.vids_enabled = vids_enabled;
+  testbed::Testbed bed(config);
+  bed.RunFor(sim::Duration::Seconds(2));
+
+  testbed::WorkloadConfig workload;
+  workload.mean_intercall = sim::Duration::Seconds(120);
+  workload.mean_duration = sim::Duration::Seconds(60);
+  bed.StartWorkload(workload);
+  bed.RunFor(sim::Duration::Seconds(30 * 60));
+
+  Arm arm;
+  for (size_t i = 0; i < bed.uas_a().size(); ++i) {
+    for (const auto& record : bed.uas_a()[i]->ua().completed_calls()) {
+      const auto setup = record.SetupDelay();
+      if (!setup) continue;
+      arm.all_setups_ms.push_back(setup->ToMillis());
+      if (i == 3) arm.caller3.emplace_back(record.started.ToSeconds(),
+                                           setup->ToMillis());
+      if (i == 4) arm.caller4.emplace_back(record.started.ToSeconds(),
+                                           setup->ToMillis());
+    }
+  }
+  return arm;
+}
+
+void PrintSeries(const char* name,
+                 const std::vector<std::pair<double, double>>& with_vids,
+                 const std::vector<std::pair<double, double>>& without) {
+  std::printf("\n%s (same seed → same call schedule):\n", name);
+  std::printf("%-12s %-16s %-16s %s\n", "t (s)", "with vIDS (ms)",
+              "without (ms)", "delta (ms)");
+  const size_t n = std::min(with_vids.size(), without.size());
+  for (size_t i = 0; i < n && i < 12; ++i) {
+    std::printf("%-12.0f %-16.1f %-16.1f %+.1f\n", with_vids[i].first,
+                with_vids[i].second, without[i].second,
+                with_vids[i].second - without[i].second);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("FIG-9",
+                     "call setup delay with/without vIDS (callers 3 & 4)",
+                     "average extra setup delay induced by vIDS ~= 100 ms");
+
+  const Arm with_vids = RunArm(true);
+  const Arm without = RunArm(false);
+
+  PrintSeries("caller 3", with_vids.caller3, without.caller3);
+  PrintSeries("caller 4", with_vids.caller4, without.caller4);
+
+  const auto s_with = bench::Summarize(with_vids.all_setups_ms);
+  const auto s_without = bench::Summarize(without.all_setups_ms);
+  bench::PrintRule();
+  std::printf("all callers, %zu vs %zu calls:\n", s_with.count,
+              s_without.count);
+  std::printf("  with vIDS:    mean=%6.1f ms  p50=%6.1f  p95=%6.1f\n",
+              s_with.mean, s_with.p50, s_with.p95);
+  std::printf("  without vIDS: mean=%6.1f ms  p50=%6.1f  p95=%6.1f\n",
+              s_without.mean, s_without.p50, s_without.p95);
+  const double delta = s_with.mean - s_without.mean;
+  std::printf("  average vIDS-induced setup delay: %+.1f ms (paper: ~100)\n",
+              delta);
+  std::printf("shape check: delta in [80, 140] ms -> %s\n",
+              (delta > 80 && delta < 140) ? "OK" : "MISMATCH");
+  return 0;
+}

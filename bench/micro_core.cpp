@@ -1,0 +1,186 @@
+// MICRO: google-benchmark microbenchmarks of the vIDS hot path — the
+// supporting numbers behind the CPU/latency claims: parse costs, EFSM
+// transition cost, per-call state construction, full Inspect() cost.
+#include <benchmark/benchmark.h>
+
+#include "rtp/packet.h"
+#include "sdp/sdp.h"
+#include "vids/ids.h"
+#include "vids/spec_machines.h"
+
+using namespace vids;
+
+namespace {
+
+const net::Endpoint kProxyA{net::IpAddress(10, 1, 0, 1), 5060};
+const net::Endpoint kProxyB{net::IpAddress(10, 2, 0, 1), 5060};
+
+sip::Message TypicalInvite(const std::string& call_id) {
+  auto invite = sip::Message::MakeRequest(
+      sip::Method::kInvite, *sip::SipUri::Parse("sip:bob@b.example.com"));
+  sip::Via via;
+  via.sent_by = kProxyA;
+  via.branch = "z9hG4bK" + call_id;
+  invite.PushVia(via);
+  sip::NameAddr from;
+  from.uri = *sip::SipUri::Parse("sip:alice@a.example.com");
+  from.SetTag("tag-alice");
+  invite.SetFrom(from);
+  sip::NameAddr to;
+  to.uri = *sip::SipUri::Parse("sip:bob@b.example.com");
+  invite.SetTo(to);
+  invite.SetCallId(call_id);
+  invite.SetCseq(sip::CSeq{1, sip::Method::kInvite});
+  invite.SetBody(
+      sdp::MakeAudioOffer(net::Endpoint{net::IpAddress(10, 1, 0, 10), 20000})
+          .Serialize(),
+      "application/sdp");
+  return invite;
+}
+
+void BM_SipParse(benchmark::State& state) {
+  const std::string wire = TypicalInvite("bench").Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sip::Message::Parse(wire));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_SipParse);
+
+void BM_SipSerialize(benchmark::State& state) {
+  const auto invite = TypicalInvite("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(invite.Serialize());
+  }
+}
+BENCHMARK(BM_SipSerialize);
+
+void BM_SdpParse(benchmark::State& state) {
+  const std::string body =
+      sdp::MakeAudioOffer(net::Endpoint{net::IpAddress(10, 1, 0, 10), 20000})
+          .Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdp::SessionDescription::Parse(body));
+  }
+}
+BENCHMARK(BM_SdpParse);
+
+void BM_RtpParse(benchmark::State& state) {
+  rtp::RtpHeader header;
+  header.ssrc = 0xABCD;
+  header.sequence_number = 100;
+  const std::string wire = header.Serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rtp::RtpHeader::Parse(wire));
+  }
+}
+BENCHMARK(BM_RtpParse);
+
+void BM_ClassifySip(benchmark::State& state) {
+  ids::PacketClassifier classifier;
+  net::Datagram dgram;
+  dgram.src = kProxyA;
+  dgram.dst = kProxyB;
+  dgram.payload = TypicalInvite("bench").Serialize();
+  dgram.kind = net::PayloadKind::kSip;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Classify(dgram, true));
+  }
+}
+BENCHMARK(BM_ClassifySip);
+
+void BM_ClassifyRtp(benchmark::State& state) {
+  ids::PacketClassifier classifier;
+  rtp::RtpHeader header;
+  net::Datagram dgram;
+  dgram.src = net::Endpoint{net::IpAddress(10, 1, 0, 10), 20000};
+  dgram.dst = net::Endpoint{net::IpAddress(10, 2, 0, 10), 30000};
+  dgram.payload = header.Serialize();
+  dgram.kind = net::PayloadKind::kRtp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.Classify(dgram, true));
+  }
+}
+BENCHMARK(BM_ClassifyRtp);
+
+void BM_EfsmTransition(benchmark::State& state) {
+  // One self-loop transition with a predicate and an action — the unit of
+  // work per in-session RTP packet.
+  ids::DetectionConfig config;
+  const auto def = ids::BuildRtpSpecMachine(config);
+  sim::Scheduler scheduler;
+  efsm::MachineGroup group("bench", scheduler, nullptr);
+  auto& machine = group.AddMachine(def, "RTP");
+  group.global().Set("g_offer_ip", std::string("10.1.0.10"));
+  group.global().Set("g_offer_port", int64_t{20000});
+  group.global().Set("g_offer_pt", int64_t{18});
+  efsm::Event offer;
+  offer.name = std::string(ids::kSyncOffer);
+  offer.args["ip"] = std::string("10.1.0.10");
+  offer.args["port"] = int64_t{20000};
+  offer.args["pt"] = int64_t{18};
+  machine.Deliver(offer);
+
+  efsm::Event rtp_event;
+  rtp_event.name = std::string(ids::kRtpEvent);
+  rtp_event.args["src_ip"] = std::string("10.2.0.10");
+  rtp_event.args["src_port"] = int64_t{30000};
+  rtp_event.args["dst_ip"] = std::string("10.1.0.10");
+  rtp_event.args["dst_port"] = int64_t{20000};
+  rtp_event.args["ssrc"] = int64_t{7};
+  rtp_event.args["seq"] = int64_t{1};
+  rtp_event.args["ts"] = int64_t{80};
+  rtp_event.args["pt"] = int64_t{18};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.Deliver(rtp_event));
+  }
+}
+BENCHMARK(BM_EfsmTransition);
+
+void BM_VidsInspectSip(benchmark::State& state) {
+  sim::Scheduler scheduler;
+  ids::Vids vids(scheduler);
+  net::Datagram dgram;
+  dgram.src = kProxyA;
+  dgram.dst = kProxyB;
+  dgram.kind = net::PayloadKind::kSip;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    // Fresh Call-ID each iteration: measures the worst case (group
+    // creation + machine instantiation + first transition).
+    dgram.payload = TypicalInvite("c" + std::to_string(i++)).Serialize();
+    benchmark::DoNotOptimize(vids.Inspect(dgram, true));
+  }
+}
+BENCHMARK(BM_VidsInspectSip);
+
+void BM_VidsInspectRtpInSession(benchmark::State& state) {
+  sim::Scheduler scheduler;
+  ids::Vids vids(scheduler);
+  net::Datagram invite;
+  invite.src = kProxyA;
+  invite.dst = kProxyB;
+  invite.kind = net::PayloadKind::kSip;
+  invite.payload = TypicalInvite("media-bench").Serialize();
+  vids.Inspect(invite, true);
+
+  rtp::RtpHeader header;
+  header.ssrc = 7;
+  net::Datagram dgram;
+  dgram.src = net::Endpoint{net::IpAddress(10, 2, 0, 10), 30000};
+  dgram.dst = net::Endpoint{net::IpAddress(10, 1, 0, 10), 20000};
+  dgram.kind = net::PayloadKind::kRtp;
+  uint16_t seq = 0;
+  for (auto _ : state) {
+    header.sequence_number = seq++;
+    header.timestamp += 80;
+    dgram.payload = header.Serialize();
+    benchmark::DoNotOptimize(vids.Inspect(dgram, true));
+  }
+}
+BENCHMARK(BM_VidsInspectRtpInSession);
+
+}  // namespace
+
+BENCHMARK_MAIN();

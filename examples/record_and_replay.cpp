@@ -1,0 +1,79 @@
+// Forensics workflow: record the wire, re-analyze offline.
+//
+//   $ ./build/examples/record_and_replay [trace-file]
+//
+// Captures a BYE DoS attack at the monitoring point into a portable text
+// trace, then loads the trace into a *fresh* offline vIDS twice — once
+// with the default thresholds (reproducing the online alert) and once
+// with a paranoid configuration — showing how a recorded incident can be
+// re-examined after the fact.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "testbed/testbed.h"
+#include "vids/trace.h"
+
+using namespace vids;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/vids_incident.trace";
+
+  // --- Online: the incident happens; the tap records. ---
+  testbed::TestbedConfig config;
+  config.seed = 2026;
+  config.uas_per_network = 3;
+  testbed::Testbed bed(config);
+  ids::TraceLog capture;
+  bed.AddMonitor(capture.MakeRecorder(bed.scheduler()));
+  bed.RunFor(sim::Duration::Seconds(2));
+  auto& caller = *bed.uas_a()[0];
+  const auto call_id = caller.ua().PlaceCall(
+      bed.uas_b()[0]->ua().address_of_record(), sim::Duration::Seconds(120));
+  bed.RunFor(sim::Duration::Seconds(3));
+  if (const auto snap = bed.eavesdropper().Get(call_id)) {
+    bed.attacker().SendSpoofedBye(*snap);
+  }
+  // Keep recording long enough for the duped caller's next talkspurt —
+  // VAD silences can stretch for many seconds.
+  bed.RunFor(sim::Duration::Seconds(20));
+  std::printf("online: %zu packets captured, %zu alert(s)\n", capture.size(),
+              bed.vids()->alerts().size());
+
+  {
+    std::ofstream file(path);
+    file << capture.Serialize();
+  }
+  std::printf("trace written to %s\n\n", path.c_str());
+
+  // --- Offline: reload and re-analyze. ---
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto trace = ids::TraceLog::Parse(buffer.str());
+  if (!trace) {
+    std::printf("trace failed to parse!\n");
+    return 1;
+  }
+
+  std::printf("replay with default thresholds:\n");
+  sim::Scheduler scheduler_a;
+  ids::Vids default_vids(scheduler_a);
+  trace->ReplayInto(default_vids, scheduler_a);
+  for (const auto& alert : default_vids.alerts()) {
+    std::printf("  %s\n", alert.ToString().c_str());
+  }
+
+  std::printf("\nreplay with a paranoid configuration (T = 10 ms):\n");
+  ids::DetectionConfig paranoid;
+  paranoid.bye_inflight_grace = sim::Duration::Millis(10);
+  sim::Scheduler scheduler_b;
+  ids::Vids paranoid_vids(scheduler_b, paranoid);
+  trace->ReplayInto(paranoid_vids, scheduler_b);
+  std::printf("  %zu alert(s) — smaller T flags the attack sooner (and, on "
+              "clean traffic,\n  would false-alarm; see "
+              "bench/detection_sensitivity)\n",
+              paranoid_vids.alerts().size());
+
+  return default_vids.CountAlerts(ids::kAttackByeDos) >= 1 ? 0 : 1;
+}

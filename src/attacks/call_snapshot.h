@@ -1,0 +1,54 @@
+// What an eavesdropper learns about a call from the wire.
+//
+// Every attack of the paper's threat model (§3) starts from knowledge an
+// on-path observer can extract from unencrypted SIP/SDP/RTP: dialog
+// identifiers (Call-ID, tags, branches), contact endpoints, negotiated
+// media addresses and the live stream's SSRC/sequence/timestamp position.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/address.h"
+#include "sip/message.h"
+
+namespace vids::attacks {
+
+struct CallSnapshot {
+  std::string call_id;
+
+  sip::SipUri caller_aor;
+  sip::SipUri callee_aor;
+  std::string caller_tag;  // From tag of the INVITE
+  std::string callee_tag;  // To tag from the 2xx
+
+  /// SIP endpoints: where the INVITE came from as seen on the wire (the
+  /// caller's outbound proxy) and the callee's Contact from the 2xx.
+  net::Endpoint invite_source;
+  net::Endpoint callee_contact;
+  std::optional<net::Endpoint> caller_contact;  // Contact in the INVITE
+
+  /// The INVITE's top Via (needed to forge a CANCEL that matches the
+  /// victim proxy's pending transaction).
+  std::string invite_branch;
+  net::Endpoint invite_via_sentby;
+  uint32_t invite_cseq = 0;
+
+  /// Negotiated media endpoints: offer = toward the caller, answer = toward
+  /// the callee.
+  std::optional<net::Endpoint> caller_media;
+  std::optional<net::Endpoint> callee_media;
+  int payload_type = 18;
+
+  /// Live stream position toward the callee (for SSRC-hijack spam).
+  uint32_t ssrc_toward_callee = 0;
+  uint16_t last_seq_toward_callee = 0;
+  uint32_t last_ts_toward_callee = 0;
+  bool media_seen = false;
+
+  bool answered = false;  // 2xx observed
+  bool closed = false;    // 200-for-BYE observed
+};
+
+}  // namespace vids::attacks

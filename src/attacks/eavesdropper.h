@@ -1,0 +1,46 @@
+// Passive wire observer building CallSnapshots for the attack toolkit.
+//
+// Attach Feed() to a tap's monitor port (or call it from any packet path).
+// It shadows SIP dialogs and RTP streams exactly the way the attacks of §3
+// presume an attacker can, and reports when a call becomes attackable.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "attacks/call_snapshot.h"
+#include "net/datagram.h"
+
+namespace vids::attacks {
+
+class Eavesdropper {
+ public:
+  /// Invoked when a call is first observed answered (2xx seen) — the moment
+  /// BYE DoS / spam attacks become possible.
+  using CallAnsweredHook = std::function<void(const CallSnapshot&)>;
+
+  void set_on_call_answered(CallAnsweredHook hook) {
+    on_answered_ = std::move(hook);
+  }
+
+  /// Processes one sniffed datagram.
+  void Feed(const net::Datagram& dgram, bool from_outside);
+
+  std::optional<CallSnapshot> Get(const std::string& call_id) const;
+  /// The most recently answered, still-open call, if any.
+  std::optional<CallSnapshot> LatestAnswered() const;
+  size_t calls_seen() const { return calls_.size(); }
+
+ private:
+  void FeedSip(const net::Datagram& dgram);
+  void FeedRtp(const net::Datagram& dgram);
+
+  std::map<std::string, CallSnapshot> calls_;
+  std::map<net::Endpoint, std::string> media_to_call_;
+  std::string latest_answered_;
+  CallAnsweredHook on_answered_;
+};
+
+}  // namespace vids::attacks

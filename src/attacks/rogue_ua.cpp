@@ -1,0 +1,47 @@
+#include "attacks/rogue_ua.h"
+
+namespace vids::attacks {
+
+RogueUa::RogueUa(sim::Scheduler& scheduler, net::Host& host, Config config,
+                 common::Stream& rng)
+    : scheduler_(scheduler),
+      host_(host),
+      config_(std::move(config)),
+      rng_(rng.Fork("rogue-ua")),
+      ua_(scheduler, host, config_.ua) {
+  ua_.set_media_start([this](const sip::MediaSpec& spec) {
+    rtp::MediaSession::Config media_config;
+    media_config.local_port = spec.local_rtp.port;
+    media_config.remote = spec.remote_rtp;
+    media_config.codec = config_.codec;
+    media_ = std::make_unique<rtp::MediaSession>(scheduler_, host_,
+                                                 media_config, rng_);
+    media_->Start();
+
+    // The fraud choreography: stop billing, keep talking.
+    scheduler_.ScheduleAfter(config_.bye_after, [this] {
+      if (!media_) return;
+      packets_at_bye_ = media_->packets_sent();
+      bye_sent_ = true;
+      ua_.HangUp(call_id_);  // sends a perfectly legitimate BYE
+    });
+    scheduler_.ScheduleAfter(
+        config_.bye_after + config_.stream_after_bye, [this] {
+          if (!media_) return;
+          packets_after_bye_ = media_->packets_sent() - packets_at_bye_;
+          media_->Stop();
+        });
+  });
+  // Ignore the UA's teardown signal: the stream deliberately outlives the
+  // dialog. (An honest UA stops its media here.)
+  ua_.set_media_stop([](const std::string&) {});
+}
+
+std::string RogueUa::CallAndDefraud(const sip::SipUri& callee) {
+  // A long planned duration: the rogue never intends the UA-side hangup to
+  // fire; the scheduled fraud BYE comes first.
+  call_id_ = ua_.PlaceCall(callee, sim::Duration::Seconds(3600));
+  return call_id_;
+}
+
+}  // namespace vids::attacks

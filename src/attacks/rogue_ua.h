@@ -1,0 +1,55 @@
+// A misbehaving-but-authenticated user agent (paper §3.1: "many attacks are
+// still possible ... by an authenticated but misbehaving UA").
+//
+// Implements the billing/toll-fraud scenario: place a perfectly normal
+// call, send a legitimate BYE to stop the billing clock, and keep the RTP
+// stream running. Only the cross-protocol SIP↔RTP view of the vIDS can see
+// the contradiction.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "rtp/session.h"
+#include "sip/user_agent.h"
+
+namespace vids::attacks {
+
+class RogueUa {
+ public:
+  struct Config {
+    sip::UserAgent::Config ua;
+    rtp::CodecProfile codec;
+    /// How long after answer the fraudulent BYE is sent.
+    sim::Duration bye_after = sim::Duration::Seconds(5);
+    /// How long the RTP stream keeps running *after* the BYE.
+    sim::Duration stream_after_bye = sim::Duration::Seconds(10);
+  };
+
+  RogueUa(sim::Scheduler& scheduler, net::Host& host, Config config,
+          common::Stream& rng);
+
+  void Register() { ua_.Register(); }
+
+  /// Places the fraudulent call. The BYE/keep-streaming sequence runs
+  /// automatically once the call is answered.
+  std::string CallAndDefraud(const sip::SipUri& callee);
+
+  uint64_t rtp_packets_after_bye() const { return packets_after_bye_; }
+  bool bye_sent() const { return bye_sent_; }
+
+ private:
+  sim::Scheduler& scheduler_;
+  net::Host& host_;
+  Config config_;
+  common::Stream rng_;
+  sip::UserAgent ua_;
+  std::unique_ptr<rtp::MediaSession> media_;
+  std::string call_id_;
+  bool bye_sent_ = false;
+  uint64_t packets_at_bye_ = 0;
+  uint64_t packets_after_bye_ = 0;
+};
+
+}  // namespace vids::attacks

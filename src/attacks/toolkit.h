@@ -1,0 +1,82 @@
+// Attack toolkit: forges the §3 attacks from an attacker-controlled host.
+//
+// Every primitive crafts raw SIP/RTP datagrams with full control over the
+// network-level source (IP spoofing) and the SIP/RTP identifiers (dialog
+// and stream spoofing), which is exactly the capability the paper's threat
+// model grants an unauthenticated network attacker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "attacks/call_snapshot.h"
+#include "net/host.h"
+#include "sim/scheduler.h"
+
+namespace vids::attacks {
+
+class AttackToolkit {
+ public:
+  AttackToolkit(sim::Scheduler& scheduler, net::Host& host)
+      : scheduler_(scheduler), host_(host) {}
+
+  net::Endpoint attacker_endpoint() const {
+    return net::Endpoint{host_.ip(), 5060};
+  }
+
+  /// §3.1 BYE DoS: tears down an established call by sending the callee a
+  /// BYE that claims to come from the caller. `spoof_ip` also forges the
+  /// network source address.
+  void SendSpoofedBye(const CallSnapshot& call, bool spoof_ip = false);
+
+  /// §3.1 CANCEL DoS: aborts a pending INVITE by sending the victim proxy a
+  /// CANCEL matching the observed INVITE transaction (same Via branch).
+  void SendSpoofedCancel(const CallSnapshot& call, net::Endpoint proxy);
+
+  /// §3.1 INVITE flooding: `count` INVITEs with fresh Call-IDs toward one
+  /// target AOR, `interval` apart, via `proxy`.
+  void LaunchInviteFlood(const sip::SipUri& target, net::Endpoint proxy,
+                         int count, sim::Duration interval);
+
+  /// §3.2 media spamming: injects `count` RTP packets into the callee's
+  /// stream reusing the live SSRC with sequence/timestamp far ahead of the
+  /// genuine stream.
+  void LaunchMediaSpam(const CallSnapshot& call, int count,
+                       sim::Duration interval, uint16_t seq_jump = 1000,
+                       uint32_t ts_jump = 80000);
+
+  /// §3.2 RTP flooding: blasts `pps` packets/s of alien RTP at an endpoint
+  /// for `duration`.
+  void LaunchRtpFlood(net::Endpoint target, int pps, sim::Duration duration,
+                      uint8_t payload_type = 0);
+
+  /// §3.1 DRDoS: `count` OPTIONS requests with the victim's address as the
+  /// spoofed source, bounced off `reflector` (a SIP proxy), whose responses
+  /// swamp the victim.
+  void LaunchDrdosReflection(net::Endpoint victim, net::Endpoint reflector,
+                             int count, sim::Duration interval);
+
+  /// §3.1 call hijacking: a re-INVITE inside the observed dialog carrying
+  /// the attacker's own tag and media address, trying to redirect media.
+  void SendHijackInvite(const CallSnapshot& call);
+
+  /// Media-plane twin of the BYE DoS: a forged RTCP BYE for the live
+  /// stream's SSRC, telling the callee's media stack the stream ended
+  /// while the genuine RTP keeps flowing.
+  void SendSpoofedRtcpBye(const CallSnapshot& call);
+
+  uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void SendSip(const sip::Message& message, net::Endpoint dst,
+               std::optional<net::Endpoint> spoofed_src = std::nullopt);
+  std::string NextBranch();
+  std::string NextCallId();
+
+  sim::Scheduler& scheduler_;
+  net::Host& host_;
+  uint64_t serial_ = 1;
+  uint64_t packets_sent_ = 0;
+};
+
+}  // namespace vids::attacks

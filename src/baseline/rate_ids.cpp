@@ -1,0 +1,19 @@
+#include "baseline/rate_ids.h"
+
+namespace vids::baseline {
+
+void RateIds::Inspect(const net::Datagram& dgram, bool, sim::Time now) {
+  Counter& counter = counters_[dgram.src.ip];
+  if (counter.count == 0 || now - counter.window_start > config_.window) {
+    counter.window_start = now;
+    counter.count = 0;
+    counter.alerted = false;
+  }
+  ++counter.count;
+  if (counter.count > config_.threshold && !counter.alerted) {
+    counter.alerted = true;
+    alerts_.push_back(RateAlert{now, dgram.src.ip, counter.count});
+  }
+}
+
+}  // namespace vids::baseline

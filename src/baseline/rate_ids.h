@@ -1,0 +1,49 @@
+// Baseline 2: a naive per-source rate anomaly detector.
+//
+// The simplest stateful defense: count packets per network source in a
+// sliding window and alert above a threshold. Catches brute floods; blind
+// to everything that is low-rate and semantically wrong (spoofed BYE,
+// spoofed CANCEL, toll fraud, SSRC-hijack spam at stream rate). Used by the
+// ablation bench as the second rung of the comparison ladder.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/datagram.h"
+#include "sim/time.h"
+
+namespace vids::baseline {
+
+class RateIds {
+ public:
+  struct Config {
+    int threshold = 200;  // packets per window per source
+    sim::Duration window = sim::Duration::Seconds(1);
+  };
+
+  RateIds() : RateIds(Config{}) {}
+  explicit RateIds(Config config) : config_(config) {}
+
+  void Inspect(const net::Datagram& dgram, bool from_outside, sim::Time now);
+
+  struct RateAlert {
+    sim::Time when;
+    net::IpAddress src;
+    int count = 0;
+  };
+  const std::vector<RateAlert>& alerts() const { return alerts_; }
+
+ private:
+  struct Counter {
+    sim::Time window_start;
+    int count = 0;
+    bool alerted = false;
+  };
+  Config config_;
+  std::map<net::IpAddress, Counter> counters_;
+  std::vector<RateAlert> alerts_;
+};
+
+}  // namespace vids::baseline

@@ -1,0 +1,51 @@
+#include "baseline/signature_ids.h"
+
+#include "rtp/packet.h"
+#include "sip/message.h"
+
+namespace vids::baseline {
+
+void SignatureIds::InstallDefaultRules() {
+  AddRule(SignatureRule{.name = "malformed-packet",
+                        .pattern = "",
+                        .src_ip = std::nullopt,
+                        .match_malformed = true});
+  // Known scanner / attack-tool fingerprints (the kind of knowledge a
+  // signature base accumulates).
+  AddRule(SignatureRule{.name = "scanner-user-agent",
+                        .pattern = "User-Agent: friendly-scanner",
+                        .src_ip = std::nullopt,
+                        .match_malformed = false});
+  AddRule(SignatureRule{.name = "sipvicious-probe",
+                        .pattern = "sipvicious",
+                        .src_ip = std::nullopt,
+                        .match_malformed = false});
+}
+
+void SignatureIds::Inspect(const net::Datagram& dgram, bool, sim::Time now) {
+  ++packets_inspected_;
+  const bool parses = sip::Message::Parse(dgram.payload).has_value() ||
+                      rtp::RtpHeader::Parse(dgram.payload).has_value();
+  for (const auto& rule : rules_) {
+    if (rule.match_malformed) {
+      if (parses) continue;
+    } else {
+      if (!rule.pattern.empty() &&
+          dgram.payload.find(rule.pattern) == std::string::npos) {
+        continue;
+      }
+    }
+    if (rule.src_ip && *rule.src_ip != dgram.src.ip) continue;
+    alerts_.push_back(SignatureAlert{now, rule.name, dgram.src, dgram.dst});
+  }
+}
+
+size_t SignatureIds::CountAlerts(std::string_view rule_name) const {
+  size_t count = 0;
+  for (const auto& alert : alerts_) {
+    if (alert.rule == rule_name) ++count;
+  }
+  return count;
+}
+
+}  // namespace vids::baseline

@@ -1,0 +1,60 @@
+// Baseline 1: a stateless, per-packet signature matcher (Snort-style).
+//
+// The paper positions vIDS against signature engines that "inspect packets
+// by signature matching" (§1, Snort) and against SCIDIVE's rule matching
+// (§8). This baseline implements that class honestly: each packet is
+// matched in isolation against byte-pattern rules. The ablation benchmark
+// shows what that buys (malformed traffic, known bad identities) and what
+// it structurally cannot see (a spoofed BYE is byte-for-byte legitimate; a
+// toll-fraud stream is valid RTP — only cross-packet, cross-protocol state
+// separates them from normal traffic).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/datagram.h"
+#include "sim/time.h"
+
+namespace vids::baseline {
+
+struct SignatureRule {
+  std::string name;
+  /// Substring the payload must contain (empty = any payload).
+  std::string pattern;
+  /// If set, the rule fires only for this network-level source.
+  std::optional<net::IpAddress> src_ip;
+  /// If true, the rule fires on packets that fail to parse as SIP or RTP.
+  bool match_malformed = false;
+};
+
+struct SignatureAlert {
+  sim::Time when;
+  std::string rule;
+  net::Endpoint src;
+  net::Endpoint dst;
+};
+
+class SignatureIds {
+ public:
+  void AddRule(SignatureRule rule) { rules_.push_back(std::move(rule)); }
+  /// Installs a small default VoIP ruleset (malformed packets, suspicious
+  /// method bursts markers, known-scanner user agents).
+  void InstallDefaultRules();
+
+  /// Per-packet, stateless inspection.
+  void Inspect(const net::Datagram& dgram, bool from_outside, sim::Time now);
+
+  const std::vector<SignatureAlert>& alerts() const { return alerts_; }
+  uint64_t packets_inspected() const { return packets_inspected_; }
+  size_t CountAlerts(std::string_view rule_name) const;
+
+ private:
+  std::vector<SignatureRule> rules_;
+  std::vector<SignatureAlert> alerts_;
+  uint64_t packets_inspected_ = 0;
+};
+
+}  // namespace vids::baseline

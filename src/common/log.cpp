@@ -1,0 +1,37 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace vids::common {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;  // empty → stderr
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::SetLevel(LogLevel level) { g_level = level; }
+LogLevel Log::Level() { return g_level; }
+void Log::SetSink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::Write(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
+}
+
+}  // namespace vids::common

@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// The simulator and vIDS components log through this sink so tests can
+// silence output and examples can show protocol traces. Not thread-safe by
+// design: the discrete-event simulator is single-threaded.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace vids::common {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration. Defaults: level = kWarn, sink = stderr.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void SetLevel(LogLevel level);
+  static LogLevel Level();
+  /// Replaces the output sink; pass nullptr to restore the stderr default.
+  static void SetSink(Sink sink);
+  static void Write(LogLevel level, const std::string& message);
+  static bool Enabled(LogLevel level) { return level >= Level(); }
+};
+
+namespace log_detail {
+class Line {
+ public:
+  explicit Line(LogLevel level) : level_(level) {}
+  ~Line() { Log::Write(level_, stream_.str()); }
+  Line(const Line&) = delete;
+  Line& operator=(const Line&) = delete;
+  template <typename T>
+  Line& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+}  // namespace vids::common
+
+#define VIDS_LOG(level)                                       \
+  if (!::vids::common::Log::Enabled(level)) {                 \
+  } else                                                      \
+    ::vids::common::log_detail::Line(level)
+
+#define VIDS_TRACE() VIDS_LOG(::vids::common::LogLevel::kTrace)
+#define VIDS_DEBUG() VIDS_LOG(::vids::common::LogLevel::kDebug)
+#define VIDS_INFO() VIDS_LOG(::vids::common::LogLevel::kInfo)
+#define VIDS_WARN() VIDS_LOG(::vids::common::LogLevel::kWarn)
+#define VIDS_ERROR() VIDS_LOG(::vids::common::LogLevel::kError)

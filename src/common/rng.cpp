@@ -1,0 +1,96 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace vids::common {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+uint64_t HashName(uint64_t seed, std::string_view name) {
+  uint64_t h = 0xCBF29CE484222325ULL ^ seed;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+Stream::Stream(uint64_t master_seed, std::string_view name) {
+  origin_ = HashName(master_seed, name);
+  uint64_t x = origin_;
+  for (auto& s : state_) s = SplitMix64(x);
+}
+
+Stream::Stream(uint64_t s0, uint64_t s1, uint64_t s2, uint64_t s3)
+    : state_{s0, s1, s2, s3}, origin_(s0 ^ s1 ^ s2 ^ s3) {}
+
+uint64_t Stream::Next() {
+  uint64_t* s = state_;
+  const uint64_t result = Rotl(s[0] + s[3], 23) + s[0];
+  const uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = Rotl(s[3], 45);
+  return result;
+}
+
+double Stream::NextDouble() {
+  // 53 high bits → uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Stream::NextInRange(uint64_t lo, uint64_t hi) {
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) return Next();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = (~0ULL) - (~0ULL) % span;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + v % span;
+}
+
+double Stream::NextExponential(double mean) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+bool Stream::NextBernoulli(double p) { return NextDouble() < p; }
+
+double Stream::NextNormal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double mag =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * mag;
+}
+
+Stream Stream::Fork(std::string_view child_name) const {
+  uint64_t x = HashName(origin_, child_name);
+  uint64_t s0 = SplitMix64(x), s1 = SplitMix64(x), s2 = SplitMix64(x),
+           s3 = SplitMix64(x);
+  return Stream(s0, s1, s2, s3);
+}
+
+}  // namespace vids::common

@@ -1,0 +1,59 @@
+// Deterministic random number streams.
+//
+// Every source of randomness in the simulator (call arrivals, hold times,
+// link loss, attack timing) draws from a named Stream derived from a single
+// master seed, so an experiment is reproducible bit-for-bit from its seed
+// while distinct subsystems stay statistically independent.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vids::common {
+
+/// A splittable 64-bit PRNG (xoshiro256++ seeded via SplitMix64).
+/// Satisfies UniformRandomBitGenerator, so it composes with <random> if
+/// needed, but the distribution helpers below are preferred: they are
+/// guaranteed stable across standard library implementations.
+class Stream {
+ public:
+  using result_type = uint64_t;
+
+  /// Derives a stream from `master_seed` and a subsystem `name`; the same
+  /// (seed, name) pair always yields the same sequence.
+  Stream(uint64_t master_seed, std::string_view name);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Bernoulli trial with success probability `p` in [0, 1].
+  bool NextBernoulli(double p);
+
+  /// Normally distributed value (Box–Muller), for jitter-like noise.
+  double NextNormal(double mean, double stddev);
+
+  /// Derives an independent child stream, e.g. one per simulated host.
+  Stream Fork(std::string_view child_name) const;
+
+ private:
+  explicit Stream(uint64_t s0, uint64_t s1, uint64_t s2, uint64_t s3);
+  uint64_t state_[4];
+  uint64_t origin_;  // hash of (seed, name), used by Fork
+};
+
+/// FNV-1a 64-bit hash, used to mix stream names into seeds.
+uint64_t HashName(uint64_t seed, std::string_view name);
+
+}  // namespace vids::common

@@ -1,0 +1,68 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace vids::common {
+
+namespace {
+bool IsLws(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+char LowerAscii(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+}  // namespace
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && IsLws(s.front())) s.remove_prefix(1);
+  while (!s.empty() && IsLws(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(Trim(s.substr(start)));
+      return out;
+    }
+    out.push_back(Trim(s.substr(start, pos - start)));
+    start = pos + 1;
+  }
+}
+
+std::optional<std::pair<std::string_view, std::string_view>> SplitOnce(
+    std::string_view s, char sep) {
+  size_t pos = s.find(sep);
+  if (pos == std::string_view::npos) return std::nullopt;
+  return std::pair{Trim(s.substr(0, pos)), Trim(s.substr(pos + 1))};
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), LowerAscii);
+  return out;
+}
+
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  return std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+    return LowerAscii(x) == LowerAscii(y);
+  });
+}
+
+bool IStartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && IEquals(s.substr(0, prefix.size()), prefix);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace vids::common

@@ -1,0 +1,52 @@
+// String utilities shared by the text-protocol parsers (SIP, SDP).
+//
+// SIP (RFC 3261) is case-insensitive in header field names and many token
+// values, and its grammar leans heavily on linear-white-space trimming; the
+// helpers here implement those primitives once so the parsers stay readable.
+#pragma once
+
+#include <charconv>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vids::common {
+
+/// Returns `s` with ASCII whitespace (SP, HTAB, CR, LF) removed from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Splits `s` on `sep`, trimming each piece. Empty pieces are kept so that
+/// positional grammars (e.g. SDP "o=" lines) can detect missing fields.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Splits on the first occurrence of `sep` only. Returns nullopt if absent.
+std::optional<std::pair<std::string_view, std::string_view>> SplitOnce(
+    std::string_view s, char sep);
+
+/// ASCII lower-casing (locale independent, as required by RFC 3261 §7.3.1).
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive comparison for header names and tokens.
+bool IEquals(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`, compared case-insensitively.
+bool IStartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative decimal integer occupying the whole of `s`.
+template <typename Int>
+std::optional<Int> ParseInt(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return std::nullopt;
+  Int value{};
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return value;
+}
+
+/// Joins `parts` with `sep` — the inverse of Split for serializers.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace vids::common

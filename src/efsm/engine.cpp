@@ -1,0 +1,214 @@
+#include "efsm/engine.h"
+
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace vids::efsm {
+
+// ------------------------------------------------------------- Context
+
+void Context::Emit(std::string_view channel, Event event) {
+  instance_.EmitFrom(channel, std::move(event));
+}
+void Context::StartTimer(std::string_view name, sim::Duration after) {
+  instance_.StartTimer(name, after);
+}
+void Context::CancelTimer(std::string_view name) {
+  instance_.CancelTimer(name);
+}
+sim::Time Context::Now() const { return instance_.Now(); }
+
+// ----------------------------------------------------- MachineInstance
+
+MachineInstance::MachineInstance(const MachineDef& def, std::string name,
+                                 MachineGroup& group)
+    : def_(def), name_(std::move(name)), group_(group),
+      state_(def.initial_state()) {
+  if (state_ == kInvalidState) {
+    throw std::invalid_argument(def.name() + ": no initial state defined");
+  }
+}
+
+MachineInstance::DeliverResult MachineInstance::Deliver(const Event& event) {
+  if (retired_) return DeliverResult::kRetired;
+
+  const auto candidates = def_.Candidates(state_, event.name);
+  // Predicated transitions compete (and §4.1 wants their predicates
+  // mutually disjoint — overlap is reported); an unpredicated transition is
+  // the "else" branch, taken only when no predicate is enabled.
+  const Transition* enabled = nullptr;
+  const Transition* fallback = nullptr;
+  size_t enabled_count = 0;
+  for (const Transition* candidate : candidates) {
+    if (!candidate->predicate) {
+      if (fallback == nullptr) fallback = candidate;
+      continue;
+    }
+    Context ctx(event, local_, group_.global(), *this);
+    if (candidate->predicate(ctx)) {
+      ++enabled_count;
+      if (enabled == nullptr) enabled = candidate;
+    }
+  }
+  if (enabled == nullptr) enabled = fallback;
+
+  if (enabled == nullptr) {
+    const bool is_timer = event.name.starts_with("timer:");
+    if (is_timer) return DeliverResult::kIgnored;
+    // Event outside the machine's alphabet is not the machine's business.
+    bool in_alphabet = false;
+    for (const auto& transition : def_.transitions()) {
+      if (transition.event_name == event.name) {
+        in_alphabet = true;
+        break;
+      }
+    }
+    if (!in_alphabet) return DeliverResult::kNotInAlphabet;
+    if (def_.report_deviations() && group_.observer() != nullptr) {
+      group_.observer()->OnDeviation(*this, event);
+    }
+    return DeliverResult::kDeviation;
+  }
+
+  if (enabled_count > 1 && group_.observer() != nullptr) {
+    group_.observer()->OnNondeterminism(*this, event, enabled_count);
+  }
+
+  if (enabled->action) {
+    Context ctx(event, local_, group_.global(), *this);
+    enabled->action(ctx);
+  }
+  state_ = enabled->to;
+  if (group_.observer() != nullptr) {
+    group_.observer()->OnTransition(*this, *enabled, event);
+    if (def_.Kind(state_) == StateKind::kAttack) {
+      group_.observer()->OnAttackState(*this, state_, event);
+    }
+  }
+  if (def_.Kind(state_) == StateKind::kFinal) {
+    retired_ = true;
+    for (auto& [timer_name, timer] : timers_) timer->Cancel();
+    if (group_.observer() != nullptr) group_.observer()->OnRetired(*this);
+  }
+  return DeliverResult::kTransitioned;
+}
+
+size_t MachineInstance::MemoryBytes() const {
+  return sizeof(*this) + name_.capacity() + local_.MemoryBytes() +
+         timers_.size() * (sizeof(sim::Timer) + 4 * sizeof(void*));
+}
+
+void MachineInstance::EmitFrom(std::string_view channel, Event event) {
+  group_.Enqueue(channel, std::move(event));
+}
+
+void MachineInstance::StartTimer(std::string_view name, sim::Duration after) {
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_
+             .emplace(std::string(name),
+                      std::make_unique<sim::Timer>(group_.scheduler()))
+             .first;
+  }
+  const std::string timer_name(name);
+  it->second->Start(after, [this, timer_name] {
+    group_.OnTimerFired(*this, timer_name);
+  });
+}
+
+void MachineInstance::CancelTimer(std::string_view name) {
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) it->second->Cancel();
+}
+
+sim::Time MachineInstance::Now() const { return group_.scheduler().Now(); }
+
+// -------------------------------------------------------- MachineGroup
+
+MachineGroup::MachineGroup(std::string name, sim::Scheduler& scheduler,
+                           Observer* observer)
+    : name_(std::move(name)), scheduler_(scheduler), observer_(observer) {}
+
+MachineInstance& MachineGroup::AddMachine(const MachineDef& def,
+                                          std::string instance_name) {
+  machines_.push_back(std::unique_ptr<MachineInstance>(
+      new MachineInstance(def, std::move(instance_name), *this)));
+  return *machines_.back();
+}
+
+void MachineGroup::RouteChannel(std::string channel, MachineInstance& dst) {
+  channels_[std::move(channel)].dst = &dst;
+}
+
+MachineInstance* MachineGroup::Find(std::string_view instance_name) {
+  for (const auto& machine : machines_) {
+    if (machine->name() == instance_name) return machine.get();
+  }
+  return nullptr;
+}
+
+void MachineGroup::DeliverData(MachineInstance& machine, const Event& event) {
+  // Paper §4.2: synchronization events waiting in FIFO queues have priority
+  // over data packet events.
+  PumpSyncQueues();
+  machine.Deliver(event);
+  PumpSyncQueues();
+}
+
+void MachineGroup::Enqueue(std::string_view channel, Event event) {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end() || it->second.dst == nullptr) {
+    VIDS_DEBUG() << name_ << ": sync event '" << event.name
+                 << "' emitted on unrouted channel '" << channel << "'";
+    return;
+  }
+  it->second.queue.push_back(std::move(event));
+}
+
+void MachineGroup::PumpSyncQueues() {
+  if (pumping_) return;  // re-entrant Emit during a sync delivery
+  pumping_ = true;
+  // Bounded pump: a cyclic emit chain cannot livelock the IDS.
+  constexpr int kMaxSyncEvents = 1000;
+  int processed = 0;
+  bool progressed = true;
+  while (progressed && processed < kMaxSyncEvents) {
+    progressed = false;
+    for (auto& [channel_name, channel] : channels_) {
+      while (!channel.queue.empty() && processed < kMaxSyncEvents) {
+        Event event = std::move(channel.queue.front());
+        channel.queue.pop_front();
+        ++processed;
+        progressed = true;
+        channel.dst->Deliver(event);
+      }
+    }
+  }
+  pumping_ = false;
+}
+
+void MachineGroup::OnTimerFired(MachineInstance& machine,
+                                const std::string& timer_name) {
+  Event event;
+  event.name = TimerEventName(timer_name);
+  DeliverData(machine, event);
+}
+
+bool MachineGroup::AllRetired() const {
+  for (const auto& machine : machines_) {
+    if (!machine->retired()) return false;
+  }
+  return !machines_.empty();
+}
+
+size_t MachineGroup::MemoryBytes() const {
+  size_t bytes = sizeof(*this) + name_.capacity() + global_.MemoryBytes();
+  for (const auto& machine : machines_) bytes += machine->MemoryBytes();
+  for (const auto& [channel_name, channel] : channels_) {
+    bytes += channel_name.capacity() + sizeof(Channel);
+  }
+  return bytes;
+}
+
+}  // namespace vids::efsm

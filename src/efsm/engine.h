@@ -1,0 +1,151 @@
+// EFSM runtime: instances, communicating groups, sync channels, timers.
+//
+// One MachineGroup exists per monitored call (paper §5: "only one instance
+// of a protocol state machine is maintained ... per call"). The group owns
+// the shared global variable store, the FIFO synchronization channels
+// between machines (Fig. 2(b)) and delivers events with the paper's
+// priority rule: queued synchronization events are processed before any
+// further data event.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "efsm/machine.h"
+#include "sim/scheduler.h"
+
+namespace vids::efsm {
+
+class MachineInstance;
+class MachineGroup;
+
+/// Receives the analysis-relevant happenings. The vIDS Analysis Engine
+/// implements this; tests use it to assert machine behavior.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  /// A transition fired.
+  virtual void OnTransition(const MachineInstance&, const Transition&,
+                            const Event&) {}
+  /// A transition entered a state annotated kAttack.
+  virtual void OnAttackState(const MachineInstance&, StateId,
+                             const Event&) {}
+  /// An in-alphabet event arrived with no enabled transition — a deviation
+  /// from the protocol specification (only for machines that report them).
+  virtual void OnDeviation(const MachineInstance&, const Event&) {}
+  /// More than one predicate was enabled (`enabled_count` of them): the
+  /// definition violates the mutual-disjointness condition of §4.1. First
+  /// candidate wins.
+  virtual void OnNondeterminism(const MachineInstance&, const Event&,
+                                size_t /*enabled_count*/) {}
+  /// The machine reached a kFinal state and retired.
+  virtual void OnRetired(const MachineInstance&) {}
+};
+
+class MachineInstance {
+ public:
+  enum class DeliverResult {
+    kTransitioned,
+    kNotInAlphabet,  // event name never appears in the definition: ignored
+    kIgnored,        // timer event with no enabled transition: harmless
+    kDeviation,      // data/sync event with no enabled transition
+    kRetired,        // machine already reached a final state
+  };
+
+  DeliverResult Deliver(const Event& event);
+
+  const MachineDef& def() const { return def_; }
+  const std::string& name() const { return name_; }
+  StateId state() const { return state_; }
+  std::string_view StateName() const { return def_.StateName(state_); }
+  bool retired() const { return retired_; }
+  VariableStore& local() { return local_; }
+  const VariableStore& local() const { return local_; }
+  MachineGroup& group() { return group_; }
+  const MachineGroup& group() const { return group_; }
+
+  /// Approximate per-instance footprint (§7.3 memory accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  friend class MachineGroup;
+  friend class Context;
+  MachineInstance(const MachineDef& def, std::string name,
+                  MachineGroup& group);
+
+  // Context's action-side hooks.
+  void EmitFrom(std::string_view channel, Event event);
+  void StartTimer(std::string_view name, sim::Duration after);
+  void CancelTimer(std::string_view name);
+  sim::Time Now() const;
+
+  const MachineDef& def_;
+  std::string name_;
+  MachineGroup& group_;
+  StateId state_;
+  bool retired_ = false;
+  VariableStore local_;
+  std::map<std::string, std::unique_ptr<sim::Timer>, std::less<>> timers_;
+};
+
+class MachineGroup {
+ public:
+  /// `observer` may be null; it must outlive the group otherwise.
+  MachineGroup(std::string name, sim::Scheduler& scheduler,
+               Observer* observer);
+
+  /// Instantiates `def` into this group under `instance_name`. The
+  /// definition is shared, not copied — it must outlive the group (that is
+  /// the paper's cost model: per-call state is a configuration, the machine
+  /// itself exists once). The rvalue overload is deleted so a temporary
+  /// definition cannot dangle.
+  MachineInstance& AddMachine(const MachineDef& def,
+                              std::string instance_name);
+  MachineInstance& AddMachine(MachineDef&& def,
+                              std::string instance_name) = delete;
+
+  /// Routes the named channel (e.g. "SIP->RTP") to a destination machine.
+  void RouteChannel(std::string channel, MachineInstance& dst);
+
+  /// Delivers a data event to one machine, then pumps the synchronization
+  /// queues to quiescence (sync has priority over the next data event).
+  void DeliverData(MachineInstance& machine, const Event& event);
+
+  MachineInstance* Find(std::string_view instance_name);
+
+  const std::string& name() const { return name_; }
+  sim::Scheduler& scheduler() { return scheduler_; }
+  Observer* observer() { return observer_; }
+  VariableStore& global() { return global_; }
+  const std::vector<std::unique_ptr<MachineInstance>>& machines() const {
+    return machines_;
+  }
+  /// True when every machine reached a final state — the call completed and
+  /// the fact base may delete this group (paper §5).
+  bool AllRetired() const;
+  size_t MemoryBytes() const;
+
+ private:
+  friend class MachineInstance;
+  void Enqueue(std::string_view channel, Event event);
+  void PumpSyncQueues();
+  void OnTimerFired(MachineInstance& machine, const std::string& timer_name);
+
+  struct Channel {
+    MachineInstance* dst = nullptr;
+    std::deque<Event> queue;
+  };
+
+  std::string name_;
+  sim::Scheduler& scheduler_;
+  Observer* observer_;
+  VariableStore global_;
+  std::vector<std::unique_ptr<MachineInstance>> machines_;
+  std::map<std::string, Channel, std::less<>> channels_;
+  bool pumping_ = false;
+};
+
+}  // namespace vids::efsm

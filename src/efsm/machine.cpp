@@ -1,0 +1,149 @@
+#include "efsm/machine.h"
+
+#include <deque>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace vids::efsm {
+
+std::string TimerEventName(std::string_view timer_name) {
+  return "timer:" + std::string(timer_name);
+}
+
+StateId MachineDef::AddState(std::string name, StateKind kind) {
+  const StateId id = static_cast<StateId>(states_.size());
+  states_.push_back(State{std::move(name), kind});
+  if (kind == StateKind::kInitial && initial_ == kInvalidState) {
+    initial_ = id;
+  }
+  return id;
+}
+
+void MachineDef::TransitionBuilder::To(StateId to, std::string label) {
+  transition_.to = to;
+  if (transition_.from == kInvalidState || to == kInvalidState ||
+      static_cast<size_t>(transition_.from) >= def_.states_.size() ||
+      static_cast<size_t>(to) >= def_.states_.size()) {
+    throw std::invalid_argument(def_.name_ + ": transition between unknown states");
+  }
+  if (label.empty()) {
+    label = std::string(def_.StateName(transition_.from)) + "--" +
+            transition_.event_name + "-->" +
+            std::string(def_.StateName(to));
+  }
+  transition_.label = std::move(label);
+  def_.transitions_.push_back(std::move(transition_));
+}
+
+std::vector<const Transition*> MachineDef::Candidates(
+    StateId from, std::string_view event_name) const {
+  std::vector<const Transition*> out;
+  for (const auto& transition : transitions_) {
+    if (transition.from == from && transition.event_name == event_name) {
+      out.push_back(&transition);
+    }
+  }
+  return out;
+}
+
+namespace {
+std::string DotEscape(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+std::string MachineDef::ToDot() const {
+  std::ostringstream out;
+  out << "digraph \"" << DotEscape(name_) << "\" {\n";
+  out << "  rankdir=LR;\n  node [shape=ellipse, fontsize=11];\n";
+  for (size_t id = 0; id < states_.size(); ++id) {
+    const State& state = states_[id];
+    out << "  s" << id << " [label=\"" << DotEscape(state.name) << "\"";
+    switch (state.kind) {
+      case StateKind::kInitial:
+        out << ", penwidth=2.5";
+        break;
+      case StateKind::kFinal:
+        out << ", peripheries=2";
+        break;
+      case StateKind::kAttack:
+        out << ", style=filled, fillcolor=\"#e05252\", fontcolor=white";
+        break;
+      case StateKind::kNormal:
+        break;
+    }
+    out << "];\n";
+  }
+  for (const auto& transition : transitions_) {
+    out << "  s" << transition.from << " -> s" << transition.to
+        << " [label=\"" << DotEscape(transition.event_name);
+    if (!transition.label.empty()) {
+      out << "\\n[" << DotEscape(transition.label) << "]";
+    }
+    if (transition.predicate) out << "\\nP(x̄,v̄)";
+    out << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::vector<std::string> MachineDef::Validate() const {
+  std::vector<std::string> findings;
+
+  // Structural reachability from the initial state.
+  std::set<StateId> reachable;
+  if (initial_ != kInvalidState) {
+    std::deque<StateId> frontier{initial_};
+    reachable.insert(initial_);
+    while (!frontier.empty()) {
+      const StateId current = frontier.front();
+      frontier.pop_front();
+      for (const auto& transition : transitions_) {
+        if (transition.from == current && !reachable.contains(transition.to)) {
+          reachable.insert(transition.to);
+          frontier.push_back(transition.to);
+        }
+      }
+    }
+  } else {
+    findings.push_back(name_ + ": no initial state");
+  }
+
+  for (size_t id = 0; id < states_.size(); ++id) {
+    const State& state = states_[id];
+    const auto state_id = static_cast<StateId>(id);
+    if (initial_ != kInvalidState && !reachable.contains(state_id)) {
+      findings.push_back(name_ + ": state '" + state.name +
+                         "' unreachable from the initial state");
+    }
+    bool has_outgoing = false;
+    for (const auto& transition : transitions_) {
+      if (transition.from == state_id) {
+        has_outgoing = true;
+        if (state.kind == StateKind::kFinal) {
+          findings.push_back(name_ + ": transition '" + transition.label +
+                             "' leaves final state '" + state.name +
+                             "' (dead: instances retire on entry)");
+          break;
+        }
+      }
+    }
+    // Unreachable states were already reported; a trap finding on top of
+    // that is noise.
+    if (!has_outgoing && state.kind != StateKind::kFinal &&
+        state.kind != StateKind::kAttack && state_id != initial_ &&
+        reachable.contains(state_id)) {
+      findings.push_back(name_ + ": state '" + state.name +
+                         "' is a trap (no outgoing transitions, not final)");
+    }
+  }
+  return findings;
+}
+
+}  // namespace vids::efsm

@@ -1,0 +1,185 @@
+// EFSM definitions: the static quintuple M = (Σ, S, v̄, D, T).
+//
+// A MachineDef is built once per protocol or attack pattern and shared by
+// every per-call instance, matching the paper's claim that per-call cost is
+// only a configuration (state id + variable valuation). Transitions carry a
+// predicate P(x̄, v̄) over event arguments and state variables and an action
+// A(v̄) that updates variables, emits synchronization events (c!event) and
+// manages timers. States may be annotated as attack states (s_attack);
+// reaching one is an attack-scenario match.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "efsm/value.h"
+#include "sim/time.h"
+
+namespace vids::efsm {
+
+using StateId = int;
+constexpr StateId kInvalidState = -1;
+
+enum class StateKind : uint8_t {
+  kNormal,
+  kInitial,
+  kFinal,   // reaching it retires the instance (call completed cleanly)
+  kAttack,  // reaching it raises an attack alert
+};
+
+/// An event instance: a data packet arrival (c?event(x̄)), a synchronization
+/// message from a peer machine (δ), or a timer expiry.
+struct Event {
+  std::string name;
+  std::map<std::string, Value, std::less<>> args;
+
+  const Value& Arg(std::string_view key) const {
+    static const Value kUnset{};
+    const auto it = args.find(key);
+    return it == args.end() ? kUnset : it->second;
+  }
+  std::optional<int64_t> ArgInt(std::string_view key) const {
+    const auto* v = std::get_if<int64_t>(&Arg(key));
+    return v ? std::optional<int64_t>(*v) : std::nullopt;
+  }
+  std::optional<std::string> ArgString(std::string_view key) const {
+    const auto* v = std::get_if<std::string>(&Arg(key));
+    return v ? std::optional<std::string>(*v) : std::nullopt;
+  }
+};
+
+/// Prefix convention for timer-expiry events: starting timer "T1" delivers
+/// Event{ name = "timer:T1" } to the machine that started it.
+std::string TimerEventName(std::string_view timer_name);
+
+class MachineInstance;
+
+/// Everything a predicate/action can see and do. Only actions may mutate.
+class Context {
+ public:
+  Context(const Event& event, VariableStore& local, VariableStore& global,
+          MachineInstance& instance)
+      : event_(event), local_(local), global_(global), instance_(instance) {}
+
+  const Event& event() const { return event_; }
+  const VariableStore& local() const { return local_; }
+  const VariableStore& global() const { return global_; }
+  VariableStore& mutable_local() { return local_; }
+  VariableStore& mutable_global() { return global_; }
+
+  // --- Action-side effects (routed through the owning instance) ---
+  /// c!event: enqueue `event` on the named output channel.
+  void Emit(std::string_view channel, Event event);
+  /// Starts (or restarts) a named timer on this machine.
+  void StartTimer(std::string_view name, sim::Duration after);
+  void CancelTimer(std::string_view name);
+  /// Current simulated time, for predicates that reason about rates.
+  sim::Time Now() const;
+
+ private:
+  const Event& event_;
+  VariableStore& local_;
+  VariableStore& global_;
+  MachineInstance& instance_;
+};
+
+using Predicate = std::function<bool(const Context&)>;
+using Action = std::function<void(Context&)>;
+
+struct Transition {
+  StateId from = kInvalidState;
+  std::string event_name;
+  Predicate predicate;  // null → "else": taken only if no predicated
+                        // sibling transition is enabled
+  Action action;        // null → no-op
+  StateId to = kInvalidState;
+  std::string label;    // human-readable, for traces and alerts
+};
+
+/// The shared, immutable definition of one protocol or attack-pattern EFSM.
+class MachineDef {
+ public:
+  explicit MachineDef(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a state. The first kInitial state added becomes the start state.
+  StateId AddState(std::string name, StateKind kind = StateKind::kNormal);
+
+  /// Fluent transition builder:
+  ///   def.On(s0, "SIP Packet").When(pred).Do(action).To(s1, "label");
+  class TransitionBuilder {
+   public:
+    TransitionBuilder& When(Predicate predicate) {
+      transition_.predicate = std::move(predicate);
+      return *this;
+    }
+    TransitionBuilder& Do(Action action) {
+      transition_.action = std::move(action);
+      return *this;
+    }
+    /// Finalizes the transition. `label` defaults to "from--event-->to".
+    void To(StateId to, std::string label = {});
+
+   private:
+    friend class MachineDef;
+    TransitionBuilder(MachineDef& def, StateId from, std::string event_name)
+        : def_(def) {
+      transition_.from = from;
+      transition_.event_name = std::move(event_name);
+    }
+    MachineDef& def_;
+    Transition transition_;
+  };
+
+  TransitionBuilder On(StateId from, std::string event_name) {
+    return TransitionBuilder(*this, from, std::move(event_name));
+  }
+
+  /// Specification machines report unmatched events as deviations (anomaly
+  /// evidence); attack-pattern machines set this false — for them a
+  /// non-match just means "not this attack".
+  void set_report_deviations(bool report) { report_deviations_ = report; }
+  bool report_deviations() const { return report_deviations_; }
+
+  const std::string& name() const { return name_; }
+  StateId initial_state() const { return initial_; }
+  size_t state_count() const { return states_.size(); }
+  std::string_view StateName(StateId id) const { return states_.at(id).name; }
+  StateKind Kind(StateId id) const { return states_.at(id).kind; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// Transitions leaving `from` on `event_name`, in definition order.
+  std::vector<const Transition*> Candidates(StateId from,
+                                            std::string_view event_name) const;
+
+  /// Renders the machine as a Graphviz digraph: initial state with a bold
+  /// border, attack states filled red, final states double-circled, edges
+  /// labeled "event [label]". This regenerates the paper's Figures 2/4/5/6
+  /// from the executable definitions.
+  std::string ToDot() const;
+
+  /// Static well-formedness findings, one message per problem:
+  ///  * states unreachable from the initial state
+  ///  * transitions out of final states (dead by construction)
+  ///  * non-initial states with no outgoing transitions that are neither
+  ///    final nor attack (traps that can never retire)
+  /// An empty result means the definition is plausible; it is advisory —
+  /// predicates are opaque, so reachability is structural only.
+  std::vector<std::string> Validate() const;
+
+ private:
+  friend class TransitionBuilder;
+  struct State {
+    std::string name;
+    StateKind kind;
+  };
+  std::string name_;
+  std::vector<State> states_;
+  std::vector<Transition> transitions_;
+  StateId initial_ = kInvalidState;
+  bool report_deviations_ = true;
+};
+
+}  // namespace vids::efsm

@@ -1,0 +1,76 @@
+#include "efsm/value.h"
+
+namespace vids::efsm {
+
+namespace {
+const Value kUnset{};
+}
+
+std::string ToString(const Value& value) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "<unset>"; }
+    std::string operator()(int64_t v) const { return std::to_string(v); }
+    std::string operator()(double v) const { return std::to_string(v); }
+    std::string operator()(const std::string& v) const { return v; }
+    std::string operator()(bool v) const { return v ? "true" : "false"; }
+  };
+  return std::visit(Visitor{}, value);
+}
+
+void VariableStore::Set(std::string_view name, Value value) {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    values_.emplace(std::string(name), std::move(value));
+  } else {
+    it->second = std::move(value);
+  }
+}
+
+const Value& VariableStore::Get(std::string_view name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? kUnset : it->second;
+}
+
+bool VariableStore::Has(std::string_view name) const {
+  return values_.contains(name);
+}
+
+void VariableStore::Erase(std::string_view name) {
+  const auto it = values_.find(name);
+  if (it != values_.end()) values_.erase(it);
+}
+
+std::optional<int64_t> VariableStore::GetInt(std::string_view name) const {
+  const auto* v = std::get_if<int64_t>(&Get(name));
+  return v ? std::optional<int64_t>(*v) : std::nullopt;
+}
+
+std::optional<double> VariableStore::GetDouble(std::string_view name) const {
+  const auto* v = std::get_if<double>(&Get(name));
+  return v ? std::optional<double>(*v) : std::nullopt;
+}
+
+std::optional<std::string> VariableStore::GetString(
+    std::string_view name) const {
+  const auto* v = std::get_if<std::string>(&Get(name));
+  return v ? std::optional<std::string>(*v) : std::nullopt;
+}
+
+std::optional<bool> VariableStore::GetBool(std::string_view name) const {
+  const auto* v = std::get_if<bool>(&Get(name));
+  return v ? std::optional<bool>(*v) : std::nullopt;
+}
+
+size_t VariableStore::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [name, value] : values_) {
+    bytes += sizeof(std::pair<std::string, Value>) + name.capacity();
+    if (const auto* s = std::get_if<std::string>(&value)) {
+      bytes += s->capacity();
+    }
+    bytes += 3 * sizeof(void*);  // red-black tree node overhead (approx.)
+  }
+  return bytes;
+}
+
+}  // namespace vids::efsm

@@ -1,0 +1,53 @@
+// Typed values and variable stores for extended finite state machines.
+//
+// Definition 1 of the paper equips an EFSM with a vector v̄ of state
+// variables over domains D, split in §4.2 into local variables (v.l_*, one
+// protocol machine) and global variables (v.g_*, shared by all machines of
+// a call group — how SDP media parameters reach the RTP machine). A
+// VariableStore is one such scope; memory accounting supports the paper's
+// §7.3 per-call memory-cost claim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace vids::efsm {
+
+/// A state-variable or event-argument value.
+using Value = std::variant<std::monostate, int64_t, double, std::string, bool>;
+
+/// Readable rendering for traces and alerts.
+std::string ToString(const Value& value);
+
+class VariableStore {
+ public:
+  void Set(std::string_view name, Value value);
+  /// Unset variables read as monostate.
+  const Value& Get(std::string_view name) const;
+  bool Has(std::string_view name) const;
+  void Erase(std::string_view name);
+  void Clear() { values_.clear(); }
+  size_t size() const { return values_.size(); }
+
+  // Typed readers returning nullopt when absent or of another type.
+  std::optional<int64_t> GetInt(std::string_view name) const;
+  std::optional<double> GetDouble(std::string_view name) const;
+  std::optional<std::string> GetString(std::string_view name) const;
+  std::optional<bool> GetBool(std::string_view name) const;
+
+  /// Approximate heap + inline footprint, for the TAB-MEM experiment.
+  size_t MemoryBytes() const;
+
+  const std::map<std::string, Value, std::less<>>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, Value, std::less<>> values_;
+};
+
+}  // namespace vids::efsm

@@ -1,0 +1,63 @@
+#include "net/address.h"
+
+#include "common/strings.h"
+
+namespace vids::net {
+
+using common::ParseInt;
+using common::Split;
+
+std::optional<IpAddress> IpAddress::Parse(std::string_view text) {
+  const auto parts = Split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  uint32_t bits = 0;
+  for (const auto& part : parts) {
+    const auto octet = ParseInt<uint32_t>(part);
+    if (!octet || *octet > 255) return std::nullopt;
+    bits = (bits << 8) | *octet;
+  }
+  return IpAddress(bits);
+}
+
+std::string IpAddress::ToString() const {
+  return std::to_string((bits_ >> 24) & 0xFF) + "." +
+         std::to_string((bits_ >> 16) & 0xFF) + "." +
+         std::to_string((bits_ >> 8) & 0xFF) + "." +
+         std::to_string(bits_ & 0xFF);
+}
+
+std::optional<Subnet> Subnet::Parse(std::string_view text) {
+  const auto split = common::SplitOnce(text, '/');
+  if (!split) return std::nullopt;
+  const auto base = IpAddress::Parse(split->first);
+  const auto prefix = ParseInt<int>(split->second);
+  if (!base || !prefix || *prefix < 0 || *prefix > 32) return std::nullopt;
+  return Subnet(*base, *prefix);
+}
+
+std::string Subnet::ToString() const {
+  return base_.ToString() + "/" + std::to_string(prefix_len_);
+}
+
+std::string Endpoint::ToString() const {
+  return ip.ToString() + ":" + std::to_string(port);
+}
+
+std::optional<Endpoint> Endpoint::Parse(std::string_view text) {
+  const auto split = common::SplitOnce(text, ':');
+  if (!split) return std::nullopt;
+  const auto ip = IpAddress::Parse(split->first);
+  const auto port = ParseInt<uint16_t>(split->second);
+  if (!ip || !port) return std::nullopt;
+  return Endpoint{*ip, *port};
+}
+
+std::ostream& operator<<(std::ostream& os, IpAddress addr) {
+  return os << addr.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const Endpoint& ep) {
+  return os << ep.ToString();
+}
+
+}  // namespace vids::net

@@ -1,0 +1,73 @@
+// IPv4 addressing for the simulated network.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace vids::net {
+
+/// An IPv4 address (host byte order).
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(uint32_t bits) : bits_(bits) {}
+  constexpr IpAddress(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : bits_((uint32_t{a} << 24) | (uint32_t{b} << 16) | (uint32_t{c} << 8) |
+              d) {}
+
+  /// Parses dotted-quad notation ("192.168.1.20"). Returns nullopt on error.
+  static std::optional<IpAddress> Parse(std::string_view text);
+
+  constexpr uint32_t bits() const { return bits_; }
+  std::string ToString() const;
+
+  constexpr auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  uint32_t bits_ = 0;
+};
+
+/// An IPv4 subnet in CIDR form, used by forwarding tables.
+class Subnet {
+ public:
+  constexpr Subnet() = default;
+  constexpr Subnet(IpAddress base, int prefix_len)
+      : base_(base), prefix_len_(prefix_len) {}
+
+  /// Parses "10.1.0.0/16". Returns nullopt on error.
+  static std::optional<Subnet> Parse(std::string_view text);
+
+  constexpr bool Contains(IpAddress addr) const {
+    if (prefix_len_ == 0) return true;
+    const uint32_t mask = ~uint32_t{0} << (32 - prefix_len_);
+    return (addr.bits() & mask) == (base_.bits() & mask);
+  }
+  constexpr int prefix_len() const { return prefix_len_; }
+  constexpr IpAddress base() const { return base_; }
+  std::string ToString() const;
+
+ private:
+  IpAddress base_;
+  int prefix_len_ = 0;
+};
+
+/// A transport endpoint: IP address + UDP port.
+struct Endpoint {
+  IpAddress ip;
+  uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  std::string ToString() const;
+
+  /// Parses "10.1.0.5:5060". Returns nullopt on error.
+  static std::optional<Endpoint> Parse(std::string_view text);
+};
+
+std::ostream& operator<<(std::ostream& os, IpAddress addr);
+std::ostream& operator<<(std::ostream& os, const Endpoint& ep);
+
+}  // namespace vids::net

@@ -1,0 +1,45 @@
+// The unit of simulated traffic: a UDP datagram.
+//
+// SIP (the paper prefers UDP transport, §2.1) and RTP both ride on UDP, so
+// the simulator carries exactly one packet type. The wire size used for link
+// serialization is payload + padding + the 28-byte UDP/IPv4 header.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/address.h"
+#include "sim/time.h"
+
+namespace vids::net {
+
+/// Which application protocol a datagram carries; set by the sender so the
+/// packet classifier and per-protocol processing-delay model can dispatch
+/// without re-parsing. (A real deployment infers this from ports; the
+/// simulation keeps the label explicit and the classifier verifies it.)
+enum class PayloadKind : uint8_t { kSip, kRtp, kOther };
+
+struct Datagram {
+  Endpoint src;
+  Endpoint dst;
+  std::string payload;
+  PayloadKind kind = PayloadKind::kOther;
+
+  /// Extra bytes counted on the wire but not carried in `payload`; used to
+  /// model the paper's constant 500-byte SIP messages and codec payloads
+  /// without materializing filler bytes.
+  uint32_t padding_bytes = 0;
+
+  /// Stamped by the sending host; receivers use it to measure one-way delay.
+  sim::Time sent_time;
+
+  /// Unique per-simulation id, for tracing and duplicate detection.
+  uint64_t id = 0;
+
+  /// Bytes occupying the link, including UDP/IPv4 headers.
+  uint32_t WireBytes() const {
+    return static_cast<uint32_t>(payload.size()) + padding_bytes + 28;
+  }
+};
+
+}  // namespace vids::net

@@ -1,0 +1,27 @@
+#include "net/forwarder.h"
+
+#include "common/log.h"
+
+namespace vids::net {
+
+void Forwarder::Receive(const Datagram& dgram) {
+  Link* best = nullptr;
+  int best_len = -1;
+  for (const auto& route : routes_) {
+    if (route.subnet.Contains(dgram.dst.ip) &&
+        route.subnet.prefix_len() > best_len) {
+      best = route.link;
+      best_len = route.subnet.prefix_len();
+    }
+  }
+  if (best == nullptr) best = default_route_;
+  if (best == nullptr) {
+    ++packets_unroutable_;
+    VIDS_DEBUG() << name() << ": no route to " << dgram.dst;
+    return;
+  }
+  ++packets_forwarded_;
+  best->Send(dgram);
+}
+
+}  // namespace vids::net

@@ -1,0 +1,45 @@
+// Longest-prefix-match packet forwarder: the basis of routers and hubs.
+//
+// The paper's topology (Fig. 7) uses hubs inside each enterprise LAN and
+// edge routers toward the Internet; both only need next-hop selection by
+// destination address at the fidelity the evaluation depends on, so both are
+// Forwarder instances with different route tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+
+namespace vids::net {
+
+class Forwarder : public Node {
+ public:
+  explicit Forwarder(std::string name) : Node(std::move(name)) {}
+
+  /// Adds a route; the most specific (longest prefix) match wins.
+  void AddRoute(Subnet subnet, Link& link) {
+    routes_.push_back({subnet, &link});
+  }
+
+  /// Route used when no subnet matches (e.g. toward the Internet).
+  void SetDefaultRoute(Link& link) { default_route_ = &link; }
+
+  void Receive(const Datagram& dgram) override;
+
+  uint64_t packets_forwarded() const { return packets_forwarded_; }
+  uint64_t packets_unroutable() const { return packets_unroutable_; }
+
+ private:
+  struct Route {
+    Subnet subnet;
+    Link* link;
+  };
+  std::vector<Route> routes_;
+  Link* default_route_ = nullptr;
+  uint64_t packets_forwarded_ = 0;
+  uint64_t packets_unroutable_ = 0;
+};
+
+}  // namespace vids::net

@@ -1,0 +1,38 @@
+#include "net/inline_tap.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace vids::net {
+
+void InlineTap::HandlePacket(const Datagram& dgram, bool from_outside) {
+  ++packets_seen_;
+  if (monitor_) monitor_(dgram, from_outside);
+  sim::Duration cost{};
+  if (inspector_) cost = inspector_(dgram, from_outside);
+  if (cost <= sim::Duration{}) {
+    Forward(dgram, from_outside);
+    return;
+  }
+  cpu_time_used_ += cost;
+  sim::Time& lane = dgram.kind == PayloadKind::kRtp ? media_busy_until_
+                                                    : signaling_busy_until_;
+  const sim::Time start = std::max(scheduler_.Now(), lane);
+  lane = start + cost;
+  scheduler_.ScheduleAt(lane, [this, dgram, from_outside] {
+    Forward(dgram, from_outside);
+  });
+}
+
+void InlineTap::Forward(const Datagram& dgram, bool from_outside) {
+  Link* out = from_outside ? inside_link_ : outside_link_;
+  if (out == nullptr) {
+    VIDS_DEBUG() << "tap: no link on the "
+                 << (from_outside ? "inside" : "outside") << " side";
+    return;
+  }
+  out->Send(dgram);
+}
+
+}  // namespace vids::net

@@ -1,0 +1,62 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vids::net {
+
+LinkConfig FastEthernet() {
+  return LinkConfig{.bandwidth_bps = 100'000'000,
+                    .propagation = sim::Duration::Micros(5),
+                    .loss_rate = 0.0};
+}
+
+LinkConfig Ds1() {
+  return LinkConfig{.bandwidth_bps = 1'544'000,
+                    .propagation = sim::Duration::Micros(500),
+                    .loss_rate = 0.0};
+}
+
+LinkConfig InternetCloud() {
+  // The paper assumes a 50 ms Internet delay with 0.42% packet loss between
+  // enterprise networks A and B (§7.1). Serialization inside the cloud is
+  // not modeled (bandwidth_bps = 0 → infinite).
+  return LinkConfig{.bandwidth_bps = 0,
+                    .propagation = sim::Duration::Millis(50),
+                    .loss_rate = 0.0042};
+}
+
+Link::Link(std::string name, sim::Scheduler& scheduler, Node& dst,
+           const LinkConfig& config, common::Stream& rng)
+    : name_(std::move(name)),
+      scheduler_(scheduler),
+      dst_(dst),
+      config_(config),
+      rng_(rng.Fork(name_)) {}
+
+void Link::Send(Datagram dgram) {
+  if (drop_filter_ && drop_filter_(dgram)) {
+    ++packets_dropped_;
+    return;
+  }
+  if (config_.loss_rate > 0.0 && rng_.NextBernoulli(config_.loss_rate)) {
+    ++packets_dropped_;
+    return;
+  }
+  sim::Duration tx = sim::Duration{};
+  if (config_.bandwidth_bps > 0) {
+    const uint64_t bits = uint64_t{dgram.WireBytes()} * 8;
+    tx = sim::Duration::Nanos(static_cast<int64_t>(
+        bits * 1'000'000'000ULL / config_.bandwidth_bps));
+  }
+  const sim::Time start = std::max(scheduler_.Now(), busy_until_);
+  busy_until_ = start + tx;
+  const sim::Time arrival = busy_until_ + config_.propagation;
+  ++packets_sent_;
+  bytes_sent_ += dgram.WireBytes();
+  scheduler_.ScheduleAt(arrival, [this, dgram = std::move(dgram)] {
+    dst_.Receive(dgram);
+  });
+}
+
+}  // namespace vids::net

@@ -1,0 +1,70 @@
+// Unidirectional point-to-point link with serialization, propagation and loss.
+//
+// Models what the paper's OPNET topology models: 100BaseT LAN segments, the
+// DS1 (1.544 Mb/s) uplinks, and the Internet cloud's 50 ms / 0.42% loss path.
+// Serialization uses a busy-until FIFO, so competing G.729 streams queue and
+// produce the jitter Figure 10 measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "net/node.h"
+#include "sim/scheduler.h"
+
+namespace vids::net {
+
+struct LinkConfig {
+  /// Transmission rate in bits per second. 0 means infinite (no
+  /// serialization delay), used for intra-host shortcuts.
+  uint64_t bandwidth_bps = 100'000'000;
+  sim::Duration propagation = sim::Duration::Micros(5);
+  /// Independent per-packet drop probability.
+  double loss_rate = 0.0;
+};
+
+/// Standard profiles matching the paper's testbed (§7.1).
+LinkConfig FastEthernet();              // 100BaseT LAN segment
+LinkConfig Ds1();                       // 1.544 Mb/s WAN uplink
+LinkConfig InternetCloud();             // 50 ms, 0.42% loss
+
+class Link {
+ public:
+  /// `rng` must outlive the link; it is forked per link name so loss draws
+  /// are independent across links.
+  Link(std::string name, sim::Scheduler& scheduler, Node& dst,
+       const LinkConfig& config, common::Stream& rng);
+
+  /// Queues `dgram` for transmission toward the destination node.
+  void Send(Datagram dgram);
+
+  /// Deterministic failure injection: when set, a datagram for which the
+  /// filter returns true is dropped (counted in packets_dropped). Used by
+  /// tests to lose *specific* packets — e.g. exactly one 200 OK — where
+  /// the random loss_rate can't be aimed.
+  using DropFilter = std::function<bool(const Datagram&)>;
+  void SetDropFilter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
+  std::string_view name() const { return name_; }
+  const LinkConfig& config() const { return config_; }
+
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  std::string name_;
+  sim::Scheduler& scheduler_;
+  Node& dst_;
+  LinkConfig config_;
+  common::Stream rng_;
+  DropFilter drop_filter_;
+  sim::Time busy_until_;
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace vids::net

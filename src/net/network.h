@@ -1,0 +1,69 @@
+// Network container: owns nodes and links, hands out datagram ids.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/link.h"
+#include "net/node.h"
+#include "sim/scheduler.h"
+
+namespace vids::net {
+
+class Network {
+ public:
+  Network(sim::Scheduler& scheduler, uint64_t seed)
+      : scheduler_(scheduler), rng_(seed, "network") {}
+
+  /// Constructs a network element of type `T` owned by the network and
+  /// returns a reference valid for the network's lifetime. Works for Node
+  /// subclasses and for composite elements like InlineTap.
+  template <typename T, typename... Args>
+  T& AddNode(Args&&... args) {
+    auto node = std::make_shared<T>(std::forward<Args>(args)...);
+    T& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Creates a unidirectional link delivering into `to`, with an explicit
+  /// name. Use when the sending element is not itself a Node (e.g. a tap).
+  Link& MakeLink(std::string name, Node& to, const LinkConfig& config) {
+    auto link =
+        std::make_unique<Link>(std::move(name), scheduler_, to, config, rng_);
+    Link& ref = *link;
+    links_.push_back(std::move(link));
+    return ref;
+  }
+
+  /// Creates a unidirectional link `from --> to`, named after its endpoints;
+  /// the same pair may be connected repeatedly.
+  Link& Connect(const Node& from, Node& to, const LinkConfig& config) {
+    return MakeLink(std::string(from.name()) + "->" + std::string(to.name()),
+                    to, config);
+  }
+
+  /// Creates a pair of opposite unidirectional links (a duplex connection).
+  std::pair<Link&, Link&> ConnectDuplex(Node& a, Node& b,
+                                        const LinkConfig& config) {
+    return {Connect(a, b, config), Connect(b, a, config)};
+  }
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  common::Stream& rng() { return rng_; }
+  uint64_t NextDatagramId() { return next_datagram_id_++; }
+
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+ private:
+  sim::Scheduler& scheduler_;
+  common::Stream rng_;
+  std::vector<std::shared_ptr<void>> nodes_;  // type-erased element owners
+  std::vector<std::unique_ptr<Link>> links_;
+  uint64_t next_datagram_id_ = 1;
+};
+
+}  // namespace vids::net

@@ -1,0 +1,29 @@
+// Node and link abstractions of the simulated network.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/datagram.h"
+
+namespace vids::net {
+
+/// Anything datagrams can be delivered to: hosts, routers, hubs, clouds and
+/// the inline vIDS tap all implement Node.
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  std::string_view name() const { return name_; }
+
+  /// Called by a Link when a datagram arrives at this node.
+  virtual void Receive(const Datagram& dgram) = 0;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace vids::net

@@ -1,0 +1,21 @@
+#include "rtp/codec.h"
+
+namespace vids::rtp {
+
+CodecProfile G729() {
+  return CodecProfile{.name = "G729",
+                      .payload_type = 18,
+                      .frame_interval = sim::Duration::Millis(10),
+                      .bytes_per_frame = 10,
+                      .clock_rate = 8000};
+}
+
+CodecProfile Pcmu() {
+  return CodecProfile{.name = "PCMU",
+                      .payload_type = 0,
+                      .frame_interval = sim::Duration::Millis(20),
+                      .bytes_per_frame = 160,
+                      .clock_rate = 8000};
+}
+
+}  // namespace vids::rtp

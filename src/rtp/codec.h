@@ -1,0 +1,48 @@
+// Voice codec traffic profiles.
+//
+// The paper's testbed uses G.729 with 10 ms frames at 8 kb/s and speech
+// activity detection enabled (§7.1). Only the traffic characteristics
+// matter to the IDS and the QoS measurements, so a profile is frame timing,
+// frame size and RTP clock bookkeeping — not signal processing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace vids::rtp {
+
+struct CodecProfile {
+  std::string name;
+  uint8_t payload_type = 0;
+  sim::Duration frame_interval;
+  uint32_t bytes_per_frame = 0;
+  uint32_t clock_rate = 8000;
+
+  /// RTP timestamp increment per frame.
+  uint32_t TimestampStep() const {
+    return static_cast<uint32_t>(clock_rate *
+                                 frame_interval.ToSeconds());
+  }
+  /// Payload bitrate in bits/second.
+  double BitRate() const {
+    return bytes_per_frame * 8.0 / frame_interval.ToSeconds();
+  }
+};
+
+/// G.729: 10 ms frames, 10 bytes each → 8 kb/s (paper §7.1 settings).
+CodecProfile G729();
+
+/// G.711 µ-law: 20 ms frames, 160 bytes each → 64 kb/s.
+CodecProfile Pcmu();
+
+/// ITU-T P.59-style conversational speech on/off model, used when speech
+/// activity detection is enabled: exponential talkspurts and pauses.
+struct TalkspurtModel {
+  bool enabled = true;
+  sim::Duration mean_talk = sim::Duration::Millis(1004);
+  sim::Duration mean_silence = sim::Duration::Millis(1587);
+};
+
+}  // namespace vids::rtp

@@ -1,0 +1,135 @@
+// RTP media sessions: voice senders and measuring receivers.
+//
+// A MediaSession is one leg of a call's media: it binds the local RTP port,
+// streams codec frames toward the remote endpoint (with a talkspurt on/off
+// model when VAD is enabled) and measures the incoming stream — packet
+// counts, loss from sequence gaps, one-way delay, and the RFC 3550 §6.4.1
+// interarrival jitter estimator. Figure 10's "RTP delay" and "average delay
+// variation" series come from these receiver statistics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/host.h"
+#include "rtp/codec.h"
+#include "rtp/packet.h"
+#include "rtp/rtcp.h"
+#include "sim/scheduler.h"
+
+namespace vids::rtp {
+
+/// Receiver-side stream statistics.
+struct ReceiverStats {
+  uint64_t packets_received = 0;
+  uint64_t packets_lost = 0;       // from sequence-number gaps
+  uint64_t packets_misordered = 0; // sequence went backwards
+  uint64_t ssrc_mismatches = 0;    // packets not from the locked SSRC
+  double jitter_seconds = 0.0;     // RFC 3550 running estimate
+  double total_delay_seconds = 0.0;
+  double max_delay_seconds = 0.0;
+
+  double MeanDelaySeconds() const {
+    return packets_received == 0 ? 0.0
+                                 : total_delay_seconds /
+                                       static_cast<double>(packets_received);
+  }
+};
+
+/// One time-stamped delay/jitter observation, for time-series plots.
+struct QosSample {
+  sim::Time when;
+  double delay_seconds = 0.0;
+  double jitter_seconds = 0.0;
+};
+
+class MediaSession {
+ public:
+  struct Config {
+    uint16_t local_port = 0;
+    net::Endpoint remote;
+    CodecProfile codec;
+    TalkspurtModel talkspurt{};
+    uint32_t ssrc = 0;  // 0 → draw from rng
+    /// Record a QosSample every N received packets (0 disables sampling).
+    uint32_t sample_every = 0;
+    /// RTCP runs on local_port+1 / remote.port+1 (RFC 3550 §11): periodic
+    /// Sender Reports while streaming, a BYE at teardown.
+    bool rtcp_enabled = true;
+    sim::Duration rtcp_interval = sim::Duration::Seconds(5);
+  };
+
+  MediaSession(sim::Scheduler& scheduler, net::Host& host, Config config,
+               common::Stream& rng);
+  ~MediaSession();
+  MediaSession(const MediaSession&) = delete;
+  MediaSession& operator=(const MediaSession&) = delete;
+
+  /// Starts streaming toward the remote endpoint.
+  void Start();
+  /// Stops streaming; the receiver keeps measuring until destruction.
+  void Stop();
+
+  bool sending() const { return sending_; }
+  uint32_t ssrc() const { return ssrc_; }
+  uint64_t packets_sent() const { return packets_sent_; }
+  const ReceiverStats& receiver_stats() const { return stats_; }
+  const std::vector<QosSample>& samples() const { return samples_; }
+
+  // --- RTCP observability ---
+  uint64_t rtcp_sent() const { return rtcp_sent_; }
+  uint64_t rtcp_received() const { return rtcp_received_; }
+  /// Packet count the remote sender last claimed in an SR — the
+  /// consistency oracle against packets actually observed.
+  std::optional<uint32_t> remote_claimed_packets() const {
+    return remote_claimed_packets_;
+  }
+  /// True once the remote announced end-of-stream via RTCP BYE.
+  bool remote_bye_received() const { return remote_bye_received_; }
+
+ private:
+  void SendFrame();
+  void ScheduleNextFrame();
+  void EnterTalkspurt();
+  void EnterSilence();
+  void OnDatagram(const net::Datagram& dgram);
+  void OnRtcpDatagram(const net::Datagram& dgram);
+  void SendSenderReport();
+  void SendRtcpBye();
+  net::Endpoint RemoteRtcp() const {
+    return net::Endpoint{config_.remote.ip,
+                         static_cast<uint16_t>(config_.remote.port + 1)};
+  }
+
+  sim::Scheduler& scheduler_;
+  net::Host& host_;
+  Config config_;
+  common::Stream rng_;
+  uint32_t ssrc_;
+  bool sending_ = false;
+  bool in_talkspurt_ = false;
+  bool first_frame_of_spurt_ = false;
+  uint16_t next_seq_;
+  uint32_t next_timestamp_;
+  uint64_t packets_sent_ = 0;
+  uint64_t octets_sent_ = 0;
+  sim::Timer frame_timer_;
+  sim::Timer spurt_timer_;
+  sim::Timer rtcp_timer_;
+  uint64_t rtcp_sent_ = 0;
+  uint64_t rtcp_received_ = 0;
+  std::optional<uint32_t> remote_claimed_packets_;
+  bool remote_bye_received_ = false;
+  bool rtcp_bye_sent_ = false;
+
+  // Receiver state.
+  ReceiverStats stats_;
+  std::vector<QosSample> samples_;
+  std::optional<uint32_t> locked_ssrc_;
+  std::optional<uint16_t> last_seq_;
+  std::optional<double> last_transit_;
+};
+
+}  // namespace vids::rtp

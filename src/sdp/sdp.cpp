@@ -1,0 +1,201 @@
+#include "sdp/sdp.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace vids::sdp {
+
+using common::ParseInt;
+using common::Split;
+using common::SplitOnce;
+using common::Trim;
+
+namespace {
+
+// Parses "IN IP4 10.1.0.5" (the tail of o= and the whole of c=).
+std::optional<net::IpAddress> ParseConnection(std::string_view value) {
+  const auto parts = Split(value, ' ');
+  if (parts.size() != 3 || parts[0] != "IN" || parts[1] != "IP4") {
+    return std::nullopt;
+  }
+  return net::IpAddress::Parse(parts[2]);
+}
+
+bool ParseMediaLine(std::string_view value, MediaDescription& out) {
+  const auto parts = Split(value, ' ');
+  if (parts.size() < 4) return false;
+  out.media = std::string(parts[0]);
+  const auto port = ParseInt<uint16_t>(parts[1]);
+  if (!port) return false;
+  out.port = *port;
+  out.transport = std::string(parts[2]);
+  out.payload_types.clear();
+  for (size_t i = 3; i < parts.size(); ++i) {
+    const auto pt = ParseInt<int>(parts[i]);
+    if (!pt) return false;
+    out.payload_types.push_back(*pt);
+  }
+  return true;
+}
+
+void ParseAttribute(std::string_view value, MediaDescription& media) {
+  if (common::IStartsWith(value, "rtpmap:")) {
+    const auto rest = value.substr(7);
+    const auto split = SplitOnce(rest, ' ');
+    if (split) {
+      const auto pt = ParseInt<int>(split->first);
+      if (pt) {
+        media.rtpmap[*pt] = std::string(split->second);
+        return;
+      }
+    }
+  }
+  media.attributes.emplace_back(value);
+}
+
+std::string WellKnownEncoding(int payload_type) {
+  // Static payload types from the RTP A/V profile (RFC 3551 table 4).
+  switch (payload_type) {
+    case 0: return "PCMU";
+    case 3: return "GSM";
+    case 4: return "G723";
+    case 8: return "PCMA";
+    case 9: return "G722";
+    case 18: return "G729";
+    default: return "";
+  }
+}
+
+}  // namespace
+
+std::optional<SessionDescription> SessionDescription::Parse(
+    std::string_view body) {
+  SessionDescription sd;
+  bool saw_version = false;
+  MediaDescription* current_media = nullptr;
+
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    std::string_view line = body.substr(
+        pos, eol == std::string_view::npos ? body.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? body.size() : eol + 1;
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line.size() < 2 || line[1] != '=') return std::nullopt;
+    const char type = line[0];
+    const std::string_view value = Trim(line.substr(2));
+
+    switch (type) {
+      case 'v':
+        if (value != "0") return std::nullopt;
+        saw_version = true;
+        break;
+      case 'o': {
+        const auto parts = Split(value, ' ');
+        if (parts.size() != 6) return std::nullopt;
+        sd.origin_username = std::string(parts[0]);
+        const auto id = ParseInt<uint64_t>(parts[1]);
+        const auto ver = ParseInt<uint64_t>(parts[2]);
+        if (!id || !ver) return std::nullopt;
+        sd.session_id = *id;
+        sd.session_version = *ver;
+        sd.origin_address = net::IpAddress::Parse(parts[5]);
+        break;
+      }
+      case 's':
+        sd.session_name = std::string(value);
+        break;
+      case 'c': {
+        const auto addr = ParseConnection(value);
+        if (!addr) return std::nullopt;
+        if (current_media != nullptr) {
+          current_media->connection = addr;
+        } else {
+          sd.connection = addr;
+        }
+        break;
+      }
+      case 'm': {
+        MediaDescription media;
+        if (!ParseMediaLine(value, media)) return std::nullopt;
+        sd.media.push_back(std::move(media));
+        current_media = &sd.media.back();
+        break;
+      }
+      case 'a':
+        if (current_media != nullptr) ParseAttribute(value, *current_media);
+        break;
+      default:
+        break;  // t=, b=, k=, ... tolerated and ignored
+    }
+  }
+  if (!saw_version) return std::nullopt;
+  return sd;
+}
+
+std::string SessionDescription::Serialize() const {
+  std::ostringstream out;
+  out << "v=0\r\n";
+  out << "o=" << origin_username << " " << session_id << " " << session_version
+      << " IN IP4 "
+      << (origin_address ? origin_address->ToString() : "0.0.0.0") << "\r\n";
+  out << "s=" << session_name << "\r\n";
+  if (connection) out << "c=IN IP4 " << connection->ToString() << "\r\n";
+  out << "t=0 0\r\n";
+  for (const auto& m : media) {
+    out << "m=" << m.media << " " << m.port << " " << m.transport;
+    for (int pt : m.payload_types) out << " " << pt;
+    out << "\r\n";
+    if (m.connection) out << "c=IN IP4 " << m.connection->ToString() << "\r\n";
+    for (const auto& [pt, map] : m.rtpmap) {
+      out << "a=rtpmap:" << pt << " " << map << "\r\n";
+    }
+    for (const auto& attr : m.attributes) out << "a=" << attr << "\r\n";
+  }
+  return out.str();
+}
+
+std::optional<net::Endpoint> SessionDescription::AudioEndpoint() const {
+  for (const auto& m : media) {
+    if (m.media != "audio") continue;
+    const auto addr = m.connection ? m.connection : connection;
+    if (!addr || m.port == 0) return std::nullopt;
+    return net::Endpoint{*addr, m.port};
+  }
+  return std::nullopt;
+}
+
+std::string SessionDescription::AudioCodec() const {
+  for (const auto& m : media) {
+    if (m.media != "audio" || m.payload_types.empty()) continue;
+    const int pt = m.payload_types.front();
+    const auto it = m.rtpmap.find(pt);
+    if (it != m.rtpmap.end()) {
+      const auto slash = it->second.find('/');
+      return it->second.substr(0, slash);
+    }
+    return WellKnownEncoding(pt);
+  }
+  return "";
+}
+
+SessionDescription MakeAudioOffer(net::Endpoint media_ep,
+                                  std::string_view codec, int payload_type) {
+  SessionDescription sd;
+  sd.origin_username = "ua";
+  sd.session_id = 1;
+  sd.session_version = 1;
+  sd.origin_address = media_ep.ip;
+  sd.session_name = "call";
+  sd.connection = media_ep.ip;
+  MediaDescription media;
+  media.port = media_ep.port;
+  media.payload_types = {payload_type};
+  media.rtpmap[payload_type] = std::string(codec) + "/8000";
+  sd.media.push_back(std::move(media));
+  return sd;
+}
+
+}  // namespace vids::sdp

@@ -1,0 +1,68 @@
+// Session Description Protocol (RFC 2327 subset).
+//
+// SDP bodies inside INVITE/200 OK messages carry the media parameters — IP
+// address, port, transport, codec — that the SIP EFSM exports to the RTP
+// EFSM through global variables (paper §4.2). This module parses and
+// serializes the subset those attacks and experiments exercise.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/address.h"
+
+namespace vids::sdp {
+
+/// One "m=" section plus its attribute lines.
+struct MediaDescription {
+  std::string media = "audio";           // m= media type
+  uint16_t port = 0;                     // m= transport port
+  std::string transport = "RTP/AVP";     // m= proto
+  std::vector<int> payload_types;        // m= fmt list
+  /// a=rtpmap entries: payload type -> "ENCODING/clock" (e.g. "G729/8000").
+  std::map<int, std::string> rtpmap;
+  /// Media-level "c=" line, overriding the session-level connection.
+  std::optional<net::IpAddress> connection;
+  /// Other attribute lines verbatim (without the "a=" prefix).
+  std::vector<std::string> attributes;
+};
+
+struct SessionDescription {
+  // o= fields
+  std::string origin_username = "-";
+  uint64_t session_id = 0;
+  uint64_t session_version = 0;
+  std::optional<net::IpAddress> origin_address;
+  // s=
+  std::string session_name = "-";
+  // session-level c=
+  std::optional<net::IpAddress> connection;
+  std::vector<MediaDescription> media;
+
+  /// Parses an SDP body. Returns nullopt if the body violates the grammar
+  /// subset (missing v=, malformed m=, ...). Unknown lines are ignored, as
+  /// RFC 2327 requires.
+  static std::optional<SessionDescription> Parse(std::string_view body);
+
+  std::string Serialize() const;
+
+  /// Convenience: the RTP endpoint offered by the first audio section, if
+  /// the description is complete enough to derive one.
+  std::optional<net::Endpoint> AudioEndpoint() const;
+
+  /// Convenience: encoding name of the first payload type of the first
+  /// audio section ("G729" if absent but PT 18, "PCMU" for 0, ...).
+  std::string AudioCodec() const;
+};
+
+/// Builds a minimal audio-only description, the shape every UA in the
+/// testbed offers: G.729 (payload type 18) at `media_ep`.
+SessionDescription MakeAudioOffer(net::Endpoint media_ep,
+                                  std::string_view codec = "G729",
+                                  int payload_type = 18);
+
+}  // namespace vids::sdp

@@ -1,0 +1,83 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace vids::sim {
+
+Scheduler::EventId Scheduler::ScheduleAt(Time t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("ScheduleAt: time in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Entry{t, next_seq_++, std::move(cb), cancelled});
+  return EventId(std::move(cancelled));
+}
+
+Scheduler::EventId Scheduler::ScheduleAfter(Duration d, Callback cb) {
+  if (d < Duration{}) throw std::invalid_argument("ScheduleAfter: negative");
+  return ScheduleAt(now_ + d, std::move(cb));
+}
+
+bool Scheduler::Cancel(EventId& id) {
+  if (!id.cancelled_ || *id.cancelled_) return false;
+  *id.cancelled_ = true;
+  ++cancelled_count_;
+  id.cancelled_.reset();
+  return true;
+}
+
+bool Scheduler::Step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    if (*entry.cancelled) {
+      assert(cancelled_count_ > 0);
+      --cancelled_count_;
+      continue;
+    }
+    now_ = entry.time;
+    *entry.cancelled = true;  // marks "already ran" for Cancel()
+    ++executed_;
+    entry.cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::Run() {
+  while (Step()) {
+  }
+}
+
+void Scheduler::RunUntil(Time deadline) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (*top.cancelled) {
+      --cancelled_count_;
+      queue_.pop();
+      continue;
+    }
+    if (top.time > deadline) break;
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Timer::Start(Duration d, Scheduler::Callback cb) {
+  Cancel();
+  running_ = true;
+  pending_ = scheduler_.ScheduleAfter(
+      d, [this, cb = std::move(cb)] {
+        running_ = false;
+        cb();
+      });
+}
+
+void Timer::Cancel() {
+  if (running_) {
+    scheduler_.Cancel(pending_);
+    running_ = false;
+  }
+}
+
+}  // namespace vids::sim

@@ -1,0 +1,109 @@
+// Discrete-event scheduler.
+//
+// The single-threaded event core that substitutes for OPNET Modeler in the
+// paper's testbed: every link transmission, protocol timer, call arrival and
+// IDS timeout is an event on one totally-ordered queue. Ties in time are
+// broken by insertion order, so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vids::sim {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Handle for cancelling a scheduled event. Default-constructed ids are
+  /// inert: cancelling them is a no-op.
+  class EventId {
+   public:
+    EventId() = default;
+
+   private:
+    friend class Scheduler;
+    explicit EventId(std::shared_ptr<bool> cancelled)
+        : cancelled_(std::move(cancelled)) {}
+    std::shared_ptr<bool> cancelled_;
+  };
+
+  /// Schedules `cb` at absolute time `t` (>= now).
+  EventId ScheduleAt(Time t, Callback cb);
+
+  /// Schedules `cb` after `d` (>= 0) from now.
+  EventId ScheduleAfter(Duration d, Callback cb);
+
+  /// Cancels a pending event. Returns false if it already ran, was already
+  /// cancelled, or the id is inert.
+  bool Cancel(EventId& id);
+
+  Time Now() const { return now_; }
+
+  /// Runs events until the queue is empty.
+  void Run();
+
+  /// Runs events with time <= `deadline`, then advances the clock to
+  /// `deadline` (so subsequent ScheduleAfter calls are relative to it).
+  void RunUntil(Time deadline);
+
+  /// Executes the next event, if any. Returns false when the queue is empty.
+  bool Step();
+
+  /// Number of pending (non-cancelled) events.
+  size_t PendingEvents() const { return queue_.size() - cancelled_count_; }
+
+  /// Total events executed so far; a cheap progress/cost metric for benches.
+  uint64_t ExecutedEvents() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time time;
+    uint64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  size_t cancelled_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+/// A restartable one-shot timer bound to a scheduler — the building block for
+/// RFC 3261 transaction timers and the vIDS detection timers T and T1.
+class Timer {
+ public:
+  explicit Timer(Scheduler& scheduler) : scheduler_(scheduler) {}
+  ~Timer() { Cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)starts the timer: fires `cb` once after `d`. A running timer is
+  /// cancelled first.
+  void Start(Duration d, Scheduler::Callback cb);
+
+  /// Stops the timer if running.
+  void Cancel();
+
+  bool IsRunning() const { return running_; }
+
+ private:
+  Scheduler& scheduler_;
+  Scheduler::EventId pending_;
+  bool running_ = false;
+};
+
+}  // namespace vids::sim

@@ -1,0 +1,19 @@
+#include "sim/time.h"
+
+#include <cmath>
+
+namespace vids::sim {
+
+Duration Duration::FromSeconds(double s) {
+  return Duration::Nanos(static_cast<int64_t>(std::llround(s * 1e9)));
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ToSeconds() << "s";
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << "t=" << t.ToSeconds() << "s";
+}
+
+}  // namespace vids::sim

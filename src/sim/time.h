@@ -1,0 +1,76 @@
+// Simulated time.
+//
+// The simulator measures time in integer nanoseconds from the start of the
+// run. Strong types keep instants (Time) and spans (Duration) distinct, and
+// integer arithmetic keeps event ordering exact and platform independent —
+// the property every reproducibility claim in EXPERIMENTS.md rests on.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace vids::sim {
+
+/// A span of simulated time. Negative durations are representable (useful in
+/// delay-variation arithmetic) but never scheduled.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(int64_t n) { return Duration(n); }
+  static constexpr Duration Micros(int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration Millis(int64_t n) { return Duration(n * 1000000); }
+  static constexpr Duration Seconds(int64_t n) {
+    return Duration(n * 1000000000);
+  }
+  /// From floating-point seconds, rounding to the nearest nanosecond.
+  static Duration FromSeconds(double s);
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration(ns_ + o.ns_); }
+  constexpr Duration operator-(Duration o) const { return Duration(ns_ - o.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(ns_ / k); }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  constexpr explicit Duration(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+/// An instant of simulated time. Time zero is the start of the run.
+class Time {
+ public:
+  constexpr Time() = default;
+  static constexpr Time FromNanos(int64_t ns) { return Time(ns); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+  constexpr Time operator+(Duration d) const { return Time(ns_ + d.nanos()); }
+  constexpr Time operator-(Duration d) const { return Time(ns_ - d.nanos()); }
+  constexpr Duration operator-(Time o) const {
+    return Duration::Nanos(ns_ - o.ns_);
+  }
+  constexpr Time& operator+=(Duration d) { ns_ += d.nanos(); return *this; }
+
+  /// The largest representable instant; used as "never".
+  static constexpr Time Max() { return Time(INT64_MAX); }
+
+ private:
+  constexpr explicit Time(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, Time t);
+
+}  // namespace vids::sim

@@ -1,0 +1,116 @@
+#include "sip/auth.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace vids::sip {
+
+namespace {
+
+// Parses `key="value", key=value` comma-separated parameter lists used by
+// both WWW-Authenticate and Authorization.
+std::map<std::string, std::string> ParseAuthParams(std::string_view tail) {
+  std::map<std::string, std::string> params;
+  for (const auto piece : common::Split(tail, ',')) {
+    const auto eq = common::SplitOnce(piece, '=');
+    if (!eq) continue;
+    std::string_view value = eq->second;
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+      value = value.substr(1, value.size() - 2);
+    }
+    params[common::ToLower(eq->first)] = std::string(value);
+  }
+  return params;
+}
+
+std::optional<std::string_view> StripDigestScheme(std::string_view header) {
+  header = common::Trim(header);
+  if (!common::IStartsWith(header, "Digest")) return std::nullopt;
+  return common::Trim(header.substr(6));
+}
+
+}  // namespace
+
+std::string DigestChallenge::ToString() const {
+  return "Digest realm=\"" + realm + "\", nonce=\"" + nonce + "\"";
+}
+
+std::optional<DigestChallenge> DigestChallenge::Parse(
+    std::string_view header) {
+  const auto tail = StripDigestScheme(header);
+  if (!tail) return std::nullopt;
+  const auto params = ParseAuthParams(*tail);
+  DigestChallenge challenge;
+  const auto realm = params.find("realm");
+  const auto nonce = params.find("nonce");
+  if (realm == params.end() || nonce == params.end()) return std::nullopt;
+  challenge.realm = realm->second;
+  challenge.nonce = nonce->second;
+  return challenge;
+}
+
+std::string DigestCredentials::ToString() const {
+  return "Digest username=\"" + username + "\", realm=\"" + realm +
+         "\", nonce=\"" + nonce + "\", uri=\"" + uri + "\", response=\"" +
+         response + "\"";
+}
+
+std::optional<DigestCredentials> DigestCredentials::Parse(
+    std::string_view header) {
+  const auto tail = StripDigestScheme(header);
+  if (!tail) return std::nullopt;
+  const auto params = ParseAuthParams(*tail);
+  DigestCredentials credentials;
+  for (const auto& [key, member] :
+       std::initializer_list<std::pair<const char*, std::string*>>{
+           {"username", &credentials.username},
+           {"realm", &credentials.realm},
+           {"nonce", &credentials.nonce},
+           {"uri", &credentials.uri},
+           {"response", &credentials.response}}) {
+    const auto it = params.find(key);
+    if (it == params.end()) return std::nullopt;
+    *member = it->second;
+  }
+  return credentials;
+}
+
+std::string ComputeDigestResponse(std::string_view username,
+                                  std::string_view realm,
+                                  std::string_view password,
+                                  std::string_view nonce,
+                                  std::string_view method,
+                                  std::string_view uri) {
+  // Chained keyed hash over all binding material (substitute for the
+  // MD5(A1):nonce:MD5(A2) construction — same binding, same protocol flow).
+  uint64_t h = common::HashName(0x5D1657A7ED855713ULL, username);
+  h = common::HashName(h, realm);
+  h = common::HashName(h, password);
+  h = common::HashName(h, nonce);
+  h = common::HashName(h, method);
+  h = common::HashName(h, uri);
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buffer;
+}
+
+DigestCredentials AnswerChallenge(const DigestChallenge& challenge,
+                                  std::string_view username,
+                                  std::string_view password,
+                                  std::string_view method,
+                                  std::string_view uri) {
+  DigestCredentials credentials;
+  credentials.username = std::string(username);
+  credentials.realm = challenge.realm;
+  credentials.nonce = challenge.nonce;
+  credentials.uri = std::string(uri);
+  credentials.response = ComputeDigestResponse(
+      username, challenge.realm, password, challenge.nonce, method, uri);
+  return credentials;
+}
+
+}  // namespace vids::sip

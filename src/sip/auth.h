@@ -1,0 +1,60 @@
+// SIP Digest authentication (RFC 3261 §22 shape, simplified).
+//
+// The paper observes that much of the SIP threat discussion "centers
+// around an assumption of lack of proper authentication", yet "many
+// attacks are still possible ... by an authenticated but misbehaving UA"
+// (§3.1). This module provides challenge/response registration so the
+// testbed can run with authentication on and demonstrate exactly that:
+// registration hijacking gets harder, while spoofed BYE/CANCEL and toll
+// fraud remain — and still need the vIDS to be seen.
+//
+// The digest function is a keyed FNV-chain, not MD5: the protocol shape
+// (challenge, nonce, response binding user/realm/method/uri) is what the
+// simulation exercises; cryptographic strength is irrelevant here and a
+// homegrown MD5 would only invite misuse.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace vids::sip {
+
+/// The server's challenge, carried in WWW-Authenticate.
+struct DigestChallenge {
+  std::string realm;
+  std::string nonce;
+
+  std::string ToString() const;  // Digest realm="...", nonce="..."
+  static std::optional<DigestChallenge> Parse(std::string_view header);
+};
+
+/// The client's answer, carried in Authorization.
+struct DigestCredentials {
+  std::string username;
+  std::string realm;
+  std::string nonce;
+  std::string uri;
+  std::string response;
+
+  std::string ToString() const;
+  static std::optional<DigestCredentials> Parse(std::string_view header);
+};
+
+/// response = H(username, realm, password, nonce, method, uri).
+std::string ComputeDigestResponse(std::string_view username,
+                                  std::string_view realm,
+                                  std::string_view password,
+                                  std::string_view nonce,
+                                  std::string_view method,
+                                  std::string_view uri);
+
+/// Builds the credentials answering `challenge` for the given request.
+DigestCredentials AnswerChallenge(const DigestChallenge& challenge,
+                                  std::string_view username,
+                                  std::string_view password,
+                                  std::string_view method,
+                                  std::string_view uri);
+
+}  // namespace vids::sip

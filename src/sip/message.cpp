@@ -1,0 +1,558 @@
+#include "sip/message.h"
+
+#include <array>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace vids::sip {
+
+using common::IEquals;
+using common::ParseInt;
+using common::Split;
+using common::SplitOnce;
+using common::ToLower;
+using common::Trim;
+
+namespace {
+
+constexpr std::string_view kSipVersion = "SIP/2.0";
+constexpr std::string_view kBranchCookie = "z9hG4bK";
+
+struct MethodEntry {
+  Method method;
+  std::string_view name;
+};
+constexpr std::array<MethodEntry, 6> kMethods{{
+    {Method::kInvite, "INVITE"},
+    {Method::kAck, "ACK"},
+    {Method::kBye, "BYE"},
+    {Method::kCancel, "CANCEL"},
+    {Method::kRegister, "REGISTER"},
+    {Method::kOptions, "OPTIONS"},
+}};
+
+// RFC 3261 §7.3.3 compact forms for the headers we care about.
+std::string_view ExpandCompact(std::string_view name) {
+  if (name.size() != 1) return name;
+  switch (name[0] | 0x20) {
+    case 'i': return "Call-ID";
+    case 'f': return "From";
+    case 't': return "To";
+    case 'v': return "Via";
+    case 'm': return "Contact";
+    case 'c': return "Content-Type";
+    case 'l': return "Content-Length";
+    default: return name;
+  }
+}
+
+// Canonical capitalization so serialized traffic looks conventional.
+std::string CanonicalName(std::string_view name) {
+  name = ExpandCompact(name);
+  std::string out;
+  out.reserve(name.size());
+  bool start_of_word = true;
+  for (char c : name) {
+    if (start_of_word && c >= 'a' && c <= 'z') {
+      out.push_back(static_cast<char>(c - 'a' + 'A'));
+    } else if (!start_of_word && c >= 'A' && c <= 'Z' && !IEquals(name, "Call-ID") && !IEquals(name, "CSeq")) {
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else {
+      out.push_back(c);
+    }
+    start_of_word = (c == '-');
+  }
+  // Preserve conventional spellings with interior capitals.
+  if (IEquals(out, "Call-Id")) return "Call-ID";
+  if (IEquals(out, "Cseq")) return "CSeq";
+  if (IEquals(out, "Www-Authenticate")) return "WWW-Authenticate";
+  return out;
+}
+
+// Parses ";name=value;flag" parameter tails shared by URIs/NameAddr/Via.
+std::map<std::string, std::string> ParseParams(std::string_view tail) {
+  std::map<std::string, std::string> params;
+  for (const auto piece : Split(tail, ';')) {
+    if (piece.empty()) continue;
+    const auto eq = SplitOnce(piece, '=');
+    if (eq) {
+      params[ToLower(eq->first)] = std::string(eq->second);
+    } else {
+      params[ToLower(piece)] = "";
+    }
+  }
+  return params;
+}
+
+}  // namespace
+
+std::string_view MethodName(Method method) {
+  for (const auto& entry : kMethods) {
+    if (entry.method == method) return entry.name;
+  }
+  return "UNKNOWN";
+}
+
+Method ParseMethod(std::string_view token) {
+  for (const auto& entry : kMethods) {
+    if (entry.name == token) return entry.method;
+  }
+  return Method::kUnknown;
+}
+
+std::string_view ReasonPhrase(int status) {
+  switch (status) {
+    case 100: return "Trying";
+    case 180: return "Ringing";
+    case 181: return "Call Is Being Forwarded";
+    case 183: return "Session Progress";
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 301: return "Moved Permanently";
+    case 302: return "Moved Temporarily";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 415: return "Unsupported Media Type";
+    case 480: return "Temporarily Unavailable";
+    case 481: return "Call/Transaction Does Not Exist";
+    case 486: return "Busy Here";
+    case 487: return "Request Terminated";
+    case 500: return "Server Internal Error";
+    case 503: return "Service Unavailable";
+    case 600: return "Busy Everywhere";
+    case 603: return "Decline";
+    default: return "Unknown";
+  }
+}
+
+// --- SipUri ---
+
+std::optional<SipUri> SipUri::Parse(std::string_view text) {
+  text = Trim(text);
+  if (!common::IStartsWith(text, "sip:")) return std::nullopt;
+  text.remove_prefix(4);
+  SipUri uri;
+  // Split off URI parameters.
+  if (const auto semi = text.find(';'); semi != std::string_view::npos) {
+    uri.params = std::string(text.substr(semi + 1));
+    text = text.substr(0, semi);
+  }
+  if (const auto at = text.find('@'); at != std::string_view::npos) {
+    uri.user = std::string(text.substr(0, at));
+    text = text.substr(at + 1);
+  }
+  if (text.empty()) return std::nullopt;
+  if (const auto colon = text.find(':'); colon != std::string_view::npos) {
+    const auto port = ParseInt<uint16_t>(text.substr(colon + 1));
+    if (!port) return std::nullopt;
+    uri.port = *port;
+    text = text.substr(0, colon);
+  }
+  uri.host = std::string(text);
+  return uri;
+}
+
+std::string SipUri::ToString() const {
+  std::string out = "sip:";
+  if (!user.empty()) {
+    out += user;
+    out += '@';
+  }
+  out += host;
+  if (port != 0) {
+    out += ':';
+    out += std::to_string(port);
+  }
+  if (!params.empty()) {
+    out += ';';
+    out += params;
+  }
+  return out;
+}
+
+// --- NameAddr ---
+
+std::optional<NameAddr> NameAddr::Parse(std::string_view text) {
+  text = Trim(text);
+  NameAddr addr;
+  std::string_view uri_part;
+  std::string_view param_tail;
+
+  const auto open = text.find('<');
+  if (open != std::string_view::npos) {
+    const auto close = text.find('>', open);
+    if (close == std::string_view::npos) return std::nullopt;
+    std::string_view display = Trim(text.substr(0, open));
+    if (display.size() >= 2 && display.front() == '"' && display.back() == '"') {
+      display = display.substr(1, display.size() - 2);
+    }
+    addr.display_name = std::string(display);
+    uri_part = text.substr(open + 1, close - open - 1);
+    param_tail = text.substr(close + 1);
+    if (!param_tail.empty() && param_tail.front() == ';') {
+      param_tail.remove_prefix(1);
+    }
+  } else {
+    // addr-spec form: params after ';' belong to the header, not the URI.
+    const auto semi = text.find(';');
+    uri_part = text.substr(0, semi);
+    if (semi != std::string_view::npos) param_tail = text.substr(semi + 1);
+  }
+
+  const auto uri = SipUri::Parse(uri_part);
+  if (!uri) return std::nullopt;
+  addr.uri = *uri;
+  if (!param_tail.empty()) addr.params = ParseParams(param_tail);
+  return addr;
+}
+
+std::string NameAddr::ToString() const {
+  std::string out;
+  if (!display_name.empty()) {
+    out += '"';
+    out += display_name;
+    out += "\" ";
+  }
+  out += '<';
+  out += uri.ToString();
+  out += '>';
+  for (const auto& [key, value] : params) {
+    out += ';';
+    out += key;
+    if (!value.empty()) {
+      out += '=';
+      out += value;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> NameAddr::Tag() const {
+  const auto it = params.find("tag");
+  if (it == params.end()) return std::nullopt;
+  return it->second;
+}
+
+void NameAddr::SetTag(std::string_view tag) {
+  params["tag"] = std::string(tag);
+}
+
+// --- Via ---
+
+std::optional<Via> Via::Parse(std::string_view text) {
+  text = Trim(text);
+  // "SIP/2.0/UDP host:port;params"
+  const auto space = text.find(' ');
+  if (space == std::string_view::npos) return std::nullopt;
+  const std::string_view proto = text.substr(0, space);
+  const auto parts = Split(proto, '/');
+  if (parts.size() != 3 || parts[0] != "SIP" || parts[1] != "2.0") {
+    return std::nullopt;
+  }
+  Via via;
+  via.transport = std::string(parts[2]);
+
+  std::string_view rest = Trim(text.substr(space + 1));
+  std::string_view host_port = rest;
+  if (const auto semi = rest.find(';'); semi != std::string_view::npos) {
+    host_port = Trim(rest.substr(0, semi));
+    via.params = ParseParams(rest.substr(semi + 1));
+  }
+  const auto ep = net::Endpoint::Parse(host_port);
+  if (ep) {
+    via.sent_by = *ep;
+  } else {
+    const auto ip = net::IpAddress::Parse(host_port);
+    if (!ip) return std::nullopt;
+    via.sent_by = net::Endpoint{*ip, 5060};
+  }
+  if (const auto it = via.params.find("branch"); it != via.params.end()) {
+    via.branch = it->second;
+    via.params.erase(it);
+  }
+  return via;
+}
+
+std::string Via::ToString() const {
+  std::string out = "SIP/2.0/" + transport + " " + sent_by.ToString();
+  if (!branch.empty()) out += ";branch=" + branch;
+  for (const auto& [key, value] : params) {
+    out += ';';
+    out += key;
+    if (!value.empty()) {
+      out += '=';
+      out += value;
+    }
+  }
+  return out;
+}
+
+// --- CSeq ---
+
+std::optional<CSeq> CSeq::Parse(std::string_view text) {
+  const auto split = SplitOnce(Trim(text), ' ');
+  if (!split) return std::nullopt;
+  const auto number = ParseInt<uint32_t>(split->first);
+  if (!number) return std::nullopt;
+  const Method method = sip::ParseMethod(Trim(split->second));
+  if (method == Method::kUnknown) return std::nullopt;
+  return CSeq{*number, method};
+}
+
+std::string CSeq::ToString() const {
+  return std::to_string(number) + " " + std::string(MethodName(method));
+}
+
+// --- Message ---
+
+Message Message::MakeRequest(Method method, SipUri request_uri) {
+  Message msg;
+  msg.req_method_ = method;
+  msg.req_method_token_ = std::string(MethodName(method));
+  msg.request_uri_ = std::move(request_uri);
+  msg.SetHeader("Max-Forwards", "70");
+  msg.SetHeader("Content-Length", "0");
+  return msg;
+}
+
+Message Message::MakeResponse(int status) {
+  return MakeResponse(status, std::string(ReasonPhrase(status)));
+}
+
+Message Message::MakeResponse(int status, std::string reason) {
+  Message msg;
+  msg.status_ = status;
+  msg.reason_ = std::move(reason);
+  msg.SetHeader("Content-Length", "0");
+  return msg;
+}
+
+std::optional<Message> Message::Parse(std::string_view text) {
+  // Split head (start line + headers) from body at the blank line.
+  size_t head_end = text.find("\r\n\r\n");
+  size_t body_start;
+  if (head_end != std::string_view::npos) {
+    body_start = head_end + 4;
+  } else {
+    head_end = text.find("\n\n");
+    if (head_end == std::string_view::npos) {
+      head_end = text.size();
+      body_start = text.size();
+    } else {
+      body_start = head_end + 2;
+    }
+  }
+  const std::string_view head = text.substr(0, head_end);
+
+  Message msg;
+  bool first_line = true;
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t eol = head.find('\n', pos);
+    std::string_view line = head.substr(
+        pos, eol == std::string_view::npos ? head.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? head.size() : eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (first_line) {
+      first_line = false;
+      line = Trim(line);
+      if (line.empty()) return std::nullopt;
+      if (common::IStartsWith(line, "SIP/2.0 ")) {
+        // Status line: SIP/2.0 200 OK
+        const auto rest = Trim(line.substr(kSipVersion.size()));
+        const auto space = rest.find(' ');
+        const auto code_text =
+            space == std::string_view::npos ? rest : rest.substr(0, space);
+        const auto code = ParseInt<int>(code_text);
+        if (!code || *code < 100 || *code > 699) return std::nullopt;
+        msg.status_ = *code;
+        msg.reason_ = space == std::string_view::npos
+                          ? std::string()
+                          : std::string(Trim(rest.substr(space + 1)));
+      } else {
+        // Request line: INVITE sip:bob@b.example SIP/2.0
+        const auto parts = Split(line, ' ');
+        if (parts.size() != 3 || parts[2] != kSipVersion) return std::nullopt;
+        msg.req_method_token_ = std::string(parts[0]);
+        msg.req_method_ = sip::ParseMethod(parts[0]);
+        const auto uri = SipUri::Parse(parts[1]);
+        if (!uri) return std::nullopt;
+        msg.request_uri_ = *uri;
+      }
+      continue;
+    }
+    if (Trim(line).empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    const std::string name = CanonicalName(Trim(line.substr(0, colon)));
+    const std::string_view value = Trim(line.substr(colon + 1));
+    // Comma-separated Via values may be folded into one line (RFC 3261
+    // §7.3.1); unfold them so PopVia works uniformly.
+    if (IEquals(name, "Via")) {
+      for (const auto piece : Split(value, ',')) {
+        msg.headers_.emplace_back(name, std::string(piece));
+      }
+    } else {
+      msg.headers_.emplace_back(name, std::string(value));
+    }
+  }
+  if (first_line) return std::nullopt;
+
+  // Mandatory structural fields must parse if present.
+  if (const auto cseq = msg.Header("CSeq"); cseq && !CSeq::Parse(*cseq)) {
+    return std::nullopt;
+  }
+
+  std::string_view body = text.substr(body_start);
+  if (const auto len_text = msg.Header("Content-Length")) {
+    const auto len = ParseInt<size_t>(*len_text);
+    if (!len) return std::nullopt;
+    if (*len > body.size()) return std::nullopt;  // truncated message
+    body = body.substr(0, *len);
+  }
+  msg.body_ = std::string(body);
+  return msg;
+}
+
+std::string Message::Serialize() const {
+  std::ostringstream out;
+  if (IsRequest()) {
+    out << req_method_token_ << " " << request_uri_.ToString() << " "
+        << kSipVersion << "\r\n";
+  } else {
+    out << kSipVersion << " " << status_ << " " << reason_ << "\r\n";
+  }
+  for (const auto& [name, value] : headers_) {
+    out << name << ": " << value << "\r\n";
+  }
+  out << "\r\n" << body_;
+  return out.str();
+}
+
+Method Message::method() const {
+  if (IsRequest()) return req_method_;
+  const auto cseq = Cseq();
+  return cseq ? cseq->method : Method::kUnknown;
+}
+
+std::optional<std::string_view> Message::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers_) {
+    if (IEquals(key, ExpandCompact(name))) return value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> Message::Headers(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& [key, value] : headers_) {
+    if (IEquals(key, ExpandCompact(name))) out.push_back(value);
+  }
+  return out;
+}
+
+void Message::SetHeader(std::string_view name, std::string_view value) {
+  RemoveHeader(name);
+  headers_.emplace_back(CanonicalName(name), std::string(value));
+}
+
+void Message::AddHeader(std::string_view name, std::string_view value) {
+  headers_.emplace_back(CanonicalName(name), std::string(value));
+}
+
+void Message::RemoveHeader(std::string_view name) {
+  std::erase_if(headers_, [&](const auto& header) {
+    return IEquals(header.first, ExpandCompact(name));
+  });
+}
+
+std::optional<Via> Message::TopVia() const {
+  const auto value = Header("Via");
+  if (!value) return std::nullopt;
+  return Via::Parse(*value);
+}
+
+std::vector<Via> Message::Vias() const {
+  std::vector<Via> out;
+  for (const auto value : Headers("Via")) {
+    if (auto via = Via::Parse(value)) out.push_back(std::move(*via));
+  }
+  return out;
+}
+
+void Message::PushVia(const Via& via) {
+  headers_.emplace(headers_.begin(), "Via", via.ToString());
+}
+
+void Message::PopVia() {
+  for (auto it = headers_.begin(); it != headers_.end(); ++it) {
+    if (IEquals(it->first, "Via")) {
+      headers_.erase(it);
+      return;
+    }
+  }
+}
+
+std::optional<NameAddr> Message::From() const {
+  const auto value = Header("From");
+  if (!value) return std::nullopt;
+  return NameAddr::Parse(*value);
+}
+
+void Message::SetFrom(const NameAddr& from) {
+  SetHeader("From", from.ToString());
+}
+
+std::optional<NameAddr> Message::To() const {
+  const auto value = Header("To");
+  if (!value) return std::nullopt;
+  return NameAddr::Parse(*value);
+}
+
+void Message::SetTo(const NameAddr& to) { SetHeader("To", to.ToString()); }
+
+std::optional<NameAddr> Message::ContactHeader() const {
+  const auto value = Header("Contact");
+  if (!value) return std::nullopt;
+  return NameAddr::Parse(*value);
+}
+
+void Message::SetContact(const NameAddr& contact) {
+  SetHeader("Contact", contact.ToString());
+}
+
+std::optional<CSeq> Message::Cseq() const {
+  const auto value = Header("CSeq");
+  if (!value) return std::nullopt;
+  return CSeq::Parse(*value);
+}
+
+std::optional<int> Message::MaxForwards() const {
+  const auto value = Header("Max-Forwards");
+  if (!value) return std::nullopt;
+  return ParseInt<int>(*value);
+}
+
+void Message::SetMaxForwards(int hops) {
+  SetHeader("Max-Forwards", std::to_string(hops));
+}
+
+void Message::SetBody(std::string body, std::string_view content_type) {
+  body_ = std::move(body);
+  if (body_.empty()) {
+    RemoveHeader("Content-Type");
+  } else {
+    SetHeader("Content-Type", content_type);
+  }
+  SetHeader("Content-Length", std::to_string(body_.size()));
+}
+
+std::string MakeBranch(uint64_t unique) {
+  return std::string(kBranchCookie) + std::to_string(unique);
+}
+
+}  // namespace vids::sip

@@ -1,0 +1,168 @@
+// SIP message model and text codec (RFC 3261 subset).
+//
+// Covers the six core methods (§2.1 of the paper), the headers the vIDS
+// predicates inspect (Via branch, From/To tags, Call-ID, CSeq, Contact,
+// Content-*), and the request/response line grammar, including RFC 3261
+// compact header forms. The parser is strict about structure (start line,
+// header colon, known numeric fields) and tolerant about unknown headers,
+// matching how the paper's IDS must survive arbitrary-but-legal traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/address.h"
+
+namespace vids::sip {
+
+enum class Method {
+  kInvite,
+  kAck,
+  kBye,
+  kCancel,
+  kRegister,
+  kOptions,
+  kUnknown,
+};
+
+std::string_view MethodName(Method method);
+Method ParseMethod(std::string_view token);
+
+/// Standard reason phrase for a status code ("Ringing" for 180, ...).
+std::string_view ReasonPhrase(int status);
+
+/// A SIP URI: sip:user@host[:port]. URI parameters are preserved verbatim.
+struct SipUri {
+  std::string user;
+  std::string host;
+  uint16_t port = 0;  // 0 means unspecified (default 5060)
+  std::string params;  // everything after the first ';', without it
+
+  static std::optional<SipUri> Parse(std::string_view text);
+  std::string ToString() const;
+
+  /// "user@host", the address-of-record form used as a location-service key.
+  std::string UserAtHost() const { return user + "@" + host; }
+
+  bool operator==(const SipUri&) const = default;
+};
+
+/// A From/To/Contact value: [display-name] <uri> ;param=value...
+struct NameAddr {
+  std::string display_name;
+  SipUri uri;
+  std::map<std::string, std::string> params;
+
+  static std::optional<NameAddr> Parse(std::string_view text);
+  std::string ToString() const;
+
+  std::optional<std::string> Tag() const;
+  void SetTag(std::string_view tag);
+};
+
+/// One Via header value: SIP/2.0/UDP host:port;branch=...;...
+struct Via {
+  std::string transport = "UDP";
+  net::Endpoint sent_by;
+  std::string branch;
+  std::map<std::string, std::string> params;  // other parameters (received, ...)
+
+  static std::optional<Via> Parse(std::string_view text);
+  std::string ToString() const;
+};
+
+struct CSeq {
+  uint32_t number = 0;
+  Method method = Method::kUnknown;
+
+  static std::optional<CSeq> Parse(std::string_view text);
+  std::string ToString() const;
+  bool operator==(const CSeq&) const = default;
+};
+
+/// A parsed SIP request or response.
+class Message {
+ public:
+  static Message MakeRequest(Method method, SipUri request_uri);
+  static Message MakeResponse(int status);
+  static Message MakeResponse(int status, std::string reason);
+
+  /// Parses one datagram's payload. Returns nullopt on any structural
+  /// violation (bad start line, missing colon, unparsable mandatory field).
+  static std::optional<Message> Parse(std::string_view text);
+
+  std::string Serialize() const;
+
+  bool IsRequest() const { return status_ == 0; }
+  bool IsResponse() const { return status_ != 0; }
+
+  /// For requests: the request method. For responses: the method of the
+  /// transaction, taken from CSeq.
+  Method method() const;
+  const SipUri& request_uri() const { return request_uri_; }
+  void set_request_uri(SipUri uri) { request_uri_ = std::move(uri); }
+  int status() const { return status_; }
+  const std::string& reason() const { return reason_; }
+
+  // --- Generic header access (names are case-insensitive) ---
+  /// First value of `name`, or nullopt.
+  std::optional<std::string_view> Header(std::string_view name) const;
+  /// All values of `name`, in message order.
+  std::vector<std::string_view> Headers(std::string_view name) const;
+  /// Replaces all values of `name` with one value.
+  void SetHeader(std::string_view name, std::string_view value);
+  /// Appends a value of `name` after existing ones.
+  void AddHeader(std::string_view name, std::string_view value);
+  void RemoveHeader(std::string_view name);
+  size_t HeaderCount() const { return headers_.size(); }
+
+  // --- Typed accessors for the fields the IDS predicates read ---
+  std::optional<Via> TopVia() const;
+  std::vector<Via> Vias() const;
+  /// Prepends a Via (proxies and UACs add themselves on the way out).
+  void PushVia(const Via& via);
+  /// Removes the top Via (responses shed them on the way back).
+  void PopVia();
+
+  std::optional<NameAddr> From() const;
+  void SetFrom(const NameAddr& from);
+  std::optional<NameAddr> To() const;
+  void SetTo(const NameAddr& to);
+  std::optional<NameAddr> ContactHeader() const;
+  void SetContact(const NameAddr& contact);
+
+  std::optional<std::string_view> CallId() const { return Header("Call-ID"); }
+  void SetCallId(std::string_view id) { SetHeader("Call-ID", id); }
+  std::optional<CSeq> Cseq() const;
+  void SetCseq(const CSeq& cseq) { SetHeader("CSeq", cseq.ToString()); }
+  std::optional<int> MaxForwards() const;
+  void SetMaxForwards(int hops);
+
+  const std::string& body() const { return body_; }
+  /// Sets the body and maintains Content-Length / Content-Type.
+  void SetBody(std::string body, std::string_view content_type);
+
+ private:
+  Message() = default;
+
+  // Request fields (status_ == 0) or response fields.
+  Method req_method_ = Method::kUnknown;
+  std::string req_method_token_;  // preserves unknown method names
+  SipUri request_uri_;
+  int status_ = 0;
+  std::string reason_;
+
+  // Headers in message order; names normalized to canonical capitalization.
+  std::vector<std::pair<std::string, std::string>> headers_;
+  std::string body_;
+};
+
+/// Generates an RFC 3261 branch id (magic-cookie prefixed) from a counter so
+/// traces stay deterministic across runs.
+std::string MakeBranch(uint64_t unique);
+
+}  // namespace vids::sip

@@ -1,0 +1,82 @@
+// Stateful SIP proxy with registrar and location service (paper §2.1).
+//
+// Each enterprise network runs one. It accepts REGISTER bindings from its
+// own domain, routes INVITEs for local users to their registered contacts,
+// and forwards requests for foreign domains to the peer domain's inbound
+// proxy (a static directory substitutes for the DNS lookup the paper
+// describes). Responses travel back along the transaction pair; ACKs for
+// 2xx and all media flow end-to-end, bypassing the proxy — which is exactly
+// why the vIDS must sit on the network edge rather than at the proxy.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sip/auth.h"
+#include "sip/transaction.h"
+
+namespace vids::sip {
+
+/// Static domain → inbound-proxy directory, substituting for DNS SRV.
+using DomainDirectory = std::map<std::string, net::Endpoint>;
+
+class Proxy {
+ public:
+  struct Config {
+    std::string domain;  // the domain this proxy is authoritative for
+    uint16_t sip_port = kDefaultSipPort;
+    DomainDirectory directory;  // peers, keyed by domain
+    TimerConfig timers{};
+    /// When true, REGISTER requires Digest authentication (§22): the
+    /// registrar challenges with 401 and verifies the response against
+    /// `user_passwords` (keyed by the AOR user part).
+    bool require_registration_auth = false;
+    std::map<std::string, std::string> user_passwords;
+  };
+
+  Proxy(sim::Scheduler& scheduler, net::Host& host, Config config);
+
+  /// Pre-provisions a location binding (tests may skip REGISTER).
+  void AddBinding(const std::string& aor, net::Endpoint contact);
+
+  size_t binding_count() const { return location_.size(); }
+  uint64_t requests_proxied() const { return requests_proxied_; }
+  uint64_t requests_rejected() const { return requests_rejected_; }
+  uint64_t auth_challenges_sent() const { return auth_challenges_sent_; }
+  uint64_t auth_failures() const { return auth_failures_; }
+
+ private:
+  void OnRequest(ServerTransaction& tx);
+  void OnRegister(ServerTransaction& tx);
+  void OnAck(const Message& ack, const net::Datagram& dgram);
+  void ForwardRequest(ServerTransaction& tx, net::Endpoint next_hop);
+  /// Resolves where a request-URI should be sent next: a local contact, a
+  /// peer proxy, or nothing (404).
+  std::optional<net::Endpoint> Resolve(const SipUri& uri) const;
+
+  /// State of a forwarded INVITE's downstream leg, kept until a final
+  /// response so an upstream CANCEL can be propagated (§9.2).
+  struct PendingForward {
+    SipUri request_uri;
+    Via via;  // the Via we stamped on the downstream leg
+    Message invite;
+    net::Endpoint next_hop;
+  };
+
+  sim::Scheduler& scheduler_;
+  Config config_;
+  Transport transport_;
+  TransactionLayer layer_;
+  std::map<std::string, net::Endpoint> location_;  // AOR → contact
+  // Keyed by the upstream INVITE server-transaction branch.
+  std::map<std::string, PendingForward> pending_cancels_;
+  // Outstanding Digest nonces, keyed by AOR.
+  std::map<std::string, std::string> issued_nonces_;
+  uint64_t next_nonce_ = 1;
+  uint64_t requests_proxied_ = 0;
+  uint64_t requests_rejected_ = 0;
+  uint64_t auth_challenges_sent_ = 0;
+  uint64_t auth_failures_ = 0;
+};
+
+}  // namespace vids::sip

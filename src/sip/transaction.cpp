@@ -1,0 +1,394 @@
+#include "sip/transaction.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace vids::sip {
+
+namespace {
+
+bool IsProvisional(int status) { return status >= 100 && status < 200; }
+bool IsSuccess(int status) { return status >= 200 && status < 300; }
+bool IsFinal(int status) { return status >= 200; }
+
+std::string ClientKey(std::string_view branch, Method method) {
+  return std::string(branch) + "|" + std::string(MethodName(method));
+}
+
+// §17.2.3: server transactions match on top Via branch + sent-by + method,
+// with ACK matching the INVITE transaction.
+std::string ServerKey(const Via& via, Method method) {
+  const Method match_method = method == Method::kAck ? Method::kInvite : method;
+  return via.branch + "|" + via.sent_by.ToString() + "|" +
+         std::string(MethodName(match_method));
+}
+
+}  // namespace
+
+std::string_view TxStateName(TxState state) {
+  switch (state) {
+    case TxState::kCalling: return "Calling";
+    case TxState::kTrying: return "Trying";
+    case TxState::kProceeding: return "Proceeding";
+    case TxState::kCompleted: return "Completed";
+    case TxState::kConfirmed: return "Confirmed";
+    case TxState::kTerminated: return "Terminated";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- Client
+
+ClientTransaction::ClientTransaction(TransactionLayer& layer, Message request,
+                                     net::Endpoint dst,
+                                     ResponseHandler on_response,
+                                     TimeoutHandler on_timeout)
+    : layer_(layer),
+      request_(std::move(request)),
+      dst_(dst),
+      on_response_(std::move(on_response)),
+      on_timeout_(std::move(on_timeout)),
+      method_(request_.method()),
+      state_(method_ == Method::kInvite ? TxState::kCalling : TxState::kTrying),
+      retransmit_interval_(layer.timers().t1),
+      retransmit_timer_(layer.scheduler()),
+      timeout_timer_(layer.scheduler()) {
+  const auto via = request_.TopVia();
+  if (!via || via->branch.empty()) {
+    throw std::invalid_argument("client transaction requires a Via branch");
+  }
+  branch_ = via->branch;
+}
+
+void ClientTransaction::Start() {
+  layer_.transport().Send(request_, dst_);
+  // Timer A (INVITE) / E (non-INVITE): retransmit over UDP.
+  retransmit_timer_.Start(retransmit_interval_,
+                          [this] { RetransmitTimerFired(); });
+  // Timer B / F: give up after 64*T1.
+  timeout_timer_.Start(layer_.timers().t1 * 64, [this] { TimeoutTimerFired(); });
+}
+
+void ClientTransaction::RetransmitTimerFired() {
+  if (state_ == TxState::kCalling || state_ == TxState::kTrying) {
+    layer_.transport().Send(request_, dst_);
+    retransmit_interval_ = retransmit_interval_ * 2;
+    if (method_ != Method::kInvite) {
+      // Timer E caps at T2.
+      retransmit_interval_ =
+          std::min(retransmit_interval_, layer_.timers().t2);
+    }
+    retransmit_timer_.Start(retransmit_interval_,
+                            [this] { RetransmitTimerFired(); });
+  } else if (state_ == TxState::kProceeding && method_ != Method::kInvite) {
+    // Non-INVITE Proceeding keeps retransmitting at T2.
+    layer_.transport().Send(request_, dst_);
+    retransmit_timer_.Start(layer_.timers().t2,
+                            [this] { RetransmitTimerFired(); });
+  }
+}
+
+void ClientTransaction::TimeoutTimerFired() {
+  if (state_ == TxState::kCompleted) {
+    // Timer D / K expired: absorb window over.
+    Terminate();
+    return;
+  }
+  retransmit_timer_.Cancel();
+  Terminate();
+  if (on_timeout_) on_timeout_();
+}
+
+void ClientTransaction::SendAck(const Message& response) {
+  // §17.1.1.3: ACK for a non-2xx final is built by the transaction layer
+  // from the original request, reusing its branch.
+  Message ack = Message::MakeRequest(Method::kAck, request_.request_uri());
+  for (const auto& via : request_.Vias()) ack.PushVia(via);
+  if (const auto from = request_.From()) ack.SetFrom(*from);
+  if (const auto to = response.To()) ack.SetTo(*to);
+  if (const auto call_id = request_.CallId()) ack.SetCallId(*call_id);
+  if (const auto cseq = request_.Cseq()) {
+    ack.SetCseq(CSeq{cseq->number, Method::kAck});
+  }
+  layer_.transport().Send(ack, dst_);
+}
+
+void ClientTransaction::ReceiveResponse(const Message& response) {
+  const int status = response.status();
+  switch (state_) {
+    case TxState::kCalling:
+    case TxState::kTrying:
+    case TxState::kProceeding: {
+      if (IsProvisional(status)) {
+        if (method_ == Method::kInvite) {
+          retransmit_timer_.Cancel();  // INVITE stops retransmitting on 1xx
+        }
+        state_ = TxState::kProceeding;
+        if (on_response_) on_response_(response);
+        return;
+      }
+      assert(IsFinal(status));
+      retransmit_timer_.Cancel();
+      if (method_ == Method::kInvite) {
+        if (IsSuccess(status)) {
+          // 2xx: transaction ends; the TU sends the ACK end-to-end.
+          Terminate();
+          if (on_response_) on_response_(response);
+        } else {
+          SendAck(response);
+          state_ = TxState::kCompleted;
+          timeout_timer_.Start(layer_.timers().d, [this] { Terminate(); });
+          if (on_response_) on_response_(response);
+        }
+      } else {
+        state_ = TxState::kCompleted;
+        timeout_timer_.Start(layer_.timers().t4, [this] { Terminate(); });
+        if (on_response_) on_response_(response);
+      }
+      return;
+    }
+    case TxState::kCompleted:
+      // Retransmitted final: re-ACK for INVITE, absorb otherwise.
+      if (method_ == Method::kInvite && IsFinal(status) && !IsSuccess(status)) {
+        SendAck(response);
+      }
+      return;
+    case TxState::kConfirmed:
+    case TxState::kTerminated:
+      return;
+  }
+}
+
+void ClientTransaction::Terminate() {
+  if (state_ == TxState::kTerminated) return;
+  state_ = TxState::kTerminated;
+  retransmit_timer_.Cancel();
+  timeout_timer_.Cancel();
+  layer_.Collect();
+}
+
+// ---------------------------------------------------------------- Server
+
+ServerTransaction::ServerTransaction(TransactionLayer& layer, Message request,
+                                     net::Endpoint remote)
+    : layer_(layer),
+      request_(std::move(request)),
+      remote_(remote),
+      method_(request_.method()),
+      state_(method_ == Method::kInvite ? TxState::kProceeding
+                                        : TxState::kTrying),
+      retransmit_interval_(layer.timers().t1),
+      retransmit_timer_(layer.scheduler()),
+      timeout_timer_(layer.scheduler()) {
+  const auto via = request_.TopVia();
+  branch_ = via ? via->branch : std::string();
+}
+
+Message ServerTransaction::MakeResponse(int status,
+                                        std::string_view to_tag) const {
+  Message response = Message::MakeResponse(status);
+  for (const auto via : request_.Headers("Via")) {
+    response.AddHeader("Via", via);
+  }
+  if (const auto from = request_.From()) response.SetFrom(*from);
+  if (auto to = request_.To()) {
+    if (!to_tag.empty() && !to->Tag()) to->SetTag(to_tag);
+    response.SetTo(*to);
+  }
+  if (const auto call_id = request_.CallId()) response.SetCallId(*call_id);
+  if (const auto cseq = request_.Cseq()) response.SetCseq(*cseq);
+  return response;
+}
+
+void ServerTransaction::Respond(const Message& response) {
+  const int status = response.status();
+  last_response_ = response;
+  layer_.transport().Send(response, remote_);
+
+  switch (state_) {
+    case TxState::kTrying:
+    case TxState::kProceeding:
+      if (IsProvisional(status)) {
+        state_ = TxState::kProceeding;
+        return;
+      }
+      if (method_ == Method::kInvite) {
+        if (IsSuccess(status)) {
+          // 2xx: the TU retransmits 2xx end-to-end; transaction is done.
+          Terminate();
+        } else {
+          state_ = TxState::kCompleted;
+          // Timer G: retransmit the final until ACKed (ReceiveRetransmit
+          // resends the stored response and backs the interval off);
+          // Timer H: give up waiting for the ACK after 64*T1.
+          retransmit_interval_ = layer_.timers().t1;
+          retransmit_timer_.Start(retransmit_interval_, [this] {
+            ReceiveRetransmit(request_);
+          });
+          timeout_timer_.Start(layer_.timers().t1 * 64, [this] {
+            Terminate();
+            if (on_timeout_) on_timeout_();
+          });
+        }
+      } else {
+        state_ = TxState::kCompleted;
+        // Timer J: absorb retransmits for 64*T1, then terminate.
+        timeout_timer_.Start(layer_.timers().t1 * 64, [this] { Terminate(); });
+      }
+      return;
+    case TxState::kCompleted:
+    case TxState::kConfirmed:
+    case TxState::kCalling:
+    case TxState::kTerminated:
+      return;  // late responses from the TU are dropped
+  }
+}
+
+void ServerTransaction::ReceiveRetransmit(const Message&) {
+  switch (state_) {
+    case TxState::kProceeding:
+    case TxState::kCompleted:
+      if (last_response_) {
+        layer_.transport().Send(*last_response_, remote_);
+        if (method_ == Method::kInvite && state_ == TxState::kCompleted) {
+          // Timer G semantics: back off the retransmit interval.
+          retransmit_interval_ =
+              std::min(retransmit_interval_ * 2, layer_.timers().t2);
+          retransmit_timer_.Start(retransmit_interval_, [this] {
+            ReceiveRetransmit(request_);
+          });
+        }
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void ServerTransaction::ReceiveAck(const Message& ack) {
+  if (method_ != Method::kInvite) return;
+  if (state_ == TxState::kCompleted) {
+    state_ = TxState::kConfirmed;
+    retransmit_timer_.Cancel();
+    // Timer I: absorb further ACKs for T4, then terminate.
+    timeout_timer_.Start(layer_.timers().t4, [this] { Terminate(); });
+    if (on_ack_) on_ack_(ack);
+  }
+}
+
+void ServerTransaction::Terminate() {
+  if (state_ == TxState::kTerminated) return;
+  state_ = TxState::kTerminated;
+  retransmit_timer_.Cancel();
+  timeout_timer_.Cancel();
+  layer_.Collect();
+}
+
+// ----------------------------------------------------------------- Layer
+
+TransactionLayer::TransactionLayer(sim::Scheduler& scheduler,
+                                   Transport& transport, TimerConfig timers)
+    : scheduler_(scheduler), transport_(transport), timers_(timers) {
+  transport_.SetReceiver([this](const Message& message,
+                                const net::Datagram& dgram) {
+    OnTransportReceive(message, dgram);
+  });
+}
+
+ClientTransaction& TransactionLayer::StartClient(
+    Message request, net::Endpoint dst,
+    ClientTransaction::ResponseHandler on_response,
+    ClientTransaction::TimeoutHandler on_timeout) {
+  auto tx = std::unique_ptr<ClientTransaction>(
+      new ClientTransaction(*this, std::move(request), dst,
+                            std::move(on_response), std::move(on_timeout)));
+  const std::string key = ClientKey(tx->branch(), tx->method());
+  ClientTransaction& ref = *tx;
+  clients_[key] = std::move(tx);
+  ref.Start();
+  return ref;
+}
+
+void TransactionLayer::SendStateless(const Message& message,
+                                     net::Endpoint dst) {
+  transport_.Send(message, dst);
+}
+
+ServerTransaction* TransactionLayer::FindInviteServer(const Message& cancel) {
+  const auto via = cancel.TopVia();
+  if (!via) return nullptr;
+  const auto it = servers_.find(ServerKey(*via, Method::kInvite));
+  if (it == servers_.end() || it->second->IsTerminated()) return nullptr;
+  return it->second.get();
+}
+
+void TransactionLayer::OnTransportReceive(const Message& message,
+                                          const net::Datagram& dgram) {
+  if (message.IsResponse()) {
+    DispatchResponse(message, dgram);
+  } else {
+    DispatchRequest(message, dgram);
+  }
+}
+
+void TransactionLayer::DispatchResponse(const Message& response,
+                                        const net::Datagram& dgram) {
+  const auto via = response.TopVia();
+  const auto cseq = response.Cseq();
+  if (!via || !cseq) return;
+  const auto it = clients_.find(ClientKey(via->branch, cseq->method));
+  if (it == clients_.end() || it->second->IsTerminated()) {
+    if (core_.on_stray_response) core_.on_stray_response(response, dgram);
+    return;
+  }
+  it->second->ReceiveResponse(response);
+}
+
+void TransactionLayer::DispatchRequest(const Message& request,
+                                       const net::Datagram& dgram) {
+  const auto via = request.TopVia();
+  if (!via || via->branch.empty()) {
+    VIDS_DEBUG() << "request without Via branch dropped";
+    return;
+  }
+  const Method method = request.method();
+  const std::string key = ServerKey(*via, method);
+  const auto it = servers_.find(key);
+
+  if (method == Method::kAck) {
+    if (it != servers_.end() && !it->second->IsTerminated()) {
+      it->second->ReceiveAck(request);
+    } else if (core_.on_ack) {
+      core_.on_ack(request, dgram);  // ACK for a 2xx
+    }
+    return;
+  }
+
+  if (it != servers_.end() && !it->second->IsTerminated()) {
+    it->second->ReceiveRetransmit(request);
+    return;
+  }
+
+  auto tx = std::unique_ptr<ServerTransaction>(
+      new ServerTransaction(*this, request, dgram.src));
+  ServerTransaction& ref = *tx;
+  servers_[key] = std::move(tx);
+  if (core_.on_request) core_.on_request(ref);
+}
+
+void TransactionLayer::Collect() {
+  // Deferred so a transaction never frees itself mid-callback.
+  scheduler_.ScheduleAfter(sim::Duration{}, [this] {
+    std::erase_if(clients_, [](const auto& kv) {
+      return kv.second->IsTerminated();
+    });
+    std::erase_if(servers_, [](const auto& kv) {
+      return kv.second->IsTerminated();
+    });
+  });
+}
+
+}  // namespace vids::sip

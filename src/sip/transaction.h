@@ -1,0 +1,198 @@
+// RFC 3261 §17 transaction layer over UDP.
+//
+// Implements the four transaction state machines (INVITE/non-INVITE ×
+// client/server) with the unreliable-transport timers A/B/D (INVITE client),
+// E/F/K (non-INVITE client), G/H/I (INVITE server) and J (non-INVITE
+// server), and the §17.1.3/§17.2.3 branch-based matching rules. The user
+// agents and the proxy sit on top as transaction users; the vIDS observes
+// the resulting wire traffic from outside.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/scheduler.h"
+#include "sip/message.h"
+#include "sip/transport.h"
+
+namespace vids::sip {
+
+/// RFC 3261 base timers; configurable so tests can compress time.
+struct TimerConfig {
+  sim::Duration t1 = sim::Duration::Millis(500);
+  sim::Duration t2 = sim::Duration::Seconds(4);
+  sim::Duration t4 = sim::Duration::Seconds(5);
+  /// Timer D (wait for response retransmits in INVITE client Completed).
+  sim::Duration d = sim::Duration::Seconds(32);
+};
+
+class TransactionLayer;
+
+/// Common state names across the four machines (not all states are used by
+/// every machine).
+enum class TxState {
+  kCalling,     // INVITE client: initial
+  kTrying,      // non-INVITE client/server: initial
+  kProceeding,  // provisional seen / sent
+  kCompleted,   // final seen / sent
+  kConfirmed,   // INVITE server: ACK seen
+  kTerminated,
+};
+
+std::string_view TxStateName(TxState state);
+
+/// A client transaction (INVITE or non-INVITE chosen by request method).
+class ClientTransaction {
+ public:
+  /// Called for every response passed to the TU (provisionals and finals).
+  using ResponseHandler = std::function<void(const Message&)>;
+  /// Called when the transaction times out (timer B or F).
+  using TimeoutHandler = std::function<void()>;
+
+  TxState state() const { return state_; }
+  const std::string& branch() const { return branch_; }
+  Method method() const { return method_; }
+  const Message& request() const { return request_; }
+  bool IsTerminated() const { return state_ == TxState::kTerminated; }
+
+ private:
+  friend class TransactionLayer;
+  ClientTransaction(TransactionLayer& layer, Message request,
+                    net::Endpoint dst, ResponseHandler on_response,
+                    TimeoutHandler on_timeout);
+  void Start();
+  void ReceiveResponse(const Message& response);
+  void RetransmitTimerFired();  // timer A / E
+  void TimeoutTimerFired();     // timer B / F
+  void Terminate();
+  void SendAck(const Message& response);  // non-2xx ACK (transaction layer's)
+
+  TransactionLayer& layer_;
+  Message request_;
+  net::Endpoint dst_;
+  ResponseHandler on_response_;
+  TimeoutHandler on_timeout_;
+  Method method_;
+  std::string branch_;
+  TxState state_;
+  sim::Duration retransmit_interval_;
+  sim::Timer retransmit_timer_;
+  sim::Timer timeout_timer_;  // B/F, then D/K in Completed
+};
+
+/// A server transaction (INVITE or non-INVITE chosen by request method).
+class ServerTransaction {
+ public:
+  /// INVITE server only: ACK for a non-2xx final reached the transaction.
+  using AckHandler = std::function<void(const Message&)>;
+  /// Timer H fired: no ACK for our final response.
+  using TimeoutHandler = std::function<void()>;
+
+  /// Sends (and takes ownership of retransmitting) a response. Responses
+  /// must carry increasing finality: provisionals any time in Proceeding,
+  /// then exactly one final.
+  void Respond(const Message& response);
+
+  /// Convenience: builds a response from the original request (copies Via /
+  /// From / To / Call-ID / CSeq, adds To-tag if `to_tag` non-empty).
+  Message MakeResponse(int status, std::string_view to_tag = {}) const;
+
+  TxState state() const { return state_; }
+  const std::string& branch() const { return branch_; }
+  Method method() const { return method_; }
+  const Message& request() const { return request_; }
+  const net::Endpoint& remote() const { return remote_; }
+  bool IsTerminated() const { return state_ == TxState::kTerminated; }
+
+  void set_on_ack(AckHandler handler) { on_ack_ = std::move(handler); }
+  void set_on_timeout(TimeoutHandler handler) {
+    on_timeout_ = std::move(handler);
+  }
+
+ private:
+  friend class TransactionLayer;
+  ServerTransaction(TransactionLayer& layer, Message request,
+                    net::Endpoint remote);
+  void ReceiveRetransmit(const Message& request);
+  void ReceiveAck(const Message& ack);
+  void Terminate();
+
+  TransactionLayer& layer_;
+  Message request_;
+  net::Endpoint remote_;
+  Method method_;
+  std::string branch_;
+  TxState state_;
+  std::optional<Message> last_response_;
+  AckHandler on_ack_;
+  TimeoutHandler on_timeout_;
+  sim::Duration retransmit_interval_;
+  sim::Timer retransmit_timer_;  // timer G
+  sim::Timer timeout_timer_;     // H, then I / J
+};
+
+/// Demultiplexes transport messages onto transactions and surfaces what RFC
+/// 3261 calls the "core" events.
+class TransactionLayer {
+ public:
+  struct Core {
+    /// A request that created a new server transaction (not a retransmit).
+    std::function<void(ServerTransaction&)> on_request;
+    /// An ACK for a 2xx — RFC 3261 delivers these straight to the TU.
+    std::function<void(const Message&, const net::Datagram&)> on_ack;
+    /// A response matching no client transaction (e.g. forked 200 retransmit).
+    std::function<void(const Message&, const net::Datagram&)> on_stray_response;
+  };
+
+  TransactionLayer(sim::Scheduler& scheduler, Transport& transport,
+                   TimerConfig timers = {});
+
+  void SetCore(Core core) { core_ = std::move(core); }
+
+  /// Starts a client transaction. The request must carry a Via with a unique
+  /// branch (use NewBranch()). The reference stays valid until the
+  /// transaction terminates and a subsequent message triggers cleanup.
+  ClientTransaction& StartClient(Message request, net::Endpoint dst,
+                                 ClientTransaction::ResponseHandler on_response,
+                                 ClientTransaction::TimeoutHandler on_timeout);
+
+  /// Sends a request outside any transaction (ACK for 2xx).
+  void SendStateless(const Message& message, net::Endpoint dst);
+
+  /// Finds the INVITE server transaction a CANCEL targets, if any.
+  ServerTransaction* FindInviteServer(const Message& cancel);
+
+  std::string NewBranch() { return MakeBranch(next_branch_++); }
+  std::string NewTag() { return "tag" + std::to_string(next_branch_++); }
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  Transport& transport() { return transport_; }
+  const TimerConfig& timers() const { return timers_; }
+
+  size_t active_clients() const { return clients_.size(); }
+  size_t active_servers() const { return servers_.size(); }
+
+ private:
+  friend class ClientTransaction;
+  friend class ServerTransaction;
+
+  void OnTransportReceive(const Message& message, const net::Datagram& dgram);
+  void DispatchResponse(const Message& response, const net::Datagram& dgram);
+  void DispatchRequest(const Message& request, const net::Datagram& dgram);
+  void Collect();  // erase terminated transactions
+
+  sim::Scheduler& scheduler_;
+  Transport& transport_;
+  TimerConfig timers_;
+  Core core_;
+  uint64_t next_branch_ = 1;
+
+  // Client key: branch + method name (CANCEL shares the INVITE's branch).
+  std::map<std::string, std::unique_ptr<ClientTransaction>> clients_;
+  // Server key: branch + sent-by + method (ACK folded onto INVITE).
+  std::map<std::string, std::unique_ptr<ServerTransaction>> servers_;
+};
+
+}  // namespace vids::sip

@@ -1,0 +1,525 @@
+#include "sip/user_agent.h"
+#include <algorithm>
+
+#include "sip/auth.h"
+
+#include "common/log.h"
+
+namespace vids::sip {
+
+UserAgent::UserAgent(sim::Scheduler& scheduler, net::Host& host, Config config)
+    : scheduler_(scheduler),
+      config_(std::move(config)),
+      transport_(host, config_.sip_port),
+      layer_(scheduler, transport_, config_.timers),
+      next_rtp_port_(config_.rtp_port_base) {
+  layer_.SetCore(TransactionLayer::Core{
+      .on_request = [this](ServerTransaction& tx) { OnRequest(tx); },
+      .on_ack = [this](const Message& ack,
+                       const net::Datagram& dgram) { OnAck(ack, dgram); },
+      .on_stray_response =
+          [this](const Message& response, const net::Datagram& dgram) {
+            OnStrayResponse(response, dgram);
+          },
+  });
+}
+
+SipUri UserAgent::address_of_record() const {
+  SipUri uri;
+  uri.user = config_.user;
+  uri.host = config_.domain;
+  return uri;
+}
+
+std::string UserAgent::NewCallId() {
+  return config_.user + "-" + std::to_string(next_call_serial_++) + "@" +
+         config_.domain;
+}
+
+uint16_t UserAgent::AllocateRtpPort() {
+  const uint16_t port = next_rtp_port_;
+  next_rtp_port_ = static_cast<uint16_t>(next_rtp_port_ + 2);  // RTP is even
+  return port;
+}
+
+void UserAgent::Register() {
+  register_call_id_ = NewCallId();
+  SendRegister(std::nullopt, 1);
+}
+
+void UserAgent::SendRegister(std::optional<std::string> authorization,
+                             uint32_t cseq_number) {
+  SipUri registrar;
+  registrar.host = config_.domain;
+  Message reg = Message::MakeRequest(Method::kRegister, registrar);
+  Via via;
+  via.sent_by = transport_.local();
+  via.branch = layer_.NewBranch();
+  reg.PushVia(via);
+  NameAddr self;
+  self.uri = address_of_record();
+  self.SetTag(layer_.NewTag());
+  reg.SetFrom(self);
+  NameAddr to;
+  to.uri = address_of_record();
+  reg.SetTo(to);
+  reg.SetCallId(register_call_id_);
+  reg.SetCseq(CSeq{cseq_number, Method::kRegister});
+  NameAddr contact;
+  contact.uri.user = config_.user;
+  contact.uri.host = transport_.local().ip.ToString();
+  contact.uri.port = config_.sip_port;
+  reg.SetContact(contact);
+  if (authorization) reg.SetHeader("Authorization", *authorization);
+  const std::string request_uri = reg.request_uri().ToString();
+
+  layer_.StartClient(
+      std::move(reg), config_.outbound_proxy,
+      [this, cseq_number, request_uri,
+       already_answered = authorization.has_value()](const Message& response) {
+        if (response.status() == 200) {
+          registered_ = true;
+          return;
+        }
+        if (response.status() == 401 && !already_answered) {
+          // Answer the Digest challenge once (§22.2).
+          const auto www = response.Header("WWW-Authenticate");
+          const auto challenge =
+              www ? DigestChallenge::Parse(*www) : std::nullopt;
+          if (challenge) {
+            const auto credentials =
+                AnswerChallenge(*challenge, config_.user, config_.password,
+                                "REGISTER", request_uri);
+            SendRegister(credentials.ToString(), cseq_number + 1);
+          }
+        }
+      },
+      [] {});
+}
+
+Message UserAgent::BuildInvite(Call& call) {
+  Message invite = Message::MakeRequest(Method::kInvite, call.remote_uri);
+  Via via;
+  via.sent_by = transport_.local();
+  via.branch = layer_.NewBranch();
+  invite.PushVia(via);
+  NameAddr from;
+  from.uri = call.local_uri;
+  from.SetTag(call.local_tag);
+  invite.SetFrom(from);
+  NameAddr to;
+  to.uri = call.remote_uri;
+  invite.SetTo(to);
+  invite.SetCallId(call.record.call_id);
+  invite.SetCseq(CSeq{call.local_cseq, Method::kInvite});
+  NameAddr contact;
+  contact.uri.user = config_.user;
+  contact.uri.host = transport_.local().ip.ToString();
+  contact.uri.port = config_.sip_port;
+  invite.SetContact(contact);
+  const auto offer = sdp::MakeAudioOffer(
+      net::Endpoint{transport_.local().ip, call.local_rtp_port});
+  invite.SetBody(offer.Serialize(), "application/sdp");
+  return invite;
+}
+
+std::string UserAgent::PlaceCall(const SipUri& callee, sim::Duration duration) {
+  Call call;
+  call.record.call_id = NewCallId();
+  call.record.peer = callee.UserAtHost();
+  call.record.outgoing = true;
+  call.record.started = scheduler_.Now();
+  call.local_tag = layer_.NewTag();
+  call.local_uri = address_of_record();
+  call.remote_uri = callee;
+  call.local_rtp_port = AllocateRtpPort();
+  call.planned_duration = duration;
+
+  Message invite = BuildInvite(call);
+  call.original_invite = invite;
+  const std::string call_id = call.record.call_id;
+  calls_[call_id] = std::move(call);
+
+  layer_.StartClient(
+      std::move(invite), config_.outbound_proxy,
+      [this, call_id](const Message& response) {
+        OnInviteResponse(call_id, response);
+      },
+      [this, call_id] { FinishCall(call_id, /*failed=*/true); });
+  return call_id;
+}
+
+void UserAgent::OnInviteResponse(const std::string& call_id,
+                                 const Message& response) {
+  const auto it = calls_.find(call_id);
+  if (it == calls_.end()) return;
+  Call& call = it->second;
+  const int status = response.status();
+
+  if (status >= 100 && status < 200) {
+    if (status >= 180 && !call.record.ringing) {
+      call.record.ringing = scheduler_.Now();
+    }
+    return;
+  }
+  if (status >= 200 && status < 300) {
+    call.record.answered = scheduler_.Now();
+    if (const auto to = response.To()) {
+      call.remote_tag = to->Tag().value_or("");
+    }
+    // Learn the remote target (Contact) so ACK/BYE go end-to-end.
+    if (const auto contact = response.ContactHeader()) {
+      call.remote_target = contact->uri;
+      if (const auto ip = net::IpAddress::Parse(contact->uri.host)) {
+        call.remote_endpoint = net::Endpoint{
+            *ip, contact->uri.port != 0 ? contact->uri.port : kDefaultSipPort};
+      }
+    }
+    // Remote media endpoint from the SDP answer.
+    if (const auto sd = sdp::SessionDescription::Parse(response.body())) {
+      if (const auto ep = sd->AudioEndpoint()) call.remote_rtp = *ep;
+    }
+    call.local_cseq++;
+    // ACK for 2xx is end-to-end and stateless (§17.1.1.3 / §13.2.2.4).
+    Message ack = Message::MakeRequest(Method::kAck, call.remote_target);
+    Via via;
+    via.sent_by = transport_.local();
+    via.branch = layer_.NewBranch();
+    ack.PushVia(via);
+    NameAddr from;
+    from.uri = call.local_uri;
+    from.SetTag(call.local_tag);
+    ack.SetFrom(from);
+    if (const auto to = response.To()) ack.SetTo(*to);
+    ack.SetCallId(call_id);
+    const auto cseq = response.Cseq();
+    ack.SetCseq(CSeq{cseq ? cseq->number : 1, Method::kAck});
+    layer_.SendStateless(ack, call.remote_endpoint);
+    call.last_ack = std::move(ack);  // kept for 2xx retransmissions
+
+    StartMedia(call);
+    // This side hangs up after the planned duration.
+    call.hangup_event = scheduler_.ScheduleAfter(
+        call.planned_duration, [this, call_id] { HangUp(call_id); });
+    return;
+  }
+  // Final failure (3xx-6xx, incl. 487 after CANCEL): the transaction layer
+  // already ACKed; record the attempt as failed.
+  FinishCall(call_id, /*failed=*/true);
+}
+
+void UserAgent::CancelCall(const std::string& call_id) {
+  const auto it = calls_.find(call_id);
+  if (it == calls_.end() || !it->second.original_invite) return;
+  Call& call = it->second;
+  if (call.record.answered) return;  // too late, use HangUp
+  // RFC 3261 §9.1: CANCEL mirrors the INVITE, same branch, CSeq method
+  // CANCEL with the INVITE's sequence number.
+  const Message& invite = *call.original_invite;
+  Message cancel = Message::MakeRequest(Method::kCancel, invite.request_uri());
+  if (const auto via = invite.TopVia()) cancel.PushVia(*via);
+  if (const auto from = invite.From()) cancel.SetFrom(*from);
+  if (const auto to = invite.To()) cancel.SetTo(*to);
+  if (const auto id = invite.CallId()) cancel.SetCallId(*id);
+  if (const auto cseq = invite.Cseq()) {
+    cancel.SetCseq(CSeq{cseq->number, Method::kCancel});
+  }
+  layer_.StartClient(std::move(cancel), config_.outbound_proxy,
+                     [](const Message&) {}, [] {});
+}
+
+void UserAgent::HangUp(const std::string& call_id) {
+  const auto it = calls_.find(call_id);
+  if (it == calls_.end()) return;
+  Call& call = it->second;
+  if (call.terminating) return;
+  call.terminating = true;
+  scheduler_.Cancel(call.hangup_event);
+  StopMedia(call);
+  Message bye = BuildInDialogRequest(call, Method::kBye);
+  layer_.StartClient(
+      std::move(bye), call.remote_endpoint,
+      [this, call_id](const Message& response) {
+        if (response.status() >= 200) FinishCall(call_id, false);
+      },
+      [this, call_id] { FinishCall(call_id, true); });
+}
+
+bool UserAgent::Reinvite(const std::string& call_id) {
+  const auto it = calls_.find(call_id);
+  if (it == calls_.end() || !it->second.record.answered ||
+      it->second.terminating) {
+    return false;
+  }
+  Call& call = it->second;
+  Message reinvite = BuildInDialogRequest(call, Method::kInvite);
+  NameAddr contact;
+  contact.uri.user = config_.user;
+  contact.uri.host = transport_.local().ip.ToString();
+  contact.uri.port = config_.sip_port;
+  reinvite.SetContact(contact);
+  const auto offer = sdp::MakeAudioOffer(
+      net::Endpoint{transport_.local().ip, call.local_rtp_port});
+  reinvite.SetBody(offer.Serialize(), "application/sdp");
+  layer_.StartClient(
+      std::move(reinvite), call.remote_endpoint,
+      [this, call_id](const Message& response) {
+        if (response.status() < 200 || response.status() >= 300) return;
+        const auto it2 = calls_.find(call_id);
+        if (it2 == calls_.end()) return;
+        // ACK the re-INVITE's 2xx end-to-end, like the original.
+        Message ack = BuildInDialogRequest(it2->second, Method::kAck);
+        if (const auto cseq = response.Cseq()) {
+          ack.SetCseq(CSeq{cseq->number, Method::kAck});
+          --it2->second.local_cseq;  // BuildInDialogRequest bumped it
+        }
+        layer_.SendStateless(ack, it2->second.remote_endpoint);
+      },
+      [] {});
+  return true;
+}
+
+Message UserAgent::BuildInDialogRequest(Call& call, Method method) {
+  Message request = Message::MakeRequest(method, call.remote_target);
+  Via via;
+  via.sent_by = transport_.local();
+  via.branch = layer_.NewBranch();
+  request.PushVia(via);
+  NameAddr from;
+  from.uri = call.local_uri;
+  from.SetTag(call.local_tag);
+  request.SetFrom(from);
+  NameAddr to;
+  to.uri = call.remote_uri;
+  if (!call.remote_tag.empty()) to.SetTag(call.remote_tag);
+  request.SetTo(to);
+  request.SetCallId(call.record.call_id);
+  request.SetCseq(CSeq{++call.local_cseq, method});
+  return request;
+}
+
+void UserAgent::OnRequest(ServerTransaction& tx) {
+  switch (tx.method()) {
+    case Method::kInvite: OnInvite(tx); return;
+    case Method::kBye: OnBye(tx); return;
+    case Method::kCancel: OnCancel(tx); return;
+    case Method::kOptions:
+      tx.Respond(tx.MakeResponse(200, layer_.NewTag()));
+      return;
+    default:
+      tx.Respond(tx.MakeResponse(405, layer_.NewTag()));
+      return;
+  }
+}
+
+void UserAgent::OnInvite(ServerTransaction& tx) {
+  const auto call_id_hdr = tx.request().CallId();
+  const auto from = tx.request().From();
+  if (!call_id_hdr || !from) {
+    tx.Respond(tx.MakeResponse(400));
+    return;
+  }
+  const std::string call_id(*call_id_hdr);
+
+  // A re-INVITE inside an existing dialog (call hijacking vector, §3.1) is
+  // answered but not renegotiated in this model.
+  if (calls_.contains(call_id)) {
+    tx.Respond(tx.MakeResponse(200, calls_[call_id].local_tag));
+    return;
+  }
+  if (active_call_count() >= config_.max_concurrent_calls) {
+    tx.Respond(tx.MakeResponse(486, layer_.NewTag()));
+    return;
+  }
+
+  Call call;
+  call.record.call_id = call_id;
+  call.record.peer = from->uri.UserAtHost();
+  call.record.outgoing = false;
+  call.record.started = scheduler_.Now();
+  call.local_tag = layer_.NewTag();
+  call.remote_tag = from->Tag().value_or("");
+  call.local_uri = address_of_record();
+  call.remote_uri = from->uri;
+  call.local_rtp_port = AllocateRtpPort();
+  if (const auto contact = tx.request().ContactHeader()) {
+    call.remote_target = contact->uri;
+    if (const auto ip = net::IpAddress::Parse(contact->uri.host)) {
+      call.remote_endpoint = net::Endpoint{
+          *ip, contact->uri.port != 0 ? contact->uri.port : kDefaultSipPort};
+    }
+  }
+  if (const auto sd = sdp::SessionDescription::Parse(tx.request().body())) {
+    if (const auto ep = sd->AudioEndpoint()) call.remote_rtp = *ep;
+  }
+  call.pending_invite = &tx;
+  tx.set_on_timeout([this, call_id] { FinishCall(call_id, true); });
+
+  tx.Respond(tx.MakeResponse(180, call.local_tag));
+
+  calls_[call_id] = std::move(call);
+  // Answer after the configured ringing time.
+  calls_[call_id].answer_event =
+      scheduler_.ScheduleAfter(config_.answer_delay, [this, call_id] {
+        const auto it = calls_.find(call_id);
+        if (it == calls_.end() || it->second.pending_invite == nullptr) return;
+        Call& pending = it->second;
+        ServerTransaction& invite_tx = *pending.pending_invite;
+        pending.pending_invite = nullptr;
+        Message ok = invite_tx.MakeResponse(200, pending.local_tag);
+        NameAddr contact;
+        contact.uri.user = config_.user;
+        contact.uri.host = transport_.local().ip.ToString();
+        contact.uri.port = config_.sip_port;
+        ok.SetContact(contact);
+        const auto answer = sdp::MakeAudioOffer(
+            net::Endpoint{transport_.local().ip, pending.local_rtp_port});
+        ok.SetBody(answer.Serialize(), "application/sdp");
+        const net::Endpoint ok_destination = invite_tx.remote();
+        invite_tx.Respond(ok);
+        pending.record.answered = scheduler_.Now();
+        // §13.3.1.4: the 2xx ends the INVITE transaction, so its
+        // reliability is the UAS core's job — retransmit until ACKed.
+        pending.pending_ok = std::move(ok);
+        pending.ok_destination = ok_destination;
+        pending.ok_interval = config_.timers.t1;
+        pending.ok_elapsed = sim::Duration{};
+        pending.ok_retransmit_event = scheduler_.ScheduleAfter(
+            pending.ok_interval,
+            [this, call_id] { Retransmit200(call_id); });
+        // Session expiry (RFC 4028 stand-in): don't trust the caller to
+        // ever hang up.
+        pending.hangup_event = scheduler_.ScheduleAfter(
+            config_.uas_max_call_duration,
+            [this, call_id] { HangUp(call_id); });
+        // Media starts at answer; callers also wait for the ACK in full
+        // implementations, but early media on 200 is common practice.
+        StartMedia(pending);
+      });
+}
+
+void UserAgent::OnAck(const Message& ack, const net::Datagram&) {
+  // ACK for our 200 OK: the dialog is confirmed; stop retransmitting the
+  // 2xx (media already started at answer time).
+  const auto call_id_hdr = ack.CallId();
+  if (!call_id_hdr) return;
+  const auto it = calls_.find(std::string(*call_id_hdr));
+  if (it == calls_.end()) {
+    VIDS_TRACE() << config_.user << ": stray ACK";
+    return;
+  }
+  Call& call = it->second;
+  call.pending_ok.reset();
+  scheduler_.Cancel(call.ok_retransmit_event);
+}
+
+void UserAgent::Retransmit200(const std::string& call_id) {
+  const auto it = calls_.find(call_id);
+  if (it == calls_.end() || !it->second.pending_ok) return;
+  Call& call = it->second;
+  call.ok_elapsed += call.ok_interval;
+  if (call.ok_elapsed >= config_.timers.t1 * 64) {
+    // §13.3.1.4: no ACK after 64*T1 — terminate the dialog with a BYE.
+    call.pending_ok.reset();
+    VIDS_DEBUG() << config_.user << ": 2xx never ACKed, hanging up "
+                 << call_id;
+    HangUp(call_id);
+    return;
+  }
+  layer_.SendStateless(*call.pending_ok, call.ok_destination);
+  call.ok_interval = std::min(call.ok_interval * 2, config_.timers.t2);
+  call.ok_retransmit_event = scheduler_.ScheduleAfter(
+      call.ok_interval, [this, call_id] { Retransmit200(call_id); });
+}
+
+void UserAgent::OnStrayResponse(const Message& response,
+                                const net::Datagram&) {
+  // §13.2.2.4: a retransmitted 2xx for the INVITE means our ACK was lost —
+  // answer every copy with a fresh ACK.
+  if (response.status() < 200 || response.status() >= 300 ||
+      response.method() != Method::kInvite) {
+    return;
+  }
+  const auto call_id_hdr = response.CallId();
+  if (!call_id_hdr) return;
+  const auto it = calls_.find(std::string(*call_id_hdr));
+  if (it == calls_.end() || !it->second.last_ack) return;
+  layer_.SendStateless(*it->second.last_ack, it->second.remote_endpoint);
+}
+
+void UserAgent::OnBye(ServerTransaction& tx) {
+  const auto call_id_hdr = tx.request().CallId();
+  if (!call_id_hdr) {
+    tx.Respond(tx.MakeResponse(400));
+    return;
+  }
+  const std::string call_id(*call_id_hdr);
+  const auto it = calls_.find(call_id);
+  if (it == calls_.end()) {
+    tx.Respond(tx.MakeResponse(481));
+    return;
+  }
+  // NOTE: like the paper's victim UA, we accept the BYE if the Call-ID
+  // matches — no cryptographic authentication. A spoofed BYE therefore
+  // tears the call down (the BYE DoS attack of §3.1); detecting it is the
+  // IDS's job, not the UA's.
+  Call& call = it->second;
+  scheduler_.Cancel(call.hangup_event);
+  StopMedia(call);
+  tx.Respond(tx.MakeResponse(200, call.local_tag));
+  FinishCall(call_id, /*failed=*/false);
+}
+
+void UserAgent::OnCancel(ServerTransaction& tx) {
+  ServerTransaction* invite_tx = layer_.FindInviteServer(tx.request());
+  tx.Respond(tx.MakeResponse(200, layer_.NewTag()));
+  if (invite_tx == nullptr || invite_tx->state() != TxState::kProceeding) {
+    return;  // nothing to cancel (too late or unknown)
+  }
+  const auto call_id_hdr = invite_tx->request().CallId();
+  const std::string call_id =
+      call_id_hdr ? std::string(*call_id_hdr) : std::string();
+  const auto it = calls_.find(call_id);
+  if (it != calls_.end() && it->second.pending_invite != nullptr) {
+    Call& call = it->second;
+    scheduler_.Cancel(call.answer_event);
+    call.pending_invite = nullptr;
+    invite_tx->Respond(invite_tx->MakeResponse(487, call.local_tag));
+    FinishCall(call_id, /*failed=*/true);
+  }
+}
+
+void UserAgent::StartMedia(Call& call) {
+  if (call.media_running || call.remote_rtp.port == 0) return;
+  call.media_running = true;
+  if (media_start_) {
+    MediaSpec spec;
+    spec.call_id = call.record.call_id;
+    spec.local_rtp = net::Endpoint{transport_.local().ip, call.local_rtp_port};
+    spec.remote_rtp = call.remote_rtp;
+    media_start_(spec);
+  }
+}
+
+void UserAgent::StopMedia(Call& call) {
+  if (!call.media_running) return;
+  call.media_running = false;
+  if (media_stop_) media_stop_(call.record.call_id);
+}
+
+void UserAgent::FinishCall(const std::string& call_id, bool failed) {
+  const auto it = calls_.find(call_id);
+  if (it == calls_.end()) return;
+  Call& call = it->second;
+  scheduler_.Cancel(call.answer_event);
+  scheduler_.Cancel(call.hangup_event);
+  scheduler_.Cancel(call.ok_retransmit_event);
+  StopMedia(call);
+  call.record.ended = scheduler_.Now();
+  call.record.failed = failed;
+  completed_calls_.push_back(call.record);
+  if (on_call_done_) on_call_done_(completed_calls_.back());
+  calls_.erase(it);
+}
+
+}  // namespace vids::sip

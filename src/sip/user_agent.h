@@ -1,0 +1,179 @@
+// SIP user agent (UAC + UAS), the "IP phone" of the paper's testbed.
+//
+// Places and answers calls through an outbound proxy, negotiates media via
+// SDP, keeps dialog state, and reports per-call metrics (setup delay =
+// INVITE sent → 180 received, the quantity Figure 9 plots). Media itself is
+// decoupled through MediaStart/MediaStop hooks the testbed wires to RTP
+// sessions, keeping the SIP library independent of the RTP library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sdp/sdp.h"
+#include "sip/transaction.h"
+
+namespace vids::sip {
+
+/// Everything the media layer needs to start an RTP stream for a call.
+struct MediaSpec {
+  std::string call_id;
+  net::Endpoint local_rtp;
+  net::Endpoint remote_rtp;
+  std::string codec = "G729";
+  int payload_type = 18;
+};
+
+/// Lifecycle record of one call attempt, harvested by the experiments.
+struct CallRecord {
+  std::string call_id;
+  std::string peer;          // remote address-of-record
+  bool outgoing = false;
+  sim::Time started;         // INVITE sent (UAC) or received (UAS)
+  std::optional<sim::Time> ringing;    // 180 received (UAC only)
+  std::optional<sim::Time> answered;   // 200 OK received/sent
+  std::optional<sim::Time> ended;      // BYE completed / call failed
+  bool failed = false;
+
+  /// The paper's call setup time: last digit (INVITE) to ringback (180).
+  std::optional<sim::Duration> SetupDelay() const {
+    if (!ringing) return std::nullopt;
+    return *ringing - started;
+  }
+};
+
+class UserAgent {
+ public:
+  struct Config {
+    std::string user;              // "ua3"
+    std::string domain;            // "a.example.com"
+    net::Endpoint outbound_proxy;  // where requests leave through
+    uint16_t sip_port = kDefaultSipPort;
+    uint16_t rtp_port_base = 20000;
+    /// Simulated ringing time before the UAS answers with 200 OK.
+    sim::Duration answer_delay = sim::Duration::Millis(500);
+    /// Calls beyond this limit are refused with 486 Busy Here — the
+    /// capability limit the INVITE-flooding threat (§3.1) exhausts.
+    int max_concurrent_calls = 3;
+    /// Digest password used to answer a registrar's 401 challenge.
+    std::string password;
+    /// Safety valve for answered incoming calls whose caller never hangs
+    /// up (e.g. flood residue): the UAS hangs up after this long. Stands in
+    /// for RFC 4028 session timers.
+    sim::Duration uas_max_call_duration = sim::Duration::Seconds(3600);
+    TimerConfig timers{};
+  };
+
+  using MediaStart = std::function<void(const MediaSpec&)>;
+  using MediaStop = std::function<void(const std::string& call_id)>;
+  using CallEvent = std::function<void(const CallRecord&)>;
+
+  UserAgent(sim::Scheduler& scheduler, net::Host& host, Config config);
+
+  /// Sends the initial REGISTER binding this UA's contact at its registrar.
+  /// If the registrar challenges with 401 Digest, answers once with the
+  /// configured password.
+  void Register();
+
+  /// True once a REGISTER received its 200 OK.
+  bool registered() const { return registered_; }
+
+  /// Places a call to `callee` (an address-of-record URI). The call is hung
+  /// up by this side `duration` after it is answered. Returns the Call-ID.
+  std::string PlaceCall(const SipUri& callee, sim::Duration duration);
+
+  /// Cancels a not-yet-answered outgoing call.
+  void CancelCall(const std::string& call_id);
+
+  /// Hangs up an established call immediately.
+  void HangUp(const std::string& call_id);
+
+  /// Sends a re-INVITE inside the established dialog, re-offering the same
+  /// media (a keep-alive/refresh; the degenerate hold/resume case). Returns
+  /// false if the call is not established.
+  bool Reinvite(const std::string& call_id);
+
+  void set_media_start(MediaStart hook) { media_start_ = std::move(hook); }
+  void set_media_stop(MediaStop hook) { media_stop_ = std::move(hook); }
+  /// Invoked whenever a call record reaches a terminal state.
+  void set_on_call_done(CallEvent hook) { on_call_done_ = std::move(hook); }
+
+  SipUri address_of_record() const;
+  net::Endpoint contact_endpoint() const { return transport_.local(); }
+  const Config& config() const { return config_; }
+
+  /// Terminal call records, in completion order.
+  const std::vector<CallRecord>& completed_calls() const {
+    return completed_calls_;
+  }
+  int active_call_count() const { return static_cast<int>(calls_.size()); }
+
+ private:
+  struct Call {
+    CallRecord record;
+    // Dialog state (RFC 3261 §12).
+    std::string local_tag;
+    std::string remote_tag;
+    uint32_t local_cseq = 1;
+    SipUri local_uri;
+    SipUri remote_uri;
+    SipUri remote_target;          // peer Contact URI
+    net::Endpoint remote_endpoint; // where in-dialog requests go
+    net::Endpoint remote_rtp;
+    uint16_t local_rtp_port = 0;
+    sim::Duration planned_duration{};
+    bool media_running = false;
+    bool terminating = false;
+    ServerTransaction* pending_invite = nullptr;  // UAS side, pre-answer
+    std::optional<Message> original_invite;       // UAC side, for CANCEL
+    // §13.3.1.4: the UAS core retransmits its 2xx until the ACK arrives
+    // (the transaction layer is already gone for 2xx finals).
+    std::optional<Message> pending_ok;
+    net::Endpoint ok_destination;
+    sim::Duration ok_interval{};
+    sim::Duration ok_elapsed{};
+    sim::Scheduler::EventId ok_retransmit_event;
+    // §13.2.2.4: the UAC core re-sends the ACK for every retransmitted 2xx.
+    std::optional<Message> last_ack;
+    sim::Scheduler::EventId answer_event;
+    sim::Scheduler::EventId hangup_event;
+  };
+
+  void SendRegister(std::optional<std::string> authorization,
+                    uint32_t cseq_number);
+  void OnRequest(ServerTransaction& tx);
+  void OnAck(const Message& ack, const net::Datagram& dgram);
+  void OnInvite(ServerTransaction& tx);
+  void OnBye(ServerTransaction& tx);
+  void OnCancel(ServerTransaction& tx);
+  void OnInviteResponse(const std::string& call_id, const Message& response);
+  void OnStrayResponse(const Message& response, const net::Datagram& dgram);
+  void Retransmit200(const std::string& call_id);
+  void StartMedia(Call& call);
+  void StopMedia(Call& call);
+  void FinishCall(const std::string& call_id, bool failed);
+  Message BuildInvite(Call& call);
+  Message BuildInDialogRequest(Call& call, Method method);
+  uint16_t AllocateRtpPort();
+  std::string NewCallId();
+
+  sim::Scheduler& scheduler_;
+  Config config_;
+  Transport transport_;
+  TransactionLayer layer_;
+  MediaStart media_start_;
+  MediaStop media_stop_;
+  CallEvent on_call_done_;
+  std::map<std::string, Call> calls_;  // by Call-ID
+  std::vector<CallRecord> completed_calls_;
+  uint64_t next_call_serial_ = 1;
+  uint16_t next_rtp_port_;
+  bool registered_ = false;
+  std::string register_call_id_;
+};
+
+}  // namespace vids::sip

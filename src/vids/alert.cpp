@@ -1,0 +1,26 @@
+#include "vids/alert.h"
+
+#include <sstream>
+
+namespace vids::ids {
+
+std::string_view AlertKindName(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kAttackPattern: return "ATTACK";
+    case AlertKind::kSpecDeviation: return "DEVIATION";
+    case AlertKind::kMalformed: return "MALFORMED";
+    case AlertKind::kNondeterminism: return "NONDETERMINISM";
+  }
+  return "?";
+}
+
+std::string Alert::ToString() const {
+  std::ostringstream out;
+  out << "[" << AlertKindName(kind) << "] t=" << when.ToSeconds() << "s "
+      << classification << " (machine=" << machine << ", group=" << group
+      << ", state=" << state << ")";
+  if (!detail.empty()) out << " " << detail;
+  return out.str();
+}
+
+}  // namespace vids::ids

@@ -1,0 +1,42 @@
+// Alerts raised by the vIDS Analysis Engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace vids::ids {
+
+enum class AlertKind : uint8_t {
+  /// A transition reached a state annotated as an attack state — a known
+  /// attack-scenario match (misuse-style evidence, zero false positives by
+  /// construction against the modeled patterns).
+  kAttackPattern,
+  /// Traffic deviated from a protocol specification machine — anomaly-style
+  /// evidence capable of flagging previously unseen attacks.
+  kSpecDeviation,
+  /// A packet that failed to parse as its protocol.
+  kMalformed,
+  /// A machine definition fired multiple predicates at once (§4.1 wants
+  /// them mutually disjoint) — a bug in the ruleset, surfaced loudly.
+  kNondeterminism,
+};
+
+std::string_view AlertKindName(AlertKind kind);
+
+struct Alert {
+  sim::Time when;
+  AlertKind kind = AlertKind::kSpecDeviation;
+  /// Attack classification, e.g. "BYE DoS", "INVITE flood"; for deviations a
+  /// description of the unexpected event.
+  std::string classification;
+  std::string machine;   // EFSM instance that raised it
+  std::string group;     // call id or per-destination key
+  std::string state;     // machine state at the time
+  std::string detail;    // free-form evidence (addresses, counters)
+
+  std::string ToString() const;
+};
+
+}  // namespace vids::ids

@@ -1,0 +1,156 @@
+#include "vids/classifier.h"
+
+#include "rtp/packet.h"
+#include "rtp/rtcp.h"
+#include "sdp/sdp.h"
+
+namespace vids::ids {
+
+namespace {
+
+void PutEndpoints(efsm::Event& event, const net::Datagram& dgram,
+                  bool from_outside) {
+  event.args["src_ip"] = dgram.src.ip.ToString();
+  event.args["src_port"] = static_cast<int64_t>(dgram.src.port);
+  event.args["dst_ip"] = dgram.dst.ip.ToString();
+  event.args["dst_port"] = static_cast<int64_t>(dgram.dst.port);
+  event.args["from_outside"] = from_outside;
+}
+
+}  // namespace
+
+std::optional<ClassifiedPacket> PacketClassifier::Classify(
+    const net::Datagram& dgram, bool from_outside) {
+  // RTCP must be sniffed before RTP: an RTCP packet also parses as an RTP
+  // header, but the RTCP packet-type range (200..204) never occurs as an
+  // RTP payload type (RFC 5761 §4).
+  if (rtp::LooksLikeRtcp(dgram.payload)) {
+    if (auto rtcp = ClassifyRtcp(dgram, from_outside)) {
+      ++rtcp_packets_;
+      return rtcp;
+    }
+  }
+  // Content-based dispatch: try the hinted protocol first, then the other.
+  if (dgram.kind != net::PayloadKind::kRtp) {
+    if (auto message = sip::Message::Parse(dgram.payload)) {
+      ++sip_packets_;
+      return ClassifySip(*message, dgram, from_outside);
+    }
+    if (auto rtp = ClassifyRtp(dgram, from_outside)) {
+      ++rtp_packets_;
+      return rtp;
+    }
+  } else {
+    if (auto rtp = ClassifyRtp(dgram, from_outside)) {
+      ++rtp_packets_;
+      return rtp;
+    }
+    if (auto message = sip::Message::Parse(dgram.payload)) {
+      ++sip_packets_;
+      return ClassifySip(*message, dgram, from_outside);
+    }
+  }
+  ++unknown_packets_;
+  return std::nullopt;
+}
+
+std::optional<ClassifiedPacket> PacketClassifier::ClassifyRtcp(
+    const net::Datagram& dgram, bool from_outside) {
+  const auto packet = rtp::ParseRtcp(dgram.payload);
+  if (!packet) return std::nullopt;
+  ClassifiedPacket out;
+  out.proto = PacketProto::kRtcp;
+  efsm::Event& event = out.event;
+  event.name = std::string(kRtcpEvent);
+  PutEndpoints(event, dgram, from_outside);
+  switch (packet->type()) {
+    case rtp::RtcpType::kSenderReport:
+      event.args["kind"] = std::string("SR");
+      event.args["ssrc"] = static_cast<int64_t>(packet->sr->sender_ssrc);
+      event.args["packet_count"] =
+          static_cast<int64_t>(packet->sr->packet_count);
+      break;
+    case rtp::RtcpType::kReceiverReport:
+      event.args["kind"] = std::string("RR");
+      event.args["ssrc"] = static_cast<int64_t>(packet->rr->sender_ssrc);
+      break;
+    case rtp::RtcpType::kBye:
+      event.args["kind"] = std::string("BYE");
+      event.args["ssrc"] = static_cast<int64_t>(
+          packet->bye->ssrcs.empty() ? 0 : packet->bye->ssrcs.front());
+      break;
+  }
+  return out;
+}
+
+ClassifiedPacket PacketClassifier::ClassifySip(const sip::Message& message,
+                                               const net::Datagram& dgram,
+                                               bool from_outside) {
+  ClassifiedPacket out;
+  out.proto = PacketProto::kSip;
+  efsm::Event& event = out.event;
+  event.name = std::string(kSipEvent);
+  PutEndpoints(event, dgram, from_outside);
+
+  event.args["kind"] = message.IsRequest() ? std::string("request")
+                                           : std::string("response");
+  event.args["method"] = std::string(sip::MethodName(message.method()));
+  event.args["status"] = static_cast<int64_t>(message.status());
+  if (const auto call_id = message.CallId()) {
+    out.call_key = std::string(*call_id);
+    event.args["call_id"] = out.call_key;
+  }
+  if (const auto cseq = message.Cseq()) {
+    event.args["cseq"] = static_cast<int64_t>(cseq->number);
+  }
+  if (const auto from = message.From()) {
+    event.args["from"] = from->uri.UserAtHost();
+    if (const auto tag = from->Tag()) event.args["from_tag"] = *tag;
+  }
+  if (const auto to = message.To()) {
+    event.args["to"] = to->uri.UserAtHost();
+    if (const auto tag = to->Tag()) event.args["to_tag"] = *tag;
+  }
+  if (const auto via = message.TopVia()) {
+    event.args["branch"] = via->branch;
+  }
+  if (message.IsRequest()) {
+    if (const auto to = message.To()) out.dest_key = to->uri.UserAtHost();
+  }
+
+  // SDP media parameters — the values the SIP machine exports to the RTP
+  // machine through global variables.
+  if (!message.body().empty()) {
+    if (const auto sd = sdp::SessionDescription::Parse(message.body())) {
+      if (const auto media = sd->AudioEndpoint()) {
+        event.args["sdp_ip"] = media->ip.ToString();
+        event.args["sdp_port"] = static_cast<int64_t>(media->port);
+        event.args["sdp_codec"] = sd->AudioCodec();
+        if (!sd->media.empty() && !sd->media.front().payload_types.empty()) {
+          event.args["sdp_pt"] =
+              static_cast<int64_t>(sd->media.front().payload_types.front());
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<ClassifiedPacket> PacketClassifier::ClassifyRtp(
+    const net::Datagram& dgram, bool from_outside) {
+  const auto header = rtp::RtpHeader::Parse(dgram.payload);
+  if (!header) return std::nullopt;
+  ClassifiedPacket out;
+  out.proto = PacketProto::kRtp;
+  efsm::Event& event = out.event;
+  event.name = std::string(kRtpEvent);
+  PutEndpoints(event, dgram, from_outside);
+  event.args["ssrc"] = static_cast<int64_t>(header->ssrc);
+  event.args["seq"] = static_cast<int64_t>(header->sequence_number);
+  event.args["ts"] = static_cast<int64_t>(header->timestamp);
+  event.args["pt"] = static_cast<int64_t>(header->payload_type);
+  event.args["marker"] = header->marker;
+  return out;
+}
+
+}  // namespace vids::ids

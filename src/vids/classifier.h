@@ -1,0 +1,68 @@
+// Packet Classifier (paper Fig. 3, bottom stage).
+//
+// Turns raw datagrams into protocol-tagged EFSM events carrying the input
+// vector x̄ the predicates read: SIP header fields and SDP media parameters,
+// or RTP header fields. Classification is by content (a parse attempt),
+// with the port/label only as a hint — attack traffic does not announce
+// itself honestly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "efsm/machine.h"
+#include "net/datagram.h"
+#include "sip/message.h"
+
+namespace vids::ids {
+
+enum class PacketProto { kSip, kRtp, kRtcp, kUnknown };
+
+struct ClassifiedPacket {
+  PacketProto proto = PacketProto::kUnknown;
+  efsm::Event event;
+  /// SIP: the Call-ID (call grouping key). RTP: empty — media is matched to
+  /// a call through the fact base's media-endpoint index.
+  std::string call_key;
+  /// SIP INVITE: the destination AOR (INVITE-flood grouping key).
+  std::string dest_key;
+};
+
+class PacketClassifier {
+ public:
+  /// Returns nullopt when the datagram is neither parsable SIP nor RTP.
+  std::optional<ClassifiedPacket> Classify(const net::Datagram& dgram,
+                                           bool from_outside);
+
+  uint64_t sip_packets() const { return sip_packets_; }
+  uint64_t rtp_packets() const { return rtp_packets_; }
+  uint64_t rtcp_packets() const { return rtcp_packets_; }
+  uint64_t unknown_packets() const { return unknown_packets_; }
+
+ private:
+  ClassifiedPacket ClassifySip(const sip::Message& message,
+                               const net::Datagram& dgram, bool from_outside);
+  std::optional<ClassifiedPacket> ClassifyRtp(const net::Datagram& dgram,
+                                              bool from_outside);
+  std::optional<ClassifiedPacket> ClassifyRtcp(const net::Datagram& dgram,
+                                               bool from_outside);
+
+  uint64_t sip_packets_ = 0;
+  uint64_t rtp_packets_ = 0;
+  uint64_t rtcp_packets_ = 0;
+  uint64_t unknown_packets_ = 0;
+};
+
+/// Event names shared between the classifier and the machine definitions.
+inline constexpr std::string_view kSipEvent = "SIP";
+inline constexpr std::string_view kRtpEvent = "RTP";
+inline constexpr std::string_view kRtcpEvent = "RTCP";
+/// Synthesized by the Event Distributor for responses matching no call.
+inline constexpr std::string_view kUnsolicitedEvent = "UNSOLICITED";
+/// Synchronization channel and event names (δ_SIP→RTP of Fig. 2/5).
+inline constexpr std::string_view kSipToRtpChannel = "SIP->RTP";
+inline constexpr std::string_view kSyncOffer = "sync:offer";
+inline constexpr std::string_view kSyncAnswer = "sync:answer";
+inline constexpr std::string_view kSyncBye = "sync:bye";
+
+}  // namespace vids::ids

@@ -1,0 +1,175 @@
+#include "vids/fact_base.h"
+
+#include "vids/classifier.h"
+
+namespace vids::ids {
+
+namespace {
+
+std::string KeyedName(KeyedKind kind, const std::string& key) {
+  switch (kind) {
+    case KeyedKind::kInviteFlood: return "flood|" + key;
+    case KeyedKind::kMediaEndpoint: return "media|" + key;
+    case KeyedKind::kDrdos: return "drdos|" + key;
+  }
+  return key;
+}
+
+}  // namespace
+
+CallStateFactBase::CallStateFactBase(sim::Scheduler& scheduler,
+                                     const DetectionConfig& config,
+                                     efsm::Observer* observer)
+    : scheduler_(scheduler),
+      config_(config),
+      observer_(observer),
+      sip_spec_(BuildSipSpecMachine(config)),
+      rtp_spec_(BuildRtpSpecMachine(config)),
+      scenarios_(config) {}
+
+efsm::MachineGroup& CallStateFactBase::GetOrCreateCall(
+    const std::string& call_id, bool& created) {
+  auto it = calls_.find(call_id);
+  if (it != calls_.end()) {
+    created = false;
+    it->second.last_event = scheduler_.Now();
+    return *it->second.group;
+  }
+  created = true;
+  ++calls_created_;
+  auto group = std::make_unique<efsm::MachineGroup>(call_id, scheduler_,
+                                                    observer_);
+  auto& sip = group->AddMachine(sip_spec_, std::string(kSipMachineName));
+  auto& rtp = group->AddMachine(rtp_spec_, std::string(kRtpMachineName));
+  (void)sip;
+  group->AddMachine(scenarios_.cancel_dos, "cancel-dos");
+  group->AddMachine(scenarios_.hijack, "hijack");
+  if (config_.enable_cross_protocol) {
+    group->RouteChannel(std::string(kSipToRtpChannel), rtp);
+  }
+  auto& entry = calls_[call_id];
+  entry.group = std::move(group);
+  entry.last_event = scheduler_.Now();
+  return *entry.group;
+}
+
+efsm::MachineGroup* CallStateFactBase::FindCall(const std::string& call_id) {
+  const auto it = calls_.find(call_id);
+  if (it == calls_.end()) return nullptr;
+  return it->second.group.get();
+}
+
+efsm::MachineGroup& CallStateFactBase::GetOrCreateKeyed(
+    KeyedKind kind, const std::string& key) {
+  const std::string name = KeyedName(kind, key);
+  auto it = keyed_.find(name);
+  if (it != keyed_.end()) {
+    it->second.last_event = scheduler_.Now();
+    return *it->second.group;
+  }
+  auto group =
+      std::make_unique<efsm::MachineGroup>(name, scheduler_, observer_);
+  switch (kind) {
+    case KeyedKind::kInviteFlood:
+      group->AddMachine(scenarios_.invite_flood, "invite-flood");
+      break;
+    case KeyedKind::kMediaEndpoint:
+      group->AddMachine(scenarios_.media_spam, "media-spam");
+      group->AddMachine(scenarios_.rtp_flood, "rtp-flood");
+      group->AddMachine(scenarios_.rtcp_bye, "rtcp-bye");
+      break;
+    case KeyedKind::kDrdos:
+      group->AddMachine(scenarios_.drdos, "drdos");
+      break;
+  }
+  auto& entry = keyed_[name];
+  entry.group = std::move(group);
+  entry.last_event = scheduler_.Now();
+  return *entry.group;
+}
+
+bool CallStateFactBase::IsTombstoned(const std::string& call_id) const {
+  return tombstones_.contains(call_id);
+}
+
+void CallStateFactBase::IndexMedia(const net::Endpoint& endpoint,
+                                   const std::string& call_id) {
+  media_index_[endpoint] = call_id;
+}
+
+std::optional<std::string> CallStateFactBase::CallByMedia(
+    const net::Endpoint& endpoint) const {
+  const auto it = media_index_.find(endpoint);
+  if (it == media_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CallStateFactBase::CallComplete(const efsm::MachineGroup& group) const {
+  const auto& machines = group.machines();
+  for (const auto& machine : machines) {
+    if (machine->name() == kSipMachineName && !machine->retired()) {
+      return false;
+    }
+    if (machine->name() == kRtpMachineName && !machine->retired() &&
+        machine->state() != machine->def().initial_state()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CallStateFactBase::Sweep(sim::Time now) {
+  if (now < next_sweep_) return;
+  next_sweep_ = now + config_.sweep_interval;
+
+  for (auto it = calls_.begin(); it != calls_.end();) {
+    const bool complete = CallComplete(*it->second.group);
+    const bool idle =
+        now - it->second.last_event > config_.call_idle_timeout;
+    if (complete || idle) {
+      tombstones_[it->first] = now + config_.tombstone_ttl;
+      ++calls_deleted_;
+      // Drop this call's media-endpoint index entries.
+      std::erase_if(media_index_, [&](const auto& kv) {
+        return kv.second == it->first;
+      });
+      it = calls_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = keyed_.begin(); it != keyed_.end();) {
+    if (now - it->second.last_event > config_.keyed_idle_timeout) {
+      it = keyed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(tombstones_,
+                [now](const auto& kv) { return kv.second <= now; });
+}
+
+size_t CallStateFactBase::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [call_id, entry] : calls_) {
+    bytes += call_id.capacity() + sizeof(Entry) + entry.group->MemoryBytes();
+  }
+  for (const auto& [key, entry] : keyed_) {
+    bytes += key.capacity() + sizeof(Entry) + entry.group->MemoryBytes();
+  }
+  for (const auto& [key, expiry] : tombstones_) {
+    bytes += key.capacity() + sizeof(sim::Time);
+  }
+  bytes += media_index_.size() *
+           (sizeof(net::Endpoint) + sizeof(std::string) + 4 * sizeof(void*));
+  return bytes;
+}
+
+std::optional<size_t> CallStateFactBase::CallMemoryBytes(
+    const std::string& call_id) const {
+  const auto it = calls_.find(call_id);
+  if (it == calls_.end()) return std::nullopt;
+  return it->second.group->MemoryBytes();
+}
+
+}  // namespace vids::ids

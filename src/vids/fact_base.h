@@ -1,0 +1,98 @@
+// Call State Fact Base (paper Fig. 3).
+//
+// Stores "the control state and its state variables and keeps track of the
+// progress of state machines for each ongoing call": one MachineGroup per
+// call (SIP spec + RTP spec + per-call attack patterns, δ channel routed),
+// plus keyed groups for the per-destination patterns (INVITE flood per
+// callee AOR, media spam / RTP flood per media endpoint, DRDoS per victim
+// host). It owns the lifecycle: completed calls are deleted (with a
+// tombstone against late retransmissions) and idle state is reclaimed on a
+// lazy sweep. It also maintains the media-endpoint → call index that lets
+// the Event Distributor hand RTP packets to the right call group.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "efsm/engine.h"
+#include "net/address.h"
+#include "vids/config.h"
+#include "vids/patterns.h"
+#include "vids/spec_machines.h"
+
+namespace vids::ids {
+
+/// Keyed (non-call) group families.
+enum class KeyedKind : uint8_t { kInviteFlood, kMediaEndpoint, kDrdos };
+
+class CallStateFactBase {
+ public:
+  CallStateFactBase(sim::Scheduler& scheduler, const DetectionConfig& config,
+                    efsm::Observer* observer);
+
+  /// Returns the call's machine group, creating it (SIP + RTP spec machines,
+  /// CANCEL-DoS and hijack patterns, δ channel) on first sight.
+  /// `created` reports whether this packet opened the call.
+  efsm::MachineGroup& GetOrCreateCall(const std::string& call_id,
+                                      bool& created);
+  efsm::MachineGroup* FindCall(const std::string& call_id);
+
+  /// Per-destination pattern group: INVITE flood (key = callee AOR), media
+  /// spam + RTP flood (key = media endpoint), DRDoS (key = victim IP).
+  efsm::MachineGroup& GetOrCreateKeyed(KeyedKind kind, const std::string& key);
+
+  /// True if the call completed recently; its late retransmissions are
+  /// dropped rather than treated as new (deviant) calls.
+  bool IsTombstoned(const std::string& call_id) const;
+
+  /// Media-endpoint index: negotiated RTP destinations → owning call.
+  void IndexMedia(const net::Endpoint& endpoint, const std::string& call_id);
+  std::optional<std::string> CallByMedia(const net::Endpoint& endpoint) const;
+
+  /// Reclaims completed calls and idle groups. Cheap when nothing is due;
+  /// call it from the packet path.
+  void Sweep(sim::Time now);
+
+  size_t call_count() const { return calls_.size(); }
+  size_t keyed_count() const { return keyed_.size(); }
+  uint64_t calls_created() const { return calls_created_; }
+  uint64_t calls_deleted() const { return calls_deleted_; }
+
+  /// Total footprint of all tracked state — the §7.3 memory metric.
+  size_t MemoryBytes() const;
+  /// Footprint of one call's group, if it exists.
+  std::optional<size_t> CallMemoryBytes(const std::string& call_id) const;
+
+  const DetectionConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<efsm::MachineGroup> group;
+    sim::Time last_event;
+  };
+
+  /// A call is over when its SIP machine retired and its RTP machine either
+  /// retired or never left INIT (non-call transactions like REGISTER).
+  bool CallComplete(const efsm::MachineGroup& group) const;
+
+  sim::Scheduler& scheduler_;
+  DetectionConfig config_;
+  efsm::Observer* observer_;
+
+  // Shared machine definitions, instantiated per call / per key.
+  efsm::MachineDef sip_spec_;
+  efsm::MachineDef rtp_spec_;
+  AttackScenarioBase scenarios_;
+
+  std::map<std::string, Entry> calls_;
+  std::map<std::string, Entry> keyed_;  // key prefixed with kind
+  std::map<std::string, sim::Time> tombstones_;
+  std::map<net::Endpoint, std::string> media_index_;
+  sim::Time next_sweep_;
+  uint64_t calls_created_ = 0;
+  uint64_t calls_deleted_ = 0;
+};
+
+}  // namespace vids::ids

@@ -1,0 +1,275 @@
+#include "vids/ids.h"
+
+#include "common/log.h"
+
+namespace vids::ids {
+
+namespace {
+/// Suppression window for repeated identical alerts (an ongoing flood would
+/// otherwise alert per packet).
+constexpr sim::Duration kAlertDedupWindow = sim::Duration::Seconds(1);
+}  // namespace
+
+Vids::Vids(sim::Scheduler& scheduler, DetectionConfig detection,
+           CostModel cost)
+    : scheduler_(scheduler),
+      detection_(detection),
+      cost_(cost),
+      fact_base_(scheduler, detection, this) {}
+
+sim::Duration Vids::Inspect(const net::Datagram& dgram, bool from_outside) {
+  ++stats_.packets;
+  fact_base_.Sweep(scheduler_.Now());
+
+  const auto packet = classifier_.Classify(dgram, from_outside);
+  if (!packet) {
+    ++stats_.unknown_packets;
+    RaiseAlert(Alert{.when = scheduler_.Now(),
+                     .kind = AlertKind::kMalformed,
+                     .classification = "unparsable packet",
+                     .machine = "classifier",
+                     .group = dgram.dst.ToString(),
+                     .state = "",
+                     .detail = "from " + dgram.src.ToString()});
+    return cost_.rtp_cost;  // rejecting junk is cheap
+  }
+  if (packet->proto == PacketProto::kSip) {
+    ++stats_.sip_packets;
+    HandleSip(*packet);
+    return cost_.sip_cost;
+  }
+  if (packet->proto == PacketProto::kRtcp) {
+    ++stats_.rtcp_packets;
+    HandleRtcp(*packet);
+    return cost_.rtp_cost;
+  }
+  ++stats_.rtp_packets;
+  HandleRtp(*packet);
+  return cost_.rtp_cost;
+}
+
+void Vids::HandleRtcp(const ClassifiedPacket& packet) {
+  // RTCP runs on the media port + 1; fold it onto the media endpoint's
+  // pattern group so the ghost-media machine sees both streams.
+  const auto dst_ip = packet.event.ArgString("dst_ip");
+  const auto dst_port = packet.event.ArgInt("dst_port");
+  if (!dst_ip || !dst_port || *dst_port < 1) return;
+  const auto addr = net::IpAddress::Parse(*dst_ip);
+  if (!addr) return;
+  const net::Endpoint media_endpoint{
+      *addr, static_cast<uint16_t>(*dst_port - 1)};
+  auto& media_group = fact_base_.GetOrCreateKeyed(KeyedKind::kMediaEndpoint,
+                                                  media_endpoint.ToString());
+  if (auto* machine = media_group.Find("rtcp-bye")) {
+    media_group.DeliverData(*machine, packet.event);
+  }
+}
+
+void Vids::HandleSip(const ClassifiedPacket& packet) {
+  if (packet.call_key.empty()) {
+    RaiseAlert(Alert{.when = scheduler_.Now(),
+                     .kind = AlertKind::kMalformed,
+                     .classification = "SIP message without Call-ID",
+                     .machine = "classifier",
+                     .group = "",
+                     .state = "",
+                     .detail = ""});
+    return;
+  }
+  if (fact_base_.IsTombstoned(packet.call_key)) {
+    return;  // late retransmission of a completed call
+  }
+
+  bool created = false;
+  auto& group = fact_base_.GetOrCreateCall(packet.call_key, created);
+
+  // A response opening a "call" is unsolicited: nobody here sent the
+  // request. Feed the per-victim DRDoS counter (§3.1's reflection attack);
+  // the SIP machine's INIT-state deviation also fires.
+  const bool is_response =
+      packet.event.ArgString("kind").value_or("") == "response";
+  if (created && is_response) {
+    if (const auto dst_ip = packet.event.ArgString("dst_ip")) {
+      auto& drdos_group =
+          fact_base_.GetOrCreateKeyed(KeyedKind::kDrdos, *dst_ip);
+      efsm::Event unsolicited;
+      unsolicited.name = std::string(kUnsolicitedEvent);
+      unsolicited.args = packet.event.args;
+      if (auto* machine = drdos_group.Find("drdos")) {
+        drdos_group.DeliverData(*machine, unsolicited);
+      }
+    }
+  }
+
+  // Distribute to the call's machines: specification first (it exports the
+  // media parameters), then the per-call attack patterns.
+  for (const auto name :
+       {kSipMachineName, std::string_view("cancel-dos"),
+        std::string_view("hijack")}) {
+    if (auto* machine = group.Find(name)) {
+      group.DeliverData(*machine, packet.event);
+    }
+  }
+
+  // INVITE requests additionally drive the per-destination flood counter.
+  if (packet.event.ArgString("kind").value_or("") == "request" &&
+      packet.event.ArgString("method").value_or("") == "INVITE" &&
+      !packet.dest_key.empty()) {
+    auto& flood_group =
+        fact_base_.GetOrCreateKeyed(KeyedKind::kInviteFlood, packet.dest_key);
+    if (auto* machine = flood_group.Find("invite-flood")) {
+      flood_group.DeliverData(*machine, packet.event);
+    }
+  }
+
+  RefreshMediaIndex(group, packet.call_key);
+}
+
+void Vids::RefreshMediaIndex(efsm::MachineGroup& group,
+                             const std::string& call_id) {
+  for (const std::string prefix : {"offer", "answer"}) {
+    const auto ip = group.global().GetString("g_" + prefix + "_ip");
+    const auto port = group.global().GetInt("g_" + prefix + "_port");
+    if (ip && port) {
+      if (const auto addr = net::IpAddress::Parse(*ip)) {
+        fact_base_.IndexMedia(
+            net::Endpoint{*addr, static_cast<uint16_t>(*port)}, call_id);
+      }
+    }
+  }
+}
+
+void Vids::HandleRtp(const ClassifiedPacket& packet) {
+  const auto dst_ip = packet.event.ArgString("dst_ip");
+  const auto dst_port = packet.event.ArgInt("dst_port");
+  if (!dst_ip || !dst_port) return;
+  net::Endpoint dst;
+  if (const auto addr = net::IpAddress::Parse(*dst_ip)) {
+    dst = net::Endpoint{*addr, static_cast<uint16_t>(*dst_port)};
+  }
+
+  // Cross-protocol path: media belonging to a monitored call goes to that
+  // call's RTP specification machine.
+  if (const auto call_id = fact_base_.CallByMedia(dst)) {
+    if (auto* group = fact_base_.FindCall(*call_id)) {
+      if (auto* machine = group->Find(kRtpMachineName)) {
+        group->DeliverData(*machine, packet.event);
+      }
+    }
+  } else {
+    ++stats_.orphan_rtp;
+  }
+
+  // Per-endpoint patterns see every media packet, monitored call or not.
+  auto& media_group =
+      fact_base_.GetOrCreateKeyed(KeyedKind::kMediaEndpoint, dst.ToString());
+  for (const auto name :
+       {std::string_view("media-spam"), std::string_view("rtp-flood"),
+        std::string_view("rtcp-bye")}) {
+    if (auto* machine = media_group.Find(name)) {
+      media_group.DeliverData(*machine, packet.event);
+    }
+  }
+}
+
+// ------------------------------------------------- Analysis Engine side
+
+void Vids::OnTransition(const efsm::MachineInstance& machine,
+                        const efsm::Transition& transition,
+                        const efsm::Event&) {
+  ++stats_.transitions;
+  if (transition_trace_) transition_trace_(machine, transition);
+}
+
+void Vids::OnAttackState(const efsm::MachineInstance& machine,
+                         efsm::StateId state, const efsm::Event& event) {
+  Alert alert;
+  alert.when = scheduler_.Now();
+  alert.kind = AlertKind::kAttackPattern;
+  alert.classification = std::string(machine.def().StateName(state));
+  alert.machine = machine.def().name();
+  alert.group = machine.group().name();
+  alert.state = std::string(machine.def().StateName(state));
+  alert.detail = "src=" + event.ArgString("src_ip").value_or("?") +
+                 " dst=" + event.ArgString("dst_ip").value_or("?");
+  RaiseAlert(std::move(alert));
+}
+
+std::string Vids::DescribeDeviation(const efsm::MachineInstance& machine,
+                                    const efsm::Event& event) {
+  const std::string_view state = machine.StateName();
+  const bool at_init = machine.state() == machine.def().initial_state();
+  if (machine.def().name() == "sip-spec" && at_init) {
+    if (event.ArgString("kind").value_or("") == "response") {
+      return "unsolicited response (possible DRDoS reflection)";
+    }
+    return "dialog-less " + event.ArgString("method").value_or("request") +
+           " (possible spoofed teardown)";
+  }
+  if (machine.def().name() == "rtp-spec") {
+    if (at_init) return "media before signaling";
+    return "unauthorized media (endpoint not negotiated in SDP)";
+  }
+  return "unexpected " + event.name + " in state " + std::string(state);
+}
+
+void Vids::OnDeviation(const efsm::MachineInstance& machine,
+                       const efsm::Event& event) {
+  Alert alert;
+  alert.when = scheduler_.Now();
+  alert.kind = AlertKind::kSpecDeviation;
+  alert.classification = DescribeDeviation(machine, event);
+  alert.machine = machine.def().name();
+  alert.group = machine.group().name();
+  alert.state = std::string(machine.StateName());
+  alert.detail = "event=" + event.name +
+                 " src=" + event.ArgString("src_ip").value_or("?");
+  RaiseAlert(std::move(alert));
+}
+
+void Vids::OnNondeterminism(const efsm::MachineInstance& machine,
+                            const efsm::Event& event, size_t enabled_count) {
+  Alert alert;
+  alert.when = scheduler_.Now();
+  alert.kind = AlertKind::kNondeterminism;
+  alert.classification = "non-disjoint predicates";
+  alert.machine = machine.def().name();
+  alert.group = machine.group().name();
+  alert.state = std::string(machine.StateName());
+  alert.detail = std::to_string(enabled_count) + " transitions enabled on " +
+                 event.name;
+  RaiseAlert(std::move(alert));
+}
+
+void Vids::RaiseAlert(Alert alert) {
+  const std::string dedup_key =
+      alert.group + "|" + alert.machine + "|" + alert.classification;
+  const auto it = recent_alerts_.find(dedup_key);
+  if (it != recent_alerts_.end() &&
+      alert.when - it->second < kAlertDedupWindow) {
+    ++stats_.alerts_suppressed;
+    return;
+  }
+  recent_alerts_[dedup_key] = alert.when;
+  VIDS_INFO() << alert.ToString();
+  if (alert_callback_) alert_callback_(alert);
+  alerts_.push_back(std::move(alert));
+}
+
+size_t Vids::CountAlerts(AlertKind kind) const {
+  size_t count = 0;
+  for (const auto& alert : alerts_) {
+    if (alert.kind == kind) ++count;
+  }
+  return count;
+}
+
+size_t Vids::CountAlerts(std::string_view classification) const {
+  size_t count = 0;
+  for (const auto& alert : alerts_) {
+    if (alert.classification == classification) ++count;
+  }
+  return count;
+}
+
+}  // namespace vids::ids

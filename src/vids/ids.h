@@ -1,0 +1,113 @@
+// vIDS — the VoIP intrusion detection system (paper Fig. 3).
+//
+// Composition of the architecture's components:
+//   Packet Classifier      → classifier.h       (packets → typed events)
+//   Event Distributor      → Vids::Inspect      (events → machine groups)
+//   Call State Fact Base   → fact_base.h        (per-call/per-key groups)
+//   Attack Scenario base   → patterns.h         (known-attack EFSMs)
+//   Analysis Engine        → Vids's Observer implementation (alerts)
+//
+// Deployment: construct a Vids, then install MakeInspector() on the
+// net::InlineTap sitting between the edge router and the protected network.
+// Detection is passive — vIDS raises alerts and notifies administrators; it
+// never drops traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/inline_tap.h"
+#include "vids/alert.h"
+#include "vids/classifier.h"
+#include "vids/config.h"
+#include "vids/fact_base.h"
+
+namespace vids::ids {
+
+class Vids : public efsm::Observer {
+ public:
+  struct Stats {
+    uint64_t packets = 0;
+    uint64_t sip_packets = 0;
+    uint64_t rtp_packets = 0;
+    uint64_t rtcp_packets = 0;
+    uint64_t unknown_packets = 0;
+    uint64_t orphan_rtp = 0;   // media matching no monitored call
+    uint64_t transitions = 0;  // EFSM transitions executed
+    uint64_t alerts_suppressed = 0;  // deduplicated repeats
+  };
+
+  Vids(sim::Scheduler& scheduler, DetectionConfig detection = {},
+       CostModel cost = {});
+
+  /// Analyzes one packet; returns the simulated CPU cost to charge. This is
+  /// the Event Distributor: it classifies, routes events to the fact base's
+  /// machine groups, feeds the per-destination patterns and maintains the
+  /// media-endpoint index.
+  sim::Duration Inspect(const net::Datagram& dgram, bool from_outside);
+
+  /// Adapter for net::InlineTap.
+  net::InlineTap::Inspector MakeInspector() {
+    return [this](const net::Datagram& dgram, bool from_outside) {
+      return Inspect(dgram, from_outside);
+    };
+  }
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  /// Alerts of a given kind / classification.
+  size_t CountAlerts(AlertKind kind) const;
+  size_t CountAlerts(std::string_view classification) const;
+  /// Registers a callback invoked for every (non-suppressed) alert.
+  void set_alert_callback(std::function<void(const Alert&)> cb) {
+    alert_callback_ = std::move(cb);
+  }
+
+  /// Optional trace of every EFSM transition (group, machine, label) — the
+  /// live view of the state-transition analysis; used by the examples.
+  using TransitionTrace = std::function<void(
+      const efsm::MachineInstance&, const efsm::Transition&)>;
+  void set_transition_trace(TransitionTrace trace) {
+    transition_trace_ = std::move(trace);
+  }
+
+  const Stats& stats() const { return stats_; }
+  CallStateFactBase& fact_base() { return fact_base_; }
+  const CallStateFactBase& fact_base() const { return fact_base_; }
+  const DetectionConfig& detection() const { return detection_; }
+
+  // --- efsm::Observer (the Analysis Engine) ---
+  void OnTransition(const efsm::MachineInstance&, const efsm::Transition&,
+                    const efsm::Event&) override;
+  void OnAttackState(const efsm::MachineInstance&, efsm::StateId,
+                     const efsm::Event&) override;
+  void OnDeviation(const efsm::MachineInstance&, const efsm::Event&) override;
+  void OnNondeterminism(const efsm::MachineInstance&, const efsm::Event&,
+                        size_t enabled_count) override;
+
+ private:
+  void HandleSip(const ClassifiedPacket& packet);
+  void HandleRtp(const ClassifiedPacket& packet);
+  void HandleRtcp(const ClassifiedPacket& packet);
+  void RefreshMediaIndex(efsm::MachineGroup& group,
+                         const std::string& call_id);
+  void RaiseAlert(Alert alert);
+  /// Human classification of a specification deviation from its context.
+  static std::string DescribeDeviation(const efsm::MachineInstance& machine,
+                                       const efsm::Event& event);
+
+  sim::Scheduler& scheduler_;
+  DetectionConfig detection_;
+  CostModel cost_;
+  PacketClassifier classifier_;
+  CallStateFactBase fact_base_;
+  Stats stats_;
+  std::vector<Alert> alerts_;
+  std::function<void(const Alert&)> alert_callback_;
+  TransitionTrace transition_trace_;
+  /// Dedup: last alert time per (group, machine, classification).
+  std::map<std::string, sim::Time> recent_alerts_;
+};
+
+}  // namespace vids::ids

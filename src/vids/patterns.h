@@ -1,0 +1,63 @@
+// Attack-pattern EFSMs — the vIDS Attack Scenario base (paper §5, §6).
+//
+// Each known attack of the threat model (§3) is a small machine whose
+// attack state is annotated; reaching it is a signature match. Pattern
+// machines never report deviations: for them, "no transition" just means
+// "not this attack".
+//
+//   INVITE flooding  (Fig. 4)  — per destination AOR, counter + timer T1
+//   media spamming   (Fig. 6)  — per media endpoint, SSRC/seq/ts gap rule
+//   RTP flooding     (§3.2)    — per media endpoint, rate counter
+//   CANCEL DoS       (§3.1)    — per call, CANCEL from a foreign source
+//   call hijacking   (§3.1)    — per call, in-dialog INVITE with alien tag
+//   DRDoS reflection (§3.1)    — per victim host, unsolicited responses
+//
+// (BYE DoS and toll fraud live in the RTP *specification* machine because
+// they need the cross-protocol δ synchronization — see spec_machines.h.)
+#pragma once
+
+#include "efsm/machine.h"
+#include "vids/config.h"
+
+namespace vids::ids {
+
+inline constexpr std::string_view kAttackInviteFlood = "INVITE flood";
+/// Extension beyond the paper: RTP continuing after the stream's own RTCP
+/// BYE — either a spoofed RTCP BYE (the media-plane twin of the BYE DoS)
+/// or a sender violating its own control protocol.
+inline constexpr std::string_view kAttackGhostMedia = "media after RTCP BYE";
+inline constexpr std::string_view kAttackMediaSpam = "media spamming";
+inline constexpr std::string_view kAttackRtpFlood = "RTP flood";
+inline constexpr std::string_view kAttackCancelDos = "CANCEL DoS";
+inline constexpr std::string_view kAttackHijack = "call hijacking";
+inline constexpr std::string_view kAttackDrdos = "DRDoS reflection";
+
+efsm::MachineDef BuildInviteFloodMachine(const DetectionConfig& config);
+efsm::MachineDef BuildMediaSpamMachine(const DetectionConfig& config);
+efsm::MachineDef BuildRtcpByeMachine(const DetectionConfig& config);
+efsm::MachineDef BuildRtpFloodMachine(const DetectionConfig& config);
+efsm::MachineDef BuildCancelDosMachine(const DetectionConfig& config);
+efsm::MachineDef BuildHijackMachine(const DetectionConfig& config);
+efsm::MachineDef BuildDrdosMachine(const DetectionConfig& config);
+
+/// The full scenario base, in one bundle the fact base instantiates from.
+struct AttackScenarioBase {
+  efsm::MachineDef invite_flood;
+  efsm::MachineDef media_spam;
+  efsm::MachineDef rtp_flood;
+  efsm::MachineDef cancel_dos;
+  efsm::MachineDef hijack;
+  efsm::MachineDef drdos;
+  efsm::MachineDef rtcp_bye;
+
+  explicit AttackScenarioBase(const DetectionConfig& config)
+      : invite_flood(BuildInviteFloodMachine(config)),
+        media_spam(BuildMediaSpamMachine(config)),
+        rtp_flood(BuildRtpFloodMachine(config)),
+        cancel_dos(BuildCancelDosMachine(config)),
+        hijack(BuildHijackMachine(config)),
+        drdos(BuildDrdosMachine(config)),
+        rtcp_bye(BuildRtcpByeMachine(config)) {}
+};
+
+}  // namespace vids::ids

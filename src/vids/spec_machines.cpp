@@ -1,0 +1,383 @@
+#include "vids/spec_machines.h"
+
+#include "vids/classifier.h"
+
+namespace vids::ids {
+
+namespace {
+
+using efsm::Context;
+using efsm::Event;
+using efsm::MachineDef;
+using efsm::StateKind;
+
+// ---- Predicate helpers over the classifier's event argument vector x̄ ----
+
+bool IsRequest(const Context& c, std::string_view method) {
+  return c.event().ArgString("kind") == "request" &&
+         c.event().ArgString("method") == method;
+}
+
+// Response with status in [lo, hi] whose CSeq method is `method`.
+bool IsResponse(const Context& c, int lo, int hi, std::string_view method) {
+  if (c.event().ArgString("kind") != "response") return false;
+  const auto status = c.event().ArgInt("status").value_or(0);
+  if (status < lo || status > hi) return false;
+  return method.empty() || c.event().ArgString("method") == method;
+}
+
+// Copies SDP media parameters from the event into global variables with the
+// given prefix and emits the δ sync event carrying the same values.
+void ExportMedia(Context& c, std::string_view prefix,
+                 std::string_view sync_name) {
+  const Event& e = c.event();
+  if (!e.args.contains("sdp_ip")) return;
+  const std::string p(prefix);
+  c.mutable_global().Set("g_" + p + "_ip", e.Arg("sdp_ip"));
+  c.mutable_global().Set("g_" + p + "_port", e.Arg("sdp_port"));
+  c.mutable_global().Set("g_" + p + "_pt", e.Arg("sdp_pt"));
+  c.mutable_global().Set("g_" + p + "_codec", e.Arg("sdp_codec"));
+  Event sync;
+  sync.name = std::string(sync_name);
+  sync.args["ip"] = e.Arg("sdp_ip");
+  sync.args["port"] = e.Arg("sdp_port");
+  sync.args["pt"] = e.Arg("sdp_pt");
+  c.Emit(kSipToRtpChannel, sync);
+}
+
+// Records who initiated teardown (for the BYE DoS vs toll fraud split) and
+// tells the RTP machine the session is closing.
+void ExportClose(Context& c) {
+  c.mutable_global().Set("g_close_src_ip", c.event().Arg("src_ip"));
+  Event sync;
+  sync.name = std::string(kSyncBye);
+  c.Emit(kSipToRtpChannel, sync);
+}
+
+// RTP event's destination equals the media endpoint stored under
+// g_<prefix>_ip / g_<prefix>_port.
+bool DstIsMediaEndpoint(const Context& c, std::string_view prefix) {
+  const std::string p(prefix);
+  const auto ip = c.global().GetString("g_" + p + "_ip");
+  const auto port = c.global().GetInt("g_" + p + "_port");
+  if (!ip || !port) return false;
+  return c.event().ArgString("dst_ip") == *ip &&
+         c.event().ArgInt("dst_port") == *port;
+}
+
+bool MatchesSession(const Context& c) {
+  return DstIsMediaEndpoint(c, "offer") || DstIsMediaEndpoint(c, "answer");
+}
+
+bool PayloadTypeOk(const Context& c) {
+  const auto pt = c.event().ArgInt("pt");
+  const auto offer_pt = c.global().GetInt("g_offer_pt");
+  const auto answer_pt = c.global().GetInt("g_answer_pt");
+  if (!pt) return false;
+  if (offer_pt && *pt == *offer_pt) return true;
+  if (answer_pt && *pt == *answer_pt) return true;
+  // Nothing negotiated (no SDP seen): do not judge the payload type.
+  return !offer_pt && !answer_pt;
+}
+
+// Updates the per-direction stream bookkeeping (SSRC, seq, timestamp) —
+// the ≈40 bytes of RTP state the paper prices per call (§7.3).
+void NoteStream(Context& c) {
+  const bool toward_answer = DstIsMediaEndpoint(c, "answer");
+  const std::string dir = toward_answer ? "fwd" : "rev";
+  auto& l = c.mutable_local();
+  l.Set("l_" + dir + "_ssrc", c.event().Arg("ssrc"));
+  l.Set("l_" + dir + "_seq", c.event().Arg("seq"));
+  l.Set("l_" + dir + "_ts", c.event().Arg("ts"));
+}
+
+bool FromCloseInitiator(const Context& c) {
+  const auto closer = c.global().GetString("g_close_src_ip");
+  return closer && c.event().ArgString("src_ip") == *closer;
+}
+
+}  // namespace
+
+MachineDef BuildSipSpecMachine(const DetectionConfig&) {
+  MachineDef def("sip-spec");
+  const auto init = def.AddState("INIT", StateKind::kInitial);
+  const auto invite_rcvd = def.AddState("INVITE Rcvd");
+  const auto proceeding = def.AddState("Proceeding");
+  const auto answered = def.AddState("Answered");
+  const auto established = def.AddState("Call Established");
+  const auto teardown = def.AddState("Call tear-down begins");
+  const auto closed = def.AddState("Closed", StateKind::kFinal);
+  const auto cancelling = def.AddState("Cancelling");
+  const auto cancelled = def.AddState("Cancelled", StateKind::kFinal);
+  const auto failed = def.AddState("Failed");
+  const auto failed_done = def.AddState("Failed-Closed", StateKind::kFinal);
+  const auto registering = def.AddState("Registering");
+  const auto reg_done = def.AddState("Registered", StateKind::kFinal);
+  const auto querying = def.AddState("Querying");
+  const auto query_done = def.AddState("Query-Closed", StateKind::kFinal);
+
+  const std::string sip(kSipEvent);
+
+  // --- Call setup (Fig. 2(a)) ---
+  def.On(init, sip)
+      .When([](const Context& c) { return IsRequest(c, "INVITE"); })
+      .Do([](Context& c) {
+        const Event& e = c.event();
+        auto& l = c.mutable_local();
+        l.Set("l_call_id", e.Arg("call_id"));
+        l.Set("l_from_tag", e.Arg("from_tag"));
+        l.Set("l_branch", e.Arg("branch"));
+        auto& g = c.mutable_global();
+        g.Set("g_caller_ip", e.Arg("src_ip"));
+        g.Set("g_callee_ip", e.Arg("dst_ip"));
+        ExportMedia(c, "offer", kSyncOffer);
+      })
+      .To(invite_rcvd, "INVITE received; media offer exported");
+
+  def.On(init, sip)
+      .When([](const Context& c) { return IsRequest(c, "REGISTER"); })
+      .To(registering);
+  def.On(init, sip)
+      .When([](const Context& c) { return IsRequest(c, "OPTIONS"); })
+      .To(querying);
+
+  for (const auto state : {invite_rcvd, proceeding}) {
+    def.On(state, sip)  // INVITE retransmission
+        .When([](const Context& c) { return IsRequest(c, "INVITE"); })
+        .To(state, "INVITE retransmission");
+    def.On(state, sip)
+        .When([](const Context& c) { return IsResponse(c, 200, 299, "INVITE"); })
+        .Do([](Context& c) {
+          c.mutable_local().Set("l_to_tag", c.event().Arg("to_tag"));
+          ExportMedia(c, "answer", kSyncAnswer);
+        })
+        .To(answered, "call answered; media answer exported");
+    def.On(state, sip)
+        .When([](const Context& c) { return IsResponse(c, 300, 699, "INVITE"); })
+        .To(failed);
+    def.On(state, sip)
+        .When([](const Context& c) { return IsRequest(c, "CANCEL"); })
+        .To(cancelling);
+  }
+  def.On(invite_rcvd, sip)
+      .When([](const Context& c) { return IsResponse(c, 100, 179, "INVITE"); })
+      .To(invite_rcvd, "still trying");
+  def.On(invite_rcvd, sip)
+      .When([](const Context& c) { return IsResponse(c, 180, 199, "INVITE"); })
+      .To(proceeding, "ringing");
+  def.On(proceeding, sip)
+      .When([](const Context& c) { return IsResponse(c, 100, 199, "INVITE"); })
+      .To(proceeding, "provisional");
+
+  // --- Established dialog ---
+  def.On(answered, sip)
+      .When([](const Context& c) { return IsRequest(c, "ACK"); })
+      .To(established, "three-way handshake complete");
+  def.On(answered, sip)
+      .When([](const Context& c) { return IsResponse(c, 200, 299, "INVITE"); })
+      .To(answered, "200 retransmission");
+  def.On(answered, sip)
+      .When([](const Context& c) { return IsRequest(c, "BYE"); })
+      .Do(ExportClose)
+      .To(teardown, "BYE before ACK");
+
+  def.On(established, sip)
+      .When([](const Context& c) { return IsRequest(c, "INVITE"); })
+      .To(established, "re-INVITE");
+  def.On(established, sip)
+      .When([](const Context& c) { return IsResponse(c, 100, 299, "INVITE"); })
+      .To(established, "re-INVITE progress");
+  def.On(established, sip)
+      .When([](const Context& c) { return IsRequest(c, "ACK"); })
+      .To(established, "ACK");
+  def.On(established, sip)
+      .When([](const Context& c) { return IsRequest(c, "BYE"); })
+      .Do(ExportClose)
+      .To(teardown, "BYE received; δ sent to RTP machine");
+
+  // --- Teardown (Fig. 5 upper half) ---
+  def.On(teardown, sip)
+      .When([](const Context& c) { return IsRequest(c, "BYE"); })
+      .To(teardown, "BYE retransmission");
+  def.On(teardown, sip)
+      .When([](const Context& c) { return IsResponse(c, 200, 299, "BYE"); })
+      .To(closed, "call closed");
+  def.On(teardown, sip)
+      .When([](const Context& c) { return IsResponse(c, 400, 499, "BYE"); })
+      .To(closed, "teardown refused; call considered over");
+
+  // --- Cancellation ---
+  def.On(cancelling, sip)
+      .When([](const Context& c) { return IsResponse(c, 200, 299, "CANCEL"); })
+      .To(cancelling, "CANCEL accepted");
+  def.On(cancelling, sip)
+      .When([](const Context& c) { return IsResponse(c, 100, 199, "INVITE"); })
+      .To(cancelling);
+  def.On(cancelling, sip)
+      .When([](const Context& c) { return IsResponse(c, 300, 699, "INVITE"); })
+      .To(cancelling, "INVITE terminated");
+  def.On(cancelling, sip)
+      .When([](const Context& c) { return IsRequest(c, "CANCEL"); })
+      .To(cancelling, "CANCEL retransmission");
+  def.On(cancelling, sip)
+      .When([](const Context& c) { return IsRequest(c, "ACK"); })
+      .Do(ExportClose)
+      .To(cancelled, "cancelled call closed");
+  def.On(cancelling, sip)  // CANCEL lost the race with the answer
+      .When([](const Context& c) { return IsResponse(c, 200, 299, "INVITE"); })
+      .Do([](Context& c) { ExportMedia(c, "answer", kSyncAnswer); })
+      .To(answered, "answered despite CANCEL");
+
+  // --- Failed setup ---
+  def.On(failed, sip)
+      .When([](const Context& c) { return IsResponse(c, 300, 699, "INVITE"); })
+      .To(failed, "final response retransmission");
+  def.On(failed, sip)
+      .When([](const Context& c) { return IsRequest(c, "ACK"); })
+      .Do(ExportClose)
+      .To(failed_done, "failed call closed");
+
+  // --- Registration / capability query ---
+  def.On(registering, sip)
+      .When([](const Context& c) { return IsRequest(c, "REGISTER"); })
+      .To(registering, "REGISTER retransmission");
+  def.On(registering, sip)
+      .When([](const Context& c) { return IsResponse(c, 100, 199, "REGISTER"); })
+      .To(registering);
+  def.On(registering, sip)
+      .When([](const Context& c) { return IsResponse(c, 200, 699, "REGISTER"); })
+      .To(reg_done, "registration concluded");
+  def.On(querying, sip)
+      .When([](const Context& c) { return IsRequest(c, "OPTIONS"); })
+      .To(querying, "OPTIONS retransmission");
+  def.On(querying, sip)
+      .When([](const Context& c) { return IsResponse(c, 100, 199, "OPTIONS"); })
+      .To(querying);
+  def.On(querying, sip)
+      .When([](const Context& c) { return IsResponse(c, 200, 699, "OPTIONS"); })
+      .To(query_done, "query concluded");
+
+  return def;
+}
+
+MachineDef BuildRtpSpecMachine(const DetectionConfig& config) {
+  MachineDef def("rtp-spec");
+  const auto init = def.AddState("INIT", StateKind::kInitial);
+  const auto open = def.AddState("RTP Open");
+  const auto ready = def.AddState("RTP Ready");
+  const auto active = def.AddState("RTP Rcvd");
+  const auto encoding =
+      def.AddState(std::string(kAttackEncoding), StateKind::kAttack);
+  const auto close_wait = def.AddState("RTP rcvd after BYE");
+  const auto closing = def.AddState("RTP Close");
+  const auto bye_dos = def.AddState(std::string(kAttackByeDos),
+                                    StateKind::kAttack);
+  const auto toll_fraud = def.AddState(std::string(kAttackTollFraud),
+                                       StateKind::kAttack);
+  const auto done = def.AddState("Done", StateKind::kFinal);
+
+  const std::string rtp(kRtpEvent);
+  const std::string offer(kSyncOffer);
+  const std::string answer(kSyncAnswer);
+  const std::string bye(kSyncBye);
+  const sim::Duration grace = config.bye_inflight_grace;
+  const sim::Duration linger = config.rtp_close_linger;
+
+  const auto store_media = [](std::string_view prefix) {
+    return [p = std::string(prefix)](Context& c) {
+      auto& l = c.mutable_local();
+      l.Set("l_" + p + "_ip", c.event().Arg("ip"));
+      l.Set("l_" + p + "_port", c.event().Arg("port"));
+      l.Set("l_" + p + "_pt", c.event().Arg("pt"));
+    };
+  };
+
+  // INIT: only the δ from the SIP machine opens the RTP context (Fig. 2(a)).
+  def.On(init, offer)
+      .Do(store_media("offer"))
+      .To(open, "δ(SIP→RTP): media offer; RTP state initialized");
+
+  def.On(open, answer)
+      .Do(store_media("answer"))
+      .To(ready, "δ(SIP→RTP): media answer");
+  def.On(open, rtp)
+      .When([](const Context& c) {
+        return DstIsMediaEndpoint(c, "offer") && PayloadTypeOk(c);
+      })
+      .Do(NoteStream)
+      .To(active, "early media toward caller");
+  def.On(open, bye).To(done, "closed before any media");
+
+  def.On(ready, rtp)
+      .When([](const Context& c) {
+        return MatchesSession(c) && PayloadTypeOk(c);
+      })
+      .Do(NoteStream)
+      .To(active, "media flowing");
+  def.On(ready, bye)
+      .Do([grace](Context& c) { c.StartTimer("T", grace); })
+      .To(close_wait, "closed before media started");
+
+  def.On(active, rtp)
+      .When([](const Context& c) {
+        return MatchesSession(c) && PayloadTypeOk(c);
+      })
+      .Do(NoteStream)
+      .To(active, "in-session media");
+  def.On(active, rtp)
+      .When([](const Context& c) {
+        return MatchesSession(c) && !PayloadTypeOk(c);
+      })
+      .To(encoding, "media with non-negotiated encoding");
+  def.On(active, bye)
+      .Do([grace](Context& c) { c.StartTimer("T", grace); })
+      .To(close_wait, "δ(SIP→RTP): BYE seen; timer T started");
+  // Early media: the direct RTP path can beat the proxied 200 OK to the
+  // monitoring point, so the answer δ may arrive after media started.
+  def.On(active, answer)
+      .Do(store_media("answer"))
+      .To(active, "late media answer (early media raced the 200)");
+  // Session-mismatched RTP falls through → specification deviation
+  // ("unauthorized media"), reported by the engine.
+
+  def.On(encoding, rtp)
+      .When([](const Context& c) {
+        return MatchesSession(c) && PayloadTypeOk(c);
+      })
+      .Do(NoteStream)
+      .To(active, "encoding restored");
+  def.On(encoding, rtp)
+      .When([](const Context& c) { return MatchesSession(c); })
+      .To(encoding, "encoding still wrong");
+  def.On(encoding, bye)
+      .Do([grace](Context& c) { c.StartTimer("T", grace); })
+      .To(close_wait);
+  def.On(encoding, answer).Do(store_media("answer")).To(encoding);
+  def.On(close_wait, answer).To(close_wait, "late answer during teardown");
+
+  // Fig. 5: in-flight packets tolerated until T expires...
+  def.On(close_wait, rtp)
+      .When([](const Context& c) { return MatchesSession(c); })
+      .To(close_wait, "in-flight RTP within T");
+  def.On(close_wait, efsm::TimerEventName("T"))
+      .Do([linger](Context& c) { c.StartTimer("linger", linger); })
+      .To(closing, "T expired: RTP Close");
+
+  // ...then any media is an attack, split by who tore the call down.
+  def.On(closing, rtp)
+      .When(FromCloseInitiator)
+      .To(toll_fraud, "RTP continues from the BYE sender");
+  def.On(closing, rtp)
+      .When([](const Context& c) { return !FromCloseInitiator(c); })
+      .To(bye_dos, "RTP continues after BYE from a third party");
+  def.On(closing, efsm::TimerEventName("linger")).To(done, "call retired");
+
+  for (const auto attack_state : {bye_dos, toll_fraud}) {
+    def.On(attack_state, rtp).To(attack_state, "attack media continues");
+    def.On(attack_state, efsm::TimerEventName("linger")).To(done);
+  }
+
+  return def;
+}
+
+}  // namespace vids::ids

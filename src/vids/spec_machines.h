@@ -1,0 +1,32 @@
+// Protocol specification EFSMs (paper §4.2, Figures 2 and 5).
+//
+// One SIP machine and one RTP machine are instantiated per monitored call.
+// The SIP machine follows the INVITE dialog lifecycle and exports media
+// parameters from SDP bodies into the group's global variables; at the
+// critical events (offer, answer, teardown) it emits δ synchronization
+// messages on the "SIP->RTP" channel. The RTP machine validates media
+// against the negotiated session and implements the cross-protocol BYE
+// DoS / toll-fraud detection: after a BYE it tolerates in-flight packets
+// for T, then any further media is an attack — classified by whether it
+// comes from the same host that sent the BYE (toll fraud, §3.1 billing
+// attack) or another (BYE DoS).
+#pragma once
+
+#include "efsm/machine.h"
+#include "vids/config.h"
+
+namespace vids::ids {
+
+/// Instance names inside a per-call machine group.
+inline constexpr std::string_view kSipMachineName = "SIP";
+inline constexpr std::string_view kRtpMachineName = "RTP";
+
+/// Attack-state classification labels (also used by EXPERIMENTS.md).
+inline constexpr std::string_view kAttackByeDos = "BYE DoS";
+inline constexpr std::string_view kAttackTollFraud = "toll fraud";
+inline constexpr std::string_view kAttackEncoding = "encoding violation";
+
+efsm::MachineDef BuildSipSpecMachine(const DetectionConfig& config);
+efsm::MachineDef BuildRtpSpecMachine(const DetectionConfig& config);
+
+}  // namespace vids::ids

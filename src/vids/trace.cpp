@@ -1,0 +1,127 @@
+#include "vids/trace.h"
+
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace vids::ids {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string ToHex(std::string_view bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto byte = static_cast<uint8_t>(c);
+    out += kHexDigits[byte >> 4];
+    out += kHexDigits[byte & 0xF];
+  }
+  return out;
+}
+
+std::optional<std::string> FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out += static_cast<char>((hi << 4) | lo);
+  }
+  return out;
+}
+
+std::string_view KindName(net::PayloadKind kind) {
+  switch (kind) {
+    case net::PayloadKind::kSip: return "sip";
+    case net::PayloadKind::kRtp: return "rtp";
+    case net::PayloadKind::kOther: return "other";
+  }
+  return "other";
+}
+
+std::optional<net::PayloadKind> ParseKind(std::string_view name) {
+  if (name == "sip") return net::PayloadKind::kSip;
+  if (name == "rtp") return net::PayloadKind::kRtp;
+  if (name == "other") return net::PayloadKind::kOther;
+  return std::nullopt;
+}
+
+}  // namespace
+
+void TraceLog::Append(sim::Time when, const net::Datagram& dgram,
+                      bool from_outside) {
+  records_.push_back(TraceRecord{when, from_outside, dgram});
+}
+
+net::InlineTap::Monitor TraceLog::MakeRecorder(sim::Scheduler& scheduler) {
+  return [this, &scheduler](const net::Datagram& dgram, bool from_outside) {
+    Append(scheduler.Now(), dgram, from_outside);
+  };
+}
+
+std::string TraceLog::Serialize() const {
+  std::ostringstream out;
+  for (const auto& record : records_) {
+    out << record.when.nanos() << ' '
+        << (record.from_outside ? "in" : "out") << ' '
+        << record.dgram.src.ToString() << ' ' << record.dgram.dst.ToString()
+        << ' ' << KindName(record.dgram.kind) << ' '
+        << record.dgram.padding_bytes << ' ' << ToHex(record.dgram.payload)
+        << '\n';
+  }
+  return out.str();
+}
+
+std::optional<TraceLog> TraceLog::Parse(std::string_view text) {
+  TraceLog log;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = common::Trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const auto fields = common::Split(line, ' ');
+    if (fields.size() != 7) return std::nullopt;
+    TraceRecord record;
+    const auto nanos = common::ParseInt<int64_t>(fields[0]);
+    const auto src = net::Endpoint::Parse(fields[2]);
+    const auto dst = net::Endpoint::Parse(fields[3]);
+    const auto kind = ParseKind(fields[4]);
+    const auto padding = common::ParseInt<uint32_t>(fields[5]);
+    const auto payload = FromHex(fields[6]);
+    if (!nanos || !src || !dst || !kind || !padding || !payload ||
+        (fields[1] != "in" && fields[1] != "out")) {
+      return std::nullopt;
+    }
+    record.when = sim::Time::FromNanos(*nanos);
+    record.from_outside = fields[1] == "in";
+    record.dgram.src = *src;
+    record.dgram.dst = *dst;
+    record.dgram.kind = *kind;
+    record.dgram.padding_bytes = *padding;
+    record.dgram.payload = std::move(*payload);
+    log.records_.push_back(std::move(record));
+  }
+  return log;
+}
+
+void TraceLog::ReplayInto(Vids& vids, sim::Scheduler& scheduler) const {
+  for (const auto& record : records_) {
+    scheduler.ScheduleAt(record.when, [&vids, &record] {
+      vids.Inspect(record.dgram, record.from_outside);
+    });
+  }
+  scheduler.Run();
+}
+
+}  // namespace vids::ids

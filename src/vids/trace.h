@@ -1,0 +1,54 @@
+// Traffic trace capture and offline replay.
+//
+// The online vIDS sits on a tap; for forensics and for building detection
+// regression corpora you also want to record the traffic it saw and re-run
+// analysis later (with different thresholds, or a newer scenario base).
+// TraceLog captures timestamped datagrams from the tap's mirror port into
+// a line-oriented text format, and replays them into a fresh Vids on a
+// fresh scheduler — reproducing the online run's alerts offline.
+//
+// Format, one packet per line:
+//   <nanos> <in|out> <src ip:port> <dst ip:port> <sip|rtp|other> \
+//       <padding-bytes> <hex payload>
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/datagram.h"
+#include "net/inline_tap.h"
+#include "vids/ids.h"
+
+namespace vids::ids {
+
+struct TraceRecord {
+  sim::Time when;
+  bool from_outside = false;
+  net::Datagram dgram;
+};
+
+class TraceLog {
+ public:
+  void Append(sim::Time when, const net::Datagram& dgram, bool from_outside);
+
+  /// A tap monitor that records everything it sees with the scheduler's
+  /// current time. `scheduler` and this object must outlive the tap's use.
+  net::InlineTap::Monitor MakeRecorder(sim::Scheduler& scheduler);
+
+  std::string Serialize() const;
+  /// Parses a serialized trace. Returns nullopt on any malformed line.
+  static std::optional<TraceLog> Parse(std::string_view text);
+
+  /// Feeds every record into `vids` at its recorded time, on `scheduler`
+  /// (which is then run to completion of the trace).
+  void ReplayInto(Vids& vids, sim::Scheduler& scheduler) const;
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace vids::ids

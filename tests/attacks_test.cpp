@@ -1,0 +1,160 @@
+// Attack tooling tests: the eavesdropper reconstructs calls from the wire,
+// and each toolkit primitive actually compromises the victim (independent
+// of detection — vIDS disabled here).
+#include <gtest/gtest.h>
+
+#include "attacks/rogue_ua.h"
+#include "testbed/testbed.h"
+
+namespace vids::testbed {
+namespace {
+
+class AttackFixture : public ::testing::Test {
+ protected:
+  static TestbedConfig Config() {
+    TestbedConfig config;
+    config.vids_enabled = false;
+    config.uas_per_network = 3;
+    config.seed = 11;
+    return config;
+  }
+
+  AttackFixture() : bed_(Config()) {
+    bed_.RunFor(sim::Duration::Seconds(2));  // registrations
+  }
+
+  // Places a call and runs until established; returns the snapshot.
+  attacks::CallSnapshot EstablishObservedCall(sim::Duration duration) {
+    auto& caller = *bed_.uas_a()[0];
+    auto& callee = *bed_.uas_b()[0];
+    const auto call_id = caller.ua().PlaceCall(
+        callee.ua().address_of_record(), duration);
+    bed_.RunFor(sim::Duration::Seconds(3));
+    const auto snap = bed_.eavesdropper().Get(call_id);
+    EXPECT_TRUE(snap.has_value());
+    return *snap;
+  }
+
+  Testbed bed_;
+};
+
+TEST_F(AttackFixture, EavesdropperReconstructsDialogAndMedia) {
+  const auto snap = EstablishObservedCall(sim::Duration::Seconds(60));
+  EXPECT_TRUE(snap.answered);
+  EXPECT_EQ(snap.caller_aor.UserAtHost(), "a0@a.example.com");
+  EXPECT_EQ(snap.callee_aor.UserAtHost(), "b0@b.example.com");
+  EXPECT_FALSE(snap.caller_tag.empty());
+  EXPECT_FALSE(snap.callee_tag.empty());
+  EXPECT_FALSE(snap.invite_branch.empty());
+  // Contact and media endpoints resolved to network-B's phone.
+  EXPECT_EQ(snap.callee_contact.ip, bed_.uas_b()[0]->host().ip());
+  ASSERT_TRUE(snap.callee_media.has_value());
+  EXPECT_EQ(snap.callee_media->ip, bed_.uas_b()[0]->host().ip());
+  // Live stream position observed.
+  EXPECT_TRUE(snap.media_seen);
+  EXPECT_NE(snap.ssrc_toward_callee, 0u);
+}
+
+TEST_F(AttackFixture, SpoofedByeTearsDownTheCall) {
+  const auto snap = EstablishObservedCall(sim::Duration::Seconds(300));
+  auto& caller = *bed_.uas_a()[0];
+  auto& callee = *bed_.uas_b()[0];
+  EXPECT_EQ(callee.ua().active_call_count(), 1);
+
+  bed_.attacker().SendSpoofedBye(snap);
+  bed_.RunFor(sim::Duration::Seconds(5));
+  // The victim UA accepted the forged BYE: call gone long before 300 s.
+  EXPECT_EQ(callee.ua().active_call_count(), 0);
+  ASSERT_EQ(callee.ua().completed_calls().size(), 1u);
+  // The caller side is desynchronized — it still believes the call is up.
+  EXPECT_EQ(caller.ua().active_call_count(), 1);
+}
+
+TEST_F(AttackFixture, SpoofedCancelAbortsPendingCall) {
+  auto& caller = *bed_.uas_a()[0];
+  auto& callee = *bed_.uas_b()[0];
+  // Long answer delay so the INVITE stays pending.
+  const auto call_id = caller.ua().PlaceCall(
+      callee.ua().address_of_record(), sim::Duration::Seconds(60));
+  bed_.RunFor(sim::Duration::Millis(200));  // INVITE observed, still ringing
+  const auto snap = bed_.eavesdropper().Get(call_id);
+  ASSERT_TRUE(snap.has_value());
+  ASSERT_FALSE(snap->answered);
+
+  bed_.attacker().SendSpoofedCancel(*snap, bed_.proxy_b_endpoint());
+  bed_.RunFor(sim::Duration::Seconds(10));
+  // The call attempt failed (487 path) instead of being answered.
+  ASSERT_EQ(caller.ua().completed_calls().size(), 1u);
+  EXPECT_TRUE(caller.ua().completed_calls()[0].failed);
+  EXPECT_EQ(callee.ua().active_call_count(), 0);
+}
+
+TEST_F(AttackFixture, InviteFloodOverwhelmsPhoneCapacity) {
+  auto& victim = *bed_.uas_b()[1];
+  bed_.attacker().LaunchInviteFlood(victim.ua().address_of_record(),
+                                    bed_.proxy_b_endpoint(), 30,
+                                    sim::Duration::Millis(20));
+  bed_.RunFor(sim::Duration::Seconds(3));
+  // The phone is saturated at its concurrency limit (3): real callers get
+  // 486 Busy.
+  EXPECT_EQ(victim.ua().active_call_count(),
+            victim.ua().config().max_concurrent_calls);
+  auto& genuine = *bed_.uas_a()[2];
+  genuine.ua().PlaceCall(victim.ua().address_of_record(),
+                         sim::Duration::Seconds(10));
+  bed_.RunFor(sim::Duration::Seconds(5));
+  ASSERT_EQ(genuine.ua().completed_calls().size(), 1u);
+  EXPECT_TRUE(genuine.ua().completed_calls()[0].failed);
+}
+
+TEST_F(AttackFixture, MediaSpamReachesTheVictimStream) {
+  const auto snap = EstablishObservedCall(sim::Duration::Seconds(60));
+  auto& callee = *bed_.uas_b()[0];
+  const auto before = callee.AggregateReceiverStats();
+  bed_.attacker().LaunchMediaSpam(snap, /*count=*/50,
+                                  sim::Duration::Millis(10));
+  bed_.RunFor(sim::Duration::Seconds(3));
+  const auto after = callee.AggregateReceiverStats();
+  // The spoofed packets were accepted into the victim's session and, since
+  // they carry the genuine SSRC ahead of the real stream, the genuine
+  // packets now appear as large "loss"/reordering artifacts.
+  EXPECT_GE(after.packets_received, before.packets_received + 50);
+  EXPECT_GT(after.packets_misordered, before.packets_misordered);
+}
+
+TEST_F(AttackFixture, RtpFloodDeliversBulkTraffic) {
+  const auto snap = EstablishObservedCall(sim::Duration::Seconds(60));
+  ASSERT_TRUE(snap.callee_media.has_value());
+  auto& callee = *bed_.uas_b()[0];
+  const auto before = callee.AggregateReceiverStats().packets_received;
+  bed_.attacker().LaunchRtpFlood(*snap.callee_media, /*pps=*/500,
+                                 sim::Duration::Seconds(2));
+  bed_.RunFor(sim::Duration::Seconds(4));
+  const auto after = callee.AggregateReceiverStats();
+  EXPECT_GE(after.packets_received, before + 900);
+  EXPECT_GT(after.ssrc_mismatches, 900u);  // alien SSRC counted
+}
+
+TEST_F(AttackFixture, RogueUaStreamsAfterItsOwnBye) {
+  attacks::RogueUa::Config config;
+  config.ua.user = "rogue";
+  config.ua.domain = "attacker.example.com";
+  config.ua.outbound_proxy = bed_.proxy_b_endpoint();
+  config.codec = rtp::G729();
+  config.bye_after = sim::Duration::Seconds(3);
+  config.stream_after_bye = sim::Duration::Seconds(5);
+  common::Stream rng(99, "rogue");
+  attacks::RogueUa rogue(bed_.scheduler(), bed_.attacker_host(), config, rng);
+
+  auto& victim = *bed_.uas_b()[2];
+  rogue.CallAndDefraud(victim.ua().address_of_record());
+  bed_.RunFor(sim::Duration::Seconds(15));
+  EXPECT_TRUE(rogue.bye_sent());
+  // The fraudulent stream really did continue past the BYE.
+  EXPECT_GT(rogue.rtp_packets_after_bye(), 50u);
+  // Victim's dialog closed at the BYE.
+  EXPECT_EQ(victim.ua().active_call_count(), 0);
+}
+
+}  // namespace
+}  // namespace vids::testbed

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace vids::common {
+namespace {
+
+// ---------------------------------------------------------------- strings
+
+TEST(Strings, TrimRemovesLinearWhitespace) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\r\nhello\t"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a"), "a");
+}
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitTrimsEachPiece) {
+  const auto parts = Split(" x ; y ; z ", ';');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "x");
+  EXPECT_EQ(parts[1], "y");
+  EXPECT_EQ(parts[2], "z");
+}
+
+TEST(Strings, SplitOnceFindsFirstSeparatorOnly) {
+  const auto split = SplitOnce("CSeq: 1 INVITE: x", ':');
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, "CSeq");
+  EXPECT_EQ(split->second, "1 INVITE: x");
+  EXPECT_FALSE(SplitOnce("no-separator", ':').has_value());
+}
+
+TEST(Strings, IEqualsIsCaseInsensitive) {
+  EXPECT_TRUE(IEquals("Call-ID", "CALL-id"));
+  EXPECT_TRUE(IEquals("", ""));
+  EXPECT_FALSE(IEquals("From", "Fro"));
+  EXPECT_FALSE(IEquals("From", "To"));
+}
+
+TEST(Strings, IStartsWith) {
+  EXPECT_TRUE(IStartsWith("SIP/2.0 200 OK", "sip/2.0"));
+  EXPECT_FALSE(IStartsWith("SI", "SIP"));
+}
+
+TEST(Strings, ParseIntAcceptsWholeTokenOnly) {
+  EXPECT_EQ(ParseInt<int>("42"), 42);
+  EXPECT_EQ(ParseInt<int>(" 42 "), 42);
+  EXPECT_EQ(ParseInt<uint16_t>("65535"), 65535);
+  EXPECT_FALSE(ParseInt<uint16_t>("65536").has_value());  // overflow
+  EXPECT_FALSE(ParseInt<int>("42x").has_value());
+  EXPECT_FALSE(ParseInt<int>("").has_value());
+  EXPECT_FALSE(ParseInt<int>("x").has_value());
+}
+
+TEST(Strings, ToLowerIsAsciiOnly) {
+  EXPECT_EQ(ToLower("SIP/2.0-Invite"), "sip/2.0-invite");
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, SameSeedAndNameReproduces) {
+  Stream a(7, "calls");
+  Stream b(7, "calls");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentNamesDecorrelate) {
+  Stream a(7, "calls");
+  Stream b(7, "media");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Stream parent1(7, "x");
+  Stream parent2(7, "x");
+  Stream child1 = parent1.Fork("c");
+  Stream child2 = parent2.Fork("c");
+  EXPECT_EQ(child1.Next(), child2.Next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Stream s(1, "d");
+  for (int i = 0; i < 10000; ++i) {
+    const double v = s.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Stream s(1, "r");
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(s.NextInRange(3, 5));
+  EXPECT_EQ(seen, (std::set<uint64_t>{3, 4, 5}));
+}
+
+TEST(Rng, ExponentialHasRoughlyRightMean) {
+  Stream s(1, "e");
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += s.NextExponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Stream s(1, "b");
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += s.NextBernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, NormalHasRoughlyRightMoments) {
+  Stream s(1, "n");
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = s.NextNormal(10.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, 10.0, 0.15);
+  EXPECT_NEAR(stddev, 3.0, 0.15);
+}
+
+}  // namespace
+}  // namespace vids::common

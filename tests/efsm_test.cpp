@@ -1,0 +1,523 @@
+#include <gtest/gtest.h>
+
+#include "efsm/engine.h"
+
+namespace vids::efsm {
+namespace {
+
+// Observer that records everything for assertions.
+struct RecordingObserver : Observer {
+  std::vector<std::string> transitions;
+  std::vector<std::string> attacks;
+  std::vector<std::string> deviations;
+  int nondeterminism = 0;
+  int retired = 0;
+
+  void OnTransition(const MachineInstance& machine, const Transition& t,
+                    const Event&) override {
+    transitions.push_back(machine.name() + ":" + t.label);
+  }
+  void OnAttackState(const MachineInstance& machine, StateId state,
+                     const Event&) override {
+    attacks.push_back(machine.name() + ":" +
+                      std::string(machine.def().StateName(state)));
+  }
+  void OnDeviation(const MachineInstance& machine, const Event& event) override {
+    deviations.push_back(machine.name() + ":" + event.name);
+  }
+  void OnNondeterminism(const MachineInstance&, const Event&,
+                        size_t) override {
+    ++nondeterminism;
+  }
+  void OnRetired(const MachineInstance&) override { ++retired; }
+};
+
+Event Ev(std::string name) {
+  Event event;
+  event.name = std::move(name);
+  return event;
+}
+
+// ------------------------------------------------------------------ values
+
+TEST(Value, StoreTypedAccess) {
+  VariableStore store;
+  store.Set("i", int64_t{42});
+  store.Set("d", 2.5);
+  store.Set("s", std::string("hi"));
+  store.Set("b", true);
+  EXPECT_EQ(store.GetInt("i"), 42);
+  EXPECT_EQ(store.GetDouble("d"), 2.5);
+  EXPECT_EQ(store.GetString("s"), "hi");
+  EXPECT_EQ(store.GetBool("b"), true);
+  // Wrong-type reads return nullopt.
+  EXPECT_FALSE(store.GetInt("s").has_value());
+  EXPECT_FALSE(store.GetString("i").has_value());
+  // Absent reads return nullopt / monostate.
+  EXPECT_FALSE(store.GetInt("nope").has_value());
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(store.Get("nope")));
+}
+
+TEST(Value, OverwriteAndErase) {
+  VariableStore store;
+  store.Set("x", int64_t{1});
+  store.Set("x", int64_t{2});
+  EXPECT_EQ(store.GetInt("x"), 2);
+  EXPECT_EQ(store.size(), 1u);
+  store.Erase("x");
+  EXPECT_FALSE(store.Has("x"));
+}
+
+TEST(Value, MemoryBytesGrowsWithContent) {
+  VariableStore store;
+  const size_t empty = store.MemoryBytes();
+  store.Set("some_variable", std::string(100, 'x'));
+  EXPECT_GT(store.MemoryBytes(), empty + 100);
+}
+
+TEST(Value, ToStringRendersAllAlternatives) {
+  EXPECT_EQ(ToString(Value{}), "<unset>");
+  EXPECT_EQ(ToString(Value{int64_t{5}}), "5");
+  EXPECT_EQ(ToString(Value{std::string("s")}), "s");
+  EXPECT_EQ(ToString(Value{true}), "true");
+}
+
+// ---------------------------------------------------------------- machines
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  sim::Scheduler scheduler_;
+  RecordingObserver observer_;
+};
+
+TEST_F(EngineFixture, BasicTransitionWithPredicateAndAction) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto s1 = def.AddState("S1");
+  def.On(s0, "go")
+      .When([](const Context& c) { return c.event().ArgInt("x") == 1; })
+      .Do([](Context& c) { c.mutable_local().Set("saw", c.event().Arg("x")); })
+      .To(s1, "went");
+
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  EXPECT_EQ(machine.StateName(), "S0");
+
+  Event blocked = Ev("go");
+  blocked.args["x"] = int64_t{2};
+  EXPECT_EQ(machine.Deliver(blocked),
+            MachineInstance::DeliverResult::kDeviation);
+  EXPECT_EQ(machine.StateName(), "S0");
+
+  Event pass = Ev("go");
+  pass.args["x"] = int64_t{1};
+  EXPECT_EQ(machine.Deliver(pass),
+            MachineInstance::DeliverResult::kTransitioned);
+  EXPECT_EQ(machine.StateName(), "S1");
+  EXPECT_EQ(machine.local().GetInt("saw"), 1);
+  ASSERT_EQ(observer_.transitions.size(), 1u);
+  EXPECT_EQ(observer_.transitions[0], "m1:went");
+}
+
+TEST_F(EngineFixture, EventOutsideAlphabetIsIgnored) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  def.On(s0, "known").To(s0);
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  EXPECT_EQ(machine.Deliver(Ev("unknown")),
+            MachineInstance::DeliverResult::kNotInAlphabet);
+  EXPECT_TRUE(observer_.deviations.empty());
+}
+
+TEST_F(EngineFixture, DeviationSuppressedWhenConfigured) {
+  MachineDef def("pattern");
+  def.set_report_deviations(false);
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto s1 = def.AddState("S1");
+  def.On(s0, "e")
+      .When([](const Context&) { return false; })
+      .To(s1);
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  EXPECT_EQ(machine.Deliver(Ev("e")),
+            MachineInstance::DeliverResult::kDeviation);
+  EXPECT_TRUE(observer_.deviations.empty());  // reported nowhere
+}
+
+TEST_F(EngineFixture, UnpredicatedTransitionIsElseBranch) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto hit = def.AddState("HIT");
+  const auto other = def.AddState("OTHER");
+  def.On(s0, "e")
+      .When([](const Context& c) { return c.event().ArgInt("x") == 1; })
+      .To(hit, "specific");
+  def.On(s0, "e").To(other, "else");
+
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& m1 = group.AddMachine(def, "m1");
+  Event matching = Ev("e");
+  matching.args["x"] = int64_t{1};
+  m1.Deliver(matching);
+  EXPECT_EQ(m1.StateName(), "HIT");
+  EXPECT_EQ(observer_.nondeterminism, 0);  // else branch doesn't compete
+
+  auto& m2 = group.AddMachine(def, "m2");
+  Event not_matching = Ev("e");
+  not_matching.args["x"] = int64_t{9};
+  m2.Deliver(not_matching);
+  EXPECT_EQ(m2.StateName(), "OTHER");
+}
+
+TEST_F(EngineFixture, OverlappingPredicatesReportNondeterminism) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto s1 = def.AddState("S1");
+  def.On(s0, "e").When([](const Context&) { return true; }).To(s1, "first");
+  def.On(s0, "e").When([](const Context&) { return true; }).To(s0, "second");
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  machine.Deliver(Ev("e"));
+  EXPECT_EQ(observer_.nondeterminism, 1);
+  EXPECT_EQ(machine.StateName(), "S1");  // first in definition order wins
+}
+
+TEST_F(EngineFixture, AttackStateRaisesObserver) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto bad = def.AddState("evil", StateKind::kAttack);
+  def.On(s0, "boom").To(bad);
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  machine.Deliver(Ev("boom"));
+  ASSERT_EQ(observer_.attacks.size(), 1u);
+  EXPECT_EQ(observer_.attacks[0], "m1:evil");
+}
+
+TEST_F(EngineFixture, FinalStateRetiresMachine) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto done = def.AddState("done", StateKind::kFinal);
+  def.On(s0, "end").To(done);
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  machine.Deliver(Ev("end"));
+  EXPECT_TRUE(machine.retired());
+  EXPECT_EQ(observer_.retired, 1);
+  EXPECT_EQ(machine.Deliver(Ev("end")),
+            MachineInstance::DeliverResult::kRetired);
+  EXPECT_TRUE(group.AllRetired());
+}
+
+TEST_F(EngineFixture, SyncChannelDeliversWithPriority) {
+  // Machine A emits on channel "ch" when it receives "data"; machine B
+  // consumes from "ch".
+  MachineDef def_a("a");
+  const auto a0 = def_a.AddState("A0", StateKind::kInitial);
+  def_a.On(a0, "data")
+      .Do([](Context& c) {
+        Event sync;
+        sync.name = "delta";
+        sync.args["v"] = int64_t{7};
+        c.Emit("ch", sync);
+      })
+      .To(a0, "emit");
+
+  MachineDef def_b("b");
+  const auto b0 = def_b.AddState("B0", StateKind::kInitial);
+  const auto b1 = def_b.AddState("B1");
+  def_b.On(b0, "delta")
+      .Do([](Context& c) { c.mutable_local().Set("v", c.event().Arg("v")); })
+      .To(b1, "sync received");
+
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine_a = group.AddMachine(def_a, "A");
+  auto& machine_b = group.AddMachine(def_b, "B");
+  group.RouteChannel("ch", machine_b);
+
+  group.DeliverData(machine_a, Ev("data"));
+  // The sync event was pumped before DeliverData returned.
+  EXPECT_EQ(machine_b.StateName(), "B1");
+  EXPECT_EQ(machine_b.local().GetInt("v"), 7);
+}
+
+TEST_F(EngineFixture, SyncEventsPreserveFifoOrder) {
+  // A emits three numbered sync events in one action; B must consume them
+  // in emission order (the paper's reliable FIFO queue assumption, §4.2).
+  MachineDef def_a("a");
+  const auto a0 = def_a.AddState("A0", StateKind::kInitial);
+  def_a.On(a0, "burst")
+      .Do([](Context& c) {
+        for (int64_t i = 1; i <= 3; ++i) {
+          Event sync;
+          sync.name = "delta";
+          sync.args["n"] = i;
+          c.Emit("ch", sync);
+        }
+      })
+      .To(a0);
+
+  MachineDef def_b("b");
+  const auto b0 = def_b.AddState("B0", StateKind::kInitial);
+  def_b.On(b0, "delta")
+      .Do([](Context& c) {
+        auto& l = c.mutable_local();
+        const auto count = l.GetInt("count").value_or(0);
+        // Each arrival must carry exactly count+1.
+        l.Set("in_order",
+              c.event().ArgInt("n") == count + 1 &&
+                  l.GetBool("in_order").value_or(true));
+        l.Set("count", count + 1);
+      })
+      .To(b0);
+
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine_a = group.AddMachine(def_a, "A");
+  auto& machine_b = group.AddMachine(def_b, "B");
+  group.RouteChannel("ch", machine_b);
+  group.DeliverData(machine_a, Ev("burst"));
+  EXPECT_EQ(machine_b.local().GetInt("count"), 3);
+  EXPECT_EQ(machine_b.local().GetBool("in_order"), true);
+}
+
+TEST_F(EngineFixture, SyncChainsAreDeliveredTransitively) {
+  // A → B → C through two channels in one data delivery.
+  MachineDef def_a("a");
+  const auto a0 = def_a.AddState("A0", StateKind::kInitial);
+  def_a.On(a0, "go")
+      .Do([](Context& c) { c.Emit("ab", Event{.name = "hop", .args = {}}); })
+      .To(a0);
+  MachineDef def_b("b");
+  const auto b0 = def_b.AddState("B0", StateKind::kInitial);
+  def_b.On(b0, "hop")
+      .Do([](Context& c) { c.Emit("bc", Event{.name = "hop", .args = {}}); })
+      .To(b0);
+  MachineDef def_c("c");
+  const auto c0 = def_c.AddState("C0", StateKind::kInitial);
+  const auto c1 = def_c.AddState("C1");
+  def_c.On(c0, "hop").To(c1);
+
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine_a = group.AddMachine(def_a, "A");
+  auto& machine_b = group.AddMachine(def_b, "B");
+  auto& machine_c = group.AddMachine(def_c, "C");
+  group.RouteChannel("ab", machine_b);
+  group.RouteChannel("bc", machine_c);
+  group.DeliverData(machine_a, Ev("go"));
+  EXPECT_EQ(machine_c.StateName(), "C1");
+}
+
+TEST_F(EngineFixture, CyclicEmitChainIsBounded) {
+  // Two machines that bounce a sync event forever: the pump's cap must
+  // break the livelock instead of hanging the IDS.
+  MachineDef def_ping("ping");
+  const auto p0 = def_ping.AddState("P0", StateKind::kInitial);
+  def_ping.On(p0, "ball")
+      .Do([](Context& c) { c.Emit("to_pong", Event{.name = "ball", .args = {}}); })
+      .To(p0);
+  MachineDef def_pong("pong");
+  const auto q0 = def_pong.AddState("Q0", StateKind::kInitial);
+  def_pong.On(q0, "ball")
+      .Do([](Context& c) { c.Emit("to_ping", Event{.name = "ball", .args = {}}); })
+      .To(q0);
+
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& ping = group.AddMachine(def_ping, "ping");
+  auto& pong = group.AddMachine(def_pong, "pong");
+  group.RouteChannel("to_pong", pong);
+  group.RouteChannel("to_ping", ping);
+  group.DeliverData(ping, Ev("ball"));  // must return, not livelock
+  SUCCEED();
+}
+
+TEST_F(EngineFixture, EmitOnUnroutedChannelIsDroppedSilently) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  def.On(s0, "go")
+      .Do([](Context& c) { c.Emit("nowhere", Event{.name = "x", .args = {}}); })
+      .To(s0);
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  group.DeliverData(machine, Ev("go"));
+  EXPECT_TRUE(observer_.deviations.empty());
+}
+
+TEST_F(EngineFixture, GlobalVariablesAreSharedAcrossMachines) {
+  MachineDef writer("w");
+  const auto w0 = writer.AddState("W0", StateKind::kInitial);
+  writer.On(w0, "set")
+      .Do([](Context& c) { c.mutable_global().Set("g_x", int64_t{9}); })
+      .To(w0);
+  MachineDef reader("r");
+  const auto r0 = reader.AddState("R0", StateKind::kInitial);
+  const auto r1 = reader.AddState("R1");
+  reader.On(r0, "check")
+      .When([](const Context& c) { return c.global().GetInt("g_x") == 9; })
+      .To(r1);
+
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine_w = group.AddMachine(writer, "W");
+  auto& machine_r = group.AddMachine(reader, "R");
+  group.DeliverData(machine_w, Ev("set"));
+  group.DeliverData(machine_r, Ev("check"));
+  EXPECT_EQ(machine_r.StateName(), "R1");
+}
+
+TEST_F(EngineFixture, TimersDeliverTimerEvents) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto armed = def.AddState("armed");
+  const auto fired = def.AddState("fired");
+  def.On(s0, "arm")
+      .Do([](Context& c) { c.StartTimer("T", sim::Duration::Millis(100)); })
+      .To(armed);
+  def.On(armed, TimerEventName("T")).To(fired);
+
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  group.DeliverData(machine, Ev("arm"));
+  EXPECT_EQ(machine.StateName(), "armed");
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(50));
+  EXPECT_EQ(machine.StateName(), "armed");
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(200));
+  EXPECT_EQ(machine.StateName(), "fired");
+}
+
+TEST_F(EngineFixture, CancelTimerPreventsFiring) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto fired = def.AddState("fired");
+  def.On(s0, "arm")
+      .Do([](Context& c) { c.StartTimer("T", sim::Duration::Millis(100)); })
+      .To(s0, "armed");
+  def.On(s0, "disarm")
+      .Do([](Context& c) { c.CancelTimer("T"); })
+      .To(s0, "disarmed");
+  def.On(s0, TimerEventName("T")).To(fired);
+
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  group.DeliverData(machine, Ev("arm"));
+  group.DeliverData(machine, Ev("disarm"));
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Seconds(1));
+  EXPECT_EQ(machine.StateName(), "S0");
+}
+
+TEST_F(EngineFixture, StaleTimerEventIsIgnoredSilently) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto s1 = def.AddState("S1");
+  def.On(s0, "arm")
+      .Do([](Context& c) { c.StartTimer("T", sim::Duration::Millis(10)); })
+      .To(s1, "armed");
+  // S1 has no transition for timer:T — the expiry must not be a deviation.
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  group.DeliverData(machine, Ev("arm"));
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Seconds(1));
+  EXPECT_TRUE(observer_.deviations.empty());
+  EXPECT_EQ(machine.StateName(), "S1");
+}
+
+TEST_F(EngineFixture, RetiringCancelsPendingTimers) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto done = def.AddState("done", StateKind::kFinal);
+  def.On(s0, "arm")
+      .Do([](Context& c) { c.StartTimer("T", sim::Duration::Millis(10)); })
+      .To(done);
+  MachineGroup group("g", scheduler_, &observer_);
+  auto& machine = group.AddMachine(def, "m1");
+  group.DeliverData(machine, Ev("arm"));
+  EXPECT_TRUE(machine.retired());
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Seconds(1));
+  // No pending events leaked from the retired machine's timer.
+  EXPECT_EQ(scheduler_.PendingEvents(), 0u);
+}
+
+TEST_F(EngineFixture, GroupMemoryAccountsInstances) {
+  MachineDef def("m");
+  def.AddState("S0", StateKind::kInitial);
+  MachineGroup group("g", scheduler_, &observer_);
+  const size_t empty = group.MemoryBytes();
+  auto& machine = group.AddMachine(def, "m1");
+  machine.local().Set("v", std::string(1000, 'x'));
+  EXPECT_GT(group.MemoryBytes(), empty + 1000);
+}
+
+TEST(MachineDefCheck, ToDotRendersStatesAndEdges) {
+  MachineDef def("demo");
+  const auto s0 = def.AddState("Start", StateKind::kInitial);
+  const auto bad = def.AddState("Evil State", StateKind::kAttack);
+  const auto done = def.AddState("Done", StateKind::kFinal);
+  def.On(s0, "hit").When([](const Context&) { return true; }).To(bad, "boom");
+  def.On(s0, "end").To(done);
+  const std::string dot = def.ToDot();
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("Start"), std::string::npos);
+  EXPECT_NE(dot.find("Evil State"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);    // attack styling
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos); // final styling
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+  EXPECT_NE(dot.find("P(x̄,v̄)"), std::string::npos);  // predicate marker
+}
+
+TEST(MachineDefCheck, ValidateFlagsUnreachableState) {
+  MachineDef def("m");
+  def.AddState("S0", StateKind::kInitial);
+  def.AddState("Island");
+  const auto findings = def.Validate();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].find("Island"), std::string::npos);
+  EXPECT_NE(findings[0].find("unreachable"), std::string::npos);
+}
+
+TEST(MachineDefCheck, ValidateFlagsTrapState) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto trap = def.AddState("Stuck");
+  def.On(s0, "go").To(trap);
+  const auto findings = def.Validate();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].find("trap"), std::string::npos);
+}
+
+TEST(MachineDefCheck, ValidateFlagsTransitionsOutOfFinalStates) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto done = def.AddState("Done", StateKind::kFinal);
+  def.On(s0, "end").To(done);
+  def.On(done, "zombie").To(s0);
+  const auto findings = def.Validate();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].find("final"), std::string::npos);
+}
+
+TEST(MachineDefCheck, ValidateAcceptsWellFormedMachine) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  const auto s1 = def.AddState("S1");
+  const auto done = def.AddState("Done", StateKind::kFinal);
+  def.On(s0, "a").To(s1);
+  def.On(s1, "b").To(done);
+  def.On(s1, "loop").To(s1);
+  EXPECT_TRUE(def.Validate().empty());
+}
+
+TEST(MachineDefCheck, TransitionToUnknownStateThrows) {
+  MachineDef def("m");
+  const auto s0 = def.AddState("S0", StateKind::kInitial);
+  EXPECT_THROW(def.On(s0, "e").To(StateId{42}), std::invalid_argument);
+}
+
+TEST(MachineDefCheck, InstanceWithoutInitialStateThrows) {
+  MachineDef def("m");
+  def.AddState("S0");  // not initial
+  sim::Scheduler scheduler;
+  MachineGroup group("g", scheduler, nullptr);
+  EXPECT_THROW(group.AddMachine(def, "m1"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vids::efsm

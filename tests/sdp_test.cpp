@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "sdp/sdp.h"
+
+namespace vids::sdp {
+namespace {
+
+constexpr const char* kTypical =
+    "v=0\r\n"
+    "o=alice 2890844526 2890844527 IN IP4 10.1.0.10\r\n"
+    "s=call\r\n"
+    "c=IN IP4 10.1.0.10\r\n"
+    "t=0 0\r\n"
+    "m=audio 20000 RTP/AVP 18 0\r\n"
+    "a=rtpmap:18 G729/8000\r\n"
+    "a=rtpmap:0 PCMU/8000\r\n"
+    "a=sendrecv\r\n";
+
+TEST(Sdp, ParsesTypicalOffer) {
+  const auto sd = SessionDescription::Parse(kTypical);
+  ASSERT_TRUE(sd.has_value());
+  EXPECT_EQ(sd->origin_username, "alice");
+  EXPECT_EQ(sd->session_id, 2890844526u);
+  EXPECT_EQ(sd->session_version, 2890844527u);
+  ASSERT_TRUE(sd->connection.has_value());
+  EXPECT_EQ(sd->connection->ToString(), "10.1.0.10");
+  ASSERT_EQ(sd->media.size(), 1u);
+  const auto& m = sd->media[0];
+  EXPECT_EQ(m.media, "audio");
+  EXPECT_EQ(m.port, 20000);
+  EXPECT_EQ(m.transport, "RTP/AVP");
+  EXPECT_EQ(m.payload_types, (std::vector<int>{18, 0}));
+  EXPECT_EQ(m.rtpmap.at(18), "G729/8000");
+  ASSERT_EQ(m.attributes.size(), 1u);
+  EXPECT_EQ(m.attributes[0], "sendrecv");
+}
+
+TEST(Sdp, AudioEndpointAndCodec) {
+  const auto sd = SessionDescription::Parse(kTypical);
+  ASSERT_TRUE(sd.has_value());
+  const auto ep = sd->AudioEndpoint();
+  ASSERT_TRUE(ep.has_value());
+  EXPECT_EQ(ep->ToString(), "10.1.0.10:20000");
+  EXPECT_EQ(sd->AudioCodec(), "G729");
+}
+
+TEST(Sdp, MediaLevelConnectionOverridesSession) {
+  const auto sd = SessionDescription::Parse(
+      "v=0\r\n"
+      "o=- 1 1 IN IP4 10.0.0.1\r\n"
+      "s=-\r\n"
+      "c=IN IP4 10.0.0.1\r\n"
+      "m=audio 4000 RTP/AVP 0\r\n"
+      "c=IN IP4 10.0.0.99\r\n");
+  ASSERT_TRUE(sd.has_value());
+  EXPECT_EQ(sd->AudioEndpoint()->ip.ToString(), "10.0.0.99");
+}
+
+TEST(Sdp, CodecFallsBackToStaticPayloadTable) {
+  const auto sd = SessionDescription::Parse(
+      "v=0\r\no=- 1 1 IN IP4 10.0.0.1\r\ns=-\r\nc=IN IP4 10.0.0.1\r\n"
+      "m=audio 4000 RTP/AVP 0\r\n");
+  ASSERT_TRUE(sd.has_value());
+  EXPECT_EQ(sd->AudioCodec(), "PCMU");
+}
+
+TEST(Sdp, SerializeParseRoundTrip) {
+  const auto offer =
+      MakeAudioOffer(net::Endpoint{net::IpAddress(10, 2, 0, 11), 22334});
+  const auto parsed = SessionDescription::Parse(offer.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AudioEndpoint()->ToString(), "10.2.0.11:22334");
+  EXPECT_EQ(parsed->AudioCodec(), "G729");
+  ASSERT_EQ(parsed->media.size(), 1u);
+  EXPECT_EQ(parsed->media[0].payload_types, (std::vector<int>{18}));
+}
+
+TEST(Sdp, RejectsMissingVersion) {
+  EXPECT_FALSE(SessionDescription::Parse(
+                   "o=- 1 1 IN IP4 10.0.0.1\r\ns=-\r\n")
+                   .has_value());
+  EXPECT_FALSE(SessionDescription::Parse("").has_value());
+  EXPECT_FALSE(SessionDescription::Parse("v=1\r\n").has_value());
+}
+
+TEST(Sdp, RejectsMalformedMediaLine) {
+  EXPECT_FALSE(
+      SessionDescription::Parse("v=0\r\nm=audio RTP/AVP 0\r\n").has_value());
+  EXPECT_FALSE(
+      SessionDescription::Parse("v=0\r\nm=audio 4000 RTP/AVP x\r\n")
+          .has_value());
+}
+
+TEST(Sdp, RejectsMalformedConnection) {
+  EXPECT_FALSE(
+      SessionDescription::Parse("v=0\r\nc=IN IP6 ::1\r\n").has_value());
+  EXPECT_FALSE(
+      SessionDescription::Parse("v=0\r\nc=IN IP4 999.0.0.1\r\n").has_value());
+}
+
+TEST(Sdp, IgnoresUnknownLinesAndBareNewlines) {
+  const auto sd = SessionDescription::Parse(
+      "v=0\n"
+      "o=- 1 1 IN IP4 10.0.0.1\n"
+      "s=-\n"
+      "b=AS:64\n"
+      "z=something\n"
+      "c=IN IP4 10.0.0.1\n"
+      "m=audio 4000 RTP/AVP 18\n");
+  ASSERT_TRUE(sd.has_value());
+  EXPECT_TRUE(sd->AudioEndpoint().has_value());
+}
+
+TEST(Sdp, LinesWithoutEqualsAreRejected) {
+  EXPECT_FALSE(SessionDescription::Parse("v=0\r\ngarbage\r\n").has_value());
+}
+
+TEST(Sdp, NoAudioSectionMeansNoEndpoint) {
+  const auto sd = SessionDescription::Parse(
+      "v=0\r\nc=IN IP4 10.0.0.1\r\nm=video 5000 RTP/AVP 31\r\n");
+  ASSERT_TRUE(sd.has_value());
+  EXPECT_FALSE(sd->AudioEndpoint().has_value());
+  EXPECT_EQ(sd->AudioCodec(), "");
+}
+
+TEST(Sdp, ZeroPortMeansNoEndpoint) {
+  const auto sd = SessionDescription::Parse(
+      "v=0\r\nc=IN IP4 10.0.0.1\r\nm=audio 0 RTP/AVP 18\r\n");
+  ASSERT_TRUE(sd.has_value());
+  EXPECT_FALSE(sd->AudioEndpoint().has_value());
+}
+
+}  // namespace
+}  // namespace vids::sdp

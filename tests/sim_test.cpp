@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace vids::sim {
+namespace {
+
+TEST(Time, DurationArithmetic) {
+  EXPECT_EQ(Duration::Millis(1), Duration::Micros(1000));
+  EXPECT_EQ(Duration::Seconds(1).nanos(), 1'000'000'000);
+  EXPECT_EQ((Duration::Millis(3) - Duration::Millis(1)), Duration::Millis(2));
+  EXPECT_EQ(Duration::Millis(2) * 3, Duration::Millis(6));
+  EXPECT_EQ(Duration::Millis(6) / 2, Duration::Millis(3));
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_DOUBLE_EQ(Duration::Millis(1500).ToSeconds(), 1.5);
+}
+
+TEST(Time, FromSecondsRoundsToNanos) {
+  EXPECT_EQ(Duration::FromSeconds(0.5), Duration::Millis(500));
+  EXPECT_EQ(Duration::FromSeconds(1e-9), Duration::Nanos(1));
+}
+
+TEST(Time, TimePlusDuration) {
+  const Time t = Time::FromNanos(100) + Duration::Nanos(50);
+  EXPECT_EQ(t.nanos(), 150);
+  EXPECT_EQ(t - Time::FromNanos(100), Duration::Nanos(50));
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(Time::FromNanos(300), [&] { order.push_back(3); });
+  sched.ScheduleAt(Time::FromNanos(100), [&] { order.push_back(1); });
+  sched.ScheduleAt(Time::FromNanos(200), [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), Time::FromNanos(300));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.ScheduleAt(Time::FromNanos(100), [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterIsRelativeToNow) {
+  Scheduler sched;
+  Time fired;
+  sched.ScheduleAfter(Duration::Millis(10), [&] {
+    sched.ScheduleAfter(Duration::Millis(5), [&] { fired = sched.Now(); });
+  });
+  sched.Run();
+  EXPECT_EQ(fired, Time::FromNanos(15'000'000));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool ran = false;
+  auto id = sched.ScheduleAfter(Duration::Millis(1), [&] { ran = true; });
+  EXPECT_TRUE(sched.Cancel(id));
+  EXPECT_FALSE(sched.Cancel(id));  // double-cancel is a no-op
+  sched.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelAfterRunReturnsFalse) {
+  Scheduler sched;
+  auto id = sched.ScheduleAfter(Duration{}, [] {});
+  sched.Run();
+  EXPECT_FALSE(sched.Cancel(id));
+}
+
+TEST(Scheduler, DefaultEventIdIsInert) {
+  Scheduler sched;
+  Scheduler::EventId id;
+  EXPECT_FALSE(sched.Cancel(id));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Scheduler sched;
+  int count = 0;
+  sched.ScheduleAt(Time::FromNanos(100), [&] { ++count; });
+  sched.ScheduleAt(Time::FromNanos(2000), [&] { ++count; });
+  sched.RunUntil(Time::FromNanos(1000));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sched.Now(), Time::FromNanos(1000));
+  EXPECT_EQ(sched.PendingEvents(), 1u);
+  sched.Run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, SchedulingInThePastThrows) {
+  Scheduler sched;
+  sched.ScheduleAt(Time::FromNanos(100), [] {});
+  sched.Run();
+  EXPECT_THROW(sched.ScheduleAt(Time::FromNanos(50), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(sched.ScheduleAfter(Duration::Nanos(-1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, ExecutedEventsCounts) {
+  Scheduler sched;
+  for (int i = 0; i < 7; ++i) sched.ScheduleAfter(Duration::Nanos(i), [] {});
+  sched.Run();
+  EXPECT_EQ(sched.ExecutedEvents(), 7u);
+}
+
+TEST(Timer, StartFiresOnce) {
+  Scheduler sched;
+  Timer timer(sched);
+  int fired = 0;
+  timer.Start(Duration::Millis(5), [&] { ++fired; });
+  EXPECT_TRUE(timer.IsRunning());
+  sched.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.IsRunning());
+}
+
+TEST(Timer, RestartCancelsPrevious) {
+  Scheduler sched;
+  Timer timer(sched);
+  std::vector<int> fired;
+  timer.Start(Duration::Millis(5), [&] { fired.push_back(1); });
+  timer.Start(Duration::Millis(10), [&] { fired.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(Timer, CancelStops) {
+  Scheduler sched;
+  Timer timer(sched);
+  bool ran = false;
+  timer.Start(Duration::Millis(5), [&] { ran = true; });
+  timer.Cancel();
+  sched.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(timer.IsRunning());
+}
+
+TEST(Timer, DestructorCancels) {
+  Scheduler sched;
+  bool ran = false;
+  {
+    Timer timer(sched);
+    timer.Start(Duration::Millis(5), [&] { ran = true; });
+  }
+  sched.Run();
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace vids::sim

@@ -1,0 +1,150 @@
+// Digest authentication: codec, challenge/response registration flow, and
+// the paper's §3.1 observation that authentication does not subsume the
+// IDS — spoofed teardowns still work and still need the vIDS to be seen.
+#include <gtest/gtest.h>
+
+#include "sip/auth.h"
+#include "testbed/testbed.h"
+
+namespace vids::sip {
+namespace {
+
+TEST(DigestCodec, ChallengeRoundTrip) {
+  DigestChallenge challenge{.realm = "b.example.com", .nonce = "n42"};
+  const auto parsed = DigestChallenge::Parse(challenge.ToString());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->realm, "b.example.com");
+  EXPECT_EQ(parsed->nonce, "n42");
+}
+
+TEST(DigestCodec, CredentialsRoundTrip) {
+  DigestChallenge challenge{.realm = "r", .nonce = "n1"};
+  const auto credentials =
+      AnswerChallenge(challenge, "alice", "secret", "REGISTER", "sip:r");
+  const auto parsed = DigestCredentials::Parse(credentials.ToString());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->username, "alice");
+  EXPECT_EQ(parsed->nonce, "n1");
+  EXPECT_EQ(parsed->response, credentials.response);
+}
+
+TEST(DigestCodec, ParseRejectsNonDigestAndIncomplete) {
+  EXPECT_FALSE(DigestChallenge::Parse("Basic realm=\"x\"").has_value());
+  EXPECT_FALSE(DigestChallenge::Parse("Digest realm=\"x\"").has_value());
+  EXPECT_FALSE(
+      DigestCredentials::Parse("Digest username=\"a\", nonce=\"n\"")
+          .has_value());
+}
+
+TEST(DigestCodec, ResponseBindsEveryInput) {
+  const auto base =
+      ComputeDigestResponse("u", "r", "pw", "n", "REGISTER", "sip:r");
+  EXPECT_NE(base,
+            ComputeDigestResponse("x", "r", "pw", "n", "REGISTER", "sip:r"));
+  EXPECT_NE(base,
+            ComputeDigestResponse("u", "r", "XX", "n", "REGISTER", "sip:r"));
+  EXPECT_NE(base,
+            ComputeDigestResponse("u", "r", "pw", "m", "REGISTER", "sip:r"));
+  EXPECT_NE(base,
+            ComputeDigestResponse("u", "r", "pw", "n", "INVITE", "sip:r"));
+  EXPECT_EQ(base,
+            ComputeDigestResponse("u", "r", "pw", "n", "REGISTER", "sip:r"));
+}
+
+}  // namespace
+}  // namespace vids::sip
+
+namespace vids::testbed {
+namespace {
+
+class AuthFixture : public ::testing::Test {
+ protected:
+  static TestbedConfig Config() {
+    TestbedConfig config;
+    config.seed = 88;
+    config.uas_per_network = 3;
+    config.enable_registration_auth = true;
+    return config;
+  }
+
+  AuthFixture() : bed_(Config()) { bed_.RunFor(sim::Duration::Seconds(2)); }
+
+  Testbed bed_;
+};
+
+TEST_F(AuthFixture, ChallengedRegistrationSucceeds) {
+  // Every UA answered its challenge and is bound.
+  EXPECT_GE(bed_.proxy_a().auth_challenges_sent(), 3u);
+  EXPECT_GE(bed_.proxy_b().auth_challenges_sent(), 3u);
+  EXPECT_EQ(bed_.proxy_a().binding_count(), 3u);
+  EXPECT_EQ(bed_.proxy_b().binding_count(), 3u);
+  EXPECT_EQ(bed_.proxy_a().auth_failures(), 0u);
+  for (const auto& ua : bed_.uas_a()) {
+    EXPECT_TRUE(ua->ua().registered());
+  }
+}
+
+TEST_F(AuthFixture, CallsWorkOverAuthenticatedRegistrations) {
+  auto& caller = *bed_.uas_a()[0];
+  caller.ua().PlaceCall(bed_.uas_b()[0]->ua().address_of_record(),
+                        sim::Duration::Seconds(10));
+  bed_.RunFor(sim::Duration::Seconds(30));
+  ASSERT_EQ(caller.ua().completed_calls().size(), 1u);
+  EXPECT_FALSE(caller.ua().completed_calls()[0].failed);
+}
+
+TEST_F(AuthFixture, WrongPasswordIsRefused) {
+  sip::UserAgent::Config rogue_config;
+  rogue_config.user = "b0";  // impersonation attempt
+  rogue_config.domain = "b.example.com";
+  rogue_config.outbound_proxy = bed_.proxy_b_endpoint();
+  rogue_config.password = "wrong-password";
+  sip::UserAgent rogue(bed_.scheduler(), bed_.attacker_host(), rogue_config);
+  const auto failures_before = bed_.proxy_b().auth_failures();
+  rogue.Register();
+  bed_.RunFor(sim::Duration::Seconds(3));
+  EXPECT_FALSE(rogue.registered());
+  EXPECT_GT(bed_.proxy_b().auth_failures(), failures_before);
+  // The genuine binding is untouched: b0 still reachable at its own phone.
+  auto& caller = *bed_.uas_a()[1];
+  caller.ua().PlaceCall(bed_.uas_b()[0]->ua().address_of_record(),
+                        sim::Duration::Seconds(5));
+  bed_.RunFor(sim::Duration::Seconds(20));
+  ASSERT_EQ(caller.ua().completed_calls().size(), 1u);
+  EXPECT_FALSE(caller.ua().completed_calls()[0].failed);
+}
+
+TEST_F(AuthFixture, UnauthenticatedRegisterOnlyGetsChallenged) {
+  sip::UserAgent::Config mute_config;
+  mute_config.user = "b1";
+  mute_config.domain = "b.example.com";
+  mute_config.outbound_proxy = bed_.proxy_b_endpoint();
+  // No password: the 401 goes unanswered (password mismatch on retry is the
+  // other test; here the UA answers with an empty password and fails).
+  sip::UserAgent mute(bed_.scheduler(), bed_.attacker_host(), mute_config);
+  mute.Register();
+  bed_.RunFor(sim::Duration::Seconds(3));
+  EXPECT_FALSE(mute.registered());
+}
+
+// The point of §3.1: authentication on registration does NOT stop the
+// spoofed BYE — it rides the established dialog, and only the vIDS's
+// cross-protocol state view exposes it.
+TEST_F(AuthFixture, SpoofedByeStillWorksAndStillNeedsVids) {
+  auto& caller = *bed_.uas_a()[0];
+  auto& callee = *bed_.uas_b()[0];
+  const auto call_id = caller.ua().PlaceCall(
+      callee.ua().address_of_record(), sim::Duration::Seconds(120));
+  bed_.RunFor(sim::Duration::Seconds(3));
+  const auto snap = bed_.eavesdropper().Get(call_id);
+  ASSERT_TRUE(snap.has_value());
+  bed_.attacker().SendSpoofedBye(*snap);
+  bed_.RunFor(sim::Duration::Seconds(5));
+  // The attack succeeded despite auth...
+  EXPECT_EQ(callee.ua().active_call_count(), 0);
+  // ...and the vIDS caught it.
+  EXPECT_GE(bed_.vids()->CountAlerts(ids::kAttackByeDos), 1u);
+}
+
+}  // namespace
+}  // namespace vids::testbed

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "sip/message.h"
+
+namespace vids::sip {
+namespace {
+
+constexpr const char* kInviteWire =
+    "INVITE sip:bob@b.example.com SIP/2.0\r\n"
+    "Via: SIP/2.0/UDP 10.1.0.10:5060;branch=z9hG4bK776asdhds\r\n"
+    "Max-Forwards: 70\r\n"
+    "To: \"Bob\" <sip:bob@b.example.com>\r\n"
+    "From: \"Alice\" <sip:alice@a.example.com>;tag=1928301774\r\n"
+    "Call-ID: a84b4c76e66710@10.1.0.10\r\n"
+    "CSeq: 314159 INVITE\r\n"
+    "Contact: <sip:alice@10.1.0.10:5060>\r\n"
+    "Content-Type: application/sdp\r\n"
+    "Content-Length: 4\r\n"
+    "\r\n"
+    "v=0\n";
+
+TEST(SipUri, ParseFullForm) {
+  const auto uri = SipUri::Parse("sip:alice@a.example.com:5070;transport=udp");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_EQ(uri->user, "alice");
+  EXPECT_EQ(uri->host, "a.example.com");
+  EXPECT_EQ(uri->port, 5070);
+  EXPECT_EQ(uri->params, "transport=udp");
+  EXPECT_EQ(uri->UserAtHost(), "alice@a.example.com");
+  EXPECT_EQ(uri->ToString(), "sip:alice@a.example.com:5070;transport=udp");
+}
+
+TEST(SipUri, ParseHostOnly) {
+  const auto uri = SipUri::Parse("sip:b.example.com");
+  ASSERT_TRUE(uri.has_value());
+  EXPECT_TRUE(uri->user.empty());
+  EXPECT_EQ(uri->port, 0);
+  EXPECT_EQ(uri->ToString(), "sip:b.example.com");
+}
+
+TEST(SipUri, RejectsBadScheme) {
+  EXPECT_FALSE(SipUri::Parse("http://x").has_value());
+  EXPECT_FALSE(SipUri::Parse("sip:").has_value());
+  EXPECT_FALSE(SipUri::Parse("sip:a@b:badport").has_value());
+}
+
+TEST(NameAddr, ParseWithDisplayNameAndTag) {
+  const auto addr =
+      NameAddr::Parse("\"Alice\" <sip:alice@a.example.com>;tag=88;x=1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->display_name, "Alice");
+  EXPECT_EQ(addr->uri.user, "alice");
+  EXPECT_EQ(addr->Tag(), "88");
+  EXPECT_EQ(addr->params.at("x"), "1");
+}
+
+TEST(NameAddr, ParseAddrSpecForm) {
+  const auto addr = NameAddr::Parse("sip:bob@b.example.com;tag=42");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->uri.user, "bob");
+  EXPECT_EQ(addr->Tag(), "42");
+  // In addr-spec form the ;tag belongs to the header, not the URI.
+  EXPECT_TRUE(addr->uri.params.empty());
+}
+
+TEST(NameAddr, SetTagRoundTrips) {
+  NameAddr addr;
+  addr.uri = *SipUri::Parse("sip:bob@b.example.com");
+  addr.SetTag("abc");
+  const auto reparsed = NameAddr::Parse(addr.ToString());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->Tag(), "abc");
+}
+
+TEST(ViaHeader, ParseAndStripBranch) {
+  const auto via =
+      Via::Parse("SIP/2.0/UDP 10.1.0.10:5060;branch=z9hG4bK77;received=1.2.3.4");
+  ASSERT_TRUE(via.has_value());
+  EXPECT_EQ(via->transport, "UDP");
+  EXPECT_EQ(via->sent_by.ToString(), "10.1.0.10:5060");
+  EXPECT_EQ(via->branch, "z9hG4bK77");
+  EXPECT_EQ(via->params.at("received"), "1.2.3.4");
+  // Round-trip preserves branch.
+  const auto again = Via::Parse(via->ToString());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->branch, "z9hG4bK77");
+}
+
+TEST(ViaHeader, DefaultPortIs5060) {
+  const auto via = Via::Parse("SIP/2.0/UDP 10.1.0.10;branch=z9hG4bK1");
+  ASSERT_TRUE(via.has_value());
+  EXPECT_EQ(via->sent_by.port, 5060);
+}
+
+TEST(ViaHeader, RejectsWrongProtocol) {
+  EXPECT_FALSE(Via::Parse("SIP/1.0/UDP 10.0.0.1:5060").has_value());
+  EXPECT_FALSE(Via::Parse("SIP/2.0/UDP").has_value());
+}
+
+TEST(CSeqHeader, ParseFormats) {
+  const auto cseq = CSeq::Parse("314159 INVITE");
+  ASSERT_TRUE(cseq.has_value());
+  EXPECT_EQ(cseq->number, 314159u);
+  EXPECT_EQ(cseq->method, Method::kInvite);
+  EXPECT_EQ(cseq->ToString(), "314159 INVITE");
+  EXPECT_FALSE(CSeq::Parse("INVITE").has_value());
+  EXPECT_FALSE(CSeq::Parse("12 NOSUCH").has_value());
+}
+
+TEST(Message, ParseTypicalInvite) {
+  const auto msg = Message::Parse(kInviteWire);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->IsRequest());
+  EXPECT_EQ(msg->method(), Method::kInvite);
+  EXPECT_EQ(msg->request_uri().UserAtHost(), "bob@b.example.com");
+  EXPECT_EQ(msg->CallId(), "a84b4c76e66710@10.1.0.10");
+  EXPECT_EQ(msg->From()->Tag(), "1928301774");
+  EXPECT_FALSE(msg->To()->Tag().has_value());
+  EXPECT_EQ(msg->Cseq()->number, 314159u);
+  EXPECT_EQ(msg->TopVia()->branch, "z9hG4bK776asdhds");
+  EXPECT_EQ(msg->MaxForwards(), 70);
+  EXPECT_EQ(msg->body(), "v=0\n");
+}
+
+TEST(Message, SerializeParseRoundTrip) {
+  Message invite = Message::MakeRequest(
+      Method::kInvite, *SipUri::Parse("sip:bob@b.example.com"));
+  Via via;
+  via.sent_by = *net::Endpoint::Parse("10.1.0.10:5060");
+  via.branch = "z9hG4bK1";
+  invite.PushVia(via);
+  NameAddr from;
+  from.uri = *SipUri::Parse("sip:alice@a.example.com");
+  from.SetTag("t1");
+  invite.SetFrom(from);
+  NameAddr to;
+  to.uri = *SipUri::Parse("sip:bob@b.example.com");
+  invite.SetTo(to);
+  invite.SetCallId("id1@host");
+  invite.SetCseq(CSeq{1, Method::kInvite});
+  invite.SetBody("v=0\r\n", "application/sdp");
+
+  const auto parsed = Message::Parse(invite.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method(), Method::kInvite);
+  EXPECT_EQ(parsed->CallId(), "id1@host");
+  EXPECT_EQ(parsed->From()->Tag(), "t1");
+  EXPECT_EQ(parsed->body(), "v=0\r\n");
+  EXPECT_EQ(parsed->Header("Content-Type"), "application/sdp");
+}
+
+TEST(Message, ParseStatusLine) {
+  const auto msg = Message::Parse(
+      "SIP/2.0 180 Ringing\r\nCSeq: 1 INVITE\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->IsResponse());
+  EXPECT_EQ(msg->status(), 180);
+  EXPECT_EQ(msg->reason(), "Ringing");
+  EXPECT_EQ(msg->method(), Method::kInvite);  // via CSeq
+}
+
+TEST(Message, CompactHeaderFormsExpand) {
+  const auto msg = Message::Parse(
+      "BYE sip:bob@b.example.com SIP/2.0\r\n"
+      "v: SIP/2.0/UDP 10.1.0.10:5060;branch=z9hG4bK9\r\n"
+      "f: <sip:alice@a.example.com>;tag=1\r\n"
+      "t: <sip:bob@b.example.com>;tag=2\r\n"
+      "i: compact@call\r\n"
+      "CSeq: 2 BYE\r\n"
+      "l: 0\r\n\r\n");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->CallId(), "compact@call");
+  EXPECT_EQ(msg->From()->Tag(), "1");
+  EXPECT_EQ(msg->TopVia()->branch, "z9hG4bK9");
+}
+
+TEST(Message, FoldedViaValuesUnfold) {
+  const auto msg = Message::Parse(
+      "SIP/2.0 200 OK\r\n"
+      "Via: SIP/2.0/UDP 10.0.0.1:5060;branch=z9hG4bKa, "
+      "SIP/2.0/UDP 10.0.0.2:5060;branch=z9hG4bKb\r\n"
+      "CSeq: 1 INVITE\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(msg.has_value());
+  const auto vias = msg->Vias();
+  ASSERT_EQ(vias.size(), 2u);
+  EXPECT_EQ(vias[0].branch, "z9hG4bKa");
+  EXPECT_EQ(vias[1].branch, "z9hG4bKb");
+}
+
+TEST(Message, PushPopViaMaintainsStack) {
+  Message msg = Message::MakeRequest(Method::kBye,
+                                     *SipUri::Parse("sip:x@y"));
+  Via v1, v2;
+  v1.sent_by = *net::Endpoint::Parse("10.0.0.1:5060");
+  v1.branch = "z9hG4bK1";
+  v2.sent_by = *net::Endpoint::Parse("10.0.0.2:5060");
+  v2.branch = "z9hG4bK2";
+  msg.PushVia(v1);
+  msg.PushVia(v2);  // v2 now on top
+  EXPECT_EQ(msg.TopVia()->branch, "z9hG4bK2");
+  msg.PopVia();
+  EXPECT_EQ(msg.TopVia()->branch, "z9hG4bK1");
+  msg.PopVia();
+  EXPECT_FALSE(msg.TopVia().has_value());
+}
+
+TEST(Message, RejectsStructuralViolations) {
+  EXPECT_FALSE(Message::Parse("").has_value());
+  EXPECT_FALSE(Message::Parse("garbage\r\n\r\n").has_value());
+  EXPECT_FALSE(Message::Parse("INVITE sip:x@y\r\n\r\n").has_value());  // no version
+  EXPECT_FALSE(
+      Message::Parse("INVITE sip:x@y SIP/2.0\r\nNoColonHere\r\n\r\n")
+          .has_value());
+  EXPECT_FALSE(Message::Parse("SIP/2.0 99 Bad\r\n\r\n").has_value());
+  EXPECT_FALSE(
+      Message::Parse("INVITE sip:x@y SIP/2.0\r\nCSeq: nonsense\r\n\r\n")
+          .has_value());
+}
+
+TEST(Message, TruncatedBodyRejected) {
+  EXPECT_FALSE(Message::Parse(
+                   "INVITE sip:x@y SIP/2.0\r\nContent-Length: 100\r\n\r\nshort")
+                   .has_value());
+}
+
+TEST(Message, BodyTrimmedToContentLength) {
+  const auto msg = Message::Parse(
+      "INVITE sip:x@y SIP/2.0\r\nContent-Length: 2\r\n\r\nabXTRAS");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->body(), "ab");
+}
+
+TEST(Message, SetBodyMaintainsContentHeaders) {
+  Message msg = Message::MakeResponse(200);
+  msg.SetBody("hello", "text/plain");
+  EXPECT_EQ(msg.Header("Content-Length"), "5");
+  EXPECT_EQ(msg.Header("Content-Type"), "text/plain");
+  msg.SetBody("", "text/plain");
+  EXPECT_EQ(msg.Header("Content-Length"), "0");
+  EXPECT_FALSE(msg.Header("Content-Type").has_value());
+}
+
+TEST(Message, HeaderAccessIsCaseInsensitive) {
+  const auto msg = Message::Parse(
+      "OPTIONS sip:x@y SIP/2.0\r\ncall-id: abc\r\nCONTENT-LENGTH: 0\r\n\r\n");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->Header("Call-ID"), "abc");
+  EXPECT_EQ(msg->CallId(), "abc");
+}
+
+TEST(Message, UnknownMethodSurvivesRoundTrip) {
+  const auto msg = Message::Parse(
+      "SUBSCRIBE sip:x@y SIP/2.0\r\nCSeq: 1 OPTIONS\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->Serialize().substr(0, 9), "SUBSCRIBE");
+}
+
+TEST(Message, ReasonPhrases) {
+  EXPECT_EQ(ReasonPhrase(180), "Ringing");
+  EXPECT_EQ(ReasonPhrase(200), "OK");
+  EXPECT_EQ(ReasonPhrase(487), "Request Terminated");
+  EXPECT_EQ(ReasonPhrase(999), "Unknown");
+}
+
+TEST(Message, MakeBranchHasMagicCookie) {
+  EXPECT_TRUE(MakeBranch(42).starts_with("z9hG4bK"));
+  EXPECT_NE(MakeBranch(1), MakeBranch(2));
+}
+
+}  // namespace
+}  // namespace vids::sip

