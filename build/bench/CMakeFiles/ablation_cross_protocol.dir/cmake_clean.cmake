@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cross_protocol.dir/ablation_cross_protocol.cpp.o"
+  "CMakeFiles/ablation_cross_protocol.dir/ablation_cross_protocol.cpp.o.d"
+  "ablation_cross_protocol"
+  "ablation_cross_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cross_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_overhead.dir/cpu_overhead.cpp.o"
+  "CMakeFiles/cpu_overhead.dir/cpu_overhead.cpp.o.d"
+  "cpu_overhead"
+  "cpu_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

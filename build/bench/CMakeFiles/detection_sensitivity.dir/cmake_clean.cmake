@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_sensitivity.dir/detection_sensitivity.cpp.o"
+  "CMakeFiles/detection_sensitivity.dir/detection_sensitivity.cpp.o.d"
+  "detection_sensitivity"
+  "detection_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

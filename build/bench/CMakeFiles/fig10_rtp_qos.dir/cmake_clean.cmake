@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rtp_qos.dir/fig10_rtp_qos.cpp.o"
+  "CMakeFiles/fig10_rtp_qos.dir/fig10_rtp_qos.cpp.o.d"
+  "fig10_rtp_qos"
+  "fig10_rtp_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rtp_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_call_workload.dir/fig8_call_workload.cpp.o"
+  "CMakeFiles/fig8_call_workload.dir/fig8_call_workload.cpp.o.d"
+  "fig8_call_workload"
+  "fig8_call_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_call_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

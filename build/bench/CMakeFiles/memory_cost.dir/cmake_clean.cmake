@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_cost.dir/memory_cost.cpp.o"
+  "CMakeFiles/memory_cost.dir/memory_cost.cpp.o.d"
+  "memory_cost"
+  "memory_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_machines.dir/dump_machines.cpp.o"
+  "CMakeFiles/dump_machines.dir/dump_machines.cpp.o.d"
+  "dump_machines"
+  "dump_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

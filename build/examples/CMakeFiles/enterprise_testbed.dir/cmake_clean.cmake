@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_testbed.dir/enterprise_testbed.cpp.o"
+  "CMakeFiles/enterprise_testbed.dir/enterprise_testbed.cpp.o.d"
+  "enterprise_testbed"
+  "enterprise_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

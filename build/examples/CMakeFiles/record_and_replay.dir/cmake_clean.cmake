@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_and_replay.dir/record_and_replay.cpp.o"
+  "CMakeFiles/record_and_replay.dir/record_and_replay.cpp.o.d"
+  "record_and_replay"
+  "record_and_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_and_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unknown_attack.dir/unknown_attack.cpp.o"
+  "CMakeFiles/unknown_attack.dir/unknown_attack.cpp.o.d"
+  "unknown_attack"
+  "unknown_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unknown_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

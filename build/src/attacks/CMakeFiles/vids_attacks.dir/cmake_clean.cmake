@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_attacks.dir/eavesdropper.cpp.o"
+  "CMakeFiles/vids_attacks.dir/eavesdropper.cpp.o.d"
+  "CMakeFiles/vids_attacks.dir/rogue_ua.cpp.o"
+  "CMakeFiles/vids_attacks.dir/rogue_ua.cpp.o.d"
+  "CMakeFiles/vids_attacks.dir/toolkit.cpp.o"
+  "CMakeFiles/vids_attacks.dir/toolkit.cpp.o.d"
+  "libvids_attacks.a"
+  "libvids_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

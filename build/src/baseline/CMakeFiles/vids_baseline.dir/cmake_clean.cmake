@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_baseline.dir/rate_ids.cpp.o"
+  "CMakeFiles/vids_baseline.dir/rate_ids.cpp.o.d"
+  "CMakeFiles/vids_baseline.dir/rule_ids.cpp.o"
+  "CMakeFiles/vids_baseline.dir/rule_ids.cpp.o.d"
+  "CMakeFiles/vids_baseline.dir/signature_ids.cpp.o"
+  "CMakeFiles/vids_baseline.dir/signature_ids.cpp.o.d"
+  "libvids_baseline.a"
+  "libvids_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_common.dir/log.cpp.o"
+  "CMakeFiles/vids_common.dir/log.cpp.o.d"
+  "CMakeFiles/vids_common.dir/rng.cpp.o"
+  "CMakeFiles/vids_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vids_common.dir/strings.cpp.o"
+  "CMakeFiles/vids_common.dir/strings.cpp.o.d"
+  "libvids_common.a"
+  "libvids_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/efsm/engine.cpp" "src/efsm/CMakeFiles/vids_efsm.dir/engine.cpp.o" "gcc" "src/efsm/CMakeFiles/vids_efsm.dir/engine.cpp.o.d"
+  "/root/repo/src/efsm/machine.cpp" "src/efsm/CMakeFiles/vids_efsm.dir/machine.cpp.o" "gcc" "src/efsm/CMakeFiles/vids_efsm.dir/machine.cpp.o.d"
+  "/root/repo/src/efsm/value.cpp" "src/efsm/CMakeFiles/vids_efsm.dir/value.cpp.o" "gcc" "src/efsm/CMakeFiles/vids_efsm.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vids_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_efsm.dir/engine.cpp.o"
+  "CMakeFiles/vids_efsm.dir/engine.cpp.o.d"
+  "CMakeFiles/vids_efsm.dir/machine.cpp.o"
+  "CMakeFiles/vids_efsm.dir/machine.cpp.o.d"
+  "CMakeFiles/vids_efsm.dir/value.cpp.o"
+  "CMakeFiles/vids_efsm.dir/value.cpp.o.d"
+  "libvids_efsm.a"
+  "libvids_efsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_efsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vids_efsm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/vids_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/vids_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/forwarder.cpp" "src/net/CMakeFiles/vids_net.dir/forwarder.cpp.o" "gcc" "src/net/CMakeFiles/vids_net.dir/forwarder.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/vids_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/vids_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/inline_tap.cpp" "src/net/CMakeFiles/vids_net.dir/inline_tap.cpp.o" "gcc" "src/net/CMakeFiles/vids_net.dir/inline_tap.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/vids_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/vids_net.dir/link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vids_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

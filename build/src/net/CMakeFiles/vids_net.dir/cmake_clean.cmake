@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_net.dir/address.cpp.o"
+  "CMakeFiles/vids_net.dir/address.cpp.o.d"
+  "CMakeFiles/vids_net.dir/forwarder.cpp.o"
+  "CMakeFiles/vids_net.dir/forwarder.cpp.o.d"
+  "CMakeFiles/vids_net.dir/host.cpp.o"
+  "CMakeFiles/vids_net.dir/host.cpp.o.d"
+  "CMakeFiles/vids_net.dir/inline_tap.cpp.o"
+  "CMakeFiles/vids_net.dir/inline_tap.cpp.o.d"
+  "CMakeFiles/vids_net.dir/link.cpp.o"
+  "CMakeFiles/vids_net.dir/link.cpp.o.d"
+  "libvids_net.a"
+  "libvids_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

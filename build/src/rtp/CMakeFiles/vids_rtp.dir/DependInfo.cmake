@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtp/codec.cpp" "src/rtp/CMakeFiles/vids_rtp.dir/codec.cpp.o" "gcc" "src/rtp/CMakeFiles/vids_rtp.dir/codec.cpp.o.d"
+  "/root/repo/src/rtp/packet.cpp" "src/rtp/CMakeFiles/vids_rtp.dir/packet.cpp.o" "gcc" "src/rtp/CMakeFiles/vids_rtp.dir/packet.cpp.o.d"
+  "/root/repo/src/rtp/rtcp.cpp" "src/rtp/CMakeFiles/vids_rtp.dir/rtcp.cpp.o" "gcc" "src/rtp/CMakeFiles/vids_rtp.dir/rtcp.cpp.o.d"
+  "/root/repo/src/rtp/session.cpp" "src/rtp/CMakeFiles/vids_rtp.dir/session.cpp.o" "gcc" "src/rtp/CMakeFiles/vids_rtp.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vids_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vids_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_rtp.dir/codec.cpp.o"
+  "CMakeFiles/vids_rtp.dir/codec.cpp.o.d"
+  "CMakeFiles/vids_rtp.dir/packet.cpp.o"
+  "CMakeFiles/vids_rtp.dir/packet.cpp.o.d"
+  "CMakeFiles/vids_rtp.dir/rtcp.cpp.o"
+  "CMakeFiles/vids_rtp.dir/rtcp.cpp.o.d"
+  "CMakeFiles/vids_rtp.dir/session.cpp.o"
+  "CMakeFiles/vids_rtp.dir/session.cpp.o.d"
+  "libvids_rtp.a"
+  "libvids_rtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdp/sdp.cpp" "src/sdp/CMakeFiles/vids_sdp.dir/sdp.cpp.o" "gcc" "src/sdp/CMakeFiles/vids_sdp.dir/sdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vids_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vids_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

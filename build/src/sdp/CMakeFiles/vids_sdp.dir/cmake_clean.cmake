@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_sdp.dir/sdp.cpp.o"
+  "CMakeFiles/vids_sdp.dir/sdp.cpp.o.d"
+  "libvids_sdp.a"
+  "libvids_sdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_sdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

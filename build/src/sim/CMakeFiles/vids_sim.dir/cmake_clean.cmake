@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/vids_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vids_sim.dir/time.cpp.o"
+  "CMakeFiles/vids_sim.dir/time.cpp.o.d"
+  "libvids_sim.a"
+  "libvids_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

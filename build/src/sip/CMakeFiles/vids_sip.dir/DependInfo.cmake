@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sip/auth.cpp" "src/sip/CMakeFiles/vids_sip.dir/auth.cpp.o" "gcc" "src/sip/CMakeFiles/vids_sip.dir/auth.cpp.o.d"
+  "/root/repo/src/sip/message.cpp" "src/sip/CMakeFiles/vids_sip.dir/message.cpp.o" "gcc" "src/sip/CMakeFiles/vids_sip.dir/message.cpp.o.d"
+  "/root/repo/src/sip/proxy.cpp" "src/sip/CMakeFiles/vids_sip.dir/proxy.cpp.o" "gcc" "src/sip/CMakeFiles/vids_sip.dir/proxy.cpp.o.d"
+  "/root/repo/src/sip/transaction.cpp" "src/sip/CMakeFiles/vids_sip.dir/transaction.cpp.o" "gcc" "src/sip/CMakeFiles/vids_sip.dir/transaction.cpp.o.d"
+  "/root/repo/src/sip/transport.cpp" "src/sip/CMakeFiles/vids_sip.dir/transport.cpp.o" "gcc" "src/sip/CMakeFiles/vids_sip.dir/transport.cpp.o.d"
+  "/root/repo/src/sip/user_agent.cpp" "src/sip/CMakeFiles/vids_sip.dir/user_agent.cpp.o" "gcc" "src/sip/CMakeFiles/vids_sip.dir/user_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vids_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vids_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdp/CMakeFiles/vids_sdp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_sip.dir/auth.cpp.o"
+  "CMakeFiles/vids_sip.dir/auth.cpp.o.d"
+  "CMakeFiles/vids_sip.dir/message.cpp.o"
+  "CMakeFiles/vids_sip.dir/message.cpp.o.d"
+  "CMakeFiles/vids_sip.dir/proxy.cpp.o"
+  "CMakeFiles/vids_sip.dir/proxy.cpp.o.d"
+  "CMakeFiles/vids_sip.dir/transaction.cpp.o"
+  "CMakeFiles/vids_sip.dir/transaction.cpp.o.d"
+  "CMakeFiles/vids_sip.dir/transport.cpp.o"
+  "CMakeFiles/vids_sip.dir/transport.cpp.o.d"
+  "CMakeFiles/vids_sip.dir/user_agent.cpp.o"
+  "CMakeFiles/vids_sip.dir/user_agent.cpp.o.d"
+  "libvids_sip.a"
+  "libvids_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/vids_testbed.dir/testbed.cpp.o.d"
+  "libvids_testbed.a"
+  "libvids_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

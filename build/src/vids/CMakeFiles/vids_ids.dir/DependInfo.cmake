@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vids/alert.cpp" "src/vids/CMakeFiles/vids_ids.dir/alert.cpp.o" "gcc" "src/vids/CMakeFiles/vids_ids.dir/alert.cpp.o.d"
+  "/root/repo/src/vids/classifier.cpp" "src/vids/CMakeFiles/vids_ids.dir/classifier.cpp.o" "gcc" "src/vids/CMakeFiles/vids_ids.dir/classifier.cpp.o.d"
+  "/root/repo/src/vids/fact_base.cpp" "src/vids/CMakeFiles/vids_ids.dir/fact_base.cpp.o" "gcc" "src/vids/CMakeFiles/vids_ids.dir/fact_base.cpp.o.d"
+  "/root/repo/src/vids/ids.cpp" "src/vids/CMakeFiles/vids_ids.dir/ids.cpp.o" "gcc" "src/vids/CMakeFiles/vids_ids.dir/ids.cpp.o.d"
+  "/root/repo/src/vids/patterns.cpp" "src/vids/CMakeFiles/vids_ids.dir/patterns.cpp.o" "gcc" "src/vids/CMakeFiles/vids_ids.dir/patterns.cpp.o.d"
+  "/root/repo/src/vids/spec_machines.cpp" "src/vids/CMakeFiles/vids_ids.dir/spec_machines.cpp.o" "gcc" "src/vids/CMakeFiles/vids_ids.dir/spec_machines.cpp.o.d"
+  "/root/repo/src/vids/trace.cpp" "src/vids/CMakeFiles/vids_ids.dir/trace.cpp.o" "gcc" "src/vids/CMakeFiles/vids_ids.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vids_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vids_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vids_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdp/CMakeFiles/vids_sdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sip/CMakeFiles/vids_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/vids_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/efsm/CMakeFiles/vids_efsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_ids.dir/alert.cpp.o"
+  "CMakeFiles/vids_ids.dir/alert.cpp.o.d"
+  "CMakeFiles/vids_ids.dir/classifier.cpp.o"
+  "CMakeFiles/vids_ids.dir/classifier.cpp.o.d"
+  "CMakeFiles/vids_ids.dir/fact_base.cpp.o"
+  "CMakeFiles/vids_ids.dir/fact_base.cpp.o.d"
+  "CMakeFiles/vids_ids.dir/ids.cpp.o"
+  "CMakeFiles/vids_ids.dir/ids.cpp.o.d"
+  "CMakeFiles/vids_ids.dir/patterns.cpp.o"
+  "CMakeFiles/vids_ids.dir/patterns.cpp.o.d"
+  "CMakeFiles/vids_ids.dir/spec_machines.cpp.o"
+  "CMakeFiles/vids_ids.dir/spec_machines.cpp.o.d"
+  "CMakeFiles/vids_ids.dir/trace.cpp.o"
+  "CMakeFiles/vids_ids.dir/trace.cpp.o.d"
+  "libvids_ids.a"
+  "libvids_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efsm_test.dir/efsm_test.cpp.o"
+  "CMakeFiles/efsm_test.dir/efsm_test.cpp.o.d"
+  "efsm_test"
+  "efsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

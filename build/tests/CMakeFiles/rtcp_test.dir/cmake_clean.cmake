@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtcp_test.dir/rtcp_test.cpp.o"
+  "CMakeFiles/rtcp_test.dir/rtcp_test.cpp.o.d"
+  "rtcp_test"
+  "rtcp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_auth_test.dir/sip_auth_test.cpp.o"
+  "CMakeFiles/sip_auth_test.dir/sip_auth_test.cpp.o.d"
+  "sip_auth_test"
+  "sip_auth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

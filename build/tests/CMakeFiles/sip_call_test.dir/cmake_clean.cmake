@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_call_test.dir/sip_call_test.cpp.o"
+  "CMakeFiles/sip_call_test.dir/sip_call_test.cpp.o.d"
+  "sip_call_test"
+  "sip_call_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sip_message_test.cpp" "tests/CMakeFiles/sip_message_test.dir/sip_message_test.cpp.o" "gcc" "tests/CMakeFiles/sip_message_test.dir/sip_message_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/vids_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/vids/CMakeFiles/vids_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/vids_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/vids_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sip/CMakeFiles/vids_sip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdp/CMakeFiles/vids_sdp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtp/CMakeFiles/vids_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/efsm/CMakeFiles/vids_efsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vids_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vids_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vids_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_message_test.dir/sip_message_test.cpp.o"
+  "CMakeFiles/sip_message_test.dir/sip_message_test.cpp.o.d"
+  "sip_message_test"
+  "sip_message_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

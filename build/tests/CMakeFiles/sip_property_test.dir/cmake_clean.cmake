@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_property_test.dir/sip_property_test.cpp.o"
+  "CMakeFiles/sip_property_test.dir/sip_property_test.cpp.o.d"
+  "sip_property_test"
+  "sip_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_proxy_test.dir/sip_proxy_test.cpp.o"
+  "CMakeFiles/sip_proxy_test.dir/sip_proxy_test.cpp.o.d"
+  "sip_proxy_test"
+  "sip_proxy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

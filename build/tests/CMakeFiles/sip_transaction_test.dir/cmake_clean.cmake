@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_transaction_test.dir/sip_transaction_test.cpp.o"
+  "CMakeFiles/sip_transaction_test.dir/sip_transaction_test.cpp.o.d"
+  "sip_transaction_test"
+  "sip_transaction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_transaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

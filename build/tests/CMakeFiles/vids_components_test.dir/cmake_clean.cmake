@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_components_test.dir/vids_components_test.cpp.o"
+  "CMakeFiles/vids_components_test.dir/vids_components_test.cpp.o.d"
+  "vids_components_test"
+  "vids_components_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

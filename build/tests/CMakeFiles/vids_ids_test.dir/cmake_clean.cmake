@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_ids_test.dir/vids_ids_test.cpp.o"
+  "CMakeFiles/vids_ids_test.dir/vids_ids_test.cpp.o.d"
+  "vids_ids_test"
+  "vids_ids_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_ids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vids_machines_test.dir/vids_machines_test.cpp.o"
+  "CMakeFiles/vids_machines_test.dir/vids_machines_test.cpp.o.d"
+  "vids_machines_test"
+  "vids_machines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vids_machines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
