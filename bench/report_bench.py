@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Merges a google-benchmark JSON run into the tracked BENCH_micro.json.
+
+Usage: report_bench.py <BENCH_micro.json> <run-label> <gbench-output.json>
+
+BENCH_micro.json keeps one entry per label in "runs" (re-running a label
+replaces it) so before/after numbers for a change live side by side. The
+last run also gets a "speedup_vs" table against the first (baseline) run.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tracked_path, label, run_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+    with open(run_path) as f:
+        run = json.load(f)
+    results = {}
+    for bench in run.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "cpu_ns": round(bench["cpu_time"], 1),
+            "real_ns": round(bench["real_time"], 1),
+            "iterations": bench["iterations"],
+        }
+        if "allocs_per_iter" in bench:
+            entry["allocs_per_iter"] = round(bench["allocs_per_iter"], 3)
+        results[bench["name"]] = entry
+
+    try:
+        with open(tracked_path) as f:
+            tracked = json.load(f)
+    except FileNotFoundError:
+        tracked = {"benchmarks": [], "runs": []}
+
+    tracked["benchmarks"] = sorted(
+        set(tracked.get("benchmarks", [])) | set(results)
+    )
+    tracked["runs"] = [r for r in tracked["runs"] if r["label"] != label]
+    tracked["runs"].append({"label": label, "results": results})
+
+    if len(tracked["runs"]) >= 2:
+        base = tracked["runs"][0]["results"]
+        last = tracked["runs"][-1]
+        speedup = {}
+        for name, entry in last["results"].items():
+            if name in base and entry["cpu_ns"] > 0:
+                speedup[name] = round(base[name]["cpu_ns"] / entry["cpu_ns"], 2)
+        last["speedup_vs"] = {tracked["runs"][0]["label"]: speedup}
+
+    with open(tracked_path, "w") as f:
+        json.dump(tracked, f, indent=2)
+        f.write("\n")
+    print(f"{tracked_path}: recorded run '{label}' "
+          f"({', '.join(sorted(results))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

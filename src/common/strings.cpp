@@ -45,6 +45,10 @@ std::string ToLower(std::string_view s) {
   return out;
 }
 
+void AsciiLowerInPlace(std::string& s) {
+  std::transform(s.begin(), s.end(), s.begin(), LowerAscii);
+}
+
 bool IEquals(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
   return std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {

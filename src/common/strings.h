@@ -6,6 +6,8 @@
 #pragma once
 
 #include <charconv>
+#include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -26,6 +28,18 @@ std::optional<std::pair<std::string_view, std::string_view>> SplitOnce(
 
 /// ASCII lower-casing (locale independent, as required by RFC 3261 §7.3.1).
 std::string ToLower(std::string_view s);
+
+/// In-place ASCII lower-casing — no temporary string.
+void AsciiLowerInPlace(std::string& s);
+
+/// Transparent hash for unordered containers keyed by std::string that want
+/// heterogeneous (string_view) lookup without materializing a key string.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Case-insensitive comparison for header names and tokens.
 bool IEquals(std::string_view a, std::string_view b);

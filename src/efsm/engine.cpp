@@ -33,7 +33,8 @@ MachineInstance::MachineInstance(const MachineDef& def, std::string name,
 MachineInstance::DeliverResult MachineInstance::Deliver(const Event& event) {
   if (retired_) return DeliverResult::kRetired;
 
-  const auto candidates = def_.Candidates(state_, event.name);
+  bool in_alphabet = false;
+  const auto candidates = def_.CandidatesFor(state_, event.name, in_alphabet);
   // Predicated transitions compete (and §4.1 wants their predicates
   // mutually disjoint — overlap is reported); an unpredicated transition is
   // the "else" branch, taken only when no predicate is enabled.
@@ -57,13 +58,6 @@ MachineInstance::DeliverResult MachineInstance::Deliver(const Event& event) {
     const bool is_timer = event.name.starts_with("timer:");
     if (is_timer) return DeliverResult::kIgnored;
     // Event outside the machine's alphabet is not the machine's business.
-    bool in_alphabet = false;
-    for (const auto& transition : def_.transitions()) {
-      if (transition.event_name == event.name) {
-        in_alphabet = true;
-        break;
-      }
-    }
     if (!in_alphabet) return DeliverResult::kNotInAlphabet;
     if (def_.report_deviations() && group_.observer() != nullptr) {
       group_.observer()->OnDeviation(*this, event);

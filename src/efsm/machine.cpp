@@ -17,6 +17,7 @@ StateId MachineDef::AddState(std::string name, StateKind kind) {
   if (kind == StateKind::kInitial && initial_ == kInvalidState) {
     initial_ = id;
   }
+  compiled_valid_ = false;
   return id;
 }
 
@@ -34,17 +35,70 @@ void MachineDef::TransitionBuilder::To(StateId to, std::string label) {
   }
   transition_.label = std::move(label);
   def_.transitions_.push_back(std::move(transition_));
+  def_.compiled_valid_ = false;
+}
+
+void MachineDef::EnsureCompiled() const {
+  if (compiled_valid_) return;
+  Compiled c;
+  // Reserved up front so the string_view keys into event_names never move.
+  c.event_names.reserve(transitions_.size());
+  for (const auto& transition : transitions_) {
+    if (c.event_index.contains(transition.event_name)) continue;
+    const auto idx = static_cast<uint32_t>(c.event_names.size());
+    const std::string& stored = c.event_names.emplace_back(
+        transition.event_name);
+    c.event_index.emplace(std::string_view(stored), idx);
+    c.alphabet_bloom |=
+        uint64_t{1} << (std::hash<std::string_view>{}(stored) & 63);
+  }
+  const size_t num_events = c.event_names.size();
+  c.slots.assign(states_.size() * num_events, {0, 0});
+  c.candidates.reserve(transitions_.size());
+  for (size_t state = 0; state < states_.size(); ++state) {
+    for (size_t event = 0; event < num_events; ++event) {
+      const auto begin = static_cast<uint32_t>(c.candidates.size());
+      for (const auto& transition : transitions_) {
+        if (static_cast<size_t>(transition.from) == state &&
+            transition.event_name == c.event_names[event]) {
+          c.candidates.push_back(&transition);
+        }
+      }
+      c.slots[state * num_events + event] = {
+          begin, static_cast<uint32_t>(c.candidates.size())};
+    }
+  }
+  compiled_ = std::move(c);
+  compiled_valid_ = true;
+}
+
+std::span<const Transition* const> MachineDef::CandidatesFor(
+    StateId from, std::string_view event_name, bool& in_alphabet) const {
+  EnsureCompiled();
+  const uint64_t bit =
+      uint64_t{1} << (std::hash<std::string_view>{}(event_name) & 63);
+  if ((compiled_.alphabet_bloom & bit) == 0) {
+    in_alphabet = false;
+    return {};
+  }
+  const auto it = compiled_.event_index.find(event_name);
+  if (it == compiled_.event_index.end()) {
+    in_alphabet = false;
+    return {};
+  }
+  in_alphabet = true;
+  if (from < 0 || static_cast<size_t>(from) >= states_.size()) return {};
+  const auto [begin, end] = compiled_.slots[static_cast<size_t>(from) *
+                                                compiled_.event_names.size() +
+                                            it->second];
+  return {compiled_.candidates.data() + begin, end - begin};
 }
 
 std::vector<const Transition*> MachineDef::Candidates(
     StateId from, std::string_view event_name) const {
-  std::vector<const Transition*> out;
-  for (const auto& transition : transitions_) {
-    if (transition.from == from && transition.event_name == event_name) {
-      out.push_back(&transition);
-    }
-  }
-  return out;
+  bool in_alphabet = false;
+  const auto span = CandidatesFor(from, event_name, in_alphabet);
+  return {span.begin(), span.end()};
 }
 
 namespace {

@@ -7,12 +7,19 @@
 // A(v̄) that updates variables, emits synchronization events (c!event) and
 // manages timers. States may be annotated as attack states (s_attack);
 // reaching one is an attack-scenario match.
+//
+// Dispatch is compiled: the definition lazily builds a per-(state, event)
+// candidate table plus an event-alphabet bloom filter, so delivering an
+// event is one filtered hash lookup and a span scan instead of a walk over
+// every transition in the definition.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "efsm/value.h"
@@ -31,23 +38,38 @@ enum class StateKind : uint8_t {
 };
 
 /// An event instance: a data packet arrival (c?event(x̄)), a synchronization
-/// message from a peer machine (δ), or a timer expiry.
+/// message from a peer machine (δ), or a timer expiry. Arguments live in a
+/// flat interned-key vector; hot-path readers pass ArgKey constants so a
+/// lookup is a short integer scan, string_view overloads intern on the fly.
 struct Event {
   std::string name;
-  std::map<std::string, Value, std::less<>> args;
+  EventArgs args;
 
-  const Value& Arg(std::string_view key) const {
+  const Value& Arg(ArgKey key) const {
     static const Value kUnset{};
-    const auto it = args.find(key);
-    return it == args.end() ? kUnset : it->second;
+    const Value* v = args.Find(key);
+    return v == nullptr ? kUnset : *v;
   }
-  std::optional<int64_t> ArgInt(std::string_view key) const {
+  const Value& Arg(std::string_view key) const {
+    return Arg(ArgKey::Intern(key));
+  }
+  std::optional<int64_t> ArgInt(ArgKey key) const {
     const auto* v = std::get_if<int64_t>(&Arg(key));
     return v ? std::optional<int64_t>(*v) : std::nullopt;
   }
-  std::optional<std::string> ArgString(std::string_view key) const {
+  std::optional<int64_t> ArgInt(std::string_view key) const {
+    return ArgInt(ArgKey::Intern(key));
+  }
+  std::optional<std::string> ArgString(ArgKey key) const {
     const auto* v = std::get_if<std::string>(&Arg(key));
     return v ? std::optional<std::string>(*v) : std::nullopt;
+  }
+  std::optional<std::string> ArgString(std::string_view key) const {
+    return ArgString(ArgKey::Intern(key));
+  }
+  /// Zero-copy string read: nullptr when absent or not a string.
+  const std::string* ArgStr(ArgKey key) const {
+    return std::get_if<std::string>(&Arg(key));
   }
 };
 
@@ -150,7 +172,14 @@ class MachineDef {
   StateKind Kind(StateId id) const { return states_.at(id).kind; }
   const std::vector<Transition>& transitions() const { return transitions_; }
 
-  /// Transitions leaving `from` on `event_name`, in definition order.
+  /// Transitions leaving `from` on `event_name`, in definition order, as a
+  /// view into the compiled candidate table. Sets `in_alphabet` to false
+  /// when `event_name` appears nowhere in the definition (the span is then
+  /// empty). The view is invalidated by any mutation of the definition.
+  std::span<const Transition* const> CandidatesFor(
+      StateId from, std::string_view event_name, bool& in_alphabet) const;
+
+  /// Copying convenience wrapper over CandidatesFor.
   std::vector<const Transition*> Candidates(StateId from,
                                             std::string_view event_name) const;
 
@@ -175,11 +204,31 @@ class MachineDef {
     std::string name;
     StateKind kind;
   };
+
+  /// Compiled dispatch tables, built lazily on first delivery and discarded
+  /// whenever the definition mutates. `event_names` owns the alphabet;
+  /// `event_index` keys on views into it (the vector is reserved up front so
+  /// the views stay stable). `slots[state * num_events + event]` is the
+  /// [begin, end) range of `candidates` for that pair, preserving
+  /// definition order. `alphabet_bloom` has bit hash(name)%64 set for every
+  /// alphabet member — one AND rejects most foreign events without a hash
+  /// table probe.
+  struct Compiled {
+    std::vector<std::string> event_names;
+    std::unordered_map<std::string_view, uint32_t> event_index;
+    uint64_t alphabet_bloom = 0;
+    std::vector<const Transition*> candidates;
+    std::vector<std::pair<uint32_t, uint32_t>> slots;
+  };
+  void EnsureCompiled() const;
+
   std::string name_;
   std::vector<State> states_;
   std::vector<Transition> transitions_;
   StateId initial_ = kInvalidState;
   bool report_deviations_ = true;
+  mutable Compiled compiled_;
+  mutable bool compiled_valid_ = false;
 };
 
 }  // namespace vids::efsm

@@ -1,9 +1,47 @@
 #include "efsm/value.h"
 
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
 namespace vids::efsm {
 
 namespace {
+
 const Value kUnset{};
+
+// Append-only intern pool. A deque keeps the name storage stable so the
+// index map can key on views into it. Meyers singleton: safe to intern from
+// static initializers of other translation units.
+struct ArgKeyPool {
+  std::deque<std::string> names;
+  std::unordered_map<std::string_view, uint16_t> index;
+};
+
+ArgKeyPool& Pool() {
+  static ArgKeyPool pool;
+  return pool;
+}
+
+}  // namespace
+
+ArgKey ArgKey::Intern(std::string_view name) {
+  ArgKeyPool& pool = Pool();
+  const auto it = pool.index.find(name);
+  if (it != pool.index.end()) return ArgKey(it->second);
+  if (pool.names.size() >= kInvalidId) {
+    throw std::length_error("ArgKey: intern pool exhausted");
+  }
+  const auto id = static_cast<uint16_t>(pool.names.size());
+  const std::string& stored = pool.names.emplace_back(name);
+  pool.index.emplace(std::string_view(stored), id);
+  return ArgKey(id);
+}
+
+std::string_view ArgKey::name() const {
+  if (!valid()) return "<invalid>";
+  return Pool().names[id_];
 }
 
 std::string ToString(const Value& value) {
@@ -17,58 +55,164 @@ std::string ToString(const Value& value) {
   return std::visit(Visitor{}, value);
 }
 
-void VariableStore::Set(std::string_view name, Value value) {
-  auto it = values_.find(name);
-  if (it == values_.end()) {
-    values_.emplace(std::string(name), std::move(value));
+// ------------------------------------------------------------ EventArgs
+
+EventArgs::EventArgs(const EventArgs& other) : size_(other.size_) {
+  if (other.spilled()) {
+    heap_ = other.heap_;
   } else {
-    it->second = std::move(value);
+    for (uint32_t i = 0; i < size_; ++i) inline_[i] = other.inline_[i];
   }
 }
 
-const Value& VariableStore::Get(std::string_view name) const {
-  const auto it = values_.find(name);
-  return it == values_.end() ? kUnset : it->second;
+EventArgs::EventArgs(EventArgs&& other) noexcept : size_(other.size_) {
+  if (other.spilled()) {
+    heap_ = std::move(other.heap_);
+  } else {
+    for (uint32_t i = 0; i < size_; ++i) {
+      inline_[i] = std::move(other.inline_[i]);
+    }
+  }
+  other.size_ = 0;
+  other.heap_.clear();
 }
 
-bool VariableStore::Has(std::string_view name) const {
-  return values_.contains(name);
+EventArgs& EventArgs::operator=(const EventArgs& other) {
+  if (this == &other) return *this;
+  clear();
+  size_ = other.size_;
+  if (other.spilled()) {
+    heap_ = other.heap_;
+  } else {
+    for (uint32_t i = 0; i < size_; ++i) inline_[i] = other.inline_[i];
+  }
+  return *this;
 }
 
-void VariableStore::Erase(std::string_view name) {
-  const auto it = values_.find(name);
-  if (it != values_.end()) values_.erase(it);
+EventArgs& EventArgs::operator=(EventArgs&& other) noexcept {
+  if (this == &other) return *this;
+  clear();
+  size_ = other.size_;
+  if (other.spilled()) {
+    heap_ = std::move(other.heap_);
+  } else {
+    for (uint32_t i = 0; i < size_; ++i) {
+      inline_[i] = std::move(other.inline_[i]);
+    }
+  }
+  other.size_ = 0;
+  other.heap_.clear();
+  return *this;
 }
 
-std::optional<int64_t> VariableStore::GetInt(std::string_view name) const {
-  const auto* v = std::get_if<int64_t>(&Get(name));
+Value& EventArgs::operator[](ArgKey key) {
+  Entry* entries = data();
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (entries[i].key == key) return entries[i].value;
+  }
+  if (size_ < kInlineCapacity) {
+    inline_[size_].key = key;
+    inline_[size_].value = std::monostate{};
+    return inline_[size_++].value;
+  }
+  if (size_ == kInlineCapacity) {
+    // Spill: move everything so iteration stays one contiguous scan.
+    heap_.reserve(kInlineCapacity * 2);
+    for (Entry& entry : inline_) heap_.push_back(std::move(entry));
+  }
+  heap_.push_back(Entry{key, std::monostate{}});
+  ++size_;
+  return heap_.back().value;
+}
+
+const Value* EventArgs::Find(ArgKey key) const {
+  const Entry* entries = data();
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (entries[i].key == key) return &entries[i].value;
+  }
+  return nullptr;
+}
+
+void EventArgs::clear() {
+  if (!spilled()) {
+    for (uint32_t i = 0; i < size_; ++i) inline_[i].value = std::monostate{};
+  }
+  heap_.clear();
+  size_ = 0;
+}
+
+size_t EventArgs::MemoryBytes() const {
+  size_t bytes = heap_.capacity() * sizeof(Entry);
+  for (const Entry& entry : *this) {
+    if (const auto* s = std::get_if<std::string>(&entry.value)) {
+      bytes += s->capacity();
+    }
+  }
+  return bytes;
+}
+
+// -------------------------------------------------------- VariableStore
+
+void VariableStore::Set(ArgKey key, Value value) {
+  for (auto& [existing, stored] : values_) {
+    if (existing == key) {
+      stored = std::move(value);
+      return;
+    }
+  }
+  values_.emplace_back(key, std::move(value));
+}
+
+const Value& VariableStore::Get(ArgKey key) const {
+  for (const auto& [existing, stored] : values_) {
+    if (existing == key) return stored;
+  }
+  return kUnset;
+}
+
+bool VariableStore::Has(ArgKey key) const {
+  for (const auto& [existing, stored] : values_) {
+    if (existing == key) return true;
+  }
+  return false;
+}
+
+void VariableStore::Erase(ArgKey key) {
+  for (auto it = values_.begin(); it != values_.end(); ++it) {
+    if (it->first == key) {
+      values_.erase(it);
+      return;
+    }
+  }
+}
+
+std::optional<int64_t> VariableStore::GetInt(ArgKey key) const {
+  const auto* v = std::get_if<int64_t>(&Get(key));
   return v ? std::optional<int64_t>(*v) : std::nullopt;
 }
 
-std::optional<double> VariableStore::GetDouble(std::string_view name) const {
-  const auto* v = std::get_if<double>(&Get(name));
+std::optional<double> VariableStore::GetDouble(ArgKey key) const {
+  const auto* v = std::get_if<double>(&Get(key));
   return v ? std::optional<double>(*v) : std::nullopt;
 }
 
-std::optional<std::string> VariableStore::GetString(
-    std::string_view name) const {
-  const auto* v = std::get_if<std::string>(&Get(name));
+std::optional<std::string> VariableStore::GetString(ArgKey key) const {
+  const auto* v = std::get_if<std::string>(&Get(key));
   return v ? std::optional<std::string>(*v) : std::nullopt;
 }
 
-std::optional<bool> VariableStore::GetBool(std::string_view name) const {
-  const auto* v = std::get_if<bool>(&Get(name));
+std::optional<bool> VariableStore::GetBool(ArgKey key) const {
+  const auto* v = std::get_if<bool>(&Get(key));
   return v ? std::optional<bool>(*v) : std::nullopt;
 }
 
 size_t VariableStore::MemoryBytes() const {
   size_t bytes = sizeof(*this);
-  for (const auto& [name, value] : values_) {
-    bytes += sizeof(std::pair<std::string, Value>) + name.capacity();
+  bytes += values_.capacity() * sizeof(std::pair<ArgKey, Value>);
+  for (const auto& [key, value] : values_) {
     if (const auto* s = std::get_if<std::string>(&value)) {
       bytes += s->capacity();
     }
-    bytes += 3 * sizeof(void*);  // red-black tree node overhead (approx.)
   }
   return bytes;
 }

@@ -3,6 +3,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -63,6 +64,12 @@ struct Endpoint {
   auto operator<=>(const Endpoint&) const = default;
   std::string ToString() const;
 
+  /// 48-bit binary key (ip << 16 | port) for hash-map indexing — the
+  /// allocation-free alternative to keying containers on ToString().
+  constexpr uint64_t PackedKey() const {
+    return (uint64_t{ip.bits()} << 16) | port;
+  }
+
   /// Parses "10.1.0.5:5060". Returns nullopt on error.
   static std::optional<Endpoint> Parse(std::string_view text);
 };
@@ -71,3 +78,17 @@ std::ostream& operator<<(std::ostream& os, IpAddress addr);
 std::ostream& operator<<(std::ostream& os, const Endpoint& ep);
 
 }  // namespace vids::net
+
+template <>
+struct std::hash<vids::net::IpAddress> {
+  size_t operator()(vids::net::IpAddress addr) const noexcept {
+    return std::hash<uint32_t>{}(addr.bits());
+  }
+};
+
+template <>
+struct std::hash<vids::net::Endpoint> {
+  size_t operator()(const vids::net::Endpoint& ep) const noexcept {
+    return std::hash<uint64_t>{}(ep.PackedKey());
+  }
+};

@@ -6,11 +6,32 @@
 
 namespace vids::sim {
 
+Scheduler::EventId Scheduler::AcquireSlot() {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].active = true;
+  return EventId(slot, slots_[slot].gen);
+}
+
+void Scheduler::ReleaseSlot(uint32_t slot) {
+  // The generation bump invalidates every handle still pointing here before
+  // the slot is reused.
+  ++slots_[slot].gen;
+  slots_[slot].active = false;
+  free_slots_.push_back(slot);
+}
+
 Scheduler::EventId Scheduler::ScheduleAt(Time t, Callback cb) {
   if (t < now_) throw std::invalid_argument("ScheduleAt: time in the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Entry{t, next_seq_++, std::move(cb), cancelled});
-  return EventId(std::move(cancelled));
+  const EventId id = AcquireSlot();
+  queue_.push(Entry{t, next_seq_++, id.slot_, std::move(cb)});
+  return id;
 }
 
 Scheduler::EventId Scheduler::ScheduleAfter(Duration d, Callback cb) {
@@ -19,24 +40,38 @@ Scheduler::EventId Scheduler::ScheduleAfter(Duration d, Callback cb) {
 }
 
 bool Scheduler::Cancel(EventId& id) {
-  if (!id.cancelled_ || *id.cancelled_) return false;
-  *id.cancelled_ = true;
+  if (!IsPending(id)) {
+    id = EventId();
+    return false;
+  }
+  // The queue entry stays behind as a tombstone and frees the slot when it
+  // reaches the top; only the active flag flips here.
+  slots_[id.slot_].active = false;
   ++cancelled_count_;
-  id.cancelled_.reset();
+  id = EventId();
   return true;
+}
+
+bool Scheduler::IsPending(const EventId& id) const {
+  return id.slot_ != EventId::kNoSlot && id.slot_ < slots_.size() &&
+         slots_[id.slot_].gen == id.gen_ && slots_[id.slot_].active;
 }
 
 bool Scheduler::Step() {
   while (!queue_.empty()) {
-    Entry entry = queue_.top();
+    // priority_queue::top() is const to protect the heap invariant, but the
+    // entry is leaving the queue anyway — move it out instead of copying
+    // the std::function.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
-    if (*entry.cancelled) {
+    if (!slots_[entry.slot].active) {
       assert(cancelled_count_ > 0);
       --cancelled_count_;
+      ReleaseSlot(entry.slot);
       continue;
     }
     now_ = entry.time;
-    *entry.cancelled = true;  // marks "already ran" for Cancel()
+    ReleaseSlot(entry.slot);  // fired: stale handles must not cancel it
     ++executed_;
     entry.cb();
     return true;
@@ -52,9 +87,11 @@ void Scheduler::Run() {
 void Scheduler::RunUntil(Time deadline) {
   while (!queue_.empty()) {
     const Entry& top = queue_.top();
-    if (*top.cancelled) {
+    if (!slots_[top.slot].active) {
       --cancelled_count_;
+      const uint32_t slot = top.slot;
       queue_.pop();
+      ReleaseSlot(slot);
       continue;
     }
     if (top.time > deadline) break;
@@ -65,19 +102,9 @@ void Scheduler::RunUntil(Time deadline) {
 
 void Timer::Start(Duration d, Scheduler::Callback cb) {
   Cancel();
-  running_ = true;
-  pending_ = scheduler_.ScheduleAfter(
-      d, [this, cb = std::move(cb)] {
-        running_ = false;
-        cb();
-      });
+  pending_ = scheduler_.ScheduleAfter(d, std::move(cb));
 }
 
-void Timer::Cancel() {
-  if (running_) {
-    scheduler_.Cancel(pending_);
-    running_ = false;
-  }
-}
+void Timer::Cancel() { scheduler_.Cancel(pending_); }
 
 }  // namespace vids::sim

@@ -4,11 +4,15 @@
 // paper's testbed: every link transmission, protocol timer, call arrival and
 // IDS timeout is an event on one totally-ordered queue. Ties in time are
 // broken by insertion order, so runs are deterministic.
+//
+// Cancellation handles are (slot, generation) pairs into a recycled slot
+// vector — no per-event shared_ptr allocation. A slot's generation bumps
+// when its event fires or its slot is recycled, so stale handles are
+// detected by a single integer compare.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
@@ -21,16 +25,19 @@ class Scheduler {
   using Callback = std::function<void()>;
 
   /// Handle for cancelling a scheduled event. Default-constructed ids are
-  /// inert: cancelling them is a no-op.
+  /// inert: cancelling them is a no-op. A handle outlives its event safely;
+  /// once the event fires (or the handle is cancelled) the slot's
+  /// generation moves on and the handle goes stale.
   class EventId {
    public:
     EventId() = default;
 
    private:
     friend class Scheduler;
-    explicit EventId(std::shared_ptr<bool> cancelled)
-        : cancelled_(std::move(cancelled)) {}
-    std::shared_ptr<bool> cancelled_;
+    static constexpr uint32_t kNoSlot = UINT32_MAX;
+    EventId(uint32_t slot, uint32_t gen) : slot_(slot), gen_(gen) {}
+    uint32_t slot_ = kNoSlot;
+    uint32_t gen_ = 0;
   };
 
   /// Schedules `cb` at absolute time `t` (>= now).
@@ -42,6 +49,10 @@ class Scheduler {
   /// Cancels a pending event. Returns false if it already ran, was already
   /// cancelled, or the id is inert.
   bool Cancel(EventId& id);
+
+  /// True while the event behind `id` is scheduled and not yet run or
+  /// cancelled.
+  bool IsPending(const EventId& id) const;
 
   Time Now() const { return now_; }
 
@@ -65,8 +76,8 @@ class Scheduler {
   struct Entry {
     Time time;
     uint64_t seq;
+    uint32_t slot;
     Callback cb;
-    std::shared_ptr<bool> cancelled;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -74,12 +85,21 @@ class Scheduler {
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    uint32_t gen = 0;
+    bool active = false;
+  };
+
+  EventId AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
 
   Time now_;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   size_t cancelled_count_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 /// A restartable one-shot timer bound to a scheduler — the building block for
@@ -98,12 +118,11 @@ class Timer {
   /// Stops the timer if running.
   void Cancel();
 
-  bool IsRunning() const { return running_; }
+  bool IsRunning() const { return scheduler_.IsPending(pending_); }
 
  private:
   Scheduler& scheduler_;
   Scheduler::EventId pending_;
-  bool running_ = false;
 };
 
 }  // namespace vids::sim

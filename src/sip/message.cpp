@@ -11,7 +11,6 @@ using common::IEquals;
 using common::ParseInt;
 using common::Split;
 using common::SplitOnce;
-using common::ToLower;
 using common::Trim;
 
 namespace {
@@ -47,26 +46,31 @@ std::string_view ExpandCompact(std::string_view name) {
   }
 }
 
-// Canonical capitalization so serialized traffic looks conventional.
+// Canonical capitalization so serialized traffic looks conventional. Every
+// header the stack itself emits hits the static table — one case-insensitive
+// scan over ~20 entries, no per-character case analysis; the word-by-word
+// capitalization loop only runs for headers outside the table.
 std::string CanonicalName(std::string_view name) {
   name = ExpandCompact(name);
-  std::string out;
-  out.reserve(name.size());
+  static constexpr std::string_view kCanonical[] = {
+      "Via", "From", "To", "Call-ID", "CSeq", "Contact", "Content-Type",
+      "Content-Length", "Max-Forwards", "Expires", "User-Agent",
+      "WWW-Authenticate", "Authorization", "Proxy-Authenticate",
+      "Proxy-Authorization", "Record-Route", "Route", "Allow", "Supported",
+      "Subject"};
+  for (const std::string_view canonical : kCanonical) {
+    if (IEquals(name, canonical)) return std::string(canonical);
+  }
+  std::string out(name);
   bool start_of_word = true;
-  for (char c : name) {
+  for (char& c : out) {
     if (start_of_word && c >= 'a' && c <= 'z') {
-      out.push_back(static_cast<char>(c - 'a' + 'A'));
-    } else if (!start_of_word && c >= 'A' && c <= 'Z' && !IEquals(name, "Call-ID") && !IEquals(name, "CSeq")) {
-      out.push_back(static_cast<char>(c - 'A' + 'a'));
-    } else {
-      out.push_back(c);
+      c = static_cast<char>(c - 'a' + 'A');
+    } else if (!start_of_word && c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
     }
     start_of_word = (c == '-');
   }
-  // Preserve conventional spellings with interior capitals.
-  if (IEquals(out, "Call-Id")) return "Call-ID";
-  if (IEquals(out, "Cseq")) return "CSeq";
-  if (IEquals(out, "Www-Authenticate")) return "WWW-Authenticate";
   return out;
 }
 
@@ -76,11 +80,10 @@ std::map<std::string, std::string> ParseParams(std::string_view tail) {
   for (const auto piece : Split(tail, ';')) {
     if (piece.empty()) continue;
     const auto eq = SplitOnce(piece, '=');
-    if (eq) {
-      params[ToLower(eq->first)] = std::string(eq->second);
-    } else {
-      params[ToLower(piece)] = "";
-    }
+    std::string key(eq ? eq->first : piece);
+    common::AsciiLowerInPlace(key);
+    params.insert_or_assign(std::move(key),
+                            eq ? std::string(eq->second) : std::string());
   }
   return params;
 }

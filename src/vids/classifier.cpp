@@ -10,11 +10,11 @@ namespace {
 
 void PutEndpoints(efsm::Event& event, const net::Datagram& dgram,
                   bool from_outside) {
-  event.args["src_ip"] = dgram.src.ip.ToString();
-  event.args["src_port"] = static_cast<int64_t>(dgram.src.port);
-  event.args["dst_ip"] = dgram.dst.ip.ToString();
-  event.args["dst_port"] = static_cast<int64_t>(dgram.dst.port);
-  event.args["from_outside"] = from_outside;
+  event.args[argkey::kSrcIp] = dgram.src.ip.ToString();
+  event.args[argkey::kSrcPort] = static_cast<int64_t>(dgram.src.port);
+  event.args[argkey::kDstIp] = dgram.dst.ip.ToString();
+  event.args[argkey::kDstPort] = static_cast<int64_t>(dgram.dst.port);
+  event.args[argkey::kFromOutside] = from_outside;
 }
 
 }  // namespace
@@ -60,23 +60,27 @@ std::optional<ClassifiedPacket> PacketClassifier::ClassifyRtcp(
   if (!packet) return std::nullopt;
   ClassifiedPacket out;
   out.proto = PacketProto::kRtcp;
+  out.src = dgram.src;
+  out.dst = dgram.dst;
   efsm::Event& event = out.event;
   event.name = std::string(kRtcpEvent);
   PutEndpoints(event, dgram, from_outside);
   switch (packet->type()) {
     case rtp::RtcpType::kSenderReport:
-      event.args["kind"] = std::string("SR");
-      event.args["ssrc"] = static_cast<int64_t>(packet->sr->sender_ssrc);
-      event.args["packet_count"] =
+      event.args[argkey::kKind] = std::string("SR");
+      event.args[argkey::kSsrc] =
+          static_cast<int64_t>(packet->sr->sender_ssrc);
+      event.args[argkey::kPacketCount] =
           static_cast<int64_t>(packet->sr->packet_count);
       break;
     case rtp::RtcpType::kReceiverReport:
-      event.args["kind"] = std::string("RR");
-      event.args["ssrc"] = static_cast<int64_t>(packet->rr->sender_ssrc);
+      event.args[argkey::kKind] = std::string("RR");
+      event.args[argkey::kSsrc] =
+          static_cast<int64_t>(packet->rr->sender_ssrc);
       break;
     case rtp::RtcpType::kBye:
-      event.args["kind"] = std::string("BYE");
-      event.args["ssrc"] = static_cast<int64_t>(
+      event.args[argkey::kKind] = std::string("BYE");
+      event.args[argkey::kSsrc] = static_cast<int64_t>(
           packet->bye->ssrcs.empty() ? 0 : packet->bye->ssrcs.front());
       break;
   }
@@ -88,31 +92,34 @@ ClassifiedPacket PacketClassifier::ClassifySip(const sip::Message& message,
                                                bool from_outside) {
   ClassifiedPacket out;
   out.proto = PacketProto::kSip;
+  out.src = dgram.src;
+  out.dst = dgram.dst;
   efsm::Event& event = out.event;
   event.name = std::string(kSipEvent);
   PutEndpoints(event, dgram, from_outside);
 
-  event.args["kind"] = message.IsRequest() ? std::string("request")
-                                           : std::string("response");
-  event.args["method"] = std::string(sip::MethodName(message.method()));
-  event.args["status"] = static_cast<int64_t>(message.status());
+  event.args[argkey::kKind] = message.IsRequest() ? std::string("request")
+                                                  : std::string("response");
+  event.args[argkey::kMethod] =
+      std::string(sip::MethodName(message.method()));
+  event.args[argkey::kStatus] = static_cast<int64_t>(message.status());
   if (const auto call_id = message.CallId()) {
     out.call_key = std::string(*call_id);
-    event.args["call_id"] = out.call_key;
+    event.args[argkey::kCallId] = out.call_key;
   }
   if (const auto cseq = message.Cseq()) {
-    event.args["cseq"] = static_cast<int64_t>(cseq->number);
+    event.args[argkey::kCseq] = static_cast<int64_t>(cseq->number);
   }
   if (const auto from = message.From()) {
-    event.args["from"] = from->uri.UserAtHost();
-    if (const auto tag = from->Tag()) event.args["from_tag"] = *tag;
+    event.args[argkey::kFrom] = from->uri.UserAtHost();
+    if (const auto tag = from->Tag()) event.args[argkey::kFromTag] = *tag;
   }
   if (const auto to = message.To()) {
-    event.args["to"] = to->uri.UserAtHost();
-    if (const auto tag = to->Tag()) event.args["to_tag"] = *tag;
+    event.args[argkey::kTo] = to->uri.UserAtHost();
+    if (const auto tag = to->Tag()) event.args[argkey::kToTag] = *tag;
   }
   if (const auto via = message.TopVia()) {
-    event.args["branch"] = via->branch;
+    event.args[argkey::kBranch] = via->branch;
   }
   if (message.IsRequest()) {
     if (const auto to = message.To()) out.dest_key = to->uri.UserAtHost();
@@ -123,11 +130,11 @@ ClassifiedPacket PacketClassifier::ClassifySip(const sip::Message& message,
   if (!message.body().empty()) {
     if (const auto sd = sdp::SessionDescription::Parse(message.body())) {
       if (const auto media = sd->AudioEndpoint()) {
-        event.args["sdp_ip"] = media->ip.ToString();
-        event.args["sdp_port"] = static_cast<int64_t>(media->port);
-        event.args["sdp_codec"] = sd->AudioCodec();
+        event.args[argkey::kSdpIp] = media->ip.ToString();
+        event.args[argkey::kSdpPort] = static_cast<int64_t>(media->port);
+        event.args[argkey::kSdpCodec] = sd->AudioCodec();
         if (!sd->media.empty() && !sd->media.front().payload_types.empty()) {
-          event.args["sdp_pt"] =
+          event.args[argkey::kSdpPt] =
               static_cast<int64_t>(sd->media.front().payload_types.front());
         }
       }
@@ -142,14 +149,16 @@ std::optional<ClassifiedPacket> PacketClassifier::ClassifyRtp(
   if (!header) return std::nullopt;
   ClassifiedPacket out;
   out.proto = PacketProto::kRtp;
+  out.src = dgram.src;
+  out.dst = dgram.dst;
   efsm::Event& event = out.event;
   event.name = std::string(kRtpEvent);
   PutEndpoints(event, dgram, from_outside);
-  event.args["ssrc"] = static_cast<int64_t>(header->ssrc);
-  event.args["seq"] = static_cast<int64_t>(header->sequence_number);
-  event.args["ts"] = static_cast<int64_t>(header->timestamp);
-  event.args["pt"] = static_cast<int64_t>(header->payload_type);
-  event.args["marker"] = header->marker;
+  event.args[argkey::kSsrc] = static_cast<int64_t>(header->ssrc);
+  event.args[argkey::kSeq] = static_cast<int64_t>(header->sequence_number);
+  event.args[argkey::kTs] = static_cast<int64_t>(header->timestamp);
+  event.args[argkey::kPt] = static_cast<int64_t>(header->payload_type);
+  event.args[argkey::kMarker] = header->marker;
   return out;
 }
 

@@ -26,6 +26,10 @@ struct ClassifiedPacket {
   std::string call_key;
   /// SIP INVITE: the destination AOR (INVITE-flood grouping key).
   std::string dest_key;
+  /// Binary source/destination endpoints of the datagram — the fact base
+  /// keys its media and victim indexes on these, no string round trips.
+  net::Endpoint src;
+  net::Endpoint dst;
 };
 
 class PacketClassifier {
@@ -64,5 +68,42 @@ inline constexpr std::string_view kSipToRtpChannel = "SIP->RTP";
 inline constexpr std::string_view kSyncOffer = "sync:offer";
 inline constexpr std::string_view kSyncAnswer = "sync:answer";
 inline constexpr std::string_view kSyncBye = "sync:bye";
+
+/// Interned keys for the event argument vector x̄, shared by the classifier
+/// (producer) and the machine predicates/actions (consumers) so hot-path
+/// argument access never hashes a string.
+namespace argkey {
+// Transport endpoints (every packet event).
+inline const efsm::ArgKey kSrcIp = efsm::ArgKey::Intern("src_ip");
+inline const efsm::ArgKey kSrcPort = efsm::ArgKey::Intern("src_port");
+inline const efsm::ArgKey kDstIp = efsm::ArgKey::Intern("dst_ip");
+inline const efsm::ArgKey kDstPort = efsm::ArgKey::Intern("dst_port");
+inline const efsm::ArgKey kFromOutside = efsm::ArgKey::Intern("from_outside");
+// SIP.
+inline const efsm::ArgKey kKind = efsm::ArgKey::Intern("kind");
+inline const efsm::ArgKey kMethod = efsm::ArgKey::Intern("method");
+inline const efsm::ArgKey kStatus = efsm::ArgKey::Intern("status");
+inline const efsm::ArgKey kCallId = efsm::ArgKey::Intern("call_id");
+inline const efsm::ArgKey kCseq = efsm::ArgKey::Intern("cseq");
+inline const efsm::ArgKey kFrom = efsm::ArgKey::Intern("from");
+inline const efsm::ArgKey kFromTag = efsm::ArgKey::Intern("from_tag");
+inline const efsm::ArgKey kTo = efsm::ArgKey::Intern("to");
+inline const efsm::ArgKey kToTag = efsm::ArgKey::Intern("to_tag");
+inline const efsm::ArgKey kBranch = efsm::ArgKey::Intern("branch");
+inline const efsm::ArgKey kSdpIp = efsm::ArgKey::Intern("sdp_ip");
+inline const efsm::ArgKey kSdpPort = efsm::ArgKey::Intern("sdp_port");
+inline const efsm::ArgKey kSdpCodec = efsm::ArgKey::Intern("sdp_codec");
+inline const efsm::ArgKey kSdpPt = efsm::ArgKey::Intern("sdp_pt");
+// RTP / RTCP.
+inline const efsm::ArgKey kSsrc = efsm::ArgKey::Intern("ssrc");
+inline const efsm::ArgKey kSeq = efsm::ArgKey::Intern("seq");
+inline const efsm::ArgKey kTs = efsm::ArgKey::Intern("ts");
+inline const efsm::ArgKey kPt = efsm::ArgKey::Intern("pt");
+inline const efsm::ArgKey kMarker = efsm::ArgKey::Intern("marker");
+inline const efsm::ArgKey kPacketCount = efsm::ArgKey::Intern("packet_count");
+// Synchronization events (δ_SIP→RTP payload).
+inline const efsm::ArgKey kIp = efsm::ArgKey::Intern("ip");
+inline const efsm::ArgKey kPort = efsm::ArgKey::Intern("port");
+}  // namespace argkey
 
 }  // namespace vids::ids

@@ -1,18 +1,24 @@
 #include "vids/fact_base.h"
 
+#include <algorithm>
+
 #include "vids/classifier.h"
 
 namespace vids::ids {
 
 namespace {
 
-std::string KeyedName(KeyedKind kind, const std::string& key) {
-  switch (kind) {
-    case KeyedKind::kInviteFlood: return "flood|" + key;
-    case KeyedKind::kMediaEndpoint: return "media|" + key;
-    case KeyedKind::kDrdos: return "drdos|" + key;
-  }
-  return key;
+// keyed_bin_ keys: the endpoint/IP payload occupies bits 0..47, the family
+// tag sits above so media and DRDoS keys can share one map.
+constexpr uint64_t kMediaTag = uint64_t{1} << 56;
+constexpr uint64_t kDrdosTag = uint64_t{2} << 56;
+
+uint64_t MediaKey(const net::Endpoint& endpoint) {
+  return kMediaTag | endpoint.PackedKey();
+}
+
+uint64_t DrdosKey(net::IpAddress victim) {
+  return kDrdosTag | victim.bits();
 }
 
 }  // namespace
@@ -53,7 +59,7 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateCall(
   return *entry.group;
 }
 
-efsm::MachineGroup* CallStateFactBase::FindCall(const std::string& call_id) {
+efsm::MachineGroup* CallStateFactBase::FindCall(std::string_view call_id) {
   const auto it = calls_.find(call_id);
   if (it == calls_.end()) return nullptr;
   return it->second.group.get();
@@ -61,9 +67,27 @@ efsm::MachineGroup* CallStateFactBase::FindCall(const std::string& call_id) {
 
 efsm::MachineGroup& CallStateFactBase::GetOrCreateKeyed(
     KeyedKind kind, const std::string& key) {
-  const std::string name = KeyedName(kind, key);
-  auto it = keyed_.find(name);
-  if (it != keyed_.end()) {
+  switch (kind) {
+    case KeyedKind::kMediaEndpoint:
+      if (const auto endpoint = net::Endpoint::Parse(key)) {
+        return GetOrCreateMediaGroup(*endpoint);
+      }
+      break;
+    case KeyedKind::kDrdos:
+      if (const auto victim = net::IpAddress::Parse(key)) {
+        return GetOrCreateDrdosGroup(*victim);
+      }
+      break;
+    case KeyedKind::kInviteFlood:
+      break;
+  }
+  // INVITE flood (AOR key) and unparseable media/victim keys.
+  const std::string name = (kind == KeyedKind::kInviteFlood  ? "flood|"
+                            : kind == KeyedKind::kMediaEndpoint ? "media|"
+                                                                : "drdos|") +
+                           key;
+  auto it = keyed_str_.find(name);
+  if (it != keyed_str_.end()) {
     it->second.last_event = scheduler_.Now();
     return *it->second.group;
   }
@@ -82,26 +106,74 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateKeyed(
       group->AddMachine(scenarios_.drdos, "drdos");
       break;
   }
-  auto& entry = keyed_[name];
+  auto& entry = keyed_str_[name];
   entry.group = std::move(group);
   entry.last_event = scheduler_.Now();
   return *entry.group;
 }
 
-bool CallStateFactBase::IsTombstoned(const std::string& call_id) const {
-  return tombstones_.contains(call_id);
+efsm::MachineGroup& CallStateFactBase::GetOrCreateMediaGroup(
+    const net::Endpoint& endpoint) {
+  auto [it, inserted] = keyed_bin_.try_emplace(MediaKey(endpoint));
+  Entry& entry = it->second;
+  entry.last_event = scheduler_.Now();
+  if (!inserted) return *entry.group;
+  auto group = std::make_unique<efsm::MachineGroup>(
+      "media|" + endpoint.ToString(), scheduler_, observer_);
+  group->AddMachine(scenarios_.media_spam, "media-spam");
+  group->AddMachine(scenarios_.rtp_flood, "rtp-flood");
+  group->AddMachine(scenarios_.rtcp_bye, "rtcp-bye");
+  entry.group = std::move(group);
+  return *entry.group;
+}
+
+efsm::MachineGroup& CallStateFactBase::GetOrCreateDrdosGroup(
+    net::IpAddress victim) {
+  auto [it, inserted] = keyed_bin_.try_emplace(DrdosKey(victim));
+  Entry& entry = it->second;
+  entry.last_event = scheduler_.Now();
+  if (!inserted) return *entry.group;
+  auto group = std::make_unique<efsm::MachineGroup>(
+      "drdos|" + victim.ToString(), scheduler_, observer_);
+  group->AddMachine(scenarios_.drdos, "drdos");
+  entry.group = std::move(group);
+  return *entry.group;
+}
+
+bool CallStateFactBase::IsTombstoned(std::string_view call_id) const {
+  return tombstones_.find(call_id) != tombstones_.end();
 }
 
 void CallStateFactBase::IndexMedia(const net::Endpoint& endpoint,
                                    const std::string& call_id) {
-  media_index_[endpoint] = call_id;
+  const uint64_t key = endpoint.PackedKey();
+  MediaEntry& media = media_index_[key];
+  const auto call_it = calls_.find(call_id);
+  efsm::MachineGroup* group =
+      call_it != calls_.end() ? call_it->second.group.get() : nullptr;
+  if (media.call_id == call_id && media.group == group) return;  // no change
+  media.call_id = call_id;
+  media.group = group;
+  if (call_it != calls_.end()) {
+    auto& keys = call_it->second.media_keys;
+    if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+      keys.push_back(key);
+    }
+  }
 }
 
 std::optional<std::string> CallStateFactBase::CallByMedia(
     const net::Endpoint& endpoint) const {
-  const auto it = media_index_.find(endpoint);
+  const auto it = media_index_.find(endpoint.PackedKey());
   if (it == media_index_.end()) return std::nullopt;
-  return it->second;
+  return it->second.call_id;
+}
+
+efsm::MachineGroup* CallStateFactBase::FindGroupByMedia(
+    const net::Endpoint& endpoint) const {
+  const auto it = media_index_.find(endpoint.PackedKey());
+  if (it == media_index_.end()) return nullptr;
+  return it->second.group;
 }
 
 bool CallStateFactBase::CallComplete(const efsm::MachineGroup& group) const {
@@ -129,18 +201,31 @@ void CallStateFactBase::Sweep(sim::Time now) {
     if (complete || idle) {
       tombstones_[it->first] = now + config_.tombstone_ttl;
       ++calls_deleted_;
-      // Drop this call's media-endpoint index entries.
-      std::erase_if(media_index_, [&](const auto& kv) {
-        return kv.second == it->first;
-      });
+      // Drop this call's media-endpoint index entries via the reverse
+      // index. The ownership check keeps endpoints that were re-negotiated
+      // to another call in the meantime.
+      for (const uint64_t key : it->second.media_keys) {
+        const auto media_it = media_index_.find(key);
+        if (media_it != media_index_.end() &&
+            media_it->second.call_id == it->first) {
+          media_index_.erase(media_it);
+        }
+      }
       it = calls_.erase(it);
     } else {
       ++it;
     }
   }
-  for (auto it = keyed_.begin(); it != keyed_.end();) {
+  for (auto it = keyed_str_.begin(); it != keyed_str_.end();) {
     if (now - it->second.last_event > config_.keyed_idle_timeout) {
-      it = keyed_.erase(it);
+      it = keyed_str_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = keyed_bin_.begin(); it != keyed_bin_.end();) {
+    if (now - it->second.last_event > config_.keyed_idle_timeout) {
+      it = keyed_bin_.erase(it);
     } else {
       ++it;
     }
@@ -152,16 +237,21 @@ void CallStateFactBase::Sweep(sim::Time now) {
 size_t CallStateFactBase::MemoryBytes() const {
   size_t bytes = sizeof(*this);
   for (const auto& [call_id, entry] : calls_) {
-    bytes += call_id.capacity() + sizeof(Entry) + entry.group->MemoryBytes();
+    bytes += call_id.capacity() + sizeof(Entry) + entry.group->MemoryBytes() +
+             entry.media_keys.capacity() * sizeof(uint64_t);
   }
-  for (const auto& [key, entry] : keyed_) {
+  for (const auto& [key, entry] : keyed_str_) {
     bytes += key.capacity() + sizeof(Entry) + entry.group->MemoryBytes();
+  }
+  for (const auto& [key, entry] : keyed_bin_) {
+    bytes += sizeof(uint64_t) + sizeof(Entry) + entry.group->MemoryBytes();
   }
   for (const auto& [key, expiry] : tombstones_) {
     bytes += key.capacity() + sizeof(sim::Time);
   }
-  bytes += media_index_.size() *
-           (sizeof(net::Endpoint) + sizeof(std::string) + 4 * sizeof(void*));
+  for (const auto& [key, media] : media_index_) {
+    bytes += sizeof(uint64_t) + sizeof(MediaEntry) + media.call_id.capacity();
+  }
   return bytes;
 }
 

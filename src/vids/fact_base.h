@@ -9,13 +9,22 @@
 // tombstone against late retransmissions) and idle state is reclaimed on a
 // lazy sweep. It also maintains the media-endpoint → call index that lets
 // the Event Distributor hand RTP packets to the right call group.
+//
+// Indexing is binary on the hot path: media endpoints and DRDoS victims key
+// hash maps by packed 48-bit endpoint / 32-bit IP values (no ToString()),
+// string-keyed maps are unordered with transparent string_view lookup, and
+// every call entry carries its media keys so Sweep() erases exactly the
+// deleted call's index entries instead of scanning the whole index.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
 
+#include "common/strings.h"
 #include "efsm/engine.h"
 #include "net/address.h"
 #include "vids/config.h"
@@ -37,26 +46,35 @@ class CallStateFactBase {
   /// `created` reports whether this packet opened the call.
   efsm::MachineGroup& GetOrCreateCall(const std::string& call_id,
                                       bool& created);
-  efsm::MachineGroup* FindCall(const std::string& call_id);
+  efsm::MachineGroup* FindCall(std::string_view call_id);
 
-  /// Per-destination pattern group: INVITE flood (key = callee AOR), media
-  /// spam + RTP flood (key = media endpoint), DRDoS (key = victim IP).
+  /// Per-destination pattern group, generic string-keyed entry point:
+  /// INVITE flood (key = callee AOR), media spam + RTP flood (key = media
+  /// endpoint "ip:port"), DRDoS (key = victim IP). Media/DRDoS keys that
+  /// parse as endpoint/IP are routed to the binary-keyed overloads below.
   efsm::MachineGroup& GetOrCreateKeyed(KeyedKind kind, const std::string& key);
+
+  /// Binary-keyed fast paths — no string formatting or parsing.
+  efsm::MachineGroup& GetOrCreateMediaGroup(const net::Endpoint& endpoint);
+  efsm::MachineGroup& GetOrCreateDrdosGroup(net::IpAddress victim);
 
   /// True if the call completed recently; its late retransmissions are
   /// dropped rather than treated as new (deviant) calls.
-  bool IsTombstoned(const std::string& call_id) const;
+  bool IsTombstoned(std::string_view call_id) const;
 
   /// Media-endpoint index: negotiated RTP destinations → owning call.
   void IndexMedia(const net::Endpoint& endpoint, const std::string& call_id);
   std::optional<std::string> CallByMedia(const net::Endpoint& endpoint) const;
+  /// Zero-copy variant: the indexed call's group, or nullptr when the
+  /// endpoint is unknown or its call no longer exists.
+  efsm::MachineGroup* FindGroupByMedia(const net::Endpoint& endpoint) const;
 
   /// Reclaims completed calls and idle groups. Cheap when nothing is due;
   /// call it from the packet path.
   void Sweep(sim::Time now);
 
   size_t call_count() const { return calls_.size(); }
-  size_t keyed_count() const { return keyed_.size(); }
+  size_t keyed_count() const { return keyed_str_.size() + keyed_bin_.size(); }
   uint64_t calls_created() const { return calls_created_; }
   uint64_t calls_deleted() const { return calls_deleted_; }
 
@@ -71,7 +89,18 @@ class CallStateFactBase {
   struct Entry {
     std::unique_ptr<efsm::MachineGroup> group;
     sim::Time last_event;
+    // Reverse index: packed media-endpoint keys negotiated by this call, so
+    // deletion cleans media_index_ without a full scan.
+    std::vector<uint64_t> media_keys;
   };
+  struct MediaEntry {
+    std::string call_id;
+    efsm::MachineGroup* group = nullptr;  // owned by calls_[call_id]
+  };
+
+  template <typename T>
+  using StringKeyed =
+      std::unordered_map<std::string, T, common::StringHash, std::equal_to<>>;
 
   /// A call is over when its SIP machine retired and its RTP machine either
   /// retired or never left INIT (non-call transactions like REGISTER).
@@ -86,10 +115,12 @@ class CallStateFactBase {
   efsm::MachineDef rtp_spec_;
   AttackScenarioBase scenarios_;
 
-  std::map<std::string, Entry> calls_;
-  std::map<std::string, Entry> keyed_;  // key prefixed with kind
-  std::map<std::string, sim::Time> tombstones_;
-  std::map<net::Endpoint, std::string> media_index_;
+  StringKeyed<Entry> calls_;
+  StringKeyed<Entry> keyed_str_;  // INVITE flood, name-prefixed "flood|"
+  // Media-endpoint and DRDoS groups, keyed by kind-tagged packed binary key.
+  std::unordered_map<uint64_t, Entry> keyed_bin_;
+  StringKeyed<sim::Time> tombstones_;
+  std::unordered_map<uint64_t, MediaEntry> media_index_;
   sim::Time next_sweep_;
   uint64_t calls_created_ = 0;
   uint64_t calls_deleted_ = 0;

@@ -51,15 +51,10 @@ sim::Duration Vids::Inspect(const net::Datagram& dgram, bool from_outside) {
 void Vids::HandleRtcp(const ClassifiedPacket& packet) {
   // RTCP runs on the media port + 1; fold it onto the media endpoint's
   // pattern group so the ghost-media machine sees both streams.
-  const auto dst_ip = packet.event.ArgString("dst_ip");
-  const auto dst_port = packet.event.ArgInt("dst_port");
-  if (!dst_ip || !dst_port || *dst_port < 1) return;
-  const auto addr = net::IpAddress::Parse(*dst_ip);
-  if (!addr) return;
+  if (packet.dst.port < 1) return;
   const net::Endpoint media_endpoint{
-      *addr, static_cast<uint16_t>(*dst_port - 1)};
-  auto& media_group = fact_base_.GetOrCreateKeyed(KeyedKind::kMediaEndpoint,
-                                                  media_endpoint.ToString());
+      packet.dst.ip, static_cast<uint16_t>(packet.dst.port - 1)};
+  auto& media_group = fact_base_.GetOrCreateMediaGroup(media_endpoint);
   if (auto* machine = media_group.Find("rtcp-bye")) {
     media_group.DeliverData(*machine, packet.event);
   }
@@ -86,18 +81,15 @@ void Vids::HandleSip(const ClassifiedPacket& packet) {
   // A response opening a "call" is unsolicited: nobody here sent the
   // request. Feed the per-victim DRDoS counter (§3.1's reflection attack);
   // the SIP machine's INIT-state deviation also fires.
-  const bool is_response =
-      packet.event.ArgString("kind").value_or("") == "response";
+  const std::string* kind = packet.event.ArgStr(argkey::kKind);
+  const bool is_response = kind != nullptr && *kind == "response";
   if (created && is_response) {
-    if (const auto dst_ip = packet.event.ArgString("dst_ip")) {
-      auto& drdos_group =
-          fact_base_.GetOrCreateKeyed(KeyedKind::kDrdos, *dst_ip);
-      efsm::Event unsolicited;
-      unsolicited.name = std::string(kUnsolicitedEvent);
-      unsolicited.args = packet.event.args;
-      if (auto* machine = drdos_group.Find("drdos")) {
-        drdos_group.DeliverData(*machine, unsolicited);
-      }
+    auto& drdos_group = fact_base_.GetOrCreateDrdosGroup(packet.dst.ip);
+    efsm::Event unsolicited;
+    unsolicited.name = std::string(kUnsolicitedEvent);
+    unsolicited.args = packet.event.args;
+    if (auto* machine = drdos_group.Find("drdos")) {
+      drdos_group.DeliverData(*machine, unsolicited);
     }
   }
 
@@ -112,13 +104,14 @@ void Vids::HandleSip(const ClassifiedPacket& packet) {
   }
 
   // INVITE requests additionally drive the per-destination flood counter.
-  if (packet.event.ArgString("kind").value_or("") == "request" &&
-      packet.event.ArgString("method").value_or("") == "INVITE" &&
-      !packet.dest_key.empty()) {
-    auto& flood_group =
-        fact_base_.GetOrCreateKeyed(KeyedKind::kInviteFlood, packet.dest_key);
-    if (auto* machine = flood_group.Find("invite-flood")) {
-      flood_group.DeliverData(*machine, packet.event);
+  if (!is_response && !packet.dest_key.empty()) {
+    const std::string* method = packet.event.ArgStr(argkey::kMethod);
+    if (method != nullptr && *method == "INVITE") {
+      auto& flood_group = fact_base_.GetOrCreateKeyed(KeyedKind::kInviteFlood,
+                                                      packet.dest_key);
+      if (auto* machine = flood_group.Find("invite-flood")) {
+        flood_group.DeliverData(*machine, packet.event);
+      }
     }
   }
 
@@ -127,42 +120,34 @@ void Vids::HandleSip(const ClassifiedPacket& packet) {
 
 void Vids::RefreshMediaIndex(efsm::MachineGroup& group,
                              const std::string& call_id) {
-  for (const std::string prefix : {"offer", "answer"}) {
-    const auto ip = group.global().GetString("g_" + prefix + "_ip");
-    const auto port = group.global().GetInt("g_" + prefix + "_port");
-    if (ip && port) {
-      if (const auto addr = net::IpAddress::Parse(*ip)) {
-        fact_base_.IndexMedia(
-            net::Endpoint{*addr, static_cast<uint16_t>(*port)}, call_id);
-      }
+  const auto index_one = [&](efsm::ArgKey ip_key, efsm::ArgKey port_key) {
+    const efsm::Value& ip = group.global().Get(ip_key);
+    const auto port = group.global().GetInt(port_key);
+    const auto* ip_str = std::get_if<std::string>(&ip);
+    if (ip_str == nullptr || !port) return;
+    if (const auto addr = net::IpAddress::Parse(*ip_str)) {
+      fact_base_.IndexMedia(
+          net::Endpoint{*addr, static_cast<uint16_t>(*port)}, call_id);
     }
-  }
+  };
+  index_one(gkey::kOfferIp, gkey::kOfferPort);
+  index_one(gkey::kAnswerIp, gkey::kAnswerPort);
 }
 
 void Vids::HandleRtp(const ClassifiedPacket& packet) {
-  const auto dst_ip = packet.event.ArgString("dst_ip");
-  const auto dst_port = packet.event.ArgInt("dst_port");
-  if (!dst_ip || !dst_port) return;
-  net::Endpoint dst;
-  if (const auto addr = net::IpAddress::Parse(*dst_ip)) {
-    dst = net::Endpoint{*addr, static_cast<uint16_t>(*dst_port)};
-  }
-
   // Cross-protocol path: media belonging to a monitored call goes to that
-  // call's RTP specification machine.
-  if (const auto call_id = fact_base_.CallByMedia(dst)) {
-    if (auto* group = fact_base_.FindCall(*call_id)) {
-      if (auto* machine = group->Find(kRtpMachineName)) {
-        group->DeliverData(*machine, packet.event);
-      }
+  // call's RTP specification machine. The media index resolves the packed
+  // binary endpoint straight to the owning group — no string keys.
+  if (auto* group = fact_base_.FindGroupByMedia(packet.dst)) {
+    if (auto* machine = group->Find(kRtpMachineName)) {
+      group->DeliverData(*machine, packet.event);
     }
   } else {
     ++stats_.orphan_rtp;
   }
 
   // Per-endpoint patterns see every media packet, monitored call or not.
-  auto& media_group =
-      fact_base_.GetOrCreateKeyed(KeyedKind::kMediaEndpoint, dst.ToString());
+  auto& media_group = fact_base_.GetOrCreateMediaGroup(packet.dst);
   for (const auto name :
        {std::string_view("media-spam"), std::string_view("rtp-flood"),
         std::string_view("rtcp-bye")}) {
@@ -183,56 +168,95 @@ void Vids::OnTransition(const efsm::MachineInstance& machine,
 
 void Vids::OnAttackState(const efsm::MachineInstance& machine,
                          efsm::StateId state, const efsm::Event& event) {
+  // Attack states with self-loops (floods) re-enter per packet: suppress
+  // repeats before building the Alert so the steady state allocates nothing.
+  const std::string_view classification = machine.def().StateName(state);
+  const sim::Time now = scheduler_.Now();
+  if (IsDuplicateAlert(machine.group().name(), machine.def().name(),
+                       classification, now)) {
+    ++stats_.alerts_suppressed;
+    return;
+  }
+
   Alert alert;
-  alert.when = scheduler_.Now();
+  alert.when = now;
   alert.kind = AlertKind::kAttackPattern;
-  alert.classification = std::string(machine.def().StateName(state));
+  alert.classification = std::string(classification);
   alert.machine = machine.def().name();
   alert.group = machine.group().name();
-  alert.state = std::string(machine.def().StateName(state));
-  alert.detail = "src=" + event.ArgString("src_ip").value_or("?") +
-                 " dst=" + event.ArgString("dst_ip").value_or("?");
+  alert.state = std::string(classification);
+  const std::string* src = event.ArgStr(argkey::kSrcIp);
+  const std::string* dst = event.ArgStr(argkey::kDstIp);
+  alert.detail = "src=" + (src != nullptr ? *src : std::string("?")) +
+                 " dst=" + (dst != nullptr ? *dst : std::string("?"));
   RaiseAlert(std::move(alert));
 }
 
-std::string Vids::DescribeDeviation(const efsm::MachineInstance& machine,
-                                    const efsm::Event& event) {
-  const std::string_view state = machine.StateName();
+std::string_view Vids::DescribeDeviation(const efsm::MachineInstance& machine,
+                                         const efsm::Event& event,
+                                         std::string& scratch) {
   const bool at_init = machine.state() == machine.def().initial_state();
   if (machine.def().name() == "sip-spec" && at_init) {
-    if (event.ArgString("kind").value_or("") == "response") {
+    const std::string* kind = event.ArgStr(argkey::kKind);
+    if (kind != nullptr && *kind == "response") {
       return "unsolicited response (possible DRDoS reflection)";
     }
-    return "dialog-less " + event.ArgString("method").value_or("request") +
-           " (possible spoofed teardown)";
+    const std::string* method = event.ArgStr(argkey::kMethod);
+    scratch = "dialog-less " +
+              (method != nullptr ? *method : std::string("request")) +
+              " (possible spoofed teardown)";
+    return scratch;
   }
   if (machine.def().name() == "rtp-spec") {
     if (at_init) return "media before signaling";
     return "unauthorized media (endpoint not negotiated in SDP)";
   }
-  return "unexpected " + event.name + " in state " + std::string(state);
+  scratch = "unexpected " + event.name + " in state " +
+            std::string(machine.StateName());
+  return scratch;
 }
 
 void Vids::OnDeviation(const efsm::MachineInstance& machine,
                        const efsm::Event& event) {
+  // A machine stuck out-of-spec deviates on every packet of an ongoing
+  // stream; suppress repeats before any alert string is assembled.
+  std::string scratch;
+  const std::string_view classification =
+      DescribeDeviation(machine, event, scratch);
+  const sim::Time now = scheduler_.Now();
+  if (IsDuplicateAlert(machine.group().name(), machine.def().name(),
+                       classification, now)) {
+    ++stats_.alerts_suppressed;
+    return;
+  }
+
   Alert alert;
-  alert.when = scheduler_.Now();
+  alert.when = now;
   alert.kind = AlertKind::kSpecDeviation;
-  alert.classification = DescribeDeviation(machine, event);
+  alert.classification = std::string(classification);
   alert.machine = machine.def().name();
   alert.group = machine.group().name();
   alert.state = std::string(machine.StateName());
+  const std::string* src = event.ArgStr(argkey::kSrcIp);
   alert.detail = "event=" + event.name +
-                 " src=" + event.ArgString("src_ip").value_or("?");
+                 " src=" + (src != nullptr ? *src : std::string("?"));
   RaiseAlert(std::move(alert));
 }
 
 void Vids::OnNondeterminism(const efsm::MachineInstance& machine,
                             const efsm::Event& event, size_t enabled_count) {
+  constexpr std::string_view kClassification = "non-disjoint predicates";
+  const sim::Time now = scheduler_.Now();
+  if (IsDuplicateAlert(machine.group().name(), machine.def().name(),
+                       kClassification, now)) {
+    ++stats_.alerts_suppressed;
+    return;
+  }
+
   Alert alert;
-  alert.when = scheduler_.Now();
+  alert.when = now;
   alert.kind = AlertKind::kNondeterminism;
-  alert.classification = "non-disjoint predicates";
+  alert.classification = std::string(kClassification);
   alert.machine = machine.def().name();
   alert.group = machine.group().name();
   alert.state = std::string(machine.StateName());
@@ -241,16 +265,29 @@ void Vids::OnNondeterminism(const efsm::MachineInstance& machine,
   RaiseAlert(std::move(alert));
 }
 
+bool Vids::IsDuplicateAlert(std::string_view group, std::string_view machine,
+                            std::string_view classification,
+                            sim::Time when) const {
+  const auto it = recent_alerts_.find(
+      detail::AlertSigView{group, machine, classification});
+  return it != recent_alerts_.end() && when - it->second < kAlertDedupWindow;
+}
+
 void Vids::RaiseAlert(Alert alert) {
-  const std::string dedup_key =
-      alert.group + "|" + alert.machine + "|" + alert.classification;
-  const auto it = recent_alerts_.find(dedup_key);
-  if (it != recent_alerts_.end() &&
-      alert.when - it->second < kAlertDedupWindow) {
+  if (IsDuplicateAlert(alert.group, alert.machine, alert.classification,
+                       alert.when)) {
     ++stats_.alerts_suppressed;
     return;
   }
-  recent_alerts_[dedup_key] = alert.when;
+  const auto it = recent_alerts_.find(detail::AlertSigView{
+      alert.group, alert.machine, alert.classification});
+  if (it != recent_alerts_.end()) {
+    it->second = alert.when;
+  } else {
+    recent_alerts_.emplace(
+        detail::AlertSig{alert.group, alert.machine, alert.classification},
+        alert.when);
+  }
   VIDS_INFO() << alert.ToString();
   if (alert_callback_) alert_callback_(alert);
   alerts_.push_back(std::move(alert));

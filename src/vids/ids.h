@@ -15,7 +15,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "net/inline_tap.h"
@@ -25,6 +27,50 @@
 #include "vids/fact_base.h"
 
 namespace vids::ids {
+
+namespace detail {
+
+/// Alert-deduplication signature (group, machine, classification). The view
+/// variant lets the per-packet suppression pre-check probe the table with
+/// borrowed strings — no concatenated key, no allocation.
+struct AlertSig {
+  std::string group;
+  std::string machine;
+  std::string classification;
+};
+struct AlertSigView {
+  std::string_view group;
+  std::string_view machine;
+  std::string_view classification;
+};
+struct AlertSigHash {
+  using is_transparent = void;
+  static size_t Mix(std::string_view group, std::string_view machine,
+                    std::string_view classification) {
+    const std::hash<std::string_view> h;
+    size_t seed = h(group);
+    seed ^= h(machine) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    seed ^=
+        h(classification) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+    return seed;
+  }
+  size_t operator()(const AlertSig& s) const {
+    return Mix(s.group, s.machine, s.classification);
+  }
+  size_t operator()(const AlertSigView& s) const {
+    return Mix(s.group, s.machine, s.classification);
+  }
+};
+struct AlertSigEq {
+  using is_transparent = void;
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return a.group == b.group && a.machine == b.machine &&
+           a.classification == b.classification;
+  }
+};
+
+}  // namespace detail
 
 class Vids : public efsm::Observer {
  public:
@@ -93,9 +139,17 @@ class Vids : public efsm::Observer {
   void RefreshMediaIndex(efsm::MachineGroup& group,
                          const std::string& call_id);
   void RaiseAlert(Alert alert);
+  /// True when an identical alert fired within the dedup window. Probes the
+  /// signature table without building any string — attack self-loops call
+  /// this per packet, so the suppressed path must stay allocation-free.
+  bool IsDuplicateAlert(std::string_view group, std::string_view machine,
+                        std::string_view classification, sim::Time when) const;
   /// Human classification of a specification deviation from its context.
-  static std::string DescribeDeviation(const efsm::MachineInstance& machine,
-                                       const efsm::Event& event);
+  /// Returns a literal for the common cases (so the suppression pre-check
+  /// stays allocation-free); composed descriptions are built in `scratch`.
+  static std::string_view DescribeDeviation(
+      const efsm::MachineInstance& machine, const efsm::Event& event,
+      std::string& scratch);
 
   sim::Scheduler& scheduler_;
   DetectionConfig detection_;
@@ -107,7 +161,9 @@ class Vids : public efsm::Observer {
   std::function<void(const Alert&)> alert_callback_;
   TransitionTrace transition_trace_;
   /// Dedup: last alert time per (group, machine, classification).
-  std::map<std::string, sim::Time> recent_alerts_;
+  std::unordered_map<detail::AlertSig, sim::Time, detail::AlertSigHash,
+                     detail::AlertSigEq>
+      recent_alerts_;
 };
 
 }  // namespace vids::ids

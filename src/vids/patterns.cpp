@@ -7,48 +7,64 @@ namespace vids::ids {
 
 namespace {
 
+using efsm::ArgKey;
 using efsm::Context;
 using efsm::MachineDef;
 using efsm::StateKind;
 
+// Interned keys for the pattern machines' local variables — one integer
+// scan per access on the per-packet path.
+const ArgKey kVSsrc = ArgKey::Intern("v_ssrc");
+const ArgKey kVSeq = ArgKey::Intern("v_seq");
+const ArgKey kVTs = ArgKey::Intern("v_ts");
+const ArgKey kVRegress = ArgKey::Intern("v_regress");
+const ArgKey kVSrcIp = ArgKey::Intern("v_src_ip");
+const ArgKey kVCallerTag = ArgKey::Intern("v_caller_tag");
+const ArgKey kVCalleeTag = ArgKey::Intern("v_callee_tag");
+const ArgKey kPckCounter = ArgKey::Intern("pck_counter");
+
 bool IsRequest(const Context& c, std::string_view method) {
-  return c.event().ArgString("kind") == "request" &&
-         c.event().ArgString("method") == method;
+  const std::string* kind = c.event().ArgStr(argkey::kKind);
+  if (kind == nullptr || *kind != "request") return false;
+  const std::string* m = c.event().ArgStr(argkey::kMethod);
+  return m != nullptr && *m == method;
 }
 
 bool IsFinalResponse(const Context& c, std::string_view method) {
-  return c.event().ArgString("kind") == "response" &&
-         c.event().ArgInt("status").value_or(0) >= 200 &&
-         c.event().ArgString("method") == method;
+  const std::string* kind = c.event().ArgStr(argkey::kKind);
+  if (kind == nullptr || *kind != "response") return false;
+  if (c.event().ArgInt(argkey::kStatus).value_or(0) < 200) return false;
+  const std::string* m = c.event().ArgStr(argkey::kMethod);
+  return m != nullptr && *m == method;
 }
 
 // Wrap-aware gaps between the stored stream position and the new packet.
 int64_t SeqGap(const Context& c) {
-  const auto prev = c.local().GetInt("v_seq");
-  const auto next = c.event().ArgInt("seq");
+  const auto prev = c.local().GetInt(kVSeq);
+  const auto next = c.event().ArgInt(argkey::kSeq);
   if (!prev || !next) return 0;
   return rtp::SeqDistance(static_cast<uint16_t>(*prev),
                           static_cast<uint16_t>(*next));
 }
 
 int64_t TsGap(const Context& c) {
-  const auto prev = c.local().GetInt("v_ts");
-  const auto next = c.event().ArgInt("ts");
+  const auto prev = c.local().GetInt(kVTs);
+  const auto next = c.event().ArgInt(argkey::kTs);
   if (!prev || !next) return 0;
   return rtp::TimestampDistance(static_cast<uint32_t>(*prev),
                                 static_cast<uint32_t>(*next));
 }
 
 bool SameSsrc(const Context& c) {
-  return c.local().GetInt("v_ssrc") == c.event().ArgInt("ssrc");
+  return c.local().GetInt(kVSsrc) == c.event().ArgInt(argkey::kSsrc);
 }
 
 // A(v̄): v_i := x_i — lock onto the packet's stream position (Fig. 6).
 void LockStream(Context& c) {
   auto& l = c.mutable_local();
-  l.Set("v_ssrc", c.event().Arg("ssrc"));
-  l.Set("v_seq", c.event().Arg("seq"));
-  l.Set("v_ts", c.event().Arg("ts"));
+  l.Set(kVSsrc, c.event().Arg(argkey::kSsrc));
+  l.Set(kVSeq, c.event().Arg(argkey::kSeq));
+  l.Set(kVTs, c.event().Arg(argkey::kTs));
 }
 
 // Generic window counter used by the flood-style patterns: the first event
@@ -65,36 +81,36 @@ void BuildWindowCounter(MachineDef& def, const std::string& event_name,
 
   def.On(init, event_name)
       .Do([window](Context& c) {
-        c.mutable_local().Set("pck_counter", int64_t{1});
+        c.mutable_local().Set(kPckCounter, int64_t{1});
         c.StartTimer("T1", window);
       })
       .To(counting, "first packet: counter started, timer T1 armed");
 
   def.On(counting, event_name)
       .When([threshold](const Context& c) {
-        return c.local().GetInt("pck_counter").value_or(0) + 1 <= threshold;
+        return c.local().GetInt(kPckCounter).value_or(0) + 1 <= threshold;
       })
       .Do([](Context& c) {
         c.mutable_local().Set(
-            "pck_counter", c.local().GetInt("pck_counter").value_or(0) + 1);
+            kPckCounter, c.local().GetInt(kPckCounter).value_or(0) + 1);
       })
       .To(counting, "within threshold N");
   def.On(counting, event_name)
       .When([threshold](const Context& c) {
-        return c.local().GetInt("pck_counter").value_or(0) + 1 > threshold;
+        return c.local().GetInt(kPckCounter).value_or(0) + 1 > threshold;
       })
       .Do([](Context& c) {
         c.mutable_local().Set(
-            "pck_counter", c.local().GetInt("pck_counter").value_or(0) + 1);
+            kPckCounter, c.local().GetInt(kPckCounter).value_or(0) + 1);
       })
       .To(attack, "surge beyond threshold N within T1");
   def.On(counting, timer_event)
-      .Do([](Context& c) { c.mutable_local().Set("pck_counter", int64_t{0}); })
+      .Do([](Context& c) { c.mutable_local().Set(kPckCounter, int64_t{0}); })
       .To(init, "window over: reset");
 
   def.On(attack, event_name).To(attack, "flood continues");
   def.On(attack, timer_event)
-      .Do([](Context& c) { c.mutable_local().Set("pck_counter", int64_t{0}); })
+      .Do([](Context& c) { c.mutable_local().Set(kPckCounter, int64_t{0}); })
       .To(init, "window over: re-arm");
 }
 
@@ -151,7 +167,7 @@ MachineDef BuildMediaSpamMachine(const DetectionConfig& config) {
     if (!SameSsrc(c)) return false;
     const int64_t sgap = SeqGap(c);
     if (sgap > seq_gap) return true;
-    const bool marker = c.event().Arg("marker") == efsm::Value{true};
+    const bool marker = c.event().Arg(argkey::kMarker) == efsm::Value{true};
     const bool lost_marker_window = sgap >= 2 && sgap <= 3;
     return !marker && !lost_marker_window && TsGap(c) > ts_gap;
   };
@@ -162,15 +178,15 @@ MachineDef BuildMediaSpamMachine(const DetectionConfig& config) {
   };
   const auto regress_exceeded = [is_regress, regress_limit](const Context& c) {
     return is_regress(c) &&
-           c.local().GetInt("v_regress").value_or(0) + 1 >= regress_limit;
+           c.local().GetInt(kVRegress).value_or(0) + 1 >= regress_limit;
   };
   const auto count_regress = [](Context& c) {
-    c.mutable_local().Set("v_regress",
-                          c.local().GetInt("v_regress").value_or(0) + 1);
+    c.mutable_local().Set(kVRegress,
+                          c.local().GetInt(kVRegress).value_or(0) + 1);
   };
   const auto lock_and_reset = [](Context& c) {
     LockStream(c);
-    c.mutable_local().Set("v_regress", int64_t{0});
+    c.mutable_local().Set(kVRegress, int64_t{0});
   };
 
   def.On(init, rtp).Do(lock_and_reset).To(rcvd, "first packet: v̄ := x̄");
@@ -221,17 +237,18 @@ MachineDef BuildRtcpByeMachine(const DetectionConfig& config) {
   const sim::Duration linger = config.rtp_close_linger;
 
   const auto is_bye = [](const Context& c) {
-    return c.event().ArgString("kind") == "BYE";
+    const std::string* kind = c.event().ArgStr(argkey::kKind);
+    return kind != nullptr && *kind == "BYE";
   };
   const auto bye_ssrc = [](const Context& c) {
-    return c.local().GetInt("v_ssrc") == c.event().ArgInt("ssrc");
+    return c.local().GetInt(kVSsrc) == c.event().ArgInt(argkey::kSsrc);
   };
 
   def.On(init, rtp).To(init, "media flowing");
   def.On(init, rtcp)
       .When(is_bye)
       .Do([grace](Context& c) {
-        c.mutable_local().Set("v_ssrc", c.event().Arg("ssrc"));
+        c.mutable_local().Set(kVSsrc, c.event().Arg(argkey::kSsrc));
         c.StartTimer("T", grace);
       })
       .To(drain, "RTCP BYE: stream declared over, timer T started");
@@ -269,7 +286,7 @@ MachineDef BuildCancelDosMachine(const DetectionConfig&) {
   def.On(init, sip)
       .When([](const Context& c) { return IsRequest(c, "INVITE"); })
       .Do([](Context& c) {
-        c.mutable_local().Set("v_src_ip", c.event().Arg("src_ip"));
+        c.mutable_local().Set(kVSrcIp, c.event().Arg(argkey::kSrcIp));
       })
       .To(pending, "INVITE outstanding");
   // A CANCEL is only legitimate from the same source that sent the INVITE
@@ -277,13 +294,13 @@ MachineDef BuildCancelDosMachine(const DetectionConfig&) {
   def.On(pending, sip)
       .When([](const Context& c) {
         return IsRequest(c, "CANCEL") &&
-               c.event().Arg("src_ip") == c.local().Get("v_src_ip");
+               c.event().Arg(argkey::kSrcIp) == c.local().Get(kVSrcIp);
       })
       .To(done, "caller cancelled its own INVITE");
   def.On(pending, sip)
       .When([](const Context& c) {
         return IsRequest(c, "CANCEL") &&
-               !(c.event().Arg("src_ip") == c.local().Get("v_src_ip"));
+               !(c.event().Arg(argkey::kSrcIp) == c.local().Get(kVSrcIp));
       })
       .To(attack, "CANCEL from a source other than the caller");
   def.On(pending, sip)
@@ -304,27 +321,35 @@ MachineDef BuildHijackMachine(const DetectionConfig&) {
   const std::string sip(kSipEvent);
 
   const auto known_tag = [](const Context& c) {
-    const auto tag = c.event().ArgString("from_tag");
-    if (!tag) return false;
-    return c.local().GetString("v_caller_tag") == tag ||
-           c.local().GetString("v_callee_tag") == tag;
+    const std::string* tag = c.event().ArgStr(argkey::kFromTag);
+    if (tag == nullptr) return false;
+    const std::string* caller =
+        std::get_if<std::string>(&c.local().Get(kVCallerTag));
+    if (caller != nullptr && *caller == *tag) return true;
+    const std::string* callee =
+        std::get_if<std::string>(&c.local().Get(kVCalleeTag));
+    return callee != nullptr && *callee == *tag;
   };
 
   def.On(init, sip)
       .When([](const Context& c) { return IsRequest(c, "INVITE"); })
       .Do([](Context& c) {
-        c.mutable_local().Set("v_caller_tag", c.event().Arg("from_tag"));
+        c.mutable_local().Set(kVCallerTag, c.event().Arg(argkey::kFromTag));
       })
       .To(watching, "dialog opened");
   def.On(watching, sip)
       .When([](const Context& c) {
-        return c.event().ArgString("kind") == "response" &&
-               c.event().ArgInt("status").value_or(0) / 100 == 2 &&
-               c.event().ArgString("method") == "INVITE";
+        const std::string* kind = c.event().ArgStr(argkey::kKind);
+        if (kind == nullptr || *kind != "response") return false;
+        if (c.event().ArgInt(argkey::kStatus).value_or(0) / 100 != 2) {
+          return false;
+        }
+        const std::string* m = c.event().ArgStr(argkey::kMethod);
+        return m != nullptr && *m == "INVITE";
       })
       .Do([](Context& c) {
         // Learn the callee's dialog tag from the 2xx.
-        c.mutable_local().Set("v_callee_tag", c.event().Arg("to_tag"));
+        c.mutable_local().Set(kVCalleeTag, c.event().Arg(argkey::kToTag));
       })
       .To(watching, "dialog confirmed");
   def.On(watching, sip)

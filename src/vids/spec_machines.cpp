@@ -6,73 +6,113 @@ namespace vids::ids {
 
 namespace {
 
+using efsm::ArgKey;
 using efsm::Context;
 using efsm::Event;
 using efsm::MachineDef;
 using efsm::StateKind;
+using efsm::Value;
+
+// Interned keys for the local variables the spec machines maintain. All
+// predicate helpers below run once per inspected packet, so every name
+// lookup is a pre-interned integer scan — no string hashing, no temporary
+// "g_" + prefix concatenations.
+namespace lkey {
+const ArgKey kCallId = ArgKey::Intern("l_call_id");
+const ArgKey kFromTag = ArgKey::Intern("l_from_tag");
+const ArgKey kToTag = ArgKey::Intern("l_to_tag");
+const ArgKey kBranch = ArgKey::Intern("l_branch");
+const ArgKey kFwdSsrc = ArgKey::Intern("l_fwd_ssrc");
+const ArgKey kFwdSeq = ArgKey::Intern("l_fwd_seq");
+const ArgKey kFwdTs = ArgKey::Intern("l_fwd_ts");
+const ArgKey kRevSsrc = ArgKey::Intern("l_rev_ssrc");
+const ArgKey kRevSeq = ArgKey::Intern("l_rev_seq");
+const ArgKey kRevTs = ArgKey::Intern("l_rev_ts");
+}  // namespace lkey
+
+const ArgKey kGCallerIp = ArgKey::Intern("g_caller_ip");
+const ArgKey kGCalleeIp = ArgKey::Intern("g_callee_ip");
 
 // ---- Predicate helpers over the classifier's event argument vector x̄ ----
 
 bool IsRequest(const Context& c, std::string_view method) {
-  return c.event().ArgString("kind") == "request" &&
-         c.event().ArgString("method") == method;
+  const std::string* kind = c.event().ArgStr(argkey::kKind);
+  if (kind == nullptr || *kind != "request") return false;
+  const std::string* m = c.event().ArgStr(argkey::kMethod);
+  return m != nullptr && *m == method;
 }
 
 // Response with status in [lo, hi] whose CSeq method is `method`.
 bool IsResponse(const Context& c, int lo, int hi, std::string_view method) {
-  if (c.event().ArgString("kind") != "response") return false;
-  const auto status = c.event().ArgInt("status").value_or(0);
+  const std::string* kind = c.event().ArgStr(argkey::kKind);
+  if (kind == nullptr || *kind != "response") return false;
+  const auto status = c.event().ArgInt(argkey::kStatus).value_or(0);
   if (status < lo || status > hi) return false;
-  return method.empty() || c.event().ArgString("method") == method;
+  if (method.empty()) return true;
+  const std::string* m = c.event().ArgStr(argkey::kMethod);
+  return m != nullptr && *m == method;
 }
 
-// Copies SDP media parameters from the event into global variables with the
-// given prefix and emits the δ sync event carrying the same values.
-void ExportMedia(Context& c, std::string_view prefix,
+// The per-direction media parameter keys ExportMedia writes.
+struct MediaKeys {
+  ArgKey ip, port, pt, codec;
+};
+const MediaKeys kOfferMedia{gkey::kOfferIp, gkey::kOfferPort, gkey::kOfferPt,
+                            gkey::kOfferCodec};
+const MediaKeys kAnswerMedia{gkey::kAnswerIp, gkey::kAnswerPort,
+                             gkey::kAnswerPt, gkey::kAnswerCodec};
+
+// Copies SDP media parameters from the event into the global variables
+// behind `keys` and emits the δ sync event carrying the same values.
+void ExportMedia(Context& c, const MediaKeys& keys,
                  std::string_view sync_name) {
   const Event& e = c.event();
-  if (!e.args.contains("sdp_ip")) return;
-  const std::string p(prefix);
-  c.mutable_global().Set("g_" + p + "_ip", e.Arg("sdp_ip"));
-  c.mutable_global().Set("g_" + p + "_port", e.Arg("sdp_port"));
-  c.mutable_global().Set("g_" + p + "_pt", e.Arg("sdp_pt"));
-  c.mutable_global().Set("g_" + p + "_codec", e.Arg("sdp_codec"));
+  if (!e.args.contains(argkey::kSdpIp)) return;
+  c.mutable_global().Set(keys.ip, e.Arg(argkey::kSdpIp));
+  c.mutable_global().Set(keys.port, e.Arg(argkey::kSdpPort));
+  c.mutable_global().Set(keys.pt, e.Arg(argkey::kSdpPt));
+  c.mutable_global().Set(keys.codec, e.Arg(argkey::kSdpCodec));
   Event sync;
   sync.name = std::string(sync_name);
-  sync.args["ip"] = e.Arg("sdp_ip");
-  sync.args["port"] = e.Arg("sdp_port");
-  sync.args["pt"] = e.Arg("sdp_pt");
+  sync.args[argkey::kIp] = e.Arg(argkey::kSdpIp);
+  sync.args[argkey::kPort] = e.Arg(argkey::kSdpPort);
+  sync.args[argkey::kPt] = e.Arg(argkey::kSdpPt);
   c.Emit(kSipToRtpChannel, sync);
 }
 
 // Records who initiated teardown (for the BYE DoS vs toll fraud split) and
 // tells the RTP machine the session is closing.
 void ExportClose(Context& c) {
-  c.mutable_global().Set("g_close_src_ip", c.event().Arg("src_ip"));
+  c.mutable_global().Set(gkey::kCloseSrcIp, c.event().Arg(argkey::kSrcIp));
   Event sync;
   sync.name = std::string(kSyncBye);
   c.Emit(kSipToRtpChannel, sync);
 }
 
-// RTP event's destination equals the media endpoint stored under
-// g_<prefix>_ip / g_<prefix>_port.
-bool DstIsMediaEndpoint(const Context& c, std::string_view prefix) {
-  const std::string p(prefix);
-  const auto ip = c.global().GetString("g_" + p + "_ip");
-  const auto port = c.global().GetInt("g_" + p + "_port");
-  if (!ip || !port) return false;
-  return c.event().ArgString("dst_ip") == *ip &&
-         c.event().ArgInt("dst_port") == *port;
+// RTP event's destination equals the media endpoint stored under the
+// given ip/port global variables.
+bool DstIsMediaEndpoint(const Context& c, ArgKey ip_key, ArgKey port_key) {
+  const Value& ip = c.global().Get(ip_key);
+  const Value& port = c.global().Get(port_key);
+  if (std::holds_alternative<std::monostate>(ip) ||
+      std::holds_alternative<std::monostate>(port)) {
+    return false;
+  }
+  // A missing event argument reads as monostate and the guards above make
+  // the comparison false, matching the old optional-based semantics.
+  return c.event().Arg(argkey::kDstIp) == ip &&
+         c.event().Arg(argkey::kDstPort) == port;
 }
 
 bool MatchesSession(const Context& c) {
-  return DstIsMediaEndpoint(c, "offer") || DstIsMediaEndpoint(c, "answer");
+  return DstIsMediaEndpoint(c, gkey::kOfferIp, gkey::kOfferPort) ||
+         DstIsMediaEndpoint(c, gkey::kAnswerIp, gkey::kAnswerPort);
 }
 
 bool PayloadTypeOk(const Context& c) {
-  const auto pt = c.event().ArgInt("pt");
-  const auto offer_pt = c.global().GetInt("g_offer_pt");
-  const auto answer_pt = c.global().GetInt("g_answer_pt");
+  const auto pt = c.event().ArgInt(argkey::kPt);
+  const auto offer_pt = c.global().GetInt(gkey::kOfferPt);
+  const auto answer_pt = c.global().GetInt(gkey::kAnswerPt);
   if (!pt) return false;
   if (offer_pt && *pt == *offer_pt) return true;
   if (answer_pt && *pt == *answer_pt) return true;
@@ -83,17 +123,22 @@ bool PayloadTypeOk(const Context& c) {
 // Updates the per-direction stream bookkeeping (SSRC, seq, timestamp) —
 // the ≈40 bytes of RTP state the paper prices per call (§7.3).
 void NoteStream(Context& c) {
-  const bool toward_answer = DstIsMediaEndpoint(c, "answer");
-  const std::string dir = toward_answer ? "fwd" : "rev";
+  const bool toward_answer =
+      DstIsMediaEndpoint(c, gkey::kAnswerIp, gkey::kAnswerPort);
   auto& l = c.mutable_local();
-  l.Set("l_" + dir + "_ssrc", c.event().Arg("ssrc"));
-  l.Set("l_" + dir + "_seq", c.event().Arg("seq"));
-  l.Set("l_" + dir + "_ts", c.event().Arg("ts"));
+  const Event& e = c.event();
+  l.Set(toward_answer ? lkey::kFwdSsrc : lkey::kRevSsrc,
+        e.Arg(argkey::kSsrc));
+  l.Set(toward_answer ? lkey::kFwdSeq : lkey::kRevSeq, e.Arg(argkey::kSeq));
+  l.Set(toward_answer ? lkey::kFwdTs : lkey::kRevTs, e.Arg(argkey::kTs));
 }
 
 bool FromCloseInitiator(const Context& c) {
-  const auto closer = c.global().GetString("g_close_src_ip");
-  return closer && c.event().ArgString("src_ip") == *closer;
+  const std::string* closer =
+      std::get_if<std::string>(&c.global().Get(gkey::kCloseSrcIp));
+  if (closer == nullptr) return false;
+  const std::string* src = c.event().ArgStr(argkey::kSrcIp);
+  return src != nullptr && *src == *closer;
 }
 
 }  // namespace
@@ -124,13 +169,13 @@ MachineDef BuildSipSpecMachine(const DetectionConfig&) {
       .Do([](Context& c) {
         const Event& e = c.event();
         auto& l = c.mutable_local();
-        l.Set("l_call_id", e.Arg("call_id"));
-        l.Set("l_from_tag", e.Arg("from_tag"));
-        l.Set("l_branch", e.Arg("branch"));
+        l.Set(lkey::kCallId, e.Arg(argkey::kCallId));
+        l.Set(lkey::kFromTag, e.Arg(argkey::kFromTag));
+        l.Set(lkey::kBranch, e.Arg(argkey::kBranch));
         auto& g = c.mutable_global();
-        g.Set("g_caller_ip", e.Arg("src_ip"));
-        g.Set("g_callee_ip", e.Arg("dst_ip"));
-        ExportMedia(c, "offer", kSyncOffer);
+        g.Set(kGCallerIp, e.Arg(argkey::kSrcIp));
+        g.Set(kGCalleeIp, e.Arg(argkey::kDstIp));
+        ExportMedia(c, kOfferMedia, kSyncOffer);
       })
       .To(invite_rcvd, "INVITE received; media offer exported");
 
@@ -148,8 +193,8 @@ MachineDef BuildSipSpecMachine(const DetectionConfig&) {
     def.On(state, sip)
         .When([](const Context& c) { return IsResponse(c, 200, 299, "INVITE"); })
         .Do([](Context& c) {
-          c.mutable_local().Set("l_to_tag", c.event().Arg("to_tag"));
-          ExportMedia(c, "answer", kSyncAnswer);
+          c.mutable_local().Set(lkey::kToTag, c.event().Arg(argkey::kToTag));
+          ExportMedia(c, kAnswerMedia, kSyncAnswer);
         })
         .To(answered, "call answered; media answer exported");
     def.On(state, sip)
@@ -225,7 +270,7 @@ MachineDef BuildSipSpecMachine(const DetectionConfig&) {
       .To(cancelled, "cancelled call closed");
   def.On(cancelling, sip)  // CANCEL lost the race with the answer
       .When([](const Context& c) { return IsResponse(c, 200, 299, "INVITE"); })
-      .Do([](Context& c) { ExportMedia(c, "answer", kSyncAnswer); })
+      .Do([](Context& c) { ExportMedia(c, kAnswerMedia, kSyncAnswer); })
       .To(answered, "answered despite CANCEL");
 
   // --- Failed setup ---
@@ -284,11 +329,18 @@ MachineDef BuildRtpSpecMachine(const DetectionConfig& config) {
   const sim::Duration linger = config.rtp_close_linger;
 
   const auto store_media = [](std::string_view prefix) {
-    return [p = std::string(prefix)](Context& c) {
+    struct Keys {
+      ArgKey ip, port, pt;
+    };
+    const Keys keys{
+        ArgKey::Intern("l_" + std::string(prefix) + "_ip"),
+        ArgKey::Intern("l_" + std::string(prefix) + "_port"),
+        ArgKey::Intern("l_" + std::string(prefix) + "_pt")};
+    return [keys](Context& c) {
       auto& l = c.mutable_local();
-      l.Set("l_" + p + "_ip", c.event().Arg("ip"));
-      l.Set("l_" + p + "_port", c.event().Arg("port"));
-      l.Set("l_" + p + "_pt", c.event().Arg("pt"));
+      l.Set(keys.ip, c.event().Arg(argkey::kIp));
+      l.Set(keys.port, c.event().Arg(argkey::kPort));
+      l.Set(keys.pt, c.event().Arg(argkey::kPt));
     };
   };
 
@@ -302,7 +354,8 @@ MachineDef BuildRtpSpecMachine(const DetectionConfig& config) {
       .To(ready, "δ(SIP→RTP): media answer");
   def.On(open, rtp)
       .When([](const Context& c) {
-        return DstIsMediaEndpoint(c, "offer") && PayloadTypeOk(c);
+        return DstIsMediaEndpoint(c, gkey::kOfferIp, gkey::kOfferPort) &&
+               PayloadTypeOk(c);
       })
       .Do(NoteStream)
       .To(active, "early media toward caller");

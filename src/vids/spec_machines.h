@@ -26,6 +26,22 @@ inline constexpr std::string_view kAttackByeDos = "BYE DoS";
 inline constexpr std::string_view kAttackTollFraud = "toll fraud";
 inline constexpr std::string_view kAttackEncoding = "encoding violation";
 
+/// Interned keys of the global variables the SIP spec machine exports from
+/// SDP (read by the RTP machine's predicates and the media-index refresh).
+namespace gkey {
+inline const efsm::ArgKey kOfferIp = efsm::ArgKey::Intern("g_offer_ip");
+inline const efsm::ArgKey kOfferPort = efsm::ArgKey::Intern("g_offer_port");
+inline const efsm::ArgKey kOfferPt = efsm::ArgKey::Intern("g_offer_pt");
+inline const efsm::ArgKey kOfferCodec = efsm::ArgKey::Intern("g_offer_codec");
+inline const efsm::ArgKey kAnswerIp = efsm::ArgKey::Intern("g_answer_ip");
+inline const efsm::ArgKey kAnswerPort = efsm::ArgKey::Intern("g_answer_port");
+inline const efsm::ArgKey kAnswerPt = efsm::ArgKey::Intern("g_answer_pt");
+inline const efsm::ArgKey kAnswerCodec =
+    efsm::ArgKey::Intern("g_answer_codec");
+inline const efsm::ArgKey kCloseSrcIp =
+    efsm::ArgKey::Intern("g_close_src_ip");
+}  // namespace gkey
+
 efsm::MachineDef BuildSipSpecMachine(const DetectionConfig& config);
 efsm::MachineDef BuildRtpSpecMachine(const DetectionConfig& config);
 

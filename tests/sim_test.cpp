@@ -106,6 +106,65 @@ TEST(Scheduler, SchedulingInThePastThrows) {
                std::invalid_argument);
 }
 
+TEST(Scheduler, CancelAfterFireIsANoOp) {
+  Scheduler sched;
+  auto first = sched.ScheduleAfter(Duration::Millis(1), [] {});
+  bool second_ran = false;
+  auto second =
+      sched.ScheduleAfter(Duration::Millis(2), [&] { second_ran = true; });
+  EXPECT_TRUE(sched.Step());
+  EXPECT_FALSE(sched.IsPending(first));
+  EXPECT_FALSE(sched.Cancel(first));  // already fired
+  EXPECT_TRUE(sched.IsPending(second));
+  sched.Run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(Scheduler, StaleHandleCannotCancelRecycledSlot) {
+  Scheduler sched;
+  bool a_ran = false;
+  bool b_ran = false;
+  auto a = sched.ScheduleAfter(Duration::Millis(1), [&] { a_ran = true; });
+  const auto stale = a;  // copy taken before the slot is released
+  EXPECT_TRUE(sched.Cancel(a));
+  // The next event recycles a's slot under a bumped generation; the stale
+  // copy must not be able to cancel it.
+  auto b = sched.ScheduleAfter(Duration::Millis(2), [&] { b_ran = true; });
+  auto stale_copy = stale;
+  EXPECT_FALSE(sched.IsPending(stale));
+  EXPECT_FALSE(sched.Cancel(stale_copy));
+  EXPECT_TRUE(sched.IsPending(b));
+  sched.Run();
+  EXPECT_FALSE(a_ran);
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(Scheduler, HandleGoesStaleBeforeItsCallbackRuns) {
+  Scheduler sched;
+  Scheduler::EventId id;
+  bool cancel_result = true;
+  id = sched.ScheduleAfter(Duration::Millis(1),
+                           [&] { cancel_result = sched.Cancel(id); });
+  sched.Run();
+  EXPECT_FALSE(cancel_result);  // a firing event cannot cancel itself
+  EXPECT_EQ(sched.ExecutedEvents(), 1u);
+}
+
+TEST(Scheduler, PendingEventsExcludesCancelled) {
+  Scheduler sched;
+  Scheduler::EventId ids[3];
+  int ran = 0;
+  for (auto& id : ids) {
+    id = sched.ScheduleAfter(Duration::Millis(1), [&] { ++ran; });
+  }
+  EXPECT_EQ(sched.PendingEvents(), 3u);
+  EXPECT_TRUE(sched.Cancel(ids[1]));
+  EXPECT_EQ(sched.PendingEvents(), 2u);
+  sched.Run();
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sched.ExecutedEvents(), 2u);
+}
+
 TEST(Scheduler, ExecutedEventsCounts) {
   Scheduler sched;
   for (int i = 0; i < 7; ++i) sched.ScheduleAfter(Duration::Nanos(i), [] {});

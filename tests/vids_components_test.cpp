@@ -226,6 +226,56 @@ TEST_F(FactBaseFixture, SweepDropsMediaIndexOfDeletedCall) {
   EXPECT_FALSE(fact_base_.CallByMedia(ep).has_value());
 }
 
+TEST_F(FactBaseFixture, BinaryAndStringMediaKeysAlias) {
+  const net::Endpoint ep{net::IpAddress(10, 2, 0, 10), 30000};
+  auto& by_string =
+      fact_base_.GetOrCreateKeyed(KeyedKind::kMediaEndpoint, ep.ToString());
+  auto& by_endpoint = fact_base_.GetOrCreateMediaGroup(ep);
+  EXPECT_EQ(&by_string, &by_endpoint);
+  EXPECT_EQ(fact_base_.keyed_count(), 1u);
+
+  auto& drdos_by_string =
+      fact_base_.GetOrCreateKeyed(KeyedKind::kDrdos, "10.2.0.1");
+  auto& drdos_by_ip = fact_base_.GetOrCreateDrdosGroup(net::IpAddress(10, 2, 0, 1));
+  EXPECT_EQ(&drdos_by_string, &drdos_by_ip);
+  EXPECT_EQ(fact_base_.keyed_count(), 2u);
+}
+
+TEST_F(FactBaseFixture, FindGroupByMediaResolvesTheOwningGroup) {
+  const net::Endpoint ep{net::IpAddress(10, 2, 0, 10), 30000};
+  EXPECT_EQ(fact_base_.FindGroupByMedia(ep), nullptr);
+
+  bool created = false;
+  auto& group = fact_base_.GetOrCreateCall("c1", created);
+  fact_base_.IndexMedia(ep, "c1");
+  EXPECT_EQ(fact_base_.FindGroupByMedia(ep), &group);
+
+  scheduler_.RunUntil(scheduler_.Now() + config_.call_idle_timeout +
+                      sim::Duration::Seconds(2));
+  fact_base_.Sweep(scheduler_.Now());
+  EXPECT_EQ(fact_base_.FindGroupByMedia(ep), nullptr);
+}
+
+TEST_F(FactBaseFixture, SweepKeepsReboundMediaIndexEntry) {
+  // c1 negotiates ep, then the port is reused by c2. When c1 is reclaimed
+  // its stale reverse keys must not delete c2's live index entry.
+  bool created = false;
+  fact_base_.GetOrCreateCall("c1", created);
+  const net::Endpoint ep{net::IpAddress(10, 2, 0, 10), 30000};
+  fact_base_.IndexMedia(ep, "c1");
+
+  scheduler_.RunUntil(scheduler_.Now() + config_.call_idle_timeout -
+                      sim::Duration::Seconds(5));
+  auto& c2 = fact_base_.GetOrCreateCall("c2", created);
+  fact_base_.IndexMedia(ep, "c2");
+
+  scheduler_.RunUntil(scheduler_.Now() + sim::Duration::Seconds(10));
+  fact_base_.Sweep(scheduler_.Now());  // c1 idle-expired, c2 still fresh
+  EXPECT_EQ(fact_base_.call_count(), 1u);
+  EXPECT_EQ(fact_base_.CallByMedia(ep), "c2");
+  EXPECT_EQ(fact_base_.FindGroupByMedia(ep), &c2);
+}
+
 TEST_F(FactBaseFixture, SweepIsRateLimited) {
   bool created = false;
   fact_base_.GetOrCreateCall("c1", created);
