@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <new>
 
 #include "rtp/packet.h"
@@ -248,6 +249,54 @@ void BM_VidsInspectRtpInSession(benchmark::State& state) {
 }
 BENCHMARK(BM_VidsInspectRtpInSession);
 
+/// Runs a short in-session RTP scenario (same shape as
+/// BM_VidsInspectRtpInSession) and writes the IDS metric registry snapshot
+/// to `path`, so CI can assert on instrumented-run counters next to the
+/// benchmark numbers.
+void WriteMetricsSnapshot(const char* path) {
+  sim::Scheduler scheduler;
+  ids::Vids vids(scheduler);
+  net::Datagram invite;
+  invite.src = kProxyA;
+  invite.dst = kProxyB;
+  invite.kind = net::PayloadKind::kSip;
+  invite.payload = TypicalInvite("metrics-snapshot").Serialize();
+  vids.Inspect(invite, true);
+
+  rtp::RtpHeader header;
+  header.ssrc = 7;
+  net::Datagram dgram;
+  dgram.src = net::Endpoint{net::IpAddress(10, 2, 0, 10), 30000};
+  dgram.dst = net::Endpoint{net::IpAddress(10, 1, 0, 10), 20000};
+  dgram.kind = net::PayloadKind::kRtp;
+  dgram.payload = header.Serialize();
+  uint16_t seq = 0;
+  uint32_t ts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ++seq;
+    ts += 80;
+    dgram.payload[2] = static_cast<char>(seq >> 8);
+    dgram.payload[3] = static_cast<char>(seq & 0xFF);
+    dgram.payload[4] = static_cast<char>(ts >> 24);
+    dgram.payload[5] = static_cast<char>((ts >> 16) & 0xFF);
+    dgram.payload[6] = static_cast<char>((ts >> 8) & 0xFF);
+    dgram.payload[7] = static_cast<char>(ts & 0xFF);
+    vids.Inspect(dgram, true);
+  }
+
+  std::ofstream out(path);
+  out << vids.metrics().ToJson();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("VIDS_METRICS_OUT")) {
+    WriteMetricsSnapshot(path);
+  }
+  return 0;
+}

@@ -2,20 +2,73 @@
 """Merges a google-benchmark JSON run into the tracked BENCH_micro.json.
 
 Usage: report_bench.py <BENCH_micro.json> <run-label> <gbench-output.json>
+           [--metrics <metrics-snapshot.json>] [--check]
 
 BENCH_micro.json keeps one entry per label in "runs" (re-running a label
 replaces it) so before/after numbers for a change live side by side. The
 last run also gets a "speedup_vs" table against the first (baseline) run.
+
+--metrics attaches an instrumented-run metric snapshot (the JSON written by
+micro_core with VIDS_METRICS_OUT set) to the run entry.
+
+After merging, the run is screened:
+  * any benchmark with allocs_per_iter != 0 is a zero-allocation violation;
+  * any benchmark whose cpu_ns regressed >10% vs the previous entry is
+    flagged as a regression.
+Both are warnings by default. With --check, alloc violations are fatal
+(exit 1); cpu regressions stay warnings — CI runners are too noisy to gate
+on latency alone.
 """
 import json
 import sys
 
+REGRESSION_TOLERANCE = 1.10
+
+
+def screen(tracked: dict, check: bool) -> int:
+    """Returns the exit code after flagging violations in the latest run."""
+    last = tracked["runs"][-1]
+    prev = tracked["runs"][-2] if len(tracked["runs"]) >= 2 else None
+    status = 0
+
+    for name, entry in sorted(last["results"].items()):
+        allocs = entry.get("allocs_per_iter")
+        if allocs:  # present and nonzero
+            print(f"VIOLATION: {name} allocates ({allocs} allocs/iter; "
+                  f"the steady-state hot path must stay at 0)",
+                  file=sys.stderr)
+            if check:
+                status = 1
+        if prev is None or name not in prev["results"]:
+            continue
+        before = prev["results"][name]["cpu_ns"]
+        after = entry["cpu_ns"]
+        if before > 0 and after > before * REGRESSION_TOLERANCE:
+            pct = 100.0 * (after / before - 1.0)
+            print(f"WARNING: {name} regressed {pct:.1f}% vs "
+                  f"'{prev['label']}' ({before} -> {after} cpu ns)",
+                  file=sys.stderr)
+    return status
+
 
 def main() -> int:
-    if len(sys.argv) != 4:
+    args = list(sys.argv[1:])
+    check = "--check" in args
+    if check:
+        args.remove("--check")
+    metrics_path = None
+    if "--metrics" in args:
+        at = args.index("--metrics")
+        try:
+            metrics_path = args[at + 1]
+        except IndexError:
+            print(__doc__, file=sys.stderr)
+            return 2
+        del args[at:at + 2]
+    if len(args) != 3:
         print(__doc__, file=sys.stderr)
         return 2
-    tracked_path, label, run_path = sys.argv[1], sys.argv[2], sys.argv[3]
+    tracked_path, label, run_path = args
 
     with open(run_path) as f:
         run = json.load(f)
@@ -44,6 +97,10 @@ def main() -> int:
     tracked["runs"] = [r for r in tracked["runs"] if r["label"] != label]
     tracked["runs"].append({"label": label, "results": results})
 
+    if metrics_path is not None:
+        with open(metrics_path) as f:
+            tracked["runs"][-1]["metrics"] = json.load(f)
+
     if len(tracked["runs"]) >= 2:
         base = tracked["runs"][0]["results"]
         last = tracked["runs"][-1]
@@ -53,12 +110,14 @@ def main() -> int:
                 speedup[name] = round(base[name]["cpu_ns"] / entry["cpu_ns"], 2)
         last["speedup_vs"] = {tracked["runs"][0]["label"]: speedup}
 
+    status = screen(tracked, check)
+
     with open(tracked_path, "w") as f:
         json.dump(tracked, f, indent=2)
         f.write("\n")
     print(f"{tracked_path}: recorded run '{label}' "
           f"({', '.join(sorted(results))})")
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -6,7 +6,8 @@ namespace vids::common {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
-Log::Sink g_sink;  // empty → stderr
+Log::Sink g_sink;    // empty → stderr
+Log::Clock g_clock;  // empty → no time prefix
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,13 +25,43 @@ const char* LevelName(LogLevel level) {
 void Log::SetLevel(LogLevel level) { g_level = level; }
 LogLevel Log::Level() { return g_level; }
 void Log::SetSink(Sink sink) { g_sink = std::move(sink); }
+void Log::SetClock(Clock clock) { g_clock = std::move(clock); }
 
 void Log::Write(LogLevel level, const std::string& message) {
+  Write(level, std::string_view(), message);
+}
+
+void Log::Write(LogLevel level, std::string_view component,
+                const std::string& message) {
   if (level < g_level) return;
+  // Decorate once, up front, so custom sinks and the stderr default agree
+  // on what a line looks like.
+  std::string decorated;
+  const std::string* out = &message;
+  if (g_clock || !component.empty()) {
+    decorated.reserve(message.size() + component.size() + 24);
+    if (g_clock) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "[t=%.6fs] ",
+                    static_cast<double>(g_clock()) * 1e-9);
+      decorated += buf;
+    }
+    if (!component.empty()) {
+      decorated += '[';
+      decorated += component;
+      decorated += "] ";
+    }
+    decorated += message;
+    out = &decorated;
+  }
   if (g_sink) {
-    g_sink(level, message);
+    // Run on a copy: a sink that calls SetSink from inside its own
+    // invocation (tests installing a one-shot sink, a sink removing itself
+    // mid-run) would otherwise destroy the std::function it is executing.
+    const Sink sink = g_sink;
+    sink(level, *out);
   } else {
-    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), out->c_str());
   }
 }
 

@@ -5,9 +5,11 @@
 // design: the discrete-event simulator is single-threaded.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace vids::common {
 
@@ -17,12 +19,24 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 class Log {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
+  /// Returns "now" in nanoseconds. Kept as raw int64 so common/ stays
+  /// independent of sim/ — the simulator installs `scheduler.Now().nanos()`.
+  using Clock = std::function<int64_t()>;
 
   static void SetLevel(LogLevel level);
   static LogLevel Level();
   /// Replaces the output sink; pass nullptr to restore the stderr default.
+  /// Safe to call from inside a sink invocation: Write finishes the
+  /// in-flight call on a copy, so a sink may replace (or remove) itself.
   static void SetSink(Sink sink);
+  /// Installs the time source used to prefix every line with "[t=X.XXs]".
+  /// Pass nullptr to drop the prefix (e.g. when a scheduler dies before
+  /// process exit — a dangling clock would crash the next log line).
+  static void SetClock(Clock clock);
   static void Write(LogLevel level, const std::string& message);
+  /// Tagged variant: the line is prefixed with "[component]".
+  static void Write(LogLevel level, std::string_view component,
+                    const std::string& message);
   static bool Enabled(LogLevel level) { return level >= Level(); }
 };
 
@@ -30,7 +44,9 @@ namespace log_detail {
 class Line {
  public:
   explicit Line(LogLevel level) : level_(level) {}
-  ~Line() { Log::Write(level_, stream_.str()); }
+  Line(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~Line() { Log::Write(level_, component_, stream_.str()); }
   Line(const Line&) = delete;
   Line& operator=(const Line&) = delete;
   template <typename T>
@@ -41,6 +57,7 @@ class Line {
 
  private:
   LogLevel level_;
+  std::string_view component_;  // literal lifetime at every call site
   std::ostringstream stream_;
 };
 }  // namespace log_detail
@@ -52,8 +69,20 @@ class Line {
   } else                                                      \
     ::vids::common::log_detail::Line(level)
 
+/// Component-tagged variant: VIDS_INFO_C("sip") << ...;
+#define VIDS_LOG_C(level, component)                          \
+  if (!::vids::common::Log::Enabled(level)) {                 \
+  } else                                                      \
+    ::vids::common::log_detail::Line(level, component)
+
 #define VIDS_TRACE() VIDS_LOG(::vids::common::LogLevel::kTrace)
 #define VIDS_DEBUG() VIDS_LOG(::vids::common::LogLevel::kDebug)
 #define VIDS_INFO() VIDS_LOG(::vids::common::LogLevel::kInfo)
 #define VIDS_WARN() VIDS_LOG(::vids::common::LogLevel::kWarn)
 #define VIDS_ERROR() VIDS_LOG(::vids::common::LogLevel::kError)
+
+#define VIDS_TRACE_C(c) VIDS_LOG_C(::vids::common::LogLevel::kTrace, c)
+#define VIDS_DEBUG_C(c) VIDS_LOG_C(::vids::common::LogLevel::kDebug, c)
+#define VIDS_INFO_C(c) VIDS_LOG_C(::vids::common::LogLevel::kInfo, c)
+#define VIDS_WARN_C(c) VIDS_LOG_C(::vids::common::LogLevel::kWarn, c)
+#define VIDS_ERROR_C(c) VIDS_LOG_C(::vids::common::LogLevel::kError, c)

@@ -1,10 +1,22 @@
 #include "efsm/engine.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "common/log.h"
 
 namespace vids::efsm {
+
+EngineMetrics EngineMetrics::Registered(obs::MetricsRegistry& registry) {
+  EngineMetrics m;
+  m.transitions = &registry.GetCounter("efsm.transitions");
+  m.deviations = &registry.GetCounter("efsm.deviations");
+  m.sync_sends = &registry.GetCounter("efsm.sync_sends");
+  m.nondeterminism = &registry.GetCounter("efsm.nondeterminism");
+  m.retired = &registry.GetCounter("efsm.machines_retired");
+  m.transition_ns = &registry.GetHistogram("efsm.transition_ns");
+  return m;
+}
 
 // ------------------------------------------------------------- Context
 
@@ -33,6 +45,15 @@ MachineInstance::MachineInstance(const MachineDef& def, std::string name,
 MachineInstance::DeliverResult MachineInstance::Deliver(const Event& event) {
   if (retired_) return DeliverResult::kRetired;
 
+  // 1-in-kLatencySamplePeriod deliveries measure wall-clock latency into
+  // the shared histogram; everything else pays one increment and one
+  // predictable branch. Keeps instrumentation inside the ≤ 10% transition
+  // overhead budget while still filling p50/p99 within a second of load.
+  EngineMetrics& metrics = group_.metrics_;
+  const bool sampled =
+      (++metrics.sample_tick & (EngineMetrics::kLatencySamplePeriod - 1)) == 0;
+  const int64_t t0 = sampled ? obs::MonotonicNanos() : 0;
+
   bool in_alphabet = false;
   const auto candidates = def_.CandidatesFor(state_, event.name, in_alphabet);
   // Predicated transitions compete (and §4.1 wants their predicates
@@ -59,21 +80,54 @@ MachineInstance::DeliverResult MachineInstance::Deliver(const Event& event) {
     if (is_timer) return DeliverResult::kIgnored;
     // Event outside the machine's alphabet is not the machine's business.
     if (!in_alphabet) return DeliverResult::kNotInAlphabet;
-    if (def_.report_deviations() && group_.observer() != nullptr) {
-      group_.observer()->OnDeviation(*this, event);
+    if (def_.report_deviations()) {
+      // Interning here is off the clean steady-state path: pattern machines
+      // (which see arbitrary event storms) don't report deviations, and
+      // spec-machine deviations draw from the bounded protocol alphabet.
+      metrics.deviations->Inc();
+      obs::Record rec;
+      rec.type = obs::RecordType::kDeviation;
+      rec.when_ns = group_.scheduler_.Now().nanos();
+      rec.machine = index_in_group_;
+      rec.from = static_cast<int16_t>(state_);
+      rec.to = static_cast<int16_t>(state_);
+      rec.a = ArgKey::Intern(event.name).id();
+      group_.recorder_.Record(rec);
+      if (group_.observer() != nullptr) {
+        group_.observer()->OnDeviation(*this, event);
+      }
     }
     return DeliverResult::kDeviation;
   }
 
-  if (enabled_count > 1 && group_.observer() != nullptr) {
-    group_.observer()->OnNondeterminism(*this, event, enabled_count);
+  if (enabled_count > 1) {
+    metrics.nondeterminism->Inc();
+    if (group_.observer() != nullptr) {
+      group_.observer()->OnNondeterminism(*this, event, enabled_count);
+    }
   }
 
   if (enabled->action) {
     Context ctx(event, local_, group_.global(), *this);
     enabled->action(ctx);
   }
+  const StateId prev = state_;
   state_ = enabled->to;
+  metrics.transitions->Inc();
+  {
+    // Candidates are pointers into the definition's transition vector, so
+    // the transition's index falls out of pointer arithmetic — no name
+    // lookup on the hot path; ExplainFlight decodes it back later.
+    obs::Record rec;
+    rec.type = obs::RecordType::kTransition;
+    rec.when_ns = group_.scheduler_.Now().nanos();
+    rec.machine = index_in_group_;
+    rec.a = static_cast<uint16_t>(enabled - def_.transitions().data());
+    rec.from = static_cast<int16_t>(prev);
+    rec.to = static_cast<int16_t>(state_);
+    group_.recorder_.Record(rec);
+  }
+  if (sampled) metrics.transition_ns->Record(obs::MonotonicNanos() - t0);
   if (group_.observer() != nullptr) {
     group_.observer()->OnTransition(*this, *enabled, event);
     if (def_.Kind(state_) == StateKind::kAttack) {
@@ -82,6 +136,7 @@ MachineInstance::DeliverResult MachineInstance::Deliver(const Event& event) {
   }
   if (def_.Kind(state_) == StateKind::kFinal) {
     retired_ = true;
+    metrics.retired->Inc();
     for (auto& [timer_name, timer] : timers_) timer->Cancel();
     if (group_.observer() != nullptr) group_.observer()->OnRetired(*this);
   }
@@ -94,7 +149,7 @@ size_t MachineInstance::MemoryBytes() const {
 }
 
 void MachineInstance::EmitFrom(std::string_view channel, Event event) {
-  group_.Enqueue(channel, std::move(event));
+  group_.Enqueue(*this, channel, std::move(event));
 }
 
 void MachineInstance::StartTimer(std::string_view name, sim::Duration after) {
@@ -121,18 +176,26 @@ sim::Time MachineInstance::Now() const { return group_.scheduler().Now(); }
 // -------------------------------------------------------- MachineGroup
 
 MachineGroup::MachineGroup(std::string name, sim::Scheduler& scheduler,
-                           Observer* observer)
-    : name_(std::move(name)), scheduler_(scheduler), observer_(observer) {}
+                           Observer* observer, const EngineMetrics* metrics)
+    : name_(std::move(name)), scheduler_(scheduler), observer_(observer) {
+  if (metrics != nullptr) metrics_ = *metrics;
+}
 
 MachineInstance& MachineGroup::AddMachine(const MachineDef& def,
                                           std::string instance_name) {
   machines_.push_back(std::unique_ptr<MachineInstance>(
       new MachineInstance(def, std::move(instance_name), *this)));
+  machines_.back()->index_in_group_ =
+      machines_.size() <= obs::Record::kNoMachine
+          ? static_cast<uint8_t>(machines_.size() - 1)
+          : obs::Record::kNoMachine;
   return *machines_.back();
 }
 
 void MachineGroup::RouteChannel(std::string channel, MachineInstance& dst) {
-  channels_[std::move(channel)].dst = &dst;
+  Channel& entry = channels_[std::move(channel)];
+  entry.dst = &dst;
+  if (entry.id == 0) entry.id = static_cast<uint16_t>(channels_.size());
 }
 
 MachineInstance* MachineGroup::Find(std::string_view instance_name) {
@@ -150,13 +213,23 @@ void MachineGroup::DeliverData(MachineInstance& machine, const Event& event) {
   PumpSyncQueues();
 }
 
-void MachineGroup::Enqueue(std::string_view channel, Event event) {
+void MachineGroup::Enqueue(const MachineInstance& from,
+                           std::string_view channel, Event event) {
   const auto it = channels_.find(channel);
   if (it == channels_.end() || it->second.dst == nullptr) {
-    VIDS_DEBUG() << name_ << ": sync event '" << event.name
-                 << "' emitted on unrouted channel '" << channel << "'";
+    VIDS_DEBUG_C("efsm") << name_ << ": sync event '" << event.name
+                         << "' emitted on unrouted channel '" << channel
+                         << "'";
     return;
   }
+  metrics_.sync_sends->Inc();
+  obs::Record rec;
+  rec.type = obs::RecordType::kSyncSend;
+  rec.when_ns = scheduler_.Now().nanos();
+  rec.machine = from.index_in_group_;
+  rec.a = ArgKey::Intern(event.name).id();
+  rec.aux = it->second.id;
+  recorder_.Record(rec);
   it->second.queue.push_back(std::move(event));
 }
 
@@ -203,6 +276,111 @@ size_t MachineGroup::MemoryBytes() const {
     bytes += channel_name.capacity() + sizeof(Channel);
   }
   return bytes;
+}
+
+namespace {
+
+std::string FormatSimSeconds(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", static_cast<double>(ns) * 1e-9);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> MachineGroup::ExplainFlight(
+    size_t max, const FactDecoder& fact_decoder) const {
+  std::vector<std::string> lines;
+  const size_t held = recorder_.size();
+  const size_t skip = held > max ? held - max : 0;
+  lines.reserve(held - skip);
+  size_t index = 0;
+  recorder_.ForEach([&](const obs::Record& rec) {
+    if (index++ < skip) return;
+    std::string line = "t=";
+    line += FormatSimSeconds(rec.when_ns);
+    line += "s ";
+    const MachineInstance* machine =
+        rec.machine < machines_.size() ? machines_[rec.machine].get() : nullptr;
+    switch (rec.type) {
+      case obs::RecordType::kTransition: {
+        if (machine == nullptr ||
+            rec.a >= machine->def().transitions().size()) {
+          line += "transition <corrupt record>";
+          break;
+        }
+        const MachineDef& def = machine->def();
+        const Transition& t = def.transitions()[rec.a];
+        line += machine->name();
+        line += ": '";
+        line += t.event_name;
+        line += "' ";
+        line += def.StateName(rec.from);
+        line += " -> ";
+        line += def.StateName(rec.to);
+        if (!t.label.empty()) {
+          line += " [";
+          line += t.label;
+          line += ']';
+        }
+        break;
+      }
+      case obs::RecordType::kSyncSend: {
+        line += machine != nullptr ? machine->name() : "?";
+        line += ": sync-send '";
+        line += ArgKey::NameOfId(rec.a);
+        line += '\'';
+        for (const auto& [channel_name, channel] : channels_) {
+          if (channel.id == rec.aux) {
+            line += " on ";
+            line += channel_name;
+            break;
+          }
+        }
+        break;
+      }
+      case obs::RecordType::kDeviation: {
+        line += machine != nullptr ? machine->name() : "?";
+        line += ": deviation, event '";
+        line += ArgKey::NameOfId(rec.a);
+        line += "' in state ";
+        line += machine != nullptr ? machine->def().StateName(rec.from)
+                                   : std::string_view("?");
+        break;
+      }
+      case obs::RecordType::kFactAssert:
+      case obs::RecordType::kFactRetract: {
+        std::string decoded;
+        if (fact_decoder) decoded = fact_decoder(rec);
+        if (!decoded.empty()) {
+          line += decoded;
+        } else {
+          line += rec.type == obs::RecordType::kFactAssert ? "fact-assert"
+                                                           : "fact-retract";
+          char buf[24];
+          std::snprintf(buf, sizeof(buf), " aux=0x%llx",
+                        static_cast<unsigned long long>(rec.aux));
+          line += buf;
+        }
+        break;
+      }
+      case obs::RecordType::kAlert: {
+        line += "ALERT '";
+        line += ArgKey::NameOfId(rec.a);
+        line += "' raised";
+        if (machine != nullptr) {
+          line += " by ";
+          line += machine->name();
+        }
+        break;
+      }
+      case obs::RecordType::kNone:
+        line += "<empty>";
+        break;
+    }
+    lines.push_back(std::move(line));
+  });
+  return lines;
 }
 
 }  // namespace vids::efsm

@@ -9,18 +9,43 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "efsm/machine.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "sim/scheduler.h"
 
 namespace vids::efsm {
 
 class MachineInstance;
 class MachineGroup;
+
+/// Preallocated metric slots for the engine, shared by every machine group
+/// of one deployment (per-call metrics would explode the registry; the
+/// interesting cardinality lives in the per-call flight recorders instead).
+/// Defaults are the null sinks, so an unattached group pays one pointer
+/// write per update and never branches. The per-transition latency
+/// histogram is sampled 1-in-kLatencySamplePeriod so its two wall-clock
+/// reads amortize to well under a nanosecond per delivery.
+struct EngineMetrics {
+  static constexpr uint32_t kLatencySamplePeriod = 64;
+
+  obs::Counter* transitions = &obs::NullCounter();
+  obs::Counter* deviations = &obs::NullCounter();  // out-of-spec hits
+  obs::Counter* sync_sends = &obs::NullCounter();  // FIFO channel emits
+  obs::Counter* nondeterminism = &obs::NullCounter();
+  obs::Counter* retired = &obs::NullCounter();
+  obs::Histogram* transition_ns = &obs::NullHistogram();
+  uint32_t sample_tick = 0;  // per-group copy's own sampling phase
+
+  /// Registers the slots under "efsm.*" in `registry`.
+  static EngineMetrics Registered(obs::MetricsRegistry& registry);
+};
 
 /// Receives the analysis-relevant happenings. The vIDS Analysis Engine
 /// implements this; tests use it to assert machine behavior.
@@ -66,6 +91,8 @@ class MachineInstance {
   const VariableStore& local() const { return local_; }
   MachineGroup& group() { return group_; }
   const MachineGroup& group() const { return group_; }
+  /// Position within the owning group — the flight recorder's machine id.
+  uint8_t index_in_group() const { return index_in_group_; }
 
   /// Approximate per-instance footprint (§7.3 memory accounting).
   size_t MemoryBytes() const;
@@ -87,6 +114,7 @@ class MachineInstance {
   MachineGroup& group_;
   StateId state_;
   bool retired_ = false;
+  uint8_t index_in_group_ = obs::Record::kNoMachine;  // ring-record identity
   VariableStore local_;
   std::map<std::string, std::unique_ptr<sim::Timer>, std::less<>> timers_;
 };
@@ -94,8 +122,11 @@ class MachineInstance {
 class MachineGroup {
  public:
   /// `observer` may be null; it must outlive the group otherwise.
+  /// `metrics`, when non-null, is copied — the shared slots it points at
+  /// must outlive the group (in practice they live in a MetricsRegistry
+  /// owned by the deployment that creates the groups).
   MachineGroup(std::string name, sim::Scheduler& scheduler,
-               Observer* observer);
+               Observer* observer, const EngineMetrics* metrics = nullptr);
 
   /// Instantiates `def` into this group under `instance_name`. The
   /// definition is shared, not copied — it must outlive the group (that is
@@ -128,20 +159,44 @@ class MachineGroup {
   bool AllRetired() const;
   size_t MemoryBytes() const;
 
+  /// The per-call flight recorder: the last FlightRecorder::kCapacity
+  /// engine happenings of this call, in compact binary form. The analysis
+  /// engine appends its own fact-base and alert records here too, so an
+  /// alert's provenance is the tail of exactly one ring. Mutable through a
+  /// const group: recording is an observability side effect, not a change
+  /// of the group's logical state (observers hold const references).
+  obs::FlightRecorder& flight_recorder() const { return recorder_; }
+
+  /// Decodes records the group itself cannot interpret (fact-base records
+  /// with producer-tagged `aux` payloads). Returns empty to fall back to a
+  /// generic rendering.
+  using FactDecoder = std::function<std::string(const obs::Record&)>;
+
+  /// Renders the newest `max` flight-recorder records, oldest first, one
+  /// human-readable line each. This is the alert-provenance view; it
+  /// allocates freely and must stay off the packet hot path.
+  std::vector<std::string> ExplainFlight(
+      size_t max = obs::FlightRecorder::kCapacity,
+      const FactDecoder& fact_decoder = {}) const;
+
  private:
   friend class MachineInstance;
-  void Enqueue(std::string_view channel, Event event);
+  void Enqueue(const MachineInstance& from, std::string_view channel,
+               Event event);
   void PumpSyncQueues();
   void OnTimerFired(MachineInstance& machine, const std::string& timer_name);
 
   struct Channel {
     MachineInstance* dst = nullptr;
     std::deque<Event> queue;
+    uint16_t id = 0;  // ring-record identity, assigned at RouteChannel
   };
 
   std::string name_;
   sim::Scheduler& scheduler_;
   Observer* observer_;
+  EngineMetrics metrics_;  // copy: one indirection per update, no null check
+  mutable obs::FlightRecorder recorder_;
   VariableStore global_;
   std::vector<std::unique_ptr<MachineInstance>> machines_;
   std::map<std::string, Channel, std::less<>> channels_;

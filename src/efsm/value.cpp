@@ -44,6 +44,12 @@ std::string_view ArgKey::name() const {
   return Pool().names[id_];
 }
 
+std::string_view ArgKey::NameOfId(uint16_t id) {
+  const ArgKeyPool& pool = Pool();
+  if (id >= pool.names.size()) return "<invalid>";
+  return pool.names[id];
+}
+
 std::string ToString(const Value& value) {
   struct Visitor {
     std::string operator()(std::monostate) const { return "<unset>"; }

@@ -43,6 +43,10 @@ class ArgKey {
   /// Returns the key for `name`, interning it on first use.
   static ArgKey Intern(std::string_view name);
 
+  /// Recovers the spelling of an interned id — the decode side of the
+  /// flight recorder's compact records. "<invalid>" for unknown ids.
+  static std::string_view NameOfId(uint16_t id);
+
   std::string_view name() const;
   constexpr uint16_t id() const { return id_; }
   constexpr bool valid() const { return id_ != kInvalidId; }

@@ -1,0 +1,155 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace vids::obs {
+
+Counter& NullCounter() {
+  static Counter counter;
+  return counter;
+}
+Gauge& NullGauge() {
+  static Gauge gauge;
+  return gauge;
+}
+Histogram& NullHistogram() {
+  static Histogram histogram;
+  return histogram;
+}
+
+int64_t Histogram::BucketBound(size_t b) {
+  if (b == 0) return 1;  // bucket 0: v <= 0
+  if (b >= 63) return INT64_MAX;
+  return int64_t{1} << b;
+}
+
+int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      const int64_t bound = BucketBound(b);
+      return bound > max_ ? max_ : (bound < min_ ? min_ : bound);
+    }
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::VisitCounters(
+    const std::function<void(std::string_view, const Counter&)>& fn) const {
+  for (const auto& [name, counter] : counters_) fn(name, counter);
+}
+void MetricsRegistry::VisitGauges(
+    const std::function<void(std::string_view, const Gauge&)>& fn) const {
+  for (const auto& [name, gauge] : gauges_) fn(name, gauge);
+}
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(std::string_view, const Histogram&)>& fn) const {
+  for (const auto& [name, histogram] : histograms_) fn(name, histogram);
+}
+
+std::string MetricsRegistry::ToJson(bool include_histograms) const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << counter.value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": " << gauge.value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}";
+  if (include_histograms) {
+    out << ",\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+      out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": "
+          << h.count() << ", \"sum\": " << h.sum() << ", \"min\": " << h.min()
+          << ", \"max\": " << h.max() << ", \"p50\": " << h.Quantile(0.5)
+          << ", \"p99\": " << h.Quantile(0.99) << "}";
+      first = false;
+    }
+    out << (first ? "" : "\n  ") << "}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+namespace {
+std::string PromName(std::string_view name) {
+  std::string out(name);
+  for (char& c : out) {
+    if (c == '.' || c == '-' || c == ' ') c = '_';
+  }
+  return out;
+}
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string p = PromName(name);
+    out << "# TYPE " << p << " counter\n" << p << " " << counter.value()
+        << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string p = PromName(name);
+    out << "# TYPE " << p << " gauge\n" << p << " " << gauge.value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = PromName(name);
+    out << "# TYPE " << p << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.buckets()[b] == 0) continue;
+      cumulative += h.buckets()[b];
+      out << p << "_bucket{le=\"" << Histogram::BucketBound(b) << "\"} "
+          << cumulative << "\n";
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << h.count() << "\n"
+        << p << "_sum " << h.sum() << "\n"
+        << p << "_count " << h.count() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vids::obs

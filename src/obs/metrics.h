@@ -1,0 +1,160 @@
+// Zero-allocation metrics registry.
+//
+// The paper's evaluation is about *measuring* vIDS (call setup delay, RTP
+// QoS, CPU and memory overhead, detection accuracy); this registry is the
+// runtime side of that story. Metrics are registered once (an allocation,
+// at component construction) and from then on a hot-path update is a plain
+// uint64_t store into a preallocated slot: Counter::Inc is one add,
+// Gauge::Set one store, Histogram::Record one array increment into a fixed
+// log2 bucket. Steady-state packet inspection therefore stays on the
+// zero-allocation path established in PR 1 with instrumentation enabled.
+//
+// Components that may run without a registry (benches, unit fixtures) hold
+// pointers defaulted to the Null* singletons — increments are unconditional
+// writes into a shared dummy slot, so the hot path carries no branch.
+//
+// Exporters: ToJson() (machine-readable snapshot, deterministic key order)
+// and ToPrometheus() (text exposition format). Not thread-safe by design:
+// the discrete-event simulator is single-threaded.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace vids::obs {
+
+/// Monotonic wall-clock nanoseconds, for latency histograms. (Simulated
+/// time is the scheduler's business; instrumentation that measures *our*
+/// cost needs the real clock.)
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// A point-in-time level (queue depth, live group count).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t d) { value_ += d; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Fixed-bucket log2 histogram: value v lands in bucket bit_width(v), so
+/// bucket b covers [2^(b-1), 2^b). 64 buckets span the full uint64 range —
+/// no configuration, no allocation, one increment per Record. Quantiles are
+/// estimated from the bucket boundaries (good to a factor of 2, which is
+/// what a latency histogram is for).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bucket 0 holds v <= 0
+
+  void Record(int64_t v) {
+    ++buckets_[BucketOf(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+  }
+
+  uint64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t min() const { return min_; }
+  int64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  /// Upper bound of the bucket holding the q-quantile (0 <= q <= 1), clamped
+  /// to the observed [min, max]. Returns 0 when empty.
+  int64_t Quantile(double q) const;
+
+  static size_t BucketOf(int64_t v) {
+    if (v <= 0) return 0;
+    size_t b = 0;
+    auto u = static_cast<uint64_t>(v);
+    while (u != 0) {
+      ++b;
+      u >>= 1;
+    }
+    return b;
+  }
+  /// Exclusive upper bound of bucket b (inclusive values < bound).
+  static int64_t BucketBound(size_t b);
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+/// Shared no-op sinks for unattached components. Writes go to a process-wide
+/// dummy slot; reads are meaningless. Never registered, never exported.
+Counter& NullCounter();
+Gauge& NullGauge();
+Histogram& NullHistogram();
+
+/// Named metric store. Get* registers on first use and returns a reference
+/// that stays valid for the registry's lifetime (node-stable map storage);
+/// components resolve their metrics once at construction and keep the
+/// pointer. Names are dotted paths ("vids.rtp_packets", "efsm.transition_ns").
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Read-only lookup; nullptr when the metric was never registered.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Visitation in lexicographic name order (deterministic exports).
+  void VisitCounters(
+      const std::function<void(std::string_view, const Counter&)>& fn) const;
+  void VisitGauges(
+      const std::function<void(std::string_view, const Gauge&)>& fn) const;
+  void VisitHistograms(
+      const std::function<void(std::string_view, const Histogram&)>& fn) const;
+
+  /// JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {...}}. Key order is deterministic. Histograms carry wall-clock-derived
+  /// values, so replay/equality checks pass include_histograms = false.
+  std::string ToJson(bool include_histograms = true) const;
+
+  /// Prometheus text exposition format ('.' and '-' become '_').
+  std::string ToPrometheus() const;
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace vids::obs

@@ -102,6 +102,7 @@ void MediaSession::SendFrame() {
   next_timestamp_ += config_.codec.TimestampStep();
   header.ssrc = ssrc_;
   ++packets_sent_;
+  m_packets_sent_->Inc();
   octets_sent_ += config_.codec.bytes_per_frame;
   host_.SendUdp(config_.local_port, config_.remote, header.Serialize(),
                 net::PayloadKind::kRtp, config_.codec.bytes_per_frame);
@@ -127,6 +128,7 @@ void MediaSession::SendSenderReport() {
     report.reports.push_back(block);
   }
   ++rtcp_sent_;
+  m_rtcp_sent_->Inc();
   host_.SendUdp(static_cast<uint16_t>(config_.local_port + 1), RemoteRtcp(),
                 report.Serialize(), net::PayloadKind::kRtp);
   rtcp_timer_.Start(config_.rtcp_interval, [this] { SendSenderReport(); });
@@ -137,6 +139,7 @@ void MediaSession::SendRtcpBye() {
   bye.ssrcs.push_back(ssrc_);
   bye.reason = "session ended";
   ++rtcp_sent_;
+  m_rtcp_sent_->Inc();
   host_.SendUdp(static_cast<uint16_t>(config_.local_port + 1), RemoteRtcp(),
                 bye.Serialize(), net::PayloadKind::kRtp);
 }
@@ -145,6 +148,7 @@ void MediaSession::OnRtcpDatagram(const net::Datagram& dgram) {
   const auto packet = ParseRtcp(dgram.payload);
   if (!packet) return;
   ++rtcp_received_;
+  m_rtcp_received_->Inc();
   if (packet->sr) remote_claimed_packets_ = packet->sr->packet_count;
   if (packet->bye) remote_bye_received_ = true;
 }
@@ -161,17 +165,21 @@ void MediaSession::OnDatagram(const net::Datagram& dgram) {
     locked_ssrc_ = header->ssrc;
   } else if (*locked_ssrc_ != header->ssrc) {
     ++stats_.ssrc_mismatches;
+    m_ssrc_mismatches_->Inc();
     // Still measured: a spoofed-SSRC stream is the media-spam attack and we
     // want the victim's QoS numbers to show its effect.
   }
 
   ++stats_.packets_received;
+  m_packets_received_->Inc();
   if (last_seq_) {
     const int gap = SeqDistance(*last_seq_, header->sequence_number);
     if (gap > 1) {
       stats_.packets_lost += static_cast<uint64_t>(gap - 1);
+      m_packets_lost_->Inc(static_cast<uint64_t>(gap - 1));
     } else if (gap < 0) {
       ++stats_.packets_misordered;
+      m_packets_misordered_->Inc();
     }
   }
   last_seq_ = header->sequence_number;
@@ -192,6 +200,16 @@ void MediaSession::OnDatagram(const net::Datagram& dgram) {
     samples_.push_back(QosSample{scheduler_.Now(), transit,
                                  stats_.jitter_seconds});
   }
+}
+
+void MediaSession::AttachMetrics(obs::MetricsRegistry& registry) {
+  m_packets_sent_ = &registry.GetCounter("rtp.packets_sent");
+  m_packets_received_ = &registry.GetCounter("rtp.packets_received");
+  m_packets_lost_ = &registry.GetCounter("rtp.packets_lost");
+  m_packets_misordered_ = &registry.GetCounter("rtp.packets_misordered");
+  m_ssrc_mismatches_ = &registry.GetCounter("rtp.ssrc_mismatches");
+  m_rtcp_sent_ = &registry.GetCounter("rtp.rtcp_sent");
+  m_rtcp_received_ = &registry.GetCounter("rtp.rtcp_received");
 }
 
 }  // namespace vids::rtp

@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "net/host.h"
+#include "obs/metrics.h"
 #include "rtp/codec.h"
 #include "rtp/packet.h"
 #include "rtp/rtcp.h"
@@ -89,6 +90,10 @@ class MediaSession {
   /// True once the remote announced end-of-stream via RTCP BYE.
   bool remote_bye_received() const { return remote_bye_received_; }
 
+  /// Points this session's metric slots at "rtp.*" counters of `registry`.
+  /// Sessions sharing a registry aggregate into the same counters.
+  void AttachMetrics(obs::MetricsRegistry& registry);
+
  private:
   void SendFrame();
   void ScheduleNextFrame();
@@ -130,6 +135,15 @@ class MediaSession {
   std::optional<uint32_t> locked_ssrc_;
   std::optional<uint16_t> last_seq_;
   std::optional<double> last_transit_;
+
+  // Metric slots, aggregated across sessions; null sinks until attached.
+  obs::Counter* m_packets_sent_ = &obs::NullCounter();
+  obs::Counter* m_packets_received_ = &obs::NullCounter();
+  obs::Counter* m_packets_lost_ = &obs::NullCounter();
+  obs::Counter* m_packets_misordered_ = &obs::NullCounter();
+  obs::Counter* m_ssrc_mismatches_ = &obs::NullCounter();
+  obs::Counter* m_rtcp_sent_ = &obs::NullCounter();
+  obs::Counter* m_rtcp_received_ = &obs::NullCounter();
 };
 
 }  // namespace vids::rtp

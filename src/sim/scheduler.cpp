@@ -31,6 +31,8 @@ Scheduler::EventId Scheduler::ScheduleAt(Time t, Callback cb) {
   if (t < now_) throw std::invalid_argument("ScheduleAt: time in the past");
   const EventId id = AcquireSlot();
   queue_.push(Entry{t, next_seq_++, id.slot_, std::move(cb)});
+  scheduled_counter_->Inc();
+  depth_gauge_->Set(static_cast<int64_t>(PendingEvents()));
   return id;
 }
 
@@ -68,11 +70,14 @@ bool Scheduler::Step() {
       assert(cancelled_count_ > 0);
       --cancelled_count_;
       ReleaseSlot(entry.slot);
+      drain_counter_->Inc();
       continue;
     }
     now_ = entry.time;
     ReleaseSlot(entry.slot);  // fired: stale handles must not cancel it
     ++executed_;
+    executed_counter_->Inc();
+    depth_gauge_->Set(static_cast<int64_t>(PendingEvents()));
     entry.cb();
     return true;
   }
@@ -92,12 +97,20 @@ void Scheduler::RunUntil(Time deadline) {
       const uint32_t slot = top.slot;
       queue_.pop();
       ReleaseSlot(slot);
+      drain_counter_->Inc();
       continue;
     }
     if (top.time > deadline) break;
     Step();
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+void Scheduler::AttachMetrics(obs::MetricsRegistry& registry) {
+  scheduled_counter_ = &registry.GetCounter("sim.events_scheduled");
+  executed_counter_ = &registry.GetCounter("sim.events_executed");
+  drain_counter_ = &registry.GetCounter("sim.tombstone_drains");
+  depth_gauge_ = &registry.GetGauge("sim.queue_depth");
 }
 
 void Timer::Start(Duration d, Scheduler::Callback cb) {

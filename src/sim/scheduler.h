@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/time.h"
 
 namespace vids::sim {
@@ -72,6 +73,12 @@ class Scheduler {
   /// Total events executed so far; a cheap progress/cost metric for benches.
   uint64_t ExecutedEvents() const { return executed_; }
 
+  /// Registers this scheduler's metrics (sim.events_scheduled,
+  /// sim.events_executed, sim.tombstone_drains counters and the
+  /// sim.queue_depth gauge) in `registry`. Before attachment the updates go
+  /// to the shared null sinks — no branch on the event path either way.
+  void AttachMetrics(obs::MetricsRegistry& registry);
+
  private:
   struct Entry {
     Time time;
@@ -97,6 +104,10 @@ class Scheduler {
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   size_t cancelled_count_ = 0;
+  obs::Counter* scheduled_counter_ = &obs::NullCounter();
+  obs::Counter* executed_counter_ = &obs::NullCounter();
+  obs::Counter* drain_counter_ = &obs::NullCounter();
+  obs::Gauge* depth_gauge_ = &obs::NullGauge();
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;

@@ -45,6 +45,9 @@ class Proxy {
   uint64_t auth_challenges_sent() const { return auth_challenges_sent_; }
   uint64_t auth_failures() const { return auth_failures_; }
 
+  /// For metric attachment by the deployment that owns this proxy.
+  TransactionLayer& transaction_layer() { return layer_; }
+
  private:
   void OnRequest(ServerTransaction& tx);
   void OnRegister(ServerTransaction& tx);

@@ -61,6 +61,14 @@ ClientTransaction::ClientTransaction(TransactionLayer& layer, Message request,
     throw std::invalid_argument("client transaction requires a Via branch");
   }
   branch_ = via->branch;
+  state_entered_ = layer_.scheduler().Now();
+}
+
+void ClientTransaction::EnterState(TxState next) {
+  const sim::Time now = layer_.scheduler().Now();
+  layer_.metrics_.state_ns->Record((now - state_entered_).nanos());
+  state_entered_ = now;
+  state_ = next;
 }
 
 void ClientTransaction::Start() {
@@ -73,8 +81,10 @@ void ClientTransaction::Start() {
 }
 
 void ClientTransaction::RetransmitTimerFired() {
+  layer_.metrics_.timer_fires->Inc();
   if (state_ == TxState::kCalling || state_ == TxState::kTrying) {
     layer_.transport().Send(request_, dst_);
+    layer_.metrics_.retransmits->Inc();
     retransmit_interval_ = retransmit_interval_ * 2;
     if (method_ != Method::kInvite) {
       // Timer E caps at T2.
@@ -86,18 +96,21 @@ void ClientTransaction::RetransmitTimerFired() {
   } else if (state_ == TxState::kProceeding && method_ != Method::kInvite) {
     // Non-INVITE Proceeding keeps retransmitting at T2.
     layer_.transport().Send(request_, dst_);
+    layer_.metrics_.retransmits->Inc();
     retransmit_timer_.Start(layer_.timers().t2,
                             [this] { RetransmitTimerFired(); });
   }
 }
 
 void ClientTransaction::TimeoutTimerFired() {
+  layer_.metrics_.timer_fires->Inc();
   if (state_ == TxState::kCompleted) {
     // Timer D / K expired: absorb window over.
     Terminate();
     return;
   }
   retransmit_timer_.Cancel();
+  layer_.metrics_.timeouts->Inc();
   Terminate();
   if (on_timeout_) on_timeout_();
 }
@@ -126,7 +139,7 @@ void ClientTransaction::ReceiveResponse(const Message& response) {
         if (method_ == Method::kInvite) {
           retransmit_timer_.Cancel();  // INVITE stops retransmitting on 1xx
         }
-        state_ = TxState::kProceeding;
+        EnterState(TxState::kProceeding);
         if (on_response_) on_response_(response);
         return;
       }
@@ -139,13 +152,19 @@ void ClientTransaction::ReceiveResponse(const Message& response) {
           if (on_response_) on_response_(response);
         } else {
           SendAck(response);
-          state_ = TxState::kCompleted;
-          timeout_timer_.Start(layer_.timers().d, [this] { Terminate(); });
+          EnterState(TxState::kCompleted);
+          timeout_timer_.Start(layer_.timers().d, [this] {
+            layer_.metrics_.timer_fires->Inc();
+            Terminate();
+          });
           if (on_response_) on_response_(response);
         }
       } else {
-        state_ = TxState::kCompleted;
-        timeout_timer_.Start(layer_.timers().t4, [this] { Terminate(); });
+        EnterState(TxState::kCompleted);
+        timeout_timer_.Start(layer_.timers().t4, [this] {
+          layer_.metrics_.timer_fires->Inc();
+          Terminate();
+        });
         if (on_response_) on_response_(response);
       }
       return;
@@ -164,7 +183,7 @@ void ClientTransaction::ReceiveResponse(const Message& response) {
 
 void ClientTransaction::Terminate() {
   if (state_ == TxState::kTerminated) return;
-  state_ = TxState::kTerminated;
+  EnterState(TxState::kTerminated);
   retransmit_timer_.Cancel();
   timeout_timer_.Cancel();
   layer_.Collect();
@@ -185,6 +204,14 @@ ServerTransaction::ServerTransaction(TransactionLayer& layer, Message request,
       timeout_timer_(layer.scheduler()) {
   const auto via = request_.TopVia();
   branch_ = via ? via->branch : std::string();
+  state_entered_ = layer_.scheduler().Now();
+}
+
+void ServerTransaction::EnterState(TxState next) {
+  const sim::Time now = layer_.scheduler().Now();
+  layer_.metrics_.state_ns->Record((now - state_entered_).nanos());
+  state_entered_ = now;
+  state_ = next;
 }
 
 Message ServerTransaction::MakeResponse(int status,
@@ -212,7 +239,7 @@ void ServerTransaction::Respond(const Message& response) {
     case TxState::kTrying:
     case TxState::kProceeding:
       if (IsProvisional(status)) {
-        state_ = TxState::kProceeding;
+        EnterState(TxState::kProceeding);
         return;
       }
       if (method_ == Method::kInvite) {
@@ -220,23 +247,29 @@ void ServerTransaction::Respond(const Message& response) {
           // 2xx: the TU retransmits 2xx end-to-end; transaction is done.
           Terminate();
         } else {
-          state_ = TxState::kCompleted;
+          EnterState(TxState::kCompleted);
           // Timer G: retransmit the final until ACKed (ReceiveRetransmit
           // resends the stored response and backs the interval off);
           // Timer H: give up waiting for the ACK after 64*T1.
           retransmit_interval_ = layer_.timers().t1;
           retransmit_timer_.Start(retransmit_interval_, [this] {
+            layer_.metrics_.timer_fires->Inc();
             ReceiveRetransmit(request_);
           });
           timeout_timer_.Start(layer_.timers().t1 * 64, [this] {
+            layer_.metrics_.timer_fires->Inc();
+            layer_.metrics_.timeouts->Inc();
             Terminate();
             if (on_timeout_) on_timeout_();
           });
         }
       } else {
-        state_ = TxState::kCompleted;
+        EnterState(TxState::kCompleted);
         // Timer J: absorb retransmits for 64*T1, then terminate.
-        timeout_timer_.Start(layer_.timers().t1 * 64, [this] { Terminate(); });
+        timeout_timer_.Start(layer_.timers().t1 * 64, [this] {
+          layer_.metrics_.timer_fires->Inc();
+          Terminate();
+        });
       }
       return;
     case TxState::kCompleted:
@@ -253,11 +286,13 @@ void ServerTransaction::ReceiveRetransmit(const Message&) {
     case TxState::kCompleted:
       if (last_response_) {
         layer_.transport().Send(*last_response_, remote_);
+        layer_.metrics_.retransmits->Inc();
         if (method_ == Method::kInvite && state_ == TxState::kCompleted) {
           // Timer G semantics: back off the retransmit interval.
           retransmit_interval_ =
               std::min(retransmit_interval_ * 2, layer_.timers().t2);
           retransmit_timer_.Start(retransmit_interval_, [this] {
+            layer_.metrics_.timer_fires->Inc();
             ReceiveRetransmit(request_);
           });
         }
@@ -271,17 +306,20 @@ void ServerTransaction::ReceiveRetransmit(const Message&) {
 void ServerTransaction::ReceiveAck(const Message& ack) {
   if (method_ != Method::kInvite) return;
   if (state_ == TxState::kCompleted) {
-    state_ = TxState::kConfirmed;
+    EnterState(TxState::kConfirmed);
     retransmit_timer_.Cancel();
     // Timer I: absorb further ACKs for T4, then terminate.
-    timeout_timer_.Start(layer_.timers().t4, [this] { Terminate(); });
+    timeout_timer_.Start(layer_.timers().t4, [this] {
+      layer_.metrics_.timer_fires->Inc();
+      Terminate();
+    });
     if (on_ack_) on_ack_(ack);
   }
 }
 
 void ServerTransaction::Terminate() {
   if (state_ == TxState::kTerminated) return;
-  state_ = TxState::kTerminated;
+  EnterState(TxState::kTerminated);
   retransmit_timer_.Cancel();
   timeout_timer_.Cancel();
   layer_.Collect();
@@ -308,8 +346,18 @@ ClientTransaction& TransactionLayer::StartClient(
   const std::string key = ClientKey(tx->branch(), tx->method());
   ClientTransaction& ref = *tx;
   clients_[key] = std::move(tx);
+  metrics_.clients_created->Inc();
   ref.Start();
   return ref;
+}
+
+void TransactionLayer::AttachMetrics(obs::MetricsRegistry& registry) {
+  metrics_.clients_created = &registry.GetCounter("sip.tx.clients_created");
+  metrics_.servers_created = &registry.GetCounter("sip.tx.servers_created");
+  metrics_.retransmits = &registry.GetCounter("sip.tx.retransmits");
+  metrics_.timer_fires = &registry.GetCounter("sip.tx.timer_fires");
+  metrics_.timeouts = &registry.GetCounter("sip.tx.timeouts");
+  metrics_.state_ns = &registry.GetHistogram("sip.tx.state_ns");
 }
 
 void TransactionLayer::SendStateless(const Message& message,
@@ -351,7 +399,7 @@ void TransactionLayer::DispatchRequest(const Message& request,
                                        const net::Datagram& dgram) {
   const auto via = request.TopVia();
   if (!via || via->branch.empty()) {
-    VIDS_DEBUG() << "request without Via branch dropped";
+    VIDS_DEBUG_C("sip") << "request without Via branch dropped";
     return;
   }
   const Method method = request.method();
@@ -376,6 +424,7 @@ void TransactionLayer::DispatchRequest(const Message& request,
       new ServerTransaction(*this, request, dgram.src));
   ServerTransaction& ref = *tx;
   servers_[key] = std::move(tx);
+  metrics_.servers_created->Inc();
   if (core_.on_request) core_.on_request(ref);
 }
 

@@ -13,11 +13,24 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "sim/scheduler.h"
 #include "sip/message.h"
 #include "sip/transport.h"
 
 namespace vids::sip {
+
+/// Metric slots for one transaction layer (one per UA / proxy). Null sinks
+/// until TransactionLayer::AttachMetrics points them at a registry, so the
+/// layer is always instrumented and never branches on "metrics enabled".
+struct TxMetrics {
+  obs::Counter* clients_created = &obs::NullCounter();
+  obs::Counter* servers_created = &obs::NullCounter();
+  obs::Counter* retransmits = &obs::NullCounter();   // wire re-sends
+  obs::Counter* timer_fires = &obs::NullCounter();   // A/B/E/F/G/H/I/J/K/D
+  obs::Counter* timeouts = &obs::NullCounter();      // B/F/H gave up
+  obs::Histogram* state_ns = &obs::NullHistogram();  // sim-time per state
+};
 
 /// RFC 3261 base timers; configurable so tests can compress time.
 struct TimerConfig {
@@ -68,6 +81,7 @@ class ClientTransaction {
   void TimeoutTimerFired();     // timer B / F
   void Terminate();
   void SendAck(const Message& response);  // non-2xx ACK (transaction layer's)
+  void EnterState(TxState next);  // records the outgoing state's duration
 
   TransactionLayer& layer_;
   Message request_;
@@ -77,6 +91,7 @@ class ClientTransaction {
   Method method_;
   std::string branch_;
   TxState state_;
+  sim::Time state_entered_;
   sim::Duration retransmit_interval_;
   sim::Timer retransmit_timer_;
   sim::Timer timeout_timer_;  // B/F, then D/K in Completed
@@ -118,6 +133,7 @@ class ServerTransaction {
   void ReceiveRetransmit(const Message& request);
   void ReceiveAck(const Message& ack);
   void Terminate();
+  void EnterState(TxState next);  // records the outgoing state's duration
 
   TransactionLayer& layer_;
   Message request_;
@@ -125,6 +141,7 @@ class ServerTransaction {
   Method method_;
   std::string branch_;
   TxState state_;
+  sim::Time state_entered_;
   std::optional<Message> last_response_;
   AckHandler on_ack_;
   TimeoutHandler on_timeout_;
@@ -174,6 +191,12 @@ class TransactionLayer {
   size_t active_clients() const { return clients_.size(); }
   size_t active_servers() const { return servers_.size(); }
 
+  /// Points the layer's metric slots at "sip.tx.*" entries of `registry`.
+  /// All transaction layers of one deployment may share the same registry —
+  /// GetCounter is idempotent by name, so they aggregate.
+  void AttachMetrics(obs::MetricsRegistry& registry);
+  const TxMetrics& metrics() const { return metrics_; }
+
  private:
   friend class ClientTransaction;
   friend class ServerTransaction;
@@ -187,6 +210,7 @@ class TransactionLayer {
   Transport& transport_;
   TimerConfig timers_;
   Core core_;
+  TxMetrics metrics_;
   uint64_t next_branch_ = 1;
 
   // Client key: branch + method name (CANCEL shares the INVITE's branch).

@@ -112,6 +112,9 @@ class UserAgent {
   }
   int active_call_count() const { return static_cast<int>(calls_.size()); }
 
+  /// For metric attachment by the deployment that owns this UA.
+  TransactionLayer& transaction_layer() { return layer_; }
+
  private:
   struct Call {
     CallRecord record;

@@ -1,5 +1,7 @@
 #include "testbed/testbed.h"
 
+#include "common/log.h"
+
 namespace vids::testbed {
 
 namespace {
@@ -12,14 +14,16 @@ constexpr const char* kDomainB = "b.example.com";
 UaNode::UaNode(sim::Scheduler& scheduler, net::Host& host,
                sip::UserAgent::Config ua_config, rtp::CodecProfile codec,
                rtp::TalkspurtModel talkspurt, uint32_t qos_sample_every,
-               common::Stream& rng)
+               common::Stream& rng, obs::MetricsRegistry* metrics)
     : scheduler_(scheduler),
       host_(host),
       codec_(std::move(codec)),
       talkspurt_(talkspurt),
       qos_sample_every_(qos_sample_every),
       rng_(rng.Fork(std::string(host.name()) + ":ua")),
+      metrics_(metrics),
       ua_(scheduler, host, std::move(ua_config)) {
+  if (metrics_ != nullptr) ua_.transaction_layer().AttachMetrics(*metrics_);
   ua_.set_media_start([this](const sip::MediaSpec& spec) {
     rtp::MediaSession::Config media_config;
     media_config.local_port = spec.local_rtp.port;
@@ -29,6 +33,7 @@ UaNode::UaNode(sim::Scheduler& scheduler, net::Host& host,
     media_config.sample_every = qos_sample_every_;
     auto session = std::make_unique<rtp::MediaSession>(
         scheduler_, host_, media_config, rng_);
+    if (metrics_ != nullptr) session->AttachMetrics(*metrics_);
     session->Start();
     media_[spec.call_id] = std::move(session);
   });
@@ -79,8 +84,16 @@ rtp::ReceiverStats UaNode::AggregateReceiverStats() const {
 
 Testbed::Testbed(TestbedConfig config)
     : config_(std::move(config)), rng_(config_.seed, "testbed") {
+  scheduler_.AttachMetrics(metrics_);
+  // Stamp every log line with simulated time while this testbed is alive.
+  common::Log::SetClock([this] { return scheduler_.Now().nanos(); });
   network_ = std::make_unique<net::Network>(scheduler_, config_.seed);
   BuildTopology();
+}
+
+Testbed::~Testbed() {
+  // The clock closure captures `this`; drop it before the scheduler dies.
+  common::Log::SetClock(nullptr);
 }
 
 net::Endpoint Testbed::proxy_a_endpoint() const {
@@ -109,7 +122,7 @@ UaNode& Testbed::AddUa(Enterprise& enterprise, const std::string& name,
   if (config_.enable_registration_auth) ua_config.password = "pw-" + name;
   out.push_back(std::make_unique<UaNode>(
       scheduler_, host, std::move(ua_config), config_.codec,
-      config_.talkspurt, config_.qos_sample_every, rng_));
+      config_.talkspurt, config_.qos_sample_every, rng_, &metrics_));
   return *out.back();
 }
 
@@ -208,6 +221,7 @@ void Testbed::BuildTopology() {
     }
     auto proxy =
         std::make_unique<sip::Proxy>(scheduler_, *host, proxy_config);
+    proxy->transaction_layer().AttachMetrics(metrics_);
     if (enterprise == &a_) {
       proxy_a_ = std::move(proxy);
     } else {

@@ -22,6 +22,7 @@
 #include "attacks/eavesdropper.h"
 #include "attacks/toolkit.h"
 #include "net/forwarder.h"
+#include "obs/metrics.h"
 #include "net/host.h"
 #include "net/inline_tap.h"
 #include "net/network.h"
@@ -72,7 +73,7 @@ class UaNode {
   UaNode(sim::Scheduler& scheduler, net::Host& host,
          sip::UserAgent::Config ua_config, rtp::CodecProfile codec,
          rtp::TalkspurtModel talkspurt, uint32_t qos_sample_every,
-         common::Stream& rng);
+         common::Stream& rng, obs::MetricsRegistry* metrics = nullptr);
 
   sip::UserAgent& ua() { return ua_; }
   net::Host& host() { return host_; }
@@ -88,6 +89,7 @@ class UaNode {
   rtp::TalkspurtModel talkspurt_;
   uint32_t qos_sample_every_;
   common::Stream rng_;
+  obs::MetricsRegistry* metrics_;  // environment registry; may be null
   sip::UserAgent ua_;
   std::map<std::string, std::unique_ptr<rtp::MediaSession>> media_;
   // Retired sessions' stats are folded here so history survives teardown.
@@ -98,6 +100,7 @@ class UaNode {
 class Testbed {
  public:
   explicit Testbed(TestbedConfig config);
+  ~Testbed();
 
   /// Starts §7.1's random call workload: every network-A UA independently
   /// places calls to random network-B UAs.
@@ -115,6 +118,10 @@ class Testbed {
   void RunFor(sim::Duration d) { scheduler_.RunUntil(scheduler_.Now() + d); }
 
   sim::Scheduler& scheduler() { return scheduler_; }
+  /// Environment-side metrics (sim.*, sip.tx.*, rtp.*). Deliberately a
+  /// separate registry from Vids::metrics(): the IDS registry stays a pure
+  /// function of the inspected packet stream so trace replay reproduces it.
+  obs::MetricsRegistry& metrics() { return metrics_; }
   net::Network& network() { return *network_; }
   ids::Vids* vids() { return vids_.get(); }
   net::InlineTap& tap() { return *tap_; }
@@ -147,6 +154,7 @@ class Testbed {
                 net::Endpoint proxy, std::vector<std::unique_ptr<UaNode>>& out);
 
   TestbedConfig config_;
+  obs::MetricsRegistry metrics_;  // declared before users so it dies last
   sim::Scheduler scheduler_;
   common::Stream rng_;
   std::unique_ptr<net::Network> network_;

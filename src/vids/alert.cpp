@@ -23,4 +23,17 @@ std::string Alert::ToString() const {
   return out.str();
 }
 
+std::string Alert::ProvenanceToString() const {
+  std::ostringstream out;
+  out << ToString() << "\n";
+  if (!trigger.empty()) out << "  trigger: " << trigger << "\n";
+  if (provenance.empty()) {
+    out << "  (no flight records)\n";
+  } else {
+    out << "  last " << provenance.size() << " call events:\n";
+    for (const std::string& line : provenance) out << "    " << line << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace vids::ids

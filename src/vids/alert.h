@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "sim/time.h"
 
@@ -36,7 +37,16 @@ struct Alert {
   std::string state;     // machine state at the time
   std::string detail;    // free-form evidence (addresses, counters)
 
+  /// The transition that fired the alert, e.g. "SIP: 'BYE' InCall -> Attack".
+  std::string trigger;
+  /// The call's flight-recorder tail at emission time (≤ 32 rendered
+  /// records, oldest first) — the "why": every EFSM transition, sync
+  /// channel send, fact-base change and prior alert of this call.
+  std::vector<std::string> provenance;
+
   std::string ToString() const;
+  /// Multi-line report: ToString(), the trigger, then provenance indented.
+  std::string ProvenanceToString() const;
 };
 
 }  // namespace vids::ids

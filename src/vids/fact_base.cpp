@@ -25,13 +25,56 @@ uint64_t DrdosKey(net::IpAddress victim) {
 
 CallStateFactBase::CallStateFactBase(sim::Scheduler& scheduler,
                                      const DetectionConfig& config,
-                                     efsm::Observer* observer)
+                                     efsm::Observer* observer,
+                                     obs::MetricsRegistry* registry)
     : scheduler_(scheduler),
       config_(config),
       observer_(observer),
       sip_spec_(BuildSipSpecMachine(config)),
       rtp_spec_(BuildRtpSpecMachine(config)),
-      scenarios_(config) {}
+      scenarios_(config) {
+  if (registry != nullptr) {
+    engine_metrics_ = efsm::EngineMetrics::Registered(*registry);
+    m_calls_created_ = &registry->GetCounter("vids.calls_created");
+    m_calls_deleted_ = &registry->GetCounter("vids.calls_deleted");
+    m_sweeps_ = &registry->GetCounter("vids.sweeps");
+    m_sweep_ns_ = &registry->GetHistogram("vids.sweep_ns");
+    m_active_calls_ = &registry->GetGauge("vids.active_calls");
+    m_keyed_groups_ = &registry->GetGauge("vids.keyed_groups");
+    m_media_index_ = &registry->GetGauge("vids.media_index_size");
+    m_tombstones_ = &registry->GetGauge("vids.tombstones");
+  }
+}
+
+std::string CallStateFactBase::DecodeFactRecord(const obs::Record& record) {
+  if (record.type != obs::RecordType::kFactAssert &&
+      record.type != obs::RecordType::kFactRetract) {
+    return {};
+  }
+  const uint64_t tag = record.aux & FactAux::kTagMask;
+  const net::Endpoint endpoint{
+      net::IpAddress(static_cast<uint32_t>((record.aux >> 16) & 0xFFFFFFFF)),
+      static_cast<uint16_t>(record.aux & 0xFFFF)};
+  switch (tag) {
+    case FactAux::kCallCreated:
+      return "fact: call state created";
+    case FactAux::kMediaIndexed:
+      return "fact: media endpoint " + endpoint.ToString() +
+             " indexed to this call";
+    case FactAux::kMediaRetracted:
+      return "fact: media endpoint " + endpoint.ToString() +
+             " re-pointed away from this call";
+    default:
+      return {};
+  }
+}
+
+void CallStateFactBase::UpdateGauges() {
+  m_active_calls_->Set(static_cast<int64_t>(calls_.size()));
+  m_keyed_groups_->Set(static_cast<int64_t>(keyed_count()));
+  m_media_index_->Set(static_cast<int64_t>(media_index_.size()));
+  m_tombstones_->Set(static_cast<int64_t>(tombstones_.size()));
+}
 
 efsm::MachineGroup& CallStateFactBase::GetOrCreateCall(
     const std::string& call_id, bool& created) {
@@ -43,8 +86,10 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateCall(
   }
   created = true;
   ++calls_created_;
+  m_calls_created_->Inc();
   auto group = std::make_unique<efsm::MachineGroup>(call_id, scheduler_,
-                                                    observer_);
+                                                    observer_,
+                                                    &engine_metrics_);
   auto& sip = group->AddMachine(sip_spec_, std::string(kSipMachineName));
   auto& rtp = group->AddMachine(rtp_spec_, std::string(kRtpMachineName));
   (void)sip;
@@ -53,9 +98,17 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateCall(
   if (config_.enable_cross_protocol) {
     group->RouteChannel(std::string(kSipToRtpChannel), rtp);
   }
+  {
+    obs::Record rec;
+    rec.type = obs::RecordType::kFactAssert;
+    rec.when_ns = scheduler_.Now().nanos();
+    rec.aux = FactAux::kCallCreated;
+    group->flight_recorder().Record(rec);
+  }
   auto& entry = calls_[call_id];
   entry.group = std::move(group);
   entry.last_event = scheduler_.Now();
+  m_active_calls_->Set(static_cast<int64_t>(calls_.size()));
   return *entry.group;
 }
 
@@ -91,8 +144,9 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateKeyed(
     it->second.last_event = scheduler_.Now();
     return *it->second.group;
   }
-  auto group =
-      std::make_unique<efsm::MachineGroup>(name, scheduler_, observer_);
+  auto group = std::make_unique<efsm::MachineGroup>(name, scheduler_,
+                                                    observer_,
+                                                    &engine_metrics_);
   switch (kind) {
     case KeyedKind::kInviteFlood:
       group->AddMachine(scenarios_.invite_flood, "invite-flood");
@@ -119,7 +173,8 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateMediaGroup(
   entry.last_event = scheduler_.Now();
   if (!inserted) return *entry.group;
   auto group = std::make_unique<efsm::MachineGroup>(
-      "media|" + endpoint.ToString(), scheduler_, observer_);
+      "media|" + endpoint.ToString(), scheduler_, observer_,
+      &engine_metrics_);
   group->AddMachine(scenarios_.media_spam, "media-spam");
   group->AddMachine(scenarios_.rtp_flood, "rtp-flood");
   group->AddMachine(scenarios_.rtcp_bye, "rtcp-bye");
@@ -134,7 +189,8 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateDrdosGroup(
   entry.last_event = scheduler_.Now();
   if (!inserted) return *entry.group;
   auto group = std::make_unique<efsm::MachineGroup>(
-      "drdos|" + victim.ToString(), scheduler_, observer_);
+      "drdos|" + victim.ToString(), scheduler_, observer_,
+      &engine_metrics_);
   group->AddMachine(scenarios_.drdos, "drdos");
   entry.group = std::move(group);
   return *entry.group;
@@ -152,6 +208,15 @@ void CallStateFactBase::IndexMedia(const net::Endpoint& endpoint,
   efsm::MachineGroup* group =
       call_it != calls_.end() ? call_it->second.group.get() : nullptr;
   if (media.call_id == call_id && media.group == group) return;  // no change
+  if (media.group != nullptr && media.group != group) {
+    // Re-negotiated to another call: the old call's flight log shows the
+    // endpoint leaving (the media-hijack story reads directly off this).
+    obs::Record rec;
+    rec.type = obs::RecordType::kFactRetract;
+    rec.when_ns = scheduler_.Now().nanos();
+    rec.aux = FactAux::kMediaRetracted | key;
+    media.group->flight_recorder().Record(rec);
+  }
   media.call_id = call_id;
   media.group = group;
   if (call_it != calls_.end()) {
@@ -160,6 +225,14 @@ void CallStateFactBase::IndexMedia(const net::Endpoint& endpoint,
       keys.push_back(key);
     }
   }
+  if (group != nullptr) {
+    obs::Record rec;
+    rec.type = obs::RecordType::kFactAssert;
+    rec.when_ns = scheduler_.Now().nanos();
+    rec.aux = FactAux::kMediaIndexed | key;
+    group->flight_recorder().Record(rec);
+  }
+  m_media_index_->Set(static_cast<int64_t>(media_index_.size()));
 }
 
 std::optional<std::string> CallStateFactBase::CallByMedia(
@@ -193,6 +266,8 @@ bool CallStateFactBase::CallComplete(const efsm::MachineGroup& group) const {
 void CallStateFactBase::Sweep(sim::Time now) {
   if (now < next_sweep_) return;
   next_sweep_ = now + config_.sweep_interval;
+  m_sweeps_->Inc();
+  const int64_t sweep_start = obs::MonotonicNanos();
 
   for (auto it = calls_.begin(); it != calls_.end();) {
     const bool complete = CallComplete(*it->second.group);
@@ -201,6 +276,7 @@ void CallStateFactBase::Sweep(sim::Time now) {
     if (complete || idle) {
       tombstones_[it->first] = now + config_.tombstone_ttl;
       ++calls_deleted_;
+      m_calls_deleted_->Inc();
       // Drop this call's media-endpoint index entries via the reverse
       // index. The ownership check keeps endpoints that were re-negotiated
       // to another call in the meantime.
@@ -232,6 +308,8 @@ void CallStateFactBase::Sweep(sim::Time now) {
   }
   std::erase_if(tombstones_,
                 [now](const auto& kv) { return kv.second <= now; });
+  m_sweep_ns_->Record(obs::MonotonicNanos() - sweep_start);
+  UpdateGauges();
 }
 
 size_t CallStateFactBase::MemoryBytes() const {

@@ -36,10 +36,28 @@ namespace vids::ids {
 /// Keyed (non-call) group families.
 enum class KeyedKind : uint8_t { kInviteFlood, kMediaEndpoint, kDrdos };
 
+/// Flight-record `aux` encoding used by the fact base's kFactAssert /
+/// kFactRetract records: family tag in the top byte, packed payload below
+/// (media-endpoint key for the media tags, nothing for call lifecycle).
+struct FactAux {
+  static constexpr uint64_t kCallCreated = uint64_t{1} << 56;
+  static constexpr uint64_t kMediaIndexed = uint64_t{2} << 56;
+  static constexpr uint64_t kMediaRetracted = uint64_t{3} << 56;
+  static constexpr uint64_t kTagMask = uint64_t{0xFF} << 56;
+};
+
 class CallStateFactBase {
  public:
+  /// `registry`, when non-null, receives the fact-base gauges/counters and
+  /// the shared engine metrics every machine group of this fact base
+  /// updates. Null keeps all instrumentation pointed at the null sinks.
   CallStateFactBase(sim::Scheduler& scheduler, const DetectionConfig& config,
-                    efsm::Observer* observer);
+                    efsm::Observer* observer,
+                    obs::MetricsRegistry* registry = nullptr);
+
+  /// Renders a fact-base flight record (FactAux encoding) for provenance
+  /// reports. Empty for records the fact base did not write.
+  static std::string DecodeFactRecord(const obs::Record& record);
 
   /// Returns the call's machine group, creating it (SIP + RTP spec machines,
   /// CANCEL-DoS and hijack patterns, δ channel) on first sight.
@@ -106,9 +124,23 @@ class CallStateFactBase {
   /// retired or never left INIT (non-call transactions like REGISTER).
   bool CallComplete(const efsm::MachineGroup& group) const;
 
+  void UpdateGauges();
+
   sim::Scheduler& scheduler_;
   DetectionConfig config_;
   efsm::Observer* observer_;
+
+  // Shared metric slots: one EngineMetrics copy source for every group,
+  // plus the fact base's own lifecycle/sweep instrumentation.
+  efsm::EngineMetrics engine_metrics_;
+  obs::Counter* m_calls_created_ = &obs::NullCounter();
+  obs::Counter* m_calls_deleted_ = &obs::NullCounter();
+  obs::Counter* m_sweeps_ = &obs::NullCounter();
+  obs::Histogram* m_sweep_ns_ = &obs::NullHistogram();
+  obs::Gauge* m_active_calls_ = &obs::NullGauge();
+  obs::Gauge* m_keyed_groups_ = &obs::NullGauge();
+  obs::Gauge* m_media_index_ = &obs::NullGauge();
+  obs::Gauge* m_tombstones_ = &obs::NullGauge();
 
   // Shared machine definitions, instantiated per call / per key.
   efsm::MachineDef sip_spec_;

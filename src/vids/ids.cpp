@@ -15,15 +15,38 @@ Vids::Vids(sim::Scheduler& scheduler, DetectionConfig detection,
     : scheduler_(scheduler),
       detection_(detection),
       cost_(cost),
-      fact_base_(scheduler, detection, this) {}
+      fact_base_(scheduler, detection, this, &registry_),
+      m_packets_(&registry_.GetCounter("vids.packets")),
+      m_sip_packets_(&registry_.GetCounter("vids.sip_packets")),
+      m_rtp_packets_(&registry_.GetCounter("vids.rtp_packets")),
+      m_rtcp_packets_(&registry_.GetCounter("vids.rtcp_packets")),
+      m_unknown_packets_(&registry_.GetCounter("vids.unknown_packets")),
+      m_orphan_rtp_(&registry_.GetCounter("vids.orphan_rtp")),
+      // Same slot the engine updates (GetCounter is idempotent by name).
+      m_transitions_(&registry_.GetCounter("efsm.transitions")),
+      m_alerts_(&registry_.GetCounter("vids.alerts")),
+      m_alerts_suppressed_(&registry_.GetCounter("vids.alerts_suppressed")) {}
+
+Vids::Stats Vids::stats() const {
+  Stats s;
+  s.packets = m_packets_->value();
+  s.sip_packets = m_sip_packets_->value();
+  s.rtp_packets = m_rtp_packets_->value();
+  s.rtcp_packets = m_rtcp_packets_->value();
+  s.unknown_packets = m_unknown_packets_->value();
+  s.orphan_rtp = m_orphan_rtp_->value();
+  s.transitions = m_transitions_->value();
+  s.alerts_suppressed = m_alerts_suppressed_->value();
+  return s;
+}
 
 sim::Duration Vids::Inspect(const net::Datagram& dgram, bool from_outside) {
-  ++stats_.packets;
+  m_packets_->Inc();
   fact_base_.Sweep(scheduler_.Now());
 
   const auto packet = classifier_.Classify(dgram, from_outside);
   if (!packet) {
-    ++stats_.unknown_packets;
+    m_unknown_packets_->Inc();
     RaiseAlert(Alert{.when = scheduler_.Now(),
                      .kind = AlertKind::kMalformed,
                      .classification = "unparsable packet",
@@ -34,16 +57,16 @@ sim::Duration Vids::Inspect(const net::Datagram& dgram, bool from_outside) {
     return cost_.rtp_cost;  // rejecting junk is cheap
   }
   if (packet->proto == PacketProto::kSip) {
-    ++stats_.sip_packets;
+    m_sip_packets_->Inc();
     HandleSip(*packet);
     return cost_.sip_cost;
   }
   if (packet->proto == PacketProto::kRtcp) {
-    ++stats_.rtcp_packets;
+    m_rtcp_packets_->Inc();
     HandleRtcp(*packet);
     return cost_.rtp_cost;
   }
-  ++stats_.rtp_packets;
+  m_rtp_packets_->Inc();
   HandleRtp(*packet);
   return cost_.rtp_cost;
 }
@@ -143,7 +166,7 @@ void Vids::HandleRtp(const ClassifiedPacket& packet) {
       group->DeliverData(*machine, packet.event);
     }
   } else {
-    ++stats_.orphan_rtp;
+    m_orphan_rtp_->Inc();
   }
 
   // Per-endpoint patterns see every media packet, monitored call or not.
@@ -162,8 +185,38 @@ void Vids::HandleRtp(const ClassifiedPacket& packet) {
 void Vids::OnTransition(const efsm::MachineInstance& machine,
                         const efsm::Transition& transition,
                         const efsm::Event&) {
-  ++stats_.transitions;
+  // Counting happens in the engine ("efsm.transitions" — the same slot
+  // stats() reads); here we only remember the transition so an immediately
+  // following OnAttackState can name its trigger.
+  last_transition_ = &transition;
+  last_transition_machine_ = &machine;
   if (transition_trace_) transition_trace_(machine, transition);
+}
+
+void Vids::AttachProvenance(Alert& alert,
+                            const efsm::MachineInstance& machine) {
+  if (last_transition_ != nullptr && last_transition_machine_ == &machine) {
+    const efsm::Transition& t = *last_transition_;
+    const efsm::MachineDef& def = machine.def();
+    alert.trigger = machine.name() + ": '" + t.event_name + "' " +
+                    std::string(def.StateName(t.from)) + " -> " +
+                    std::string(def.StateName(t.to));
+    if (!t.label.empty()) alert.trigger += " [" + t.label + "]";
+  }
+  const efsm::MachineGroup& group = machine.group();
+  alert.provenance =
+      group.ExplainFlight(obs::FlightRecorder::kCapacity,
+                          &CallStateFactBase::DecodeFactRecord);
+  // Stamp the alert itself into the ring afterwards, so this alert's
+  // provenance holds only the events that *preceded* it, while any later
+  // alert of the same call sees this one in its history.
+  obs::Record rec;
+  rec.type = obs::RecordType::kAlert;
+  rec.when_ns = alert.when.nanos();
+  rec.machine = machine.index_in_group();
+  rec.a = efsm::ArgKey::Intern(alert.classification).id();
+  rec.aux = static_cast<uint64_t>(alert.kind);
+  group.flight_recorder().Record(rec);
 }
 
 void Vids::OnAttackState(const efsm::MachineInstance& machine,
@@ -174,7 +227,7 @@ void Vids::OnAttackState(const efsm::MachineInstance& machine,
   const sim::Time now = scheduler_.Now();
   if (IsDuplicateAlert(machine.group().name(), machine.def().name(),
                        classification, now)) {
-    ++stats_.alerts_suppressed;
+    m_alerts_suppressed_->Inc();
     return;
   }
 
@@ -189,6 +242,7 @@ void Vids::OnAttackState(const efsm::MachineInstance& machine,
   const std::string* dst = event.ArgStr(argkey::kDstIp);
   alert.detail = "src=" + (src != nullptr ? *src : std::string("?")) +
                  " dst=" + (dst != nullptr ? *dst : std::string("?"));
+  AttachProvenance(alert, machine);
   RaiseAlert(std::move(alert));
 }
 
@@ -226,7 +280,7 @@ void Vids::OnDeviation(const efsm::MachineInstance& machine,
   const sim::Time now = scheduler_.Now();
   if (IsDuplicateAlert(machine.group().name(), machine.def().name(),
                        classification, now)) {
-    ++stats_.alerts_suppressed;
+    m_alerts_suppressed_->Inc();
     return;
   }
 
@@ -240,6 +294,12 @@ void Vids::OnDeviation(const efsm::MachineInstance& machine,
   const std::string* src = event.ArgStr(argkey::kSrcIp);
   alert.detail = "event=" + event.name +
                  " src=" + (src != nullptr ? *src : std::string("?"));
+  // A deviation is the *absence* of a transition: the trigger is the
+  // deviation record the engine just stamped, not last_transition_.
+  last_transition_ = nullptr;
+  alert.trigger = "deviation: '" + event.name + "' in state " +
+                  std::string(machine.StateName());
+  AttachProvenance(alert, machine);
   RaiseAlert(std::move(alert));
 }
 
@@ -249,7 +309,7 @@ void Vids::OnNondeterminism(const efsm::MachineInstance& machine,
   const sim::Time now = scheduler_.Now();
   if (IsDuplicateAlert(machine.group().name(), machine.def().name(),
                        kClassification, now)) {
-    ++stats_.alerts_suppressed;
+    m_alerts_suppressed_->Inc();
     return;
   }
 
@@ -262,6 +322,9 @@ void Vids::OnNondeterminism(const efsm::MachineInstance& machine,
   alert.state = std::string(machine.StateName());
   alert.detail = std::to_string(enabled_count) + " transitions enabled on " +
                  event.name;
+  last_transition_ = nullptr;  // fired before OnTransition: no trigger yet
+  alert.trigger = "non-disjoint predicates on '" + event.name + "'";
+  AttachProvenance(alert, machine);
   RaiseAlert(std::move(alert));
 }
 
@@ -276,9 +339,14 @@ bool Vids::IsDuplicateAlert(std::string_view group, std::string_view machine,
 void Vids::RaiseAlert(Alert alert) {
   if (IsDuplicateAlert(alert.group, alert.machine, alert.classification,
                        alert.when)) {
-    ++stats_.alerts_suppressed;
+    m_alerts_suppressed_->Inc();
     return;
   }
+  m_alerts_->Inc();
+  // Per-classification counters are created lazily here — alert emission is
+  // already off the clean steady-state path, and the classification set is
+  // small and bounded by the modeled scenarios.
+  registry_.GetCounter("alerts." + alert.classification).Inc();
   const auto it = recent_alerts_.find(detail::AlertSigView{
       alert.group, alert.machine, alert.classification});
   if (it != recent_alerts_.end()) {
@@ -288,7 +356,7 @@ void Vids::RaiseAlert(Alert alert) {
         detail::AlertSig{alert.group, alert.machine, alert.classification},
         alert.when);
   }
-  VIDS_INFO() << alert.ToString();
+  VIDS_INFO_C("vids") << alert.ToString();
   if (alert_callback_) alert_callback_(alert);
   alerts_.push_back(std::move(alert));
 }

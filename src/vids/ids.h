@@ -74,6 +74,8 @@ struct AlertSigEq {
 
 class Vids : public efsm::Observer {
  public:
+  /// Snapshot of the IDS's own counters (all live in metrics(); this struct
+  /// is the stable convenience view).
   struct Stats {
     uint64_t packets = 0;
     uint64_t sip_packets = 0;
@@ -118,10 +120,19 @@ class Vids : public efsm::Observer {
     transition_trace_ = std::move(trace);
   }
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   CallStateFactBase& fact_base() { return fact_base_; }
   const CallStateFactBase& fact_base() const { return fact_base_; }
   const DetectionConfig& detection() const { return detection_; }
+
+  /// The IDS's own metrics registry: "vids.*" event-distributor and fact
+  /// base counters, "efsm.*" engine counters, lazily-created per-
+  /// classification "alerts.*" counters. Everything here is derived from
+  /// the inspected packet stream, so an offline replay of a capture
+  /// reproduces the counter values exactly (the wall-clock histograms are
+  /// the one exception — exclude them when comparing snapshots).
+  obs::MetricsRegistry& metrics() { return registry_; }
+  const obs::MetricsRegistry& metrics() const { return registry_; }
 
   // --- efsm::Observer (the Analysis Engine) ---
   void OnTransition(const efsm::MachineInstance&, const efsm::Transition&,
@@ -151,12 +162,32 @@ class Vids : public efsm::Observer {
       const efsm::MachineInstance& machine, const efsm::Event& event,
       std::string& scratch);
 
+  /// Builds the trigger + provenance view for an alert raised by `machine`'s
+  /// group and stamps a kAlert record into the group's flight recorder.
+  void AttachProvenance(Alert& alert, const efsm::MachineInstance& machine);
+
   sim::Scheduler& scheduler_;
   DetectionConfig detection_;
   CostModel cost_;
   PacketClassifier classifier_;
+  // Declared before fact_base_: the fact base registers its metrics here.
+  obs::MetricsRegistry registry_;
   CallStateFactBase fact_base_;
-  Stats stats_;
+  // Cached slots into registry_ — hot-path updates are plain increments.
+  obs::Counter* m_packets_;
+  obs::Counter* m_sip_packets_;
+  obs::Counter* m_rtp_packets_;
+  obs::Counter* m_rtcp_packets_;
+  obs::Counter* m_unknown_packets_;
+  obs::Counter* m_orphan_rtp_;
+  obs::Counter* m_transitions_;
+  obs::Counter* m_alerts_;
+  obs::Counter* m_alerts_suppressed_;
+  // The transition that fired most recently — the engine reports
+  // OnTransition immediately before OnAttackState, so this names an
+  // attack alert's trigger without any allocation on the transition path.
+  const efsm::Transition* last_transition_ = nullptr;
+  const efsm::MachineInstance* last_transition_machine_ = nullptr;
   std::vector<Alert> alerts_;
   std::function<void(const Alert&)> alert_callback_;
   TransitionTrace transition_trace_;

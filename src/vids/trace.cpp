@@ -104,6 +104,11 @@ std::optional<TraceLog> TraceLog::Parse(std::string_view text) {
       return std::nullopt;
     }
     record.when = sim::Time::FromNanos(*nanos);
+    // Timestamps must be non-decreasing: replay schedules each record at its
+    // recorded time, and a rewind would silently reorder the packet stream.
+    if (!log.records_.empty() && record.when < log.records_.back().when) {
+      return std::nullopt;
+    }
     record.from_outside = fields[1] == "in";
     record.dgram.src = *src;
     record.dgram.dst = *dst;
@@ -115,13 +120,18 @@ std::optional<TraceLog> TraceLog::Parse(std::string_view text) {
   return log;
 }
 
-void TraceLog::ReplayInto(Vids& vids, sim::Scheduler& scheduler) const {
+void TraceLog::ReplayInto(Vids& vids, sim::Scheduler& scheduler,
+                          std::optional<sim::Time> until) const {
   for (const auto& record : records_) {
     scheduler.ScheduleAt(record.when, [&vids, &record] {
       vids.Inspect(record.dgram, record.from_outside);
     });
   }
-  scheduler.Run();
+  if (until.has_value()) {
+    scheduler.RunUntil(*until);
+  } else {
+    scheduler.Run();
+  }
 }
 
 }  // namespace vids::ids

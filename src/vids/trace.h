@@ -40,9 +40,12 @@ class TraceLog {
   /// Parses a serialized trace. Returns nullopt on any malformed line.
   static std::optional<TraceLog> Parse(std::string_view text);
 
-  /// Feeds every record into `vids` at its recorded time, on `scheduler`
-  /// (which is then run to completion of the trace).
-  void ReplayInto(Vids& vids, sim::Scheduler& scheduler) const;
+  /// Feeds every record into `vids` at its recorded time, on `scheduler`.
+  /// By default the scheduler runs to exhaustion (every IDS-internal timer
+  /// fires). Passing `until` stops at that simulated time instead — matching
+  /// an online run that was halted there, so metric snapshots compare equal.
+  void ReplayInto(Vids& vids, sim::Scheduler& scheduler,
+                  std::optional<sim::Time> until = std::nullopt) const;
 
   const std::vector<TraceRecord>& records() const { return records_; }
   size_t size() const { return records_.size(); }

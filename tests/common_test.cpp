@@ -2,12 +2,90 @@
 
 #include <cmath>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/strings.h"
 
 namespace vids::common {
 namespace {
+
+// ---------------------------------------------------------------- logging
+
+/// Restores the global logger to its defaults when a test ends.
+class ScopedLogConfig {
+ public:
+  ScopedLogConfig() = default;
+  ~ScopedLogConfig() {
+    Log::SetLevel(LogLevel::kWarn);
+    Log::SetSink(nullptr);
+    Log::SetClock(nullptr);
+  }
+};
+
+TEST(Log, SinkReceivesClockAndComponentPrefixes) {
+  ScopedLogConfig scoped;
+  Log::SetLevel(LogLevel::kInfo);
+  std::vector<std::string> lines;
+  Log::SetSink([&lines](LogLevel, const std::string& msg) {
+    lines.push_back(msg);
+  });
+  Log::SetClock([] { return int64_t{1500000000}; });  // t = 1.5 s
+  VIDS_INFO_C("sip") << "hello";
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[t=1.500000s] [sip] hello");
+
+  // Untagged lines still get the clock prefix; clearing the clock drops it.
+  VIDS_INFO() << "plain";
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "[t=1.500000s] plain");
+  Log::SetClock(nullptr);
+  VIDS_INFO_C("rtp") << "later";
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "[rtp] later");
+}
+
+TEST(Log, LevelFilterSuppressesBelowThreshold) {
+  ScopedLogConfig scoped;
+  Log::SetLevel(LogLevel::kWarn);
+  int calls = 0;
+  Log::SetSink([&calls](LogLevel, const std::string&) { ++calls; });
+  VIDS_DEBUG_C("sip") << "dropped";
+  VIDS_INFO() << "dropped";
+  VIDS_WARN() << "kept";
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Log, SinkMayRemoveItselfMidInvocation) {
+  // Regression: a sink resetting the sink from inside its own invocation
+  // used to destroy the std::function it was executing.
+  ScopedLogConfig scoped;
+  Log::SetLevel(LogLevel::kInfo);
+  int calls = 0;
+  Log::SetSink([&calls](LogLevel, const std::string&) {
+    ++calls;
+    Log::SetSink(nullptr);  // one-shot sink
+  });
+  VIDS_INFO() << "first";   // delivered, then the sink removes itself
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Log, SinkMayReplaceItselfMidInvocation) {
+  ScopedLogConfig scoped;
+  Log::SetLevel(LogLevel::kInfo);
+  std::vector<std::string> second_lines;
+  Log::SetSink([&second_lines](LogLevel, const std::string&) {
+    Log::SetSink([&second_lines](LogLevel, const std::string& msg) {
+      second_lines.push_back(msg);
+    });
+  });
+  VIDS_INFO() << "handover";
+  VIDS_INFO() << "to-second";
+  ASSERT_EQ(second_lines.size(), 1u);
+  EXPECT_EQ(second_lines[0], "to-second");
+}
 
 // ---------------------------------------------------------------- strings
 

@@ -45,10 +45,30 @@ TEST(TraceLog, ParseRejectsMalformedLines) {
                    .has_value());
   EXPECT_FALSE(TraceLog::Parse("x in 10.0.0.1:1 10.0.0.2:2 sip 0 ab")
                    .has_value());
+  // Truncated hex payload (odd number of nibbles).
+  EXPECT_FALSE(TraceLog::Parse("1 in 10.0.0.1:1 10.0.0.2:2 sip 0 abc")
+                   .has_value());
+  // Missing fields (line cut off mid-record).
+  EXPECT_FALSE(TraceLog::Parse("1 in 10.0.0.1:1 10.0.0.2:2 sip")
+                   .has_value());
   // Empty trace is fine.
   const auto empty = TraceLog::Parse("\n\n");
   ASSERT_TRUE(empty.has_value());
   EXPECT_EQ(empty->size(), 0u);
+}
+
+TEST(TraceLog, ParseRejectsNonMonotonicTimestamps) {
+  const std::string rewind =
+      "200 in 10.0.0.1:1 10.0.0.2:2 sip 0 ab\n"
+      "100 in 10.0.0.1:1 10.0.0.2:2 sip 0 ab\n";
+  EXPECT_FALSE(TraceLog::Parse(rewind).has_value());
+  // Equal timestamps are legal: distinct packets can share a tick.
+  const std::string tied =
+      "200 in 10.0.0.1:1 10.0.0.2:2 sip 0 ab\n"
+      "200 out 10.0.0.2:2 10.0.0.1:1 sip 0 ab\n";
+  const auto parsed = TraceLog::Parse(tied);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 2u);
 }
 
 TEST(TraceLog, OfflineReplayReproducesOnlineAlerts) {
@@ -84,7 +104,9 @@ TEST(TraceLog, OfflineReplayReproducesOnlineAlerts) {
   ASSERT_TRUE(reloaded.has_value());
   sim::Scheduler offline_scheduler;
   Vids offline(offline_scheduler);
-  reloaded->ReplayInto(offline, offline_scheduler);
+  // Stop where the online run stopped, so IDS-internal timers (teardown
+  // grace, sweeps) have fired in both worlds or in neither.
+  reloaded->ReplayInto(offline, offline_scheduler, bed.scheduler().Now());
 
   std::set<std::string> offline_classes;
   for (const auto& alert : offline.alerts()) {
@@ -93,6 +115,11 @@ TEST(TraceLog, OfflineReplayReproducesOnlineAlerts) {
   EXPECT_EQ(offline_classes, online_classes);
   EXPECT_GE(offline.CountAlerts(kAttackByeDos), 1u);
   EXPECT_EQ(offline.stats().packets, capture.size());
+
+  // Replay must reproduce the IDS metric registry bit-for-bit, not just the
+  // alert verdicts (histograms excluded: they sample wall-clock latency).
+  EXPECT_EQ(offline.metrics().ToJson(/*include_histograms=*/false),
+            bed.vids()->metrics().ToJson(/*include_histograms=*/false));
 }
 
 TEST(TraceLog, ReplayWithDifferentThresholdsChangesVerdicts) {
