@@ -1,0 +1,115 @@
+// SOAK: bounded state under sustained traffic (million-call soak/churn).
+//
+// Drives the load harness (src/load) against the vIDS: benign calls with
+// Poisson arrivals and exponential holding times, interleaved attack
+// bursts, late retransmissions and a mid-run arrival pause. Samples every
+// tracked quantity at fixed simulated-time intervals and screens the
+// series for unbounded growth. With --check the process exits nonzero if
+// any quantity failed to plateau — the CI gate against IDS-side leaks.
+//
+// Usage: soak [--calls=N] [--rate=CPS] [--seed=S] [--sample-every=SEC]
+//             [--attack-every=N] [--pause=SEC] [--tap] [--duration=SEC]
+//             [--csv=FILE] [--check]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "load/soak.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, long long* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::atoll(arg + len + 1);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vids;
+
+  load::SoakConfig config;
+  config.total_calls = 500'000;
+  bool check = false;
+  bool tap = false;
+  long long duration_s = 300;
+  std::string csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long long value = 0;
+    if (ParseFlag(arg, "--calls", &value)) {
+      config.total_calls = static_cast<uint64_t>(value);
+    } else if (ParseFlag(arg, "--rate", &value)) {
+      config.calls_per_second = static_cast<double>(value);
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      config.seed = static_cast<uint64_t>(value);
+    } else if (ParseFlag(arg, "--sample-every", &value)) {
+      config.sample_every = sim::Duration::Seconds(value);
+    } else if (ParseFlag(arg, "--attack-every", &value)) {
+      config.attack_every = static_cast<uint64_t>(value);
+    } else if (ParseFlag(arg, "--pause", &value)) {
+      config.pause = sim::Duration::Seconds(value);
+    } else if (ParseFlag(arg, "--duration", &value)) {
+      duration_s = value;
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      csv_path = arg + 6;
+    } else if (std::strcmp(arg, "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(arg, "--tap") == 0) {
+      tap = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    }
+  }
+
+  bench::PrintHeader(
+      "SOAK", "bounded state under sustained traffic",
+      "state is deleted at final call state and idle state is reclaimed, "
+      "so tracked state plateaus instead of growing with uptime");
+
+  load::SoakReport report;
+  if (tap) {
+    std::printf("tap mode: testbed workload + toolkit attacks, %llds\n",
+                duration_s);
+    report = load::RunTapSoak(config, sim::Duration::Seconds(duration_s));
+  } else {
+    std::printf("direct mode: %llu calls at %.0f/s (attack burst every "
+                "%llu calls, %.0fs mid-run pause)\n",
+                static_cast<unsigned long long>(config.total_calls),
+                config.calls_per_second,
+                static_cast<unsigned long long>(config.attack_every),
+                config.pause.ToSeconds());
+    load::SoakDriver driver(config);
+    report = driver.Run();
+  }
+
+  bench::PrintRule();
+  std::fputs(report.Summary().c_str(), stdout);
+  bench::PrintRule();
+  std::printf("calls started: %llu, packets inspected: %llu, alerts: %llu\n",
+              static_cast<unsigned long long>(report.calls_started),
+              static_cast<unsigned long long>(report.packets_inspected),
+              static_cast<unsigned long long>(report.alerts_total));
+  std::printf("verdict: %s\n",
+              report.bounded ? "BOUNDED (all quantities plateaued)"
+                             : "UNBOUNDED GROWTH DETECTED");
+
+  if (!csv_path.empty()) {
+    if (std::FILE* f = std::fopen(csv_path.c_str(), "w")) {
+      std::fputs(report.Csv().c_str(), f);
+      std::fclose(f);
+      std::printf("samples written to %s\n", csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 2;
+    }
+  }
+
+  return (check && !report.bounded) ? 1 : 0;
+}

@@ -57,9 +57,20 @@ struct DetectionConfig {
   int rtp_flood_threshold = 150;
   sim::Duration rtp_flood_window = sim::Duration::Seconds(1);
 
+  // --- Alert deduplication ---
+  /// Suppression window for repeated identical alerts (an ongoing flood
+  /// would otherwise alert per packet). Dedup signatures older than this
+  /// are pruned on sweep, so the signature table is bounded by the alert
+  /// rate of the last window rather than by deployment lifetime.
+  sim::Duration alert_dedup_window = sim::Duration::Seconds(1);
+
   // --- Call-state lifecycle (paper §5: machines deleted at final state) ---
-  /// How often the fact base sweeps for completed/idle state (lazily, on
-  /// packet arrival, so an idle IDS schedules nothing).
+  /// How often the fact base sweeps for completed/idle state. Sweeps fire
+  /// from the packet path *and* from a scheduler-armed periodic event that
+  /// stays armed while any tracked state exists, so idle tail state is
+  /// reclaimed even when traffic pauses entirely. Once everything is
+  /// reclaimed the event is not re-armed: an empty, idle IDS schedules
+  /// nothing.
   sim::Duration sweep_interval = sim::Duration::Seconds(1);
   /// Completed Call-IDs are remembered this long so late retransmissions
   /// don't re-open a call as a false "deviation".

@@ -109,6 +109,7 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateCall(
   entry.group = std::move(group);
   entry.last_event = scheduler_.Now();
   m_active_calls_->Set(static_cast<int64_t>(calls_.size()));
+  ArmSweepTimer();
   return *entry.group;
 }
 
@@ -163,6 +164,8 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateKeyed(
   auto& entry = keyed_str_[name];
   entry.group = std::move(group);
   entry.last_event = scheduler_.Now();
+  m_keyed_groups_->Set(static_cast<int64_t>(keyed_count()));
+  ArmSweepTimer();
   return *entry.group;
 }
 
@@ -179,6 +182,8 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateMediaGroup(
   group->AddMachine(scenarios_.rtp_flood, "rtp-flood");
   group->AddMachine(scenarios_.rtcp_bye, "rtcp-bye");
   entry.group = std::move(group);
+  m_keyed_groups_->Set(static_cast<int64_t>(keyed_count()));
+  ArmSweepTimer();
   return *entry.group;
 }
 
@@ -193,6 +198,8 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateDrdosGroup(
       &engine_metrics_);
   group->AddMachine(scenarios_.drdos, "drdos");
   entry.group = std::move(group);
+  m_keyed_groups_->Set(static_cast<int64_t>(keyed_count()));
+  ArmSweepTimer();
   return *entry.group;
 }
 
@@ -203,10 +210,19 @@ bool CallStateFactBase::IsTombstoned(std::string_view call_id) const {
 void CallStateFactBase::IndexMedia(const net::Endpoint& endpoint,
                                    const std::string& call_id) {
   const uint64_t key = endpoint.PackedKey();
-  MediaEntry& media = media_index_[key];
   const auto call_it = calls_.find(call_id);
   efsm::MachineGroup* group =
       call_it != calls_.end() ? call_it->second.group.get() : nullptr;
+  auto media_it = media_index_.find(key);
+  if (media_it == media_index_.end()) {
+    // Never create an index entry for a call that does not exist: the
+    // reverse index that cleans media_index_ on deletion lives in the call
+    // entry, so an ownerless entry would leak forever.
+    if (group == nullptr) return;
+    media_it = media_index_.try_emplace(key).first;
+    ArmSweepTimer();
+  }
+  MediaEntry& media = media_it->second;
   if (media.call_id == call_id && media.group == group) return;  // no change
   if (media.group != nullptr && media.group != group) {
     // Re-negotiated to another call: the old call's flight log shows the
@@ -263,11 +279,24 @@ bool CallStateFactBase::CallComplete(const efsm::MachineGroup& group) const {
   return true;
 }
 
+void CallStateFactBase::ArmSweepTimer() {
+  if (scheduler_.IsPending(sweep_event_)) return;
+  sweep_event_ = scheduler_.ScheduleAfter(config_.sweep_interval, [this] {
+    Sweep(scheduler_.Now());
+    // The fired event is no longer pending, so this re-arms. An empty fact
+    // base schedules nothing; the next state creation re-arms the chain.
+    if (HasTrackedState()) ArmSweepTimer();
+  });
+}
+
 void CallStateFactBase::Sweep(sim::Time now) {
   if (now < next_sweep_) return;
   next_sweep_ = now + config_.sweep_interval;
   m_sweeps_->Inc();
   const int64_t sweep_start = obs::MonotonicNanos();
+  // Names of the groups reclaimed by this sweep, for the sweep listener
+  // (the analysis engine evicts their alert-dedup signatures).
+  std::vector<std::string> reclaimed;
 
   for (auto it = calls_.begin(); it != calls_.end();) {
     const bool complete = CallComplete(*it->second.group);
@@ -287,6 +316,7 @@ void CallStateFactBase::Sweep(sim::Time now) {
           media_index_.erase(media_it);
         }
       }
+      reclaimed.push_back(it->first);
       it = calls_.erase(it);
     } else {
       ++it;
@@ -294,6 +324,7 @@ void CallStateFactBase::Sweep(sim::Time now) {
   }
   for (auto it = keyed_str_.begin(); it != keyed_str_.end();) {
     if (now - it->second.last_event > config_.keyed_idle_timeout) {
+      reclaimed.push_back(it->first);
       it = keyed_str_.erase(it);
     } else {
       ++it;
@@ -301,6 +332,7 @@ void CallStateFactBase::Sweep(sim::Time now) {
   }
   for (auto it = keyed_bin_.begin(); it != keyed_bin_.end();) {
     if (now - it->second.last_event > config_.keyed_idle_timeout) {
+      reclaimed.push_back(it->second.group->name());
       it = keyed_bin_.erase(it);
     } else {
       ++it;
@@ -308,6 +340,7 @@ void CallStateFactBase::Sweep(sim::Time now) {
   }
   std::erase_if(tombstones_,
                 [now](const auto& kv) { return kv.second <= now; });
+  if (sweep_listener_) sweep_listener_(now, reclaimed);
   m_sweep_ns_->Record(obs::MonotonicNanos() - sweep_start);
   UpdateGauges();
 }

@@ -7,8 +7,11 @@
 // callee AOR, media spam / RTP flood per media endpoint, DRDoS per victim
 // host). It owns the lifecycle: completed calls are deleted (with a
 // tombstone against late retransmissions) and idle state is reclaimed on a
-// lazy sweep. It also maintains the media-endpoint → call index that lets
-// the Event Distributor hand RTP packets to the right call group.
+// sweep that runs both from the packet path and from a periodic scheduler
+// event armed while any tracked state exists — idle tail state dies even
+// when traffic stops entirely. It also maintains the media-endpoint → call
+// index that lets the Event Distributor hand RTP packets to the right call
+// group.
 //
 // Indexing is binary on the hot path: media endpoints and DRDoS victims key
 // hash maps by packed 48-bit endpoint / 32-bit IP values (no ToString()),
@@ -17,6 +20,7 @@
 // deleted call's index entries instead of scanning the whole index.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -88,11 +92,32 @@ class CallStateFactBase {
   efsm::MachineGroup* FindGroupByMedia(const net::Endpoint& endpoint) const;
 
   /// Reclaims completed calls and idle groups. Cheap when nothing is due;
-  /// call it from the packet path.
+  /// call it from the packet path. Also fired by the periodic sweep event
+  /// (armed on state creation) so reclamation does not depend on the next
+  /// packet arriving.
   void Sweep(sim::Time now);
+
+  /// Called at the end of every executed sweep with the names of the groups
+  /// it reclaimed (call ids and keyed-group names; possibly none). The
+  /// analysis engine uses this both as its time-driven pruning tick and to
+  /// evict alert-dedup signatures belonging to state that no longer exists.
+  using SweepListener =
+      std::function<void(sim::Time now, const std::vector<std::string>&)>;
+  void set_sweep_listener(SweepListener listener) {
+    sweep_listener_ = std::move(listener);
+  }
+
+  /// Visits every live call group (diagnostics: the soak harness uses it
+  /// to report what state lingering calls are stuck in).
+  void ForEachCall(
+      const std::function<void(const efsm::MachineGroup&)>& visit) const {
+    for (const auto& [id, entry] : calls_) visit(*entry.group);
+  }
 
   size_t call_count() const { return calls_.size(); }
   size_t keyed_count() const { return keyed_str_.size() + keyed_bin_.size(); }
+  size_t tombstone_count() const { return tombstones_.size(); }
+  size_t media_index_count() const { return media_index_.size(); }
   uint64_t calls_created() const { return calls_created_; }
   uint64_t calls_deleted() const { return calls_deleted_; }
 
@@ -126,6 +151,17 @@ class CallStateFactBase {
 
   void UpdateGauges();
 
+  /// True while any map holds reclaimable state — the periodic sweep event
+  /// keeps re-arming exactly as long as this holds.
+  bool HasTrackedState() const {
+    return !calls_.empty() || !keyed_str_.empty() || !keyed_bin_.empty() ||
+           !tombstones_.empty() || !media_index_.empty();
+  }
+
+  /// Arms the periodic sweep event if it is not already pending. Called on
+  /// state creation only, so the steady-state packet path never schedules.
+  void ArmSweepTimer();
+
   sim::Scheduler& scheduler_;
   DetectionConfig config_;
   efsm::Observer* observer_;
@@ -154,6 +190,8 @@ class CallStateFactBase {
   StringKeyed<sim::Time> tombstones_;
   std::unordered_map<uint64_t, MediaEntry> media_index_;
   sim::Time next_sweep_;
+  sim::Scheduler::EventId sweep_event_;
+  SweepListener sweep_listener_;
   uint64_t calls_created_ = 0;
   uint64_t calls_deleted_ = 0;
 };

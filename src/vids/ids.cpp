@@ -1,14 +1,11 @@
 #include "vids/ids.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "common/log.h"
 
 namespace vids::ids {
-
-namespace {
-/// Suppression window for repeated identical alerts (an ongoing flood would
-/// otherwise alert per packet).
-constexpr sim::Duration kAlertDedupWindow = sim::Duration::Seconds(1);
-}  // namespace
 
 Vids::Vids(sim::Scheduler& scheduler, DetectionConfig detection,
            CostModel cost)
@@ -25,7 +22,16 @@ Vids::Vids(sim::Scheduler& scheduler, DetectionConfig detection,
       // Same slot the engine updates (GetCounter is idempotent by name).
       m_transitions_(&registry_.GetCounter("efsm.transitions")),
       m_alerts_(&registry_.GetCounter("vids.alerts")),
-      m_alerts_suppressed_(&registry_.GetCounter("vids.alerts_suppressed")) {}
+      m_alerts_suppressed_(&registry_.GetCounter("vids.alerts_suppressed")),
+      m_alert_sigs_(&registry_.GetGauge("vids.alert_sigs")) {
+  // The fact base's sweep doubles as the dedup table's pruning tick, so the
+  // signature table is reclaimed on the same time-driven cadence as the
+  // call state — including during traffic silence.
+  fact_base_.set_sweep_listener(
+      [this](sim::Time now, const std::vector<std::string>& reclaimed) {
+        PruneAlertSigs(now, reclaimed);
+      });
+}
 
 Vids::Stats Vids::stats() const {
   Stats s;
@@ -138,7 +144,13 @@ void Vids::HandleSip(const ClassifiedPacket& packet) {
     }
   }
 
-  RefreshMediaIndex(group, packet.call_key);
+  // Only packets that actually carried SDP can move the media index. The
+  // group's offer/answer globals persist for the call's whole life, so
+  // refreshing on every packet would let an SDP-less BYE re-assert a stale
+  // binding and steal an endpoint back from the call that re-negotiated it.
+  if (packet.event.ArgStr(argkey::kSdpIp) != nullptr) {
+    RefreshMediaIndex(group, packet.call_key);
+  }
 }
 
 void Vids::RefreshMediaIndex(efsm::MachineGroup& group,
@@ -333,7 +345,24 @@ bool Vids::IsDuplicateAlert(std::string_view group, std::string_view machine,
                             sim::Time when) const {
   const auto it = recent_alerts_.find(
       detail::AlertSigView{group, machine, classification});
-  return it != recent_alerts_.end() && when - it->second < kAlertDedupWindow;
+  return it != recent_alerts_.end() &&
+         when - it->second < detection_.alert_dedup_window;
+}
+
+void Vids::PruneAlertSigs(sim::Time now,
+                          const std::vector<std::string>& reclaimed_groups) {
+  if (recent_alerts_.empty()) {
+    m_alert_sigs_->Set(0);
+    return;
+  }
+  std::unordered_set<std::string_view> reclaimed;
+  reclaimed.reserve(reclaimed_groups.size());
+  for (const auto& name : reclaimed_groups) reclaimed.insert(name);
+  const sim::Duration window = detection_.alert_dedup_window;
+  std::erase_if(recent_alerts_, [&](const auto& kv) {
+    return now - kv.second >= window || reclaimed.contains(kv.first.group);
+  });
+  m_alert_sigs_->Set(static_cast<int64_t>(recent_alerts_.size()));
 }
 
 void Vids::RaiseAlert(Alert alert) {
@@ -355,10 +384,17 @@ void Vids::RaiseAlert(Alert alert) {
     recent_alerts_.emplace(
         detail::AlertSig{alert.group, alert.machine, alert.classification},
         alert.when);
+    m_alert_sigs_->Set(static_cast<int64_t>(recent_alerts_.size()));
   }
   VIDS_INFO_C("vids") << alert.ToString();
   if (alert_callback_) alert_callback_(alert);
   alerts_.push_back(std::move(alert));
+  if (max_retained_alerts_ != 0 && alerts_.size() > max_retained_alerts_) {
+    // Drop the oldest half so trimming amortizes to O(1) per alert.
+    alerts_.erase(alerts_.begin(),
+                  alerts_.begin() +
+                      static_cast<ptrdiff_t>(alerts_.size() / 2));
+  }
 }
 
 size_t Vids::CountAlerts(AlertKind kind) const {

@@ -111,6 +111,17 @@ class Vids : public efsm::Observer {
   void set_alert_callback(std::function<void(const Alert&)> cb) {
     alert_callback_ = std::move(cb);
   }
+  /// Caps the retained alert history (0 = unlimited, the default). Long
+  /// soak deployments set a cap and consume alerts via the callback; when
+  /// the cap is exceeded the oldest half of the history is dropped, so the
+  /// alert log cannot grow without bound. CountAlerts() then counts only
+  /// the retained tail.
+  void set_max_retained_alerts(size_t max) { max_retained_alerts_ = max; }
+
+  /// Live alert-dedup signatures (also exported as the "vids.alert_sigs"
+  /// gauge). Bounded: signatures expire past the dedup window and die with
+  /// their swept group.
+  size_t alert_sig_count() const { return recent_alerts_.size(); }
 
   /// Optional trace of every EFSM transition (group, machine, label) — the
   /// live view of the state-transition analysis; used by the examples.
@@ -166,6 +177,13 @@ class Vids : public efsm::Observer {
   /// group and stamps a kAlert record into the group's flight recorder.
   void AttachProvenance(Alert& alert, const efsm::MachineInstance& machine);
 
+  /// Sweep-driven upkeep of the dedup table: drops signatures older than
+  /// the dedup window and signatures whose machine group was reclaimed by
+  /// the sweep. Keeps recent_alerts_ bounded by the alert rate of the last
+  /// window instead of the deployment lifetime.
+  void PruneAlertSigs(sim::Time now,
+                      const std::vector<std::string>& reclaimed_groups);
+
   sim::Scheduler& scheduler_;
   DetectionConfig detection_;
   CostModel cost_;
@@ -183,15 +201,19 @@ class Vids : public efsm::Observer {
   obs::Counter* m_transitions_;
   obs::Counter* m_alerts_;
   obs::Counter* m_alerts_suppressed_;
+  obs::Gauge* m_alert_sigs_;
   // The transition that fired most recently — the engine reports
   // OnTransition immediately before OnAttackState, so this names an
   // attack alert's trigger without any allocation on the transition path.
   const efsm::Transition* last_transition_ = nullptr;
   const efsm::MachineInstance* last_transition_machine_ = nullptr;
   std::vector<Alert> alerts_;
+  size_t max_retained_alerts_ = 0;  // 0 = keep everything
   std::function<void(const Alert&)> alert_callback_;
   TransitionTrace transition_trace_;
-  /// Dedup: last alert time per (group, machine, classification).
+  /// Dedup: last alert time per (group, machine, classification). Bounded:
+  /// PruneAlertSigs (driven by the fact-base sweep) expires stale entries
+  /// and evicts those of reclaimed groups.
   std::unordered_map<detail::AlertSig, sim::Time, detail::AlertSigHash,
                      detail::AlertSigEq>
       recent_alerts_;

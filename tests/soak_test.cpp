@@ -1,0 +1,164 @@
+// Tests of the soak/churn load harness (src/load): the direct driver's
+// workload stays bounded end to end, the plateau screen catches growth,
+// and the tap-mode soak exercises the deployed path.
+#include <gtest/gtest.h>
+
+#include "load/soak.h"
+#include "vids/ids.h"
+
+namespace vids::load {
+namespace {
+
+// Scaled-down lifecycle so a small run reaches steady state quickly.
+ids::DetectionConfig FastLifecycle() {
+  ids::DetectionConfig detection;
+  detection.tombstone_ttl = sim::Duration::Seconds(4);
+  detection.rtp_close_linger = sim::Duration::Seconds(2);
+  detection.call_idle_timeout = sim::Duration::Seconds(10);
+  detection.keyed_idle_timeout = sim::Duration::Seconds(5);
+  return detection;
+}
+
+SoakConfig SmallConfig() {
+  SoakConfig config;
+  config.seed = 7;
+  config.total_calls = 2000;
+  config.calls_per_second = 100.0;
+  config.mean_hold = sim::Duration::Seconds(3);
+  config.rtp_packets_per_call = 6;
+  config.callee_aors = 100;
+  config.attack_every = 100;
+  config.pause = sim::Duration::Seconds(12);
+  config.sample_every = sim::Duration::Seconds(2);
+  config.max_retained_alerts = 500;
+  config.detection = FastLifecycle();
+  return config;
+}
+
+TEST(SoakDriverTest, SustainedChurnStaysBoundedAndDrainsToEmpty) {
+  SoakDriver driver(SmallConfig());
+  const SoakReport report = driver.Run();
+
+  EXPECT_EQ(report.calls_started, 2000u);
+  EXPECT_GT(report.packets_inspected, 20000u);
+  ASSERT_GE(report.samples.size(), 8u);
+  for (const PlateauFinding& finding : report.findings) {
+    EXPECT_TRUE(finding.bounded) << finding.name << ": peak " << finding.peak
+                                 << " > limit " << finding.limit;
+  }
+  EXPECT_TRUE(report.bounded);
+
+  // After the drain every map is empty: nothing survives its lifecycle.
+  const auto& fb = driver.vids().fact_base();
+  EXPECT_EQ(fb.call_count(), 0u);
+  EXPECT_EQ(fb.keyed_count(), 0u);
+  EXPECT_EQ(fb.tombstone_count(), 0u);
+  EXPECT_EQ(fb.media_index_count(), 0u);
+  EXPECT_EQ(driver.vids().alert_sig_count(), 0u);
+
+  // The attack bursts actually fired (the run exercised the detectors).
+  EXPECT_GT(report.alerts_total, 0u);
+  // The retained history respected its cap.
+  EXPECT_LE(driver.vids().alerts().size(), 500u);
+}
+
+TEST(SoakDriverTest, MidRunPauseReclaimsStateWithZeroPackets) {
+  SoakConfig config = SmallConfig();
+  config.attack_every = 0;  // benign only, for a clean decay signal
+  // Longer than the longest clamped hold (10x mean) plus every lifecycle
+  // timeout, so the pause ends with a genuinely silent tail.
+  config.pause = sim::Duration::Seconds(45);
+  SoakDriver driver(config);
+  const SoakReport report = driver.Run();
+
+  // Find the sample with the largest inter-sample packet gap — that is
+  // inside the pause. By its end, holds + linger + tombstone TTL have all
+  // expired with no packet arriving; only the periodic sweep can have
+  // reclaimed the state.
+  size_t pause_end = 0;
+  uint64_t widest_gap = 0;
+  for (size_t i = 1; i < report.samples.size(); ++i) {
+    const uint64_t gap = report.samples[i].packets_inspected -
+                         report.samples[i - 1].packets_inspected;
+    if (report.samples[i].calls_started < config.total_calls && gap == 0) {
+      pause_end = i;  // a zero-packet interval while arrivals remain
+    }
+    widest_gap = std::max(widest_gap, gap);
+  }
+  ASSERT_GT(pause_end, 0u) << "no zero-packet sampling interval found";
+  const SoakSample& quiet = report.samples[pause_end];
+  EXPECT_EQ(quiet.calls, 0u) << "idle calls survived a silent pause";
+  EXPECT_EQ(quiet.keyed, 0u);
+  EXPECT_EQ(quiet.tombstones, 0u);
+  EXPECT_EQ(quiet.media_index, 0u);
+}
+
+TEST(PlateauCheckTest, FlagsLinearGrowthAndAcceptsSteadyState) {
+  std::vector<SoakSample> growing;
+  std::vector<SoakSample> steady;
+  for (int i = 0; i < 40; ++i) {
+    SoakSample s;
+    s.when = sim::Time::FromNanos(int64_t{1'000'000'000} * i);
+    s.memory_bytes = 1'000'000 + 500'000 * static_cast<size_t>(i);
+    s.calls = 100 + 50 * static_cast<size_t>(i);
+    growing.push_back(s);
+    s.memory_bytes = 5'000'000 + (i % 3) * 100'000;
+    s.calls = 5000 + (i % 5);
+    steady.push_back(s);
+  }
+  for (const PlateauFinding& f : CheckPlateau(growing)) {
+    if (f.name == "memory_bytes" || f.name == "calls") {
+      EXPECT_FALSE(f.bounded) << f.name;
+    }
+  }
+  for (const PlateauFinding& f : CheckPlateau(steady)) {
+    EXPECT_TRUE(f.bounded) << f.name << ": peak " << f.peak << " > limit "
+                           << f.limit;
+  }
+}
+
+TEST(PlateauCheckTest, RefusesToPassTooShortRuns) {
+  std::vector<SoakSample> few(5);
+  for (const PlateauFinding& f : CheckPlateau(few)) {
+    EXPECT_FALSE(f.bounded);
+  }
+}
+
+TEST(SoakReportTest, SummaryAndCsvRenderEverySample) {
+  SoakConfig config = SmallConfig();
+  config.total_calls = 200;
+  SoakDriver driver(config);
+  const SoakReport report = driver.Run();
+  const std::string summary = report.Summary();
+  EXPECT_NE(summary.find("BOUNDED"), std::string::npos);
+  const std::string csv = report.Csv();
+  // Header + one line per sample.
+  EXPECT_EQ(static_cast<size_t>(std::count(csv.begin(), csv.end(), '\n')),
+            report.samples.size() + 1);
+}
+
+TEST(TapSoakTest, TestbedWorkloadWithAttacksStaysBounded) {
+  SoakConfig config;
+  config.seed = 11;
+  config.calls_per_second = 2.0;
+  config.mean_hold = sim::Duration::Seconds(10);
+  config.sample_every = sim::Duration::Seconds(15);
+  config.max_retained_alerts = 1000;
+  config.detection = FastLifecycle();
+  // Long enough that the warmup (failed call attempts live SIP-timer-B +
+  // idle-timeout, ~45 s) is over before the 10%..25% reference window
+  // opens at t=60 s.
+  const SoakReport report =
+      RunTapSoak(config, sim::Duration::Seconds(600));
+
+  ASSERT_GE(report.samples.size(), 8u);
+  EXPECT_GT(report.packets_inspected, 1000u);
+  EXPECT_GT(report.calls_started, 0u);
+  for (const PlateauFinding& finding : report.findings) {
+    EXPECT_TRUE(finding.bounded) << finding.name << ": peak " << finding.peak
+                                 << " > limit " << finding.limit;
+  }
+}
+
+}  // namespace
+}  // namespace vids::load

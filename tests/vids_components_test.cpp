@@ -184,10 +184,22 @@ TEST_F(FactBaseFixture, KeyedGroupsPerKindAndKey) {
 
 TEST_F(FactBaseFixture, MediaIndexMapsEndpointsToCalls) {
   const net::Endpoint ep{net::IpAddress(10, 2, 0, 10), 30000};
+  bool created = false;
+  fact_base_.GetOrCreateCall("c1", created);
+  fact_base_.GetOrCreateCall("c2", created);
   fact_base_.IndexMedia(ep, "c1");
   EXPECT_EQ(fact_base_.CallByMedia(ep), "c1");
   fact_base_.IndexMedia(ep, "c2");  // rebind (port reuse)
   EXPECT_EQ(fact_base_.CallByMedia(ep), "c2");
+}
+
+TEST_F(FactBaseFixture, MediaForUnknownCallIsNotIndexed) {
+  // An index entry with no owning call would have no reverse index and
+  // could never be reclaimed — the fact base refuses to create one.
+  const net::Endpoint ep{net::IpAddress(10, 2, 0, 10), 30000};
+  fact_base_.IndexMedia(ep, "ghost");
+  EXPECT_EQ(fact_base_.CallByMedia(ep), std::nullopt);
+  EXPECT_EQ(fact_base_.media_index_count(), 0u);
 }
 
 TEST_F(FactBaseFixture, SweepReclaimsIdleKeyedGroups) {

@@ -295,5 +295,150 @@ TEST_F(IdsFixture, OrphanRtpIsCounted) {
   EXPECT_EQ(vids_.stats().orphan_rtp, 1u);
 }
 
+TEST_F(IdsFixture, ExpiredTombstoneCallIdReturnsAsFreshCall) {
+  // Complete a call, let it be swept and its tombstone expire, then see
+  // the same Call-ID again: it must open as a brand-new, clean call.
+  EstablishCall("c-reuse");
+  const auto bye = MakeBye("c-reuse");
+  vids_.Inspect(SipDgram(bye, kCallerMedia, kCalleeMedia), true);
+  vids_.Inspect(SipDgram(MakeResponse(bye, 200, false), kCalleeMedia,
+                         kCallerMedia),
+                false);
+  scheduler_.RunUntil(scheduler_.Now() + vids_.detection().rtp_close_linger +
+                      vids_.detection().tombstone_ttl +
+                      sim::Duration::Seconds(4));
+  EXPECT_FALSE(vids_.fact_base().IsTombstoned("c-reuse"));
+  const auto alerts_before = vids_.alerts().size();
+  EstablishCall("c-reuse");
+  EXPECT_NE(vids_.fact_base().FindCall("c-reuse"), nullptr);
+  EXPECT_EQ(vids_.alerts().size(), alerts_before)
+      << "re-used Call-ID after tombstone expiry raised a false alert";
+}
+
+TEST_F(IdsFixture, RenegotiatedMediaEndpointSurvivesFirstCallSweep) {
+  // Two calls negotiate the same media endpoint (port reuse) back to
+  // back; when the first call is swept, the index entry must keep
+  // routing to the second call (the sweep's ownership check).
+  EstablishCall("c-old");
+  EstablishCall("c-new");  // rebinds kCalleeMedia / kCallerMedia to c-new
+  const auto bye = MakeBye("c-old");
+  vids_.Inspect(SipDgram(bye, kCallerMedia, kCalleeMedia), true);
+  vids_.Inspect(SipDgram(MakeResponse(bye, 200, false), kCalleeMedia,
+                         kCallerMedia),
+                false);
+  scheduler_.RunUntil(scheduler_.Now() + vids_.detection().rtp_close_linger +
+                      sim::Duration::Seconds(2));
+  EXPECT_EQ(vids_.fact_base().FindCall("c-old"), nullptr);
+  EXPECT_EQ(vids_.fact_base().CallByMedia(kCalleeMedia), "c-new");
+  // RTP at the endpoint still reaches a monitored call, not the orphan
+  // counter.
+  vids_.Inspect(RtpDgram(99, 1, 80, kCallerMedia, kCalleeMedia), true);
+  EXPECT_EQ(vids_.stats().orphan_rtp, 0u);
+}
+
+TEST_F(IdsFixture, AlertSigsExpireWithDedupWindowAndReAlert) {
+  // A deviation alert plants a dedup signature; once the window passes,
+  // the periodic sweep prunes it and an identical deviation alerts again
+  // instead of hitting a stale suppression entry.
+  const auto bye = MakeBye("c-ghost");
+  vids_.Inspect(SipDgram(bye, kAttacker, kCalleeMedia), true);
+  const auto first = vids_.alerts().size();
+  ASSERT_GT(first, 0u);
+  EXPECT_GT(vids_.alert_sig_count(), 0u);
+
+  // Identical deviation inside the window: suppressed, sig table flat.
+  vids_.Inspect(SipDgram(bye, kAttacker, kCalleeMedia), true);
+  EXPECT_EQ(vids_.alerts().size(), first);
+  EXPECT_GT(vids_.stats().alerts_suppressed, 0u);
+
+  // Past the window the sweep timer prunes the signature (no packets).
+  scheduler_.RunUntil(scheduler_.Now() + vids_.detection().alert_dedup_window +
+                      sim::Duration::Seconds(2));
+  EXPECT_EQ(vids_.alert_sig_count(), 0u);
+  EXPECT_EQ(vids_.metrics().GetGauge("vids.alert_sigs").value(), 0);
+
+  vids_.Inspect(SipDgram(bye, kAttacker, kCalleeMedia), true);
+  EXPECT_EQ(vids_.alerts().size(), first + 1)
+      << "deviation after the dedup window must alert again";
+}
+
+TEST_F(IdsFixture, IdleStateDiesWithZeroPackets) {
+  // Open never-completing state (an INVITE that stalls plus a flood
+  // group), then go silent: the scheduler-armed sweep alone must reclaim
+  // every map and the gauges must track the true cardinalities.
+  vids_.Inspect(SipDgram(MakeInvite("c-stalled"), kProxyA, kProxyB), true);
+  EstablishCall("c-idle");
+  EXPECT_EQ(vids_.metrics().GetGauge("vids.active_calls").value(),
+            static_cast<int64_t>(vids_.fact_base().call_count()));
+  EXPECT_EQ(vids_.metrics().GetGauge("vids.keyed_groups").value(),
+            static_cast<int64_t>(vids_.fact_base().keyed_count()));
+
+  scheduler_.RunUntil(scheduler_.Now() + vids_.detection().call_idle_timeout +
+                      vids_.detection().tombstone_ttl +
+                      sim::Duration::Seconds(4));
+  EXPECT_EQ(vids_.fact_base().call_count(), 0u);
+  EXPECT_EQ(vids_.fact_base().keyed_count(), 0u);
+  EXPECT_EQ(vids_.fact_base().tombstone_count(), 0u);
+  EXPECT_EQ(vids_.fact_base().media_index_count(), 0u);
+  EXPECT_EQ(vids_.alert_sig_count(), 0u);
+  EXPECT_EQ(vids_.metrics().GetGauge("vids.active_calls").value(), 0);
+  EXPECT_EQ(vids_.metrics().GetGauge("vids.keyed_groups").value(), 0);
+  EXPECT_EQ(vids_.metrics().GetGauge("vids.media_index_size").value(), 0);
+  EXPECT_EQ(vids_.metrics().GetGauge("vids.tombstones").value(), 0);
+}
+
+TEST_F(IdsFixture, RetainedAlertHistoryRespectsItsCap) {
+  vids_.set_max_retained_alerts(4);
+  for (int i = 0; i < 8; ++i) {
+    // Distinct groups, so dedup never suppresses.
+    const auto bye = MakeBye("c-cap-" + std::to_string(i));
+    vids_.Inspect(SipDgram(bye, kAttacker, kCalleeMedia), true);
+  }
+  EXPECT_LE(vids_.alerts().size(), 4u);
+  EXPECT_GT(vids_.alerts().size(), 0u);
+}
+
+TEST(IdsLifecycle, ReclaimedGroupEvictsItsAlertSigInsideTheWindow) {
+  // With a dedup window much longer than the idle timeout, a reclaimed
+  // group's signature must die with the group — otherwise the next
+  // deviation from a same-named group would be wrongly suppressed.
+  DetectionConfig detection;
+  detection.call_idle_timeout = sim::Duration::Seconds(5);
+  detection.alert_dedup_window = sim::Duration::Seconds(600);
+  sim::Scheduler scheduler;
+  Vids vids(scheduler, detection);
+
+  auto bye = sip::Message::MakeRequest(
+      sip::Method::kBye, *sip::SipUri::Parse("sip:bob@b.example.com"));
+  sip::Via via;
+  via.sent_by = kAttacker;
+  via.branch = "z9hG4bKevict";
+  bye.PushVia(via);
+  sip::NameAddr from;
+  from.uri = *sip::SipUri::Parse("sip:alice@a.example.com");
+  from.SetTag("t");
+  bye.SetFrom(from);
+  auto to = from;
+  to.uri = *sip::SipUri::Parse("sip:bob@b.example.com");
+  bye.SetTo(to);
+  bye.SetCallId("c-evict");
+  bye.SetCseq(sip::CSeq{2, sip::Method::kBye});
+
+  vids.Inspect(SipDgram(bye, kAttacker, kCalleeMedia), true);
+  const auto first = vids.alerts().size();
+  ASSERT_GT(first, 0u);
+  ASSERT_GT(vids.alert_sig_count(), 0u);
+
+  // Idle out the group; its signature is evicted although the dedup
+  // window is nowhere near over.
+  scheduler.RunUntil(scheduler.Now() + detection.call_idle_timeout +
+                     detection.tombstone_ttl + sim::Duration::Seconds(4));
+  EXPECT_EQ(vids.alert_sig_count(), 0u);
+
+  vids.Inspect(SipDgram(bye, kAttacker, kCalleeMedia), true);
+  EXPECT_EQ(vids.alerts().size(), first + 1)
+      << "fresh group's deviation was suppressed by a dead group's sig";
+}
+
 }  // namespace
 }  // namespace vids::ids
