@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "rtp/packet.h"
 #include "sdp/sdp.h"
+#include "sip/message.h"
 #include "vids/ids.h"
 #include "vids/spec_machines.h"
 

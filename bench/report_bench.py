@@ -3,6 +3,8 @@
 
 Usage: report_bench.py <BENCH_micro.json> <run-label> <gbench-output.json>
            [--metrics <metrics-snapshot.json>] [--check]
+           [--require-zero-alloc <bench>]... [--allow-allocs <bench>]...
+           [--baseline <tracked.json> <label>]
 
 BENCH_micro.json keeps one entry per label in "runs" (re-running a label
 replaces it) so before/after numbers for a change live side by side. The
@@ -12,12 +14,20 @@ last run also gets a "speedup_vs" table against the first (baseline) run.
 micro_core with VIDS_METRICS_OUT set) to the run entry.
 
 After merging, the run is screened:
-  * any benchmark with allocs_per_iter != 0 is a zero-allocation violation;
+  * any benchmark with allocs_per_iter != 0 is a zero-allocation violation,
+    unless listed via --allow-allocs (benchmarks that measure a path that
+    legitimately allocates, e.g. first-packet group creation, get an INFO
+    note instead);
+  * --require-zero-alloc names benchmarks that MUST appear in the run,
+    MUST report allocs_per_iter, and MUST report it as 0 — a missing
+    counter is as fatal as a nonzero one, so the gate cannot rot silently;
   * any benchmark whose cpu_ns regressed >10% vs the previous entry is
-    flagged as a regression.
-Both are warnings by default. With --check, alloc violations are fatal
-(exit 1); cpu regressions stay warnings — CI runners are too noisy to gate
-on latency alone.
+    flagged, and --baseline additionally compares against a pinned run
+    (file + label) so drift against a recorded release number is visible
+    even when the previous run already regressed.
+Violations of the first two are fatal with --check (exit 1); cpu
+regressions stay warnings — CI runners are too noisy to gate on latency
+alone.
 """
 import json
 import sys
@@ -25,7 +35,22 @@ import sys
 REGRESSION_TOLERANCE = 1.10
 
 
-def screen(tracked: dict, check: bool) -> int:
+def warn_regressions(results: dict, against: dict, label: str) -> None:
+    for name, entry in sorted(results.items()):
+        if name not in against:
+            continue
+        before = against[name]["cpu_ns"]
+        after = entry["cpu_ns"]
+        if before > 0 and after > before * REGRESSION_TOLERANCE:
+            pct = 100.0 * (after / before - 1.0)
+            print(f"WARNING: {name} regressed {pct:.1f}% vs "
+                  f"'{label}' ({before} -> {after} cpu ns)",
+                  file=sys.stderr)
+
+
+def screen(tracked: dict, check: bool, require_zero: list,
+           allow_allocs: list, baseline: dict | None,
+           baseline_label: str) -> int:
     """Returns the exit code after flagging violations in the latest run."""
     last = tracked["runs"][-1]
     prev = tracked["runs"][-2] if len(tracked["runs"]) >= 2 else None
@@ -34,20 +59,45 @@ def screen(tracked: dict, check: bool) -> int:
     for name, entry in sorted(last["results"].items()):
         allocs = entry.get("allocs_per_iter")
         if allocs:  # present and nonzero
-            print(f"VIOLATION: {name} allocates ({allocs} allocs/iter; "
-                  f"the steady-state hot path must stay at 0)",
+            if name in allow_allocs:
+                print(f"INFO: {name} allocates ({allocs} allocs/iter; "
+                      f"expected — this benchmark measures an allocating "
+                      f"path)", file=sys.stderr)
+            else:
+                print(f"VIOLATION: {name} allocates ({allocs} allocs/iter; "
+                      f"the steady-state hot path must stay at 0)",
+                      file=sys.stderr)
+                if check:
+                    status = 1
+    for name in require_zero:
+        entry = last["results"].get(name)
+        if entry is None:
+            print(f"VIOLATION: required zero-alloc benchmark {name} is "
+                  f"missing from the run", file=sys.stderr)
+        elif "allocs_per_iter" not in entry:
+            print(f"VIOLATION: {name} does not report allocs_per_iter "
+                  f"(the allocation counter came unwired)", file=sys.stderr)
+        elif entry["allocs_per_iter"] != 0:
+            # Already flagged above; repeat with the requirement context.
+            print(f"VIOLATION: {name} is required to be zero-allocation "
+                  f"but reports {entry['allocs_per_iter']} allocs/iter",
                   file=sys.stderr)
-            if check:
-                status = 1
-        if prev is None or name not in prev["results"]:
+        else:
             continue
-        before = prev["results"][name]["cpu_ns"]
-        after = entry["cpu_ns"]
-        if before > 0 and after > before * REGRESSION_TOLERANCE:
-            pct = 100.0 * (after / before - 1.0)
-            print(f"WARNING: {name} regressed {pct:.1f}% vs "
-                  f"'{prev['label']}' ({before} -> {after} cpu ns)",
+        if check:
+            status = 1
+
+    if prev is not None:
+        warn_regressions(last["results"], prev["results"], prev["label"])
+    if baseline is not None:
+        pinned = next((r for r in baseline.get("runs", [])
+                       if r["label"] == baseline_label), None)
+        if pinned is None:
+            print(f"WARNING: baseline label '{baseline_label}' not found",
                   file=sys.stderr)
+        else:
+            warn_regressions(last["results"], pinned["results"],
+                             baseline_label)
     return status
 
 
@@ -56,15 +106,24 @@ def main() -> int:
     check = "--check" in args
     if check:
         args.remove("--check")
-    metrics_path = None
-    if "--metrics" in args:
-        at = args.index("--metrics")
-        try:
-            metrics_path = args[at + 1]
-        except IndexError:
-            print(__doc__, file=sys.stderr)
-            return 2
-        del args[at:at + 2]
+
+    def take_values(flag: str, count: int = 1) -> list:
+        taken = []
+        while flag in args:
+            at = args.index(flag)
+            if len(args) < at + 1 + count:
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+            values = args[at + 1:at + 1 + count]
+            taken.append(values[0] if count == 1 else tuple(values))
+            del args[at:at + 1 + count]
+        return taken
+
+    metrics = take_values("--metrics")
+    metrics_path = metrics[-1] if metrics else None
+    require_zero = take_values("--require-zero-alloc")
+    allow_allocs = take_values("--allow-allocs")
+    baselines = take_values("--baseline", count=2)
     if len(args) != 3:
         print(__doc__, file=sys.stderr)
         return 2
@@ -110,7 +169,17 @@ def main() -> int:
                 speedup[name] = round(base[name]["cpu_ns"] / entry["cpu_ns"], 2)
         last["speedup_vs"] = {tracked["runs"][0]["label"]: speedup}
 
-    status = screen(tracked, check)
+    baseline = None
+    baseline_label = ""
+    if baselines:
+        baseline_path, baseline_label = baselines[-1]
+        if baseline_path == tracked_path:
+            baseline = tracked  # compare within the file being updated
+        else:
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+    status = screen(tracked, check, require_zero, allow_allocs,
+                    baseline, baseline_label)
 
     with open(tracked_path, "w") as f:
         json.dump(tracked, f, indent=2)

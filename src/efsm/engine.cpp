@@ -143,6 +143,13 @@ MachineInstance::DeliverResult MachineInstance::Deliver(const Event& event) {
   return DeliverResult::kTransitioned;
 }
 
+void MachineInstance::ResetForReuse() {
+  state_ = def_.initial_state();
+  retired_ = false;
+  local_.Clear();
+  timers_.clear();  // Timer destructors cancel any pending expiry
+}
+
 size_t MachineInstance::MemoryBytes() const {
   return sizeof(*this) + name_.capacity() + local_.MemoryBytes() +
          timers_.size() * (sizeof(sim::Timer) + 4 * sizeof(void*));
@@ -179,6 +186,10 @@ MachineGroup::MachineGroup(std::string name, sim::Scheduler& scheduler,
                            Observer* observer, const EngineMetrics* metrics)
     : name_(std::move(name)), scheduler_(scheduler), observer_(observer) {
   if (metrics != nullptr) metrics_ = *metrics;
+  // A call group holds the two protocol machines, two always-on scenario
+  // machines, and up to four session-scoped ones added later — reserve once
+  // instead of doubling through the call-creation hot path.
+  machines_.reserve(8);
 }
 
 MachineInstance& MachineGroup::AddMachine(const MachineDef& def,
@@ -190,6 +201,18 @@ MachineInstance& MachineGroup::AddMachine(const MachineDef& def,
           ? static_cast<uint8_t>(machines_.size() - 1)
           : obs::Record::kNoMachine;
   return *machines_.back();
+}
+
+void MachineGroup::ResetForReuse(std::string name) {
+  name_ = std::move(name);
+  global_.Clear();
+  for (auto& machine : machines_) machine->ResetForReuse();
+  for (auto& [channel_name, channel] : channels_) {
+    channel.queue.clear();
+    channel.head = 0;
+  }
+  recorder_.Reset();
+  pumping_ = false;
 }
 
 void MachineGroup::RouteChannel(std::string channel, MachineInstance& dst) {
@@ -243,9 +266,13 @@ void MachineGroup::PumpSyncQueues() {
   while (progressed && processed < kMaxSyncEvents) {
     progressed = false;
     for (auto& [channel_name, channel] : channels_) {
-      while (!channel.queue.empty() && processed < kMaxSyncEvents) {
-        Event event = std::move(channel.queue.front());
-        channel.queue.pop_front();
+      while (channel.head < channel.queue.size() &&
+             processed < kMaxSyncEvents) {
+        Event event = std::move(channel.queue[channel.head]);
+        if (++channel.head == channel.queue.size()) {
+          channel.queue.clear();  // keeps capacity for the next emit
+          channel.head = 0;
+        }
         ++processed;
         progressed = true;
         channel.dst->Deliver(event);

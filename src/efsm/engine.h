@@ -8,7 +8,6 @@
 // further data event.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -100,6 +99,11 @@ class MachineInstance {
  private:
   friend class MachineGroup;
   friend class Context;
+
+  /// Returns the instance to its initial configuration: initial state,
+  /// empty variable valuation, no pending timers. Variable-store capacity
+  /// is retained — that is the point of recycling.
+  void ResetForReuse();
   MachineInstance(const MachineDef& def, std::string name,
                   MachineGroup& group);
 
@@ -140,6 +144,15 @@ class MachineGroup {
 
   /// Routes the named channel (e.g. "SIP->RTP") to a destination machine.
   void RouteChannel(std::string channel, MachineInstance& dst);
+
+  /// Resets the group for reuse under a new call name: every machine back
+  /// to its initial configuration, variable valuations and sync queues
+  /// emptied, pending timers cancelled, flight ring forgotten. Machine set
+  /// and channel routing are kept, so only a pool of identically-shaped
+  /// groups may recycle through this (the fact base's call groups are).
+  /// Buffer capacities survive — recycling a group skips the allocation
+  /// storm of building one.
+  void ResetForReuse(std::string name);
 
   /// Delivers a data event to one machine, then pumps the synchronization
   /// queues to quiescence (sync has priority over the next data event).
@@ -188,7 +201,12 @@ class MachineGroup {
 
   struct Channel {
     MachineInstance* dst = nullptr;
-    std::deque<Event> queue;
+    // FIFO as vector + cursor rather than std::deque: sizeof(Event) exceeds
+    // the deque chunk size, so a deque pays one heap node per queued event
+    // (plus the map block at construction); the vector buffer is reused for
+    // the life of the channel.
+    std::vector<Event> queue;
+    size_t head = 0;
     uint16_t id = 0;  // ring-record identity, assigned at RouteChannel
   };
 

@@ -166,6 +166,10 @@ void VariableStore::Set(ArgKey key, Value value) {
       return;
     }
   }
+  // A scope holds ~10 variables at steady state (TAB-MEM); one up-front
+  // reservation replaces the doubling growth a fresh call would otherwise
+  // pay while its first INVITE populates every scope.
+  if (values_.capacity() == 0) values_.reserve(8);
   values_.emplace_back(key, std::move(value));
 }
 

@@ -87,6 +87,19 @@ class EventArgs {
     return (*this)[ArgKey::Intern(name)];
   }
 
+  /// Positional fast path for writers that fill the same keys in the same
+  /// order every time (the packet classifier's reused scratch events): when
+  /// `index` already holds `key` — the steady state — this is a single
+  /// integer compare; otherwise it falls back to the keyed lookup, so the
+  /// result is always identical to operator[](key).
+  Value& Slot(size_t index, ArgKey key) {
+    if (index < size_) {
+      Entry& entry = data()[index];
+      if (entry.key == key) return entry.value;
+    }
+    return (*this)[key];
+  }
+
   /// Returns the entry's value or nullptr. Never allocates.
   const Value* Find(ArgKey key) const;
   const Value* Find(std::string_view name) const {

@@ -5,16 +5,24 @@
 namespace vids::net {
 
 using common::ParseInt;
-using common::Split;
 
 std::optional<IpAddress> IpAddress::Parse(std::string_view text) {
-  const auto parts = Split(text, '.');
-  if (parts.size() != 4) return std::nullopt;
+  // Manual dotted-quad walk: exactly four '.'-separated pieces, each a
+  // decimal octet (ParseInt trims, so lws around pieces is tolerated exactly
+  // as the old Split-based version allowed). No heap traffic — this runs in
+  // the per-packet inspect path via Via and SDP connection lines.
   uint32_t bits = 0;
-  for (const auto& part : parts) {
-    const auto octet = ParseInt<uint32_t>(part);
+  size_t start = 0;
+  for (int i = 0; i < 4; ++i) {
+    const size_t dot = text.find('.', start);
+    const bool last = (i == 3);
+    if (last != (dot == std::string_view::npos)) return std::nullopt;
+    const std::string_view piece =
+        last ? text.substr(start) : text.substr(start, dot - start);
+    const auto octet = ParseInt<uint32_t>(piece);
     if (!octet || *octet > 255) return std::nullopt;
     bits = (bits << 8) | *octet;
+    start = dot + 1;
   }
   return IpAddress(bits);
 }

@@ -56,6 +56,11 @@ class FlightRecorder {
     ++head_;
   }
 
+  /// Forgets all records — used when a recycled machine group is reset for
+  /// a new call, so provenance never leaks across calls. Stale ring slots
+  /// are unreachable (size() derives from the head counter).
+  void Reset() { head_ = 0; }
+
   /// Records currently held (saturates at kCapacity).
   size_t size() const { return head_ < kCapacity ? head_ : kCapacity; }
   /// Total records ever written (ring overwrites included).

@@ -54,7 +54,7 @@ void ParseAttribute(std::string_view value, MediaDescription& media) {
   media.attributes.emplace_back(value);
 }
 
-std::string WellKnownEncoding(int payload_type) {
+std::string_view WellKnownEncoding(int payload_type) {
   // Static payload types from the RTP A/V profile (RFC 3551 table 4).
   switch (payload_type) {
     case 0: return "PCMU";
@@ -66,6 +66,27 @@ std::string WellKnownEncoding(int payload_type) {
     default: return "";
   }
 }
+
+// Iterates the space-separated pieces of a line value, trimming each and
+// keeping empties — common::Split(s, ' ') without the vector, so ProbeAudio
+// counts pieces exactly like the allocating parser does.
+struct PieceCursor {
+  std::string_view s;
+  size_t start = 0;
+  bool done = false;
+
+  std::optional<std::string_view> Next() {
+    if (done) return std::nullopt;
+    const size_t pos = s.find(' ', start);
+    if (pos == std::string_view::npos) {
+      done = true;
+      return Trim(s.substr(start));
+    }
+    const auto piece = Trim(s.substr(start, pos - start));
+    start = pos + 1;
+    return piece;
+  }
+};
 
 }  // namespace
 
@@ -176,9 +197,149 @@ std::string SessionDescription::AudioCodec() const {
       const auto slash = it->second.find('/');
       return it->second.substr(0, slash);
     }
-    return WellKnownEncoding(pt);
+    return std::string(WellKnownEncoding(pt));
   }
   return "";
+}
+
+std::optional<AudioProbe> ProbeAudio(std::string_view body) {
+  AudioProbe probe;
+  bool saw_version = false;
+  bool in_media = false;        // an m= section is open (current_media != null)
+  bool in_first_audio = false;  // ... and it is the first audio section
+  bool audio_seen = false;
+  bool audio_has_media_c = false;
+  bool has_session_c = false;
+  net::IpAddress audio_media_c;
+  net::IpAddress session_c;
+  uint16_t audio_port = 0;
+  int audio_pt = 0;
+  bool codec_from_rtpmap = false;
+  std::string_view rtpmap_codec;
+
+  size_t pos = 0;
+  while (pos < body.size()) {
+    const size_t eol = body.find('\n', pos);
+    std::string_view line = body.substr(
+        pos, eol == std::string_view::npos ? body.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? body.size() : eol + 1;
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line.size() < 2 || line[1] != '=') return std::nullopt;
+    const char type = line[0];
+    const std::string_view value = Trim(line.substr(2));
+
+    switch (type) {
+      case 'v':
+        if (value != "0") return std::nullopt;
+        saw_version = true;
+        break;
+      case 'o': {
+        // Exactly six fields; id and version must be numeric. The origin
+        // address is not validated (matching Parse).
+        PieceCursor cursor{value};
+        std::string_view id;
+        std::string_view version;
+        int count = 0;
+        while (const auto piece = cursor.Next()) {
+          if (count == 1) id = *piece;
+          if (count == 2) version = *piece;
+          ++count;
+        }
+        if (count != 6) return std::nullopt;
+        if (!ParseInt<uint64_t>(id) || !ParseInt<uint64_t>(version)) {
+          return std::nullopt;
+        }
+        break;
+      }
+      case 's':
+        break;
+      case 'c': {
+        // "IN IP4 <addr>", exactly three fields with a valid address.
+        PieceCursor cursor{value};
+        const auto net_type = cursor.Next();
+        const auto addr_type = cursor.Next();
+        const auto addr_text = cursor.Next();
+        if (!net_type || !addr_type || !addr_text || !cursor.done ||
+            *net_type != "IN" || *addr_type != "IP4") {
+          return std::nullopt;
+        }
+        const auto addr = net::IpAddress::Parse(*addr_text);
+        if (!addr) return std::nullopt;
+        if (in_media) {
+          // Media-level override; only the first audio section matters here.
+          if (in_first_audio) {
+            audio_media_c = *addr;
+            audio_has_media_c = true;
+          }
+        } else {
+          session_c = *addr;
+          has_session_c = true;
+        }
+        break;
+      }
+      case 'm': {
+        PieceCursor cursor{value};
+        const auto media_type = cursor.Next();
+        const auto port_text = cursor.Next();
+        const auto transport = cursor.Next();
+        if (!media_type || !port_text || !transport) return std::nullopt;
+        const auto port = ParseInt<uint16_t>(*port_text);
+        if (!port) return std::nullopt;
+        int fmt_count = 0;
+        int first_fmt = 0;
+        while (const auto fmt = cursor.Next()) {
+          const auto pt = ParseInt<int>(*fmt);
+          if (!pt) return std::nullopt;
+          if (fmt_count++ == 0) first_fmt = *pt;
+        }
+        if (fmt_count == 0) return std::nullopt;  // fewer than four fields
+        if (!probe.has_first_pt) {
+          probe.has_first_pt = true;
+          probe.first_pt = first_fmt;
+        }
+        in_media = true;
+        in_first_audio = false;
+        if (!audio_seen && *media_type == "audio") {
+          audio_seen = true;
+          in_first_audio = true;
+          audio_port = *port;
+          audio_pt = first_fmt;
+        }
+        break;
+      }
+      case 'a':
+        // Only rtpmap entries for the first audio section's first payload
+        // type feed AudioCodec; the last occurrence wins (map assignment).
+        if (in_first_audio && common::IStartsWith(value, "rtpmap:")) {
+          const auto rest = value.substr(7);
+          const auto space = rest.find(' ');
+          if (space != std::string_view::npos) {
+            const auto pt = ParseInt<int>(rest.substr(0, space));
+            if (pt && *pt == audio_pt) {
+              rtpmap_codec = Trim(rest.substr(space + 1));
+              codec_from_rtpmap = true;
+            }
+          }
+        }
+        break;
+      default:
+        break;  // t=, b=, k=, ... tolerated and ignored
+    }
+  }
+  if (!saw_version) return std::nullopt;
+
+  if (audio_seen) {
+    if ((audio_has_media_c || has_session_c) && audio_port != 0) {
+      probe.has_endpoint = true;
+      probe.endpoint = net::Endpoint{
+          audio_has_media_c ? audio_media_c : session_c, audio_port};
+    }
+    probe.codec = codec_from_rtpmap
+                      ? rtpmap_codec.substr(0, rtpmap_codec.find('/'))
+                      : WellKnownEncoding(audio_pt);
+  }
+  return probe;
 }
 
 SessionDescription MakeAudioOffer(net::Endpoint media_ep,

@@ -65,4 +65,18 @@ SessionDescription MakeAudioOffer(net::Endpoint media_ep,
                                   std::string_view codec = "G729",
                                   int payload_type = 18);
 
+/// The media facts the IDS inspect path exports to the RTP machines,
+/// extracted in one allocation-free pass. Equivalent to Parse +
+/// AudioEndpoint + AudioCodec + first-section payload type, without
+/// materializing a SessionDescription: nullopt exactly when Parse rejects;
+/// `codec` views either the body or a static encoding name.
+struct AudioProbe {
+  bool has_endpoint = false;
+  net::Endpoint endpoint;      // valid only when has_endpoint
+  std::string_view codec;      // AudioCodec() ("" when none derivable)
+  bool has_first_pt = false;   // first m= section has a fmt list (always, if any m=)
+  int first_pt = 0;            // first payload type of the first m= section
+};
+std::optional<AudioProbe> ProbeAudio(std::string_view body);
+
 }  // namespace vids::sdp

@@ -4,14 +4,12 @@
 #include <sstream>
 
 #include "common/strings.h"
+#include "sip/lazy_message.h"
 
 namespace vids::sip {
 
 using common::IEquals;
 using common::ParseInt;
-using common::Split;
-using common::SplitOnce;
-using common::Trim;
 
 namespace {
 
@@ -31,36 +29,12 @@ constexpr std::array<MethodEntry, 6> kMethods{{
     {Method::kOptions, "OPTIONS"},
 }};
 
-// RFC 3261 §7.3.3 compact forms for the headers we care about.
-std::string_view ExpandCompact(std::string_view name) {
-  if (name.size() != 1) return name;
-  switch (name[0] | 0x20) {
-    case 'i': return "Call-ID";
-    case 'f': return "From";
-    case 't': return "To";
-    case 'v': return "Via";
-    case 'm': return "Contact";
-    case 'c': return "Content-Type";
-    case 'l': return "Content-Length";
-    default: return name;
-  }
-}
-
-// Canonical capitalization so serialized traffic looks conventional. Every
-// header the stack itself emits hits the static table — one case-insensitive
-// scan over ~20 entries, no per-character case analysis; the word-by-word
-// capitalization loop only runs for headers outside the table.
+// Canonical capitalization so serialized traffic looks conventional. The
+// shared lazy-lexer table resolves every header the stack itself emits; the
+// word-by-word capitalization loop only runs for headers outside it.
 std::string CanonicalName(std::string_view name) {
-  name = ExpandCompact(name);
-  static constexpr std::string_view kCanonical[] = {
-      "Via", "From", "To", "Call-ID", "CSeq", "Contact", "Content-Type",
-      "Content-Length", "Max-Forwards", "Expires", "User-Agent",
-      "WWW-Authenticate", "Authorization", "Proxy-Authenticate",
-      "Proxy-Authorization", "Record-Route", "Route", "Allow", "Supported",
-      "Subject"};
-  for (const std::string_view canonical : kCanonical) {
-    if (IEquals(name, canonical)) return std::string(canonical);
-  }
+  const HeaderId id = CanonicalHeaderId(name);
+  if (id != HeaderId::kOther) return std::string(CanonicalHeaderName(id));
   std::string out(name);
   bool start_of_word = true;
   for (char& c : out) {
@@ -74,18 +48,26 @@ std::string CanonicalName(std::string_view name) {
   return out;
 }
 
-// Parses ";name=value;flag" parameter tails shared by URIs/NameAddr/Via.
-std::map<std::string, std::string> ParseParams(std::string_view tail) {
-  std::map<std::string, std::string> params;
-  for (const auto piece : Split(tail, ';')) {
-    if (piece.empty()) continue;
-    const auto eq = SplitOnce(piece, '=');
-    std::string key(eq ? eq->first : piece);
+SipUri MaterializeUri(const UriView& view) {
+  SipUri uri;
+  uri.user = std::string(view.user);
+  uri.host = std::string(view.host);
+  uri.port = view.port;
+  uri.params = std::string(view.params);
+  return uri;
+}
+
+// Materializes a ParamList into the std::map form: keys lowercased, last
+// occurrence wins (insert order == source order, so insert_or_assign keeps
+// the historical semantics).
+std::map<std::string, std::string> MaterializeParams(const ParamList& params) {
+  std::map<std::string, std::string> out;
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::string key(params[i].name);
     common::AsciiLowerInPlace(key);
-    params.insert_or_assign(std::move(key),
-                            eq ? std::string(eq->second) : std::string());
+    out.insert_or_assign(std::move(key), std::string(params[i].value));
   }
-  return params;
+  return out;
 }
 
 }  // namespace
@@ -136,28 +118,9 @@ std::string_view ReasonPhrase(int status) {
 // --- SipUri ---
 
 std::optional<SipUri> SipUri::Parse(std::string_view text) {
-  text = Trim(text);
-  if (!common::IStartsWith(text, "sip:")) return std::nullopt;
-  text.remove_prefix(4);
-  SipUri uri;
-  // Split off URI parameters.
-  if (const auto semi = text.find(';'); semi != std::string_view::npos) {
-    uri.params = std::string(text.substr(semi + 1));
-    text = text.substr(0, semi);
-  }
-  if (const auto at = text.find('@'); at != std::string_view::npos) {
-    uri.user = std::string(text.substr(0, at));
-    text = text.substr(at + 1);
-  }
-  if (text.empty()) return std::nullopt;
-  if (const auto colon = text.find(':'); colon != std::string_view::npos) {
-    const auto port = ParseInt<uint16_t>(text.substr(colon + 1));
-    if (!port) return std::nullopt;
-    uri.port = *port;
-    text = text.substr(0, colon);
-  }
-  uri.host = std::string(text);
-  return uri;
+  UriView view;
+  if (!ParseUriView(text, view)) return std::nullopt;
+  return MaterializeUri(view);
 }
 
 std::string SipUri::ToString() const {
@@ -181,36 +144,12 @@ std::string SipUri::ToString() const {
 // --- NameAddr ---
 
 std::optional<NameAddr> NameAddr::Parse(std::string_view text) {
-  text = Trim(text);
+  NameAddrView view;
+  if (!ParseNameAddrView(text, view)) return std::nullopt;
   NameAddr addr;
-  std::string_view uri_part;
-  std::string_view param_tail;
-
-  const auto open = text.find('<');
-  if (open != std::string_view::npos) {
-    const auto close = text.find('>', open);
-    if (close == std::string_view::npos) return std::nullopt;
-    std::string_view display = Trim(text.substr(0, open));
-    if (display.size() >= 2 && display.front() == '"' && display.back() == '"') {
-      display = display.substr(1, display.size() - 2);
-    }
-    addr.display_name = std::string(display);
-    uri_part = text.substr(open + 1, close - open - 1);
-    param_tail = text.substr(close + 1);
-    if (!param_tail.empty() && param_tail.front() == ';') {
-      param_tail.remove_prefix(1);
-    }
-  } else {
-    // addr-spec form: params after ';' belong to the header, not the URI.
-    const auto semi = text.find(';');
-    uri_part = text.substr(0, semi);
-    if (semi != std::string_view::npos) param_tail = text.substr(semi + 1);
-  }
-
-  const auto uri = SipUri::Parse(uri_part);
-  if (!uri) return std::nullopt;
-  addr.uri = *uri;
-  if (!param_tail.empty()) addr.params = ParseParams(param_tail);
+  addr.display_name = std::string(view.display_name);
+  addr.uri = MaterializeUri(view.uri);
+  addr.params = MaterializeParams(view.params);
   return addr;
 }
 
@@ -248,36 +187,15 @@ void NameAddr::SetTag(std::string_view tag) {
 // --- Via ---
 
 std::optional<Via> Via::Parse(std::string_view text) {
-  text = Trim(text);
-  // "SIP/2.0/UDP host:port;params"
-  const auto space = text.find(' ');
-  if (space == std::string_view::npos) return std::nullopt;
-  const std::string_view proto = text.substr(0, space);
-  const auto parts = Split(proto, '/');
-  if (parts.size() != 3 || parts[0] != "SIP" || parts[1] != "2.0") {
-    return std::nullopt;
-  }
+  ViaView view;
+  if (!ParseViaView(text, view)) return std::nullopt;
   Via via;
-  via.transport = std::string(parts[2]);
-
-  std::string_view rest = Trim(text.substr(space + 1));
-  std::string_view host_port = rest;
-  if (const auto semi = rest.find(';'); semi != std::string_view::npos) {
-    host_port = Trim(rest.substr(0, semi));
-    via.params = ParseParams(rest.substr(semi + 1));
-  }
-  const auto ep = net::Endpoint::Parse(host_port);
-  if (ep) {
-    via.sent_by = *ep;
-  } else {
-    const auto ip = net::IpAddress::Parse(host_port);
-    if (!ip) return std::nullopt;
-    via.sent_by = net::Endpoint{*ip, 5060};
-  }
-  if (const auto it = via.params.find("branch"); it != via.params.end()) {
-    via.branch = it->second;
-    via.params.erase(it);
-  }
+  via.transport = std::string(view.transport);
+  via.sent_by = view.sent_by;
+  via.branch = std::string(view.branch);
+  via.params = MaterializeParams(view.params);
+  // The view keeps branch in its param list; the map never held it.
+  via.params.erase("branch");
   return via;
 }
 
@@ -298,13 +216,9 @@ std::string Via::ToString() const {
 // --- CSeq ---
 
 std::optional<CSeq> CSeq::Parse(std::string_view text) {
-  const auto split = SplitOnce(Trim(text), ' ');
-  if (!split) return std::nullopt;
-  const auto number = ParseInt<uint32_t>(split->first);
-  if (!number) return std::nullopt;
-  const Method method = sip::ParseMethod(Trim(split->second));
-  if (method == Method::kUnknown) return std::nullopt;
-  return CSeq{*number, method};
+  CSeqView view;
+  if (!ParseCSeqView(text, view)) return std::nullopt;
+  return CSeq{view.number, view.method};
 }
 
 std::string CSeq::ToString() const {
@@ -336,89 +250,31 @@ Message Message::MakeResponse(int status, std::string reason) {
 }
 
 std::optional<Message> Message::Parse(std::string_view text) {
-  // Split head (start line + headers) from body at the blank line.
-  size_t head_end = text.find("\r\n\r\n");
-  size_t body_start;
-  if (head_end != std::string_view::npos) {
-    body_start = head_end + 4;
-  } else {
-    head_end = text.find("\n\n");
-    if (head_end == std::string_view::npos) {
-      head_end = text.size();
-      body_start = text.size();
-    } else {
-      body_start = head_end + 2;
-    }
-  }
-  const std::string_view head = text.substr(0, head_end);
+  // One structural pass through the shared lexer (acceptance semantics,
+  // Via unfolding and Content-Length clamping live there), then
+  // materialize the mutable representation from the span table.
+  LazyMessage lazy;
+  if (!lazy.Index(text)) return std::nullopt;
 
   Message msg;
-  bool first_line = true;
-  size_t pos = 0;
-  while (pos < head.size()) {
-    size_t eol = head.find('\n', pos);
-    std::string_view line = head.substr(
-        pos, eol == std::string_view::npos ? head.size() - pos : eol - pos);
-    pos = eol == std::string_view::npos ? head.size() : eol + 1;
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    if (first_line) {
-      first_line = false;
-      line = Trim(line);
-      if (line.empty()) return std::nullopt;
-      if (common::IStartsWith(line, "SIP/2.0 ")) {
-        // Status line: SIP/2.0 200 OK
-        const auto rest = Trim(line.substr(kSipVersion.size()));
-        const auto space = rest.find(' ');
-        const auto code_text =
-            space == std::string_view::npos ? rest : rest.substr(0, space);
-        const auto code = ParseInt<int>(code_text);
-        if (!code || *code < 100 || *code > 699) return std::nullopt;
-        msg.status_ = *code;
-        msg.reason_ = space == std::string_view::npos
-                          ? std::string()
-                          : std::string(Trim(rest.substr(space + 1)));
-      } else {
-        // Request line: INVITE sip:bob@b.example SIP/2.0
-        const auto parts = Split(line, ' ');
-        if (parts.size() != 3 || parts[2] != kSipVersion) return std::nullopt;
-        msg.req_method_token_ = std::string(parts[0]);
-        msg.req_method_ = sip::ParseMethod(parts[0]);
-        const auto uri = SipUri::Parse(parts[1]);
-        if (!uri) return std::nullopt;
-        msg.request_uri_ = *uri;
-      }
-      continue;
-    }
-    if (Trim(line).empty()) continue;
-    const auto colon = line.find(':');
-    if (colon == std::string_view::npos) return std::nullopt;
-    const std::string name = CanonicalName(Trim(line.substr(0, colon)));
-    const std::string_view value = Trim(line.substr(colon + 1));
-    // Comma-separated Via values may be folded into one line (RFC 3261
-    // §7.3.1); unfold them so PopVia works uniformly.
-    if (IEquals(name, "Via")) {
-      for (const auto piece : Split(value, ',')) {
-        msg.headers_.emplace_back(name, std::string(piece));
-      }
-    } else {
-      msg.headers_.emplace_back(name, std::string(value));
-    }
+  if (lazy.IsRequest()) {
+    msg.req_method_token_ = std::string(lazy.method_token());
+    msg.req_method_ = sip::ParseMethod(lazy.method_token());
+    msg.request_uri_ = MaterializeUri(lazy.request_uri());
+  } else {
+    msg.status_ = lazy.status();
+    msg.reason_ = std::string(lazy.reason());
   }
-  if (first_line) return std::nullopt;
-
-  // Mandatory structural fields must parse if present.
-  if (const auto cseq = msg.Header("CSeq"); cseq && !CSeq::Parse(*cseq)) {
-    return std::nullopt;
+  msg.headers_.reserve(lazy.HeaderCount());
+  for (size_t i = 0; i < lazy.HeaderCount(); ++i) {
+    const auto& header = lazy.HeaderAt(i);
+    msg.headers_.emplace_back(
+        header.id != HeaderId::kOther
+            ? std::string(CanonicalHeaderName(header.id))
+            : CanonicalName(header.name),
+        std::string(header.value));
   }
-
-  std::string_view body = text.substr(body_start);
-  if (const auto len_text = msg.Header("Content-Length")) {
-    const auto len = ParseInt<size_t>(*len_text);
-    if (!len) return std::nullopt;
-    if (*len > body.size()) return std::nullopt;  // truncated message
-    body = body.substr(0, *len);
-  }
-  msg.body_ = std::string(body);
+  msg.body_ = std::string(lazy.body());
   return msg;
 }
 
@@ -445,15 +301,15 @@ Method Message::method() const {
 
 std::optional<std::string_view> Message::Header(std::string_view name) const {
   for (const auto& [key, value] : headers_) {
-    if (IEquals(key, ExpandCompact(name))) return value;
+    if (IEquals(key, ExpandCompactHeader(name))) return value;
   }
   return std::nullopt;
 }
 
-std::vector<std::string_view> Message::Headers(std::string_view name) const {
-  std::vector<std::string_view> out;
+HeaderValues Message::Headers(std::string_view name) const {
+  HeaderValues out;
   for (const auto& [key, value] : headers_) {
-    if (IEquals(key, ExpandCompact(name))) out.push_back(value);
+    if (IEquals(key, ExpandCompactHeader(name))) out.push_back(value);
   }
   return out;
 }
@@ -469,7 +325,7 @@ void Message::AddHeader(std::string_view name, std::string_view value) {
 
 void Message::RemoveHeader(std::string_view name) {
   std::erase_if(headers_, [&](const auto& header) {
-    return IEquals(header.first, ExpandCompact(name));
+    return IEquals(header.first, ExpandCompactHeader(name));
   });
 }
 

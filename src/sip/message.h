@@ -8,6 +8,7 @@
 // matching how the paper's IDS must survive arbitrary-but-legal traffic.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -75,6 +76,35 @@ struct Via {
   std::string ToString() const;
 };
 
+/// Values of one header in message order. Inline capacity keeps the common
+/// few-values lookup heap-free; storage is contiguous either way, so the
+/// raw-pointer iterators support range-for, size() and operator[].
+class HeaderValues {
+ public:
+  void push_back(std::string_view value) {
+    if (heap_.empty() && size_ < kInline) {
+      inline_[size_++] = value;
+      return;
+    }
+    if (heap_.empty()) heap_.assign(inline_.begin(), inline_.begin() + size_);
+    heap_.push_back(value);
+    ++size_;
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::string_view* begin() const {
+    return heap_.empty() ? inline_.data() : heap_.data();
+  }
+  const std::string_view* end() const { return begin() + size_; }
+  std::string_view operator[](size_t i) const { return begin()[i]; }
+
+ private:
+  static constexpr size_t kInline = 8;
+  size_t size_ = 0;
+  std::array<std::string_view, kInline> inline_{};
+  std::vector<std::string_view> heap_;
+};
+
 struct CSeq {
   uint32_t number = 0;
   Method method = Method::kUnknown;
@@ -111,8 +141,9 @@ class Message {
   // --- Generic header access (names are case-insensitive) ---
   /// First value of `name`, or nullopt.
   std::optional<std::string_view> Header(std::string_view name) const;
-  /// All values of `name`, in message order.
-  std::vector<std::string_view> Headers(std::string_view name) const;
+  /// All values of `name`, in message order. Heap-free for the common case
+  /// (up to 8 values inline).
+  HeaderValues Headers(std::string_view name) const;
   /// Replaces all values of `name` with one value.
   void SetHeader(std::string_view name, std::string_view value);
   /// Appends a value of `name` after existing ones.

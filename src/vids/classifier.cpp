@@ -1,165 +1,303 @@
 #include "vids/classifier.h"
 
+#include <cstdio>
+
 #include "rtp/packet.h"
 #include "rtp/rtcp.h"
 #include "sdp/sdp.h"
+#include "sip/message.h"
 
 namespace vids::ids {
 
 namespace {
 
+// Overwrites a slot with string content, reusing the existing std::string's
+// capacity when the slot already holds one (the steady-state case).
+void AssignStr(efsm::Value& slot, std::string_view text) {
+  if (auto* str = std::get_if<std::string>(&slot)) {
+    str->assign(text);
+  } else {
+    slot.emplace<std::string>(text);
+  }
+}
+
+void AssignAbsent(efsm::Value& slot) { slot = efsm::Value{}; }
+
+// "user@host" without the temporary UserAtHost() builds.
+void AssignUserAtHost(efsm::Value& slot, const sip::UriView& uri) {
+  if (auto* str = std::get_if<std::string>(&slot)) {
+    str->assign(uri.user);
+  } else {
+    slot.emplace<std::string>(uri.user);
+  }
+  auto& str = std::get<std::string>(slot);
+  str.push_back('@');
+  str.append(uri.host);
+}
+
+// Dotted-quad into a stack buffer — cheaper than IpAddress::ToString()'s
+// string temporaries (or snprintf's format-string machinery) on the
+// per-packet path.
+void AssignIp(efsm::Value& slot, net::IpAddress ip) {
+  char buf[16];
+  char* out = buf;
+  const uint32_t bits = ip.bits();
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    const uint32_t octet = (bits >> shift) & 0xFF;
+    if (octet >= 100) {
+      *out++ = static_cast<char>('0' + octet / 100);
+      *out++ = static_cast<char>('0' + octet / 10 % 10);
+    } else if (octet >= 10) {
+      *out++ = static_cast<char>('0' + octet / 10);
+    }
+    *out++ = static_cast<char>('0' + octet % 10);
+    if (shift != 0) *out++ = '.';
+  }
+  AssignStr(slot, std::string_view(buf, static_cast<size_t>(out - buf)));
+}
+
+// Every classifier scratch event is filled with the same keys in the same
+// order on every packet, so each write names its position and EventArgs'
+// Slot fast path resolves it with one integer compare in the steady state.
+// The slot constants below pin that order per protocol shape.
+enum SlotIndex : size_t {
+  kSlotSrcIp,
+  kSlotSrcPort,
+  kSlotDstIp,
+  kSlotDstPort,
+  kSlotFromOutside,
+  kSlotProtoFirst,  // first protocol-specific slot
+};
+
 void PutEndpoints(efsm::Event& event, const net::Datagram& dgram,
                   bool from_outside) {
-  event.args[argkey::kSrcIp] = dgram.src.ip.ToString();
-  event.args[argkey::kSrcPort] = static_cast<int64_t>(dgram.src.port);
-  event.args[argkey::kDstIp] = dgram.dst.ip.ToString();
-  event.args[argkey::kDstPort] = static_cast<int64_t>(dgram.dst.port);
-  event.args[argkey::kFromOutside] = from_outside;
+  AssignIp(event.args.Slot(kSlotSrcIp, argkey::kSrcIp), dgram.src.ip);
+  event.args.Slot(kSlotSrcPort, argkey::kSrcPort) =
+      static_cast<int64_t>(dgram.src.port);
+  AssignIp(event.args.Slot(kSlotDstIp, argkey::kDstIp), dgram.dst.ip);
+  event.args.Slot(kSlotDstPort, argkey::kDstPort) =
+      static_cast<int64_t>(dgram.dst.port);
+  event.args.Slot(kSlotFromOutside, argkey::kFromOutside) = from_outside;
 }
 
 }  // namespace
 
-std::optional<ClassifiedPacket> PacketClassifier::Classify(
-    const net::Datagram& dgram, bool from_outside) {
+const ClassifiedPacket* PacketClassifier::Classify(const net::Datagram& dgram,
+                                                   bool from_outside) {
   // RTCP must be sniffed before RTP: an RTCP packet also parses as an RTP
   // header, but the RTCP packet-type range (200..204) never occurs as an
   // RTP payload type (RFC 5761 §4).
   if (rtp::LooksLikeRtcp(dgram.payload)) {
-    if (auto rtcp = ClassifyRtcp(dgram, from_outside)) {
+    if (const auto* rtcp = ClassifyRtcp(dgram, from_outside)) {
       ++rtcp_packets_;
       return rtcp;
     }
   }
   // Content-based dispatch: try the hinted protocol first, then the other.
   if (dgram.kind != net::PayloadKind::kRtp) {
-    if (auto message = sip::Message::Parse(dgram.payload)) {
+    if (lazy_.Index(dgram.payload)) {
       ++sip_packets_;
-      return ClassifySip(*message, dgram, from_outside);
+      return ClassifySip(dgram, from_outside);
     }
-    if (auto rtp = ClassifyRtp(dgram, from_outside)) {
+    if (const auto* rtp = ClassifyRtp(dgram, from_outside)) {
       ++rtp_packets_;
       return rtp;
     }
   } else {
-    if (auto rtp = ClassifyRtp(dgram, from_outside)) {
+    if (const auto* rtp = ClassifyRtp(dgram, from_outside)) {
       ++rtp_packets_;
       return rtp;
     }
-    if (auto message = sip::Message::Parse(dgram.payload)) {
+    if (lazy_.Index(dgram.payload)) {
       ++sip_packets_;
-      return ClassifySip(*message, dgram, from_outside);
+      return ClassifySip(dgram, from_outside);
     }
   }
   ++unknown_packets_;
-  return std::nullopt;
+  return nullptr;
 }
 
-std::optional<ClassifiedPacket> PacketClassifier::ClassifyRtcp(
+const ClassifiedPacket* PacketClassifier::ClassifyRtcp(
     const net::Datagram& dgram, bool from_outside) {
   const auto packet = rtp::ParseRtcp(dgram.payload);
-  if (!packet) return std::nullopt;
-  ClassifiedPacket out;
+  if (!packet) return nullptr;
+  ClassifiedPacket& out = rtcp_scratch_;
   out.proto = PacketProto::kRtcp;
   out.src = dgram.src;
   out.dst = dgram.dst;
   efsm::Event& event = out.event;
-  event.name = std::string(kRtcpEvent);
+  event.name.assign(kRtcpEvent);
   PutEndpoints(event, dgram, from_outside);
+  // Slot references are re-fetched at each use — first-packet appends can
+  // reallocate the argument storage (see the note in ClassifySip).
+  AssignAbsent(event.args.Slot(kSlotProtoFirst, argkey::kPacketCount));
+  const auto kind = [&event]() -> efsm::Value& {
+    return event.args.Slot(kSlotProtoFirst + 1, argkey::kKind);
+  };
+  const auto ssrc = [&event]() -> efsm::Value& {
+    return event.args.Slot(kSlotProtoFirst + 2, argkey::kSsrc);
+  };
   switch (packet->type()) {
     case rtp::RtcpType::kSenderReport:
-      event.args[argkey::kKind] = std::string("SR");
-      event.args[argkey::kSsrc] =
-          static_cast<int64_t>(packet->sr->sender_ssrc);
-      event.args[argkey::kPacketCount] =
+      AssignStr(kind(), "SR");
+      ssrc() = static_cast<int64_t>(packet->sr->sender_ssrc);
+      event.args.Slot(kSlotProtoFirst, argkey::kPacketCount) =
           static_cast<int64_t>(packet->sr->packet_count);
       break;
     case rtp::RtcpType::kReceiverReport:
-      event.args[argkey::kKind] = std::string("RR");
-      event.args[argkey::kSsrc] =
-          static_cast<int64_t>(packet->rr->sender_ssrc);
+      AssignStr(kind(), "RR");
+      ssrc() = static_cast<int64_t>(packet->rr->sender_ssrc);
       break;
     case rtp::RtcpType::kBye:
-      event.args[argkey::kKind] = std::string("BYE");
-      event.args[argkey::kSsrc] = static_cast<int64_t>(
+      AssignStr(kind(), "BYE");
+      ssrc() = static_cast<int64_t>(
           packet->bye->ssrcs.empty() ? 0 : packet->bye->ssrcs.front());
       break;
   }
-  return out;
+  return &out;
 }
 
-ClassifiedPacket PacketClassifier::ClassifySip(const sip::Message& message,
-                                               const net::Datagram& dgram,
-                                               bool from_outside) {
-  ClassifiedPacket out;
+const ClassifiedPacket* PacketClassifier::ClassifySip(
+    const net::Datagram& dgram, bool from_outside) {
+  // lazy_ has already indexed the payload; decode only what the predicates
+  // read, straight from the memoized views, into the reused scratch packet.
+  ClassifiedPacket& out = sip_scratch_;
   out.proto = PacketProto::kSip;
   out.src = dgram.src;
   out.dst = dgram.dst;
+  out.call_key.clear();
+  out.dest_key.clear();
   efsm::Event& event = out.event;
-  event.name = std::string(kSipEvent);
+  event.name.assign(kSipEvent);
   PutEndpoints(event, dgram, from_outside);
 
-  event.args[argkey::kKind] = message.IsRequest() ? std::string("request")
-                                                  : std::string("response");
-  event.args[argkey::kMethod] =
-      std::string(sip::MethodName(message.method()));
-  event.args[argkey::kStatus] = static_cast<int64_t>(message.status());
-  if (const auto call_id = message.CallId()) {
-    out.call_key = std::string(*call_id);
-    event.args[argkey::kCallId] = out.call_key;
+  AssignStr(event.args.Slot(kSlotProtoFirst, argkey::kKind),
+            lazy_.IsRequest() ? "request" : "response");
+  AssignStr(event.args.Slot(kSlotProtoFirst + 1, argkey::kMethod),
+            sip::MethodName(lazy_.method()));
+  event.args.Slot(kSlotProtoFirst + 2, argkey::kStatus) =
+      static_cast<int64_t>(lazy_.status());
+  efsm::Value& call_id_slot =
+      event.args.Slot(kSlotProtoFirst + 3, argkey::kCallId);
+  if (const auto call_id = lazy_.CallId()) {
+    out.call_key.assign(*call_id);
+    AssignStr(call_id_slot, *call_id);
+  } else {
+    AssignAbsent(call_id_slot);
   }
-  if (const auto cseq = message.Cseq()) {
-    event.args[argkey::kCseq] = static_cast<int64_t>(cseq->number);
+  efsm::Value& cseq_slot = event.args.Slot(kSlotProtoFirst + 4, argkey::kCseq);
+  if (const auto* cseq = lazy_.Cseq()) {
+    cseq_slot = static_cast<int64_t>(cseq->number);
+  } else {
+    AssignAbsent(cseq_slot);
   }
-  if (const auto from = message.From()) {
-    event.args[argkey::kFrom] = from->uri.UserAtHost();
-    if (const auto tag = from->Tag()) event.args[argkey::kFromTag] = *tag;
+  // NB: a slot reference is used immediately and never held across another
+  // Slot call — the first packet appends entries, which can reallocate the
+  // argument storage and invalidate earlier references.
+  const sip::NameAddrView* from = lazy_.From();
+  const auto from_slot = [&event]() -> efsm::Value& {
+    return event.args.Slot(kSlotProtoFirst + 5, argkey::kFrom);
+  };
+  const auto from_tag_slot = [&event]() -> efsm::Value& {
+    return event.args.Slot(kSlotProtoFirst + 6, argkey::kFromTag);
+  };
+  if (from != nullptr) {
+    AssignUserAtHost(from_slot(), from->uri);
+    if (const auto tag = from->Tag()) {
+      AssignStr(from_tag_slot(), *tag);
+    } else {
+      AssignAbsent(from_tag_slot());
+    }
+  } else {
+    AssignAbsent(from_slot());
+    AssignAbsent(from_tag_slot());
   }
-  if (const auto to = message.To()) {
-    event.args[argkey::kTo] = to->uri.UserAtHost();
-    if (const auto tag = to->Tag()) event.args[argkey::kToTag] = *tag;
+  const sip::NameAddrView* to = lazy_.To();
+  const auto to_slot = [&event]() -> efsm::Value& {
+    return event.args.Slot(kSlotProtoFirst + 7, argkey::kTo);
+  };
+  const auto to_tag_slot = [&event]() -> efsm::Value& {
+    return event.args.Slot(kSlotProtoFirst + 8, argkey::kToTag);
+  };
+  if (to != nullptr) {
+    AssignUserAtHost(to_slot(), to->uri);
+    if (const auto tag = to->Tag()) {
+      AssignStr(to_tag_slot(), *tag);
+    } else {
+      AssignAbsent(to_tag_slot());
+    }
+  } else {
+    AssignAbsent(to_slot());
+    AssignAbsent(to_tag_slot());
   }
-  if (const auto via = message.TopVia()) {
-    event.args[argkey::kBranch] = via->branch;
+  efsm::Value& branch_slot =
+      event.args.Slot(kSlotProtoFirst + 9, argkey::kBranch);
+  if (const auto* via = lazy_.TopVia()) {
+    AssignStr(branch_slot, via->branch);
+  } else {
+    AssignAbsent(branch_slot);
   }
-  if (message.IsRequest()) {
-    if (const auto to = message.To()) out.dest_key = to->uri.UserAtHost();
+  if (lazy_.IsRequest() && to != nullptr) {
+    out.dest_key.assign(to->uri.user);
+    out.dest_key.push_back('@');
+    out.dest_key.append(to->uri.host);
   }
 
   // SDP media parameters — the values the SIP machine exports to the RTP
   // machine through global variables.
-  if (!message.body().empty()) {
-    if (const auto sd = sdp::SessionDescription::Parse(message.body())) {
-      if (const auto media = sd->AudioEndpoint()) {
-        event.args[argkey::kSdpIp] = media->ip.ToString();
-        event.args[argkey::kSdpPort] = static_cast<int64_t>(media->port);
-        event.args[argkey::kSdpCodec] = sd->AudioCodec();
-        if (!sd->media.empty() && !sd->media.front().payload_types.empty()) {
-          event.args[argkey::kSdpPt] =
-              static_cast<int64_t>(sd->media.front().payload_types.front());
-        }
+  const auto sdp_ip_slot = [&event]() -> efsm::Value& {
+    return event.args.Slot(kSlotProtoFirst + 10, argkey::kSdpIp);
+  };
+  const auto sdp_port_slot = [&event]() -> efsm::Value& {
+    return event.args.Slot(kSlotProtoFirst + 11, argkey::kSdpPort);
+  };
+  const auto sdp_codec_slot = [&event]() -> efsm::Value& {
+    return event.args.Slot(kSlotProtoFirst + 12, argkey::kSdpCodec);
+  };
+  const auto sdp_pt_slot = [&event]() -> efsm::Value& {
+    return event.args.Slot(kSlotProtoFirst + 13, argkey::kSdpPt);
+  };
+  bool has_media = false;
+  if (!lazy_.body().empty()) {
+    if (const auto probe = sdp::ProbeAudio(lazy_.body());
+        probe && probe->has_endpoint) {
+      has_media = true;
+      AssignIp(sdp_ip_slot(), probe->endpoint.ip);
+      sdp_port_slot() = static_cast<int64_t>(probe->endpoint.port);
+      AssignStr(sdp_codec_slot(), probe->codec);
+      if (probe->has_first_pt) {
+        sdp_pt_slot() = static_cast<int64_t>(probe->first_pt);
+      } else {
+        AssignAbsent(sdp_pt_slot());
       }
     }
   }
-  return out;
+  if (!has_media) {
+    AssignAbsent(sdp_ip_slot());
+    AssignAbsent(sdp_port_slot());
+    AssignAbsent(sdp_codec_slot());
+    AssignAbsent(sdp_pt_slot());
+  }
+  return &out;
 }
 
-std::optional<ClassifiedPacket> PacketClassifier::ClassifyRtp(
+const ClassifiedPacket* PacketClassifier::ClassifyRtp(
     const net::Datagram& dgram, bool from_outside) {
   const auto header = rtp::RtpHeader::Parse(dgram.payload);
-  if (!header) return std::nullopt;
-  ClassifiedPacket out;
+  if (!header) return nullptr;
+  ClassifiedPacket& out = rtp_scratch_;
   out.proto = PacketProto::kRtp;
   out.src = dgram.src;
   out.dst = dgram.dst;
   efsm::Event& event = out.event;
-  event.name = std::string(kRtpEvent);
+  event.name.assign(kRtpEvent);
   PutEndpoints(event, dgram, from_outside);
   event.args[argkey::kSsrc] = static_cast<int64_t>(header->ssrc);
   event.args[argkey::kSeq] = static_cast<int64_t>(header->sequence_number);
   event.args[argkey::kTs] = static_cast<int64_t>(header->timestamp);
   event.args[argkey::kPt] = static_cast<int64_t>(header->payload_type);
   event.args[argkey::kMarker] = header->marker;
-  return out;
+  return &out;
 }
 
 }  // namespace vids::ids

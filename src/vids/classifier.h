@@ -7,12 +7,11 @@
 // itself honestly.
 #pragma once
 
-#include <optional>
 #include <string>
 
 #include "efsm/machine.h"
 #include "net/datagram.h"
-#include "sip/message.h"
+#include "sip/lazy_message.h"
 
 namespace vids::ids {
 
@@ -34,9 +33,14 @@ struct ClassifiedPacket {
 
 class PacketClassifier {
  public:
-  /// Returns nullopt when the datagram is neither parsable SIP nor RTP.
-  std::optional<ClassifiedPacket> Classify(const net::Datagram& dgram,
-                                           bool from_outside);
+  /// Classifies one datagram. Returns nullptr when it is neither parsable
+  /// SIP nor RTP. The result points at per-protocol scratch owned by the
+  /// classifier — valid until the next Classify call — so the steady-state
+  /// path reuses event-argument and key-string capacity instead of
+  /// rebuilding a ClassifiedPacket per packet. SIP fields come from the
+  /// zero-copy lazy lexer; no sip::Message is materialized.
+  const ClassifiedPacket* Classify(const net::Datagram& dgram,
+                                   bool from_outside);
 
   uint64_t sip_packets() const { return sip_packets_; }
   uint64_t rtp_packets() const { return rtp_packets_; }
@@ -44,17 +48,25 @@ class PacketClassifier {
   uint64_t unknown_packets() const { return unknown_packets_; }
 
  private:
-  ClassifiedPacket ClassifySip(const sip::Message& message,
-                               const net::Datagram& dgram, bool from_outside);
-  std::optional<ClassifiedPacket> ClassifyRtp(const net::Datagram& dgram,
-                                              bool from_outside);
-  std::optional<ClassifiedPacket> ClassifyRtcp(const net::Datagram& dgram,
-                                               bool from_outside);
+  const ClassifiedPacket* ClassifySip(const net::Datagram& dgram,
+                                      bool from_outside);
+  const ClassifiedPacket* ClassifyRtp(const net::Datagram& dgram,
+                                      bool from_outside);
+  const ClassifiedPacket* ClassifyRtcp(const net::Datagram& dgram,
+                                       bool from_outside);
 
   uint64_t sip_packets_ = 0;
   uint64_t rtp_packets_ = 0;
   uint64_t rtcp_packets_ = 0;
   uint64_t unknown_packets_ = 0;
+
+  // Reused per packet; each protocol shape writes its full argument set
+  // every time (absent fields become monostate) so no value leaks from one
+  // packet into the next.
+  sip::LazyMessage lazy_;
+  ClassifiedPacket sip_scratch_;
+  ClassifiedPacket rtp_scratch_;
+  ClassifiedPacket rtcp_scratch_;
 };
 
 /// Event names shared between the classifier and the machine definitions.

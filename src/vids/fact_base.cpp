@@ -87,16 +87,26 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateCall(
   created = true;
   ++calls_created_;
   m_calls_created_->Inc();
-  auto group = std::make_unique<efsm::MachineGroup>(call_id, scheduler_,
-                                                    observer_,
-                                                    &engine_metrics_);
-  auto& sip = group->AddMachine(sip_spec_, std::string(kSipMachineName));
-  auto& rtp = group->AddMachine(rtp_spec_, std::string(kRtpMachineName));
-  (void)sip;
-  group->AddMachine(scenarios_.cancel_dos, "cancel-dos");
-  group->AddMachine(scenarios_.hijack, "hijack");
-  if (config_.enable_cross_protocol) {
-    group->RouteChannel(std::string(kSipToRtpChannel), rtp);
+  std::unique_ptr<efsm::MachineGroup> group;
+  if (!group_pool_.empty()) {
+    // Recycled group: already carries the call-group machine set and
+    // channel routing (parked in initial configuration by Sweep), so only
+    // the name needs to change hands.
+    group = std::move(group_pool_.back());
+    group_pool_.pop_back();
+    group->ResetForReuse(call_id);
+  } else {
+    group = std::make_unique<efsm::MachineGroup>(call_id, scheduler_,
+                                                 observer_,
+                                                 &engine_metrics_);
+    auto& sip = group->AddMachine(sip_spec_, std::string(kSipMachineName));
+    auto& rtp = group->AddMachine(rtp_spec_, std::string(kRtpMachineName));
+    (void)sip;
+    group->AddMachine(scenarios_.cancel_dos, "cancel-dos");
+    group->AddMachine(scenarios_.hijack, "hijack");
+    if (config_.enable_cross_protocol) {
+      group->RouteChannel(std::string(kSipToRtpChannel), rtp);
+    }
   }
   {
     obs::Record rec;
@@ -133,13 +143,11 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateKeyed(
       }
       break;
     case KeyedKind::kInviteFlood:
-      break;
+      return GetOrCreateInviteFlood(key);
   }
-  // INVITE flood (AOR key) and unparseable media/victim keys.
-  const std::string name = (kind == KeyedKind::kInviteFlood  ? "flood|"
-                            : kind == KeyedKind::kMediaEndpoint ? "media|"
-                                                                : "drdos|") +
-                           key;
+  // Unparseable media/victim keys.
+  const std::string name =
+      (kind == KeyedKind::kMediaEndpoint ? "media|" : "drdos|") + key;
   auto it = keyed_str_.find(name);
   if (it != keyed_str_.end()) {
     it->second.last_event = scheduler_.Now();
@@ -150,8 +158,7 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateKeyed(
                                                     &engine_metrics_);
   switch (kind) {
     case KeyedKind::kInviteFlood:
-      group->AddMachine(scenarios_.invite_flood, "invite-flood");
-      break;
+      break;  // handled above
     case KeyedKind::kMediaEndpoint:
       group->AddMachine(scenarios_.media_spam, "media-spam");
       group->AddMachine(scenarios_.rtp_flood, "rtp-flood");
@@ -162,6 +169,28 @@ efsm::MachineGroup& CallStateFactBase::GetOrCreateKeyed(
       break;
   }
   auto& entry = keyed_str_[name];
+  entry.group = std::move(group);
+  entry.last_event = scheduler_.Now();
+  m_keyed_groups_->Set(static_cast<int64_t>(keyed_count()));
+  ArmSweepTimer();
+  return *entry.group;
+}
+
+efsm::MachineGroup& CallStateFactBase::GetOrCreateInviteFlood(
+    std::string_view aor) {
+  // Runs per INVITE request: compose the map key in the reused scratch
+  // string and find transparently so the hit path never allocates.
+  flood_key_scratch_.assign("flood|");
+  flood_key_scratch_.append(aor);
+  auto it = keyed_str_.find(flood_key_scratch_);
+  if (it != keyed_str_.end()) {
+    it->second.last_event = scheduler_.Now();
+    return *it->second.group;
+  }
+  auto group = std::make_unique<efsm::MachineGroup>(
+      flood_key_scratch_, scheduler_, observer_, &engine_metrics_);
+  group->AddMachine(scenarios_.invite_flood, "invite-flood");
+  auto& entry = keyed_str_[flood_key_scratch_];
   entry.group = std::move(group);
   entry.last_event = scheduler_.Now();
   m_keyed_groups_->Set(static_cast<int64_t>(keyed_count()));
@@ -317,6 +346,13 @@ void CallStateFactBase::Sweep(sim::Time now) {
         }
       }
       reclaimed.push_back(it->first);
+      if (group_pool_.size() < kGroupPoolCap) {
+        // Park the group in initial configuration. The reset happens here,
+        // not at reuse, because a parked group must not keep live timers —
+        // a pending expiry would fire into a machine no call owns.
+        it->second.group->ResetForReuse(std::string());
+        group_pool_.push_back(std::move(it->second.group));
+      }
       it = calls_.erase(it);
     } else {
       ++it;
@@ -363,6 +399,7 @@ size_t CallStateFactBase::MemoryBytes() const {
   for (const auto& [key, media] : media_index_) {
     bytes += sizeof(uint64_t) + sizeof(MediaEntry) + media.call_id.capacity();
   }
+  for (const auto& group : group_pool_) bytes += group->MemoryBytes();
   return bytes;
 }
 

@@ -76,6 +76,11 @@ class CallStateFactBase {
   /// parse as endpoint/IP are routed to the binary-keyed overloads below.
   efsm::MachineGroup& GetOrCreateKeyed(KeyedKind kind, const std::string& key);
 
+  /// INVITE-flood fast path: runs once per INVITE request, so the "flood|"
+  /// prefixed map key is composed in a reused scratch string and looked up
+  /// transparently — the hit path performs no allocation.
+  efsm::MachineGroup& GetOrCreateInviteFlood(std::string_view aor);
+
   /// Binary-keyed fast paths — no string formatting or parsing.
   efsm::MachineGroup& GetOrCreateMediaGroup(const net::Endpoint& endpoint);
   efsm::MachineGroup& GetOrCreateDrdosGroup(net::IpAddress victim);
@@ -183,8 +188,20 @@ class CallStateFactBase {
   efsm::MachineDef rtp_spec_;
   AttackScenarioBase scenarios_;
 
+  // Recycled call groups. Every call group has the same shape (two protocol
+  // machines, two always-on scenario machines, one sync channel), and
+  // building one is the dominant cost of admitting a new call — so swept
+  // groups are reset and parked here instead of destroyed, and the next
+  // call reuses one with all its buffer capacities warm. Bounded so an
+  // INVITE flood cannot convert itself into pinned pool memory; sized to
+  // absorb one sweep's reclaim batch at busy-hour call rates (hundreds of
+  // calls/s × one sweep interval), a few hundred KB worst case.
+  static constexpr size_t kGroupPoolCap = 256;
+  std::vector<std::unique_ptr<efsm::MachineGroup>> group_pool_;
+
   StringKeyed<Entry> calls_;
   StringKeyed<Entry> keyed_str_;  // INVITE flood, name-prefixed "flood|"
+  std::string flood_key_scratch_;  // reused by GetOrCreateInviteFlood
   // Media-endpoint and DRDoS groups, keyed by kind-tagged packed binary key.
   std::unordered_map<uint64_t, Entry> keyed_bin_;
   StringKeyed<sim::Time> tombstones_;

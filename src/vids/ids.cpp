@@ -136,8 +136,7 @@ void Vids::HandleSip(const ClassifiedPacket& packet) {
   if (!is_response && !packet.dest_key.empty()) {
     const std::string* method = packet.event.ArgStr(argkey::kMethod);
     if (method != nullptr && *method == "INVITE") {
-      auto& flood_group = fact_base_.GetOrCreateKeyed(KeyedKind::kInviteFlood,
-                                                      packet.dest_key);
+      auto& flood_group = fact_base_.GetOrCreateInviteFlood(packet.dest_key);
       if (auto* machine = flood_group.Find("invite-flood")) {
         flood_group.DeliverData(*machine, packet.event);
       }

@@ -67,7 +67,9 @@ const MediaKeys kAnswerMedia{gkey::kAnswerIp, gkey::kAnswerPort,
 void ExportMedia(Context& c, const MediaKeys& keys,
                  std::string_view sync_name) {
   const Event& e = c.event();
-  if (!e.args.contains(argkey::kSdpIp)) return;
+  // Monostate-aware: the classifier's reused event writes every SDP slot on
+  // every packet, with monostate meaning "no SDP in this message".
+  if (e.ArgStr(argkey::kSdpIp) == nullptr) return;
   c.mutable_global().Set(keys.ip, e.Arg(argkey::kSdpIp));
   c.mutable_global().Set(keys.port, e.Arg(argkey::kSdpPort));
   c.mutable_global().Set(keys.pt, e.Arg(argkey::kSdpPt));

@@ -4,6 +4,7 @@
 
 #include "rtp/packet.h"
 #include "sdp/sdp.h"
+#include "sip/message.h"
 #include "vids/ids.h"
 
 namespace vids::ids {

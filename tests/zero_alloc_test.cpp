@@ -11,6 +11,7 @@
 
 #include "rtp/packet.h"
 #include "sdp/sdp.h"
+#include "sip/message.h"
 #include "vids/ids.h"
 
 namespace {
@@ -155,6 +156,75 @@ TEST(ZeroAlloc, SteadyStateRtpInspectionDoesNotAllocate) {
   EXPECT_EQ(g_alloc_count.load(), 0u)
       << "steady-state RTP inspection touched the heap";
   EXPECT_GT(vids.stats().rtp_packets, 0u);
+}
+
+// In-dialog SIP steady state: once a dialog exists, a re-INVITE / 200 / ACK
+// refresh cycle rides entirely on the lazy parse layer and reused scratch
+// state — no heap traffic. This is the SIP counterpart of the RTP test
+// above and the invariant BM_VidsInspectSipInDialog reports as
+// allocs_per_iter.
+TEST(ZeroAlloc, SteadyStateInDialogSipInspectionDoesNotAllocate) {
+  sim::Scheduler scheduler;
+  Vids vids(scheduler);
+  const std::string call_id = "za-dlg";
+
+  const auto make_ack = [&call_id](uint32_t cseq) {
+    auto ack = sip::Message::MakeRequest(
+        sip::Method::kAck, *sip::SipUri::Parse("sip:bob@b.example.com"));
+    sip::Via via;
+    via.sent_by = kProxyA;
+    via.branch = "z9hG4bKack" + call_id;
+    ack.PushVia(via);
+    sip::NameAddr from;
+    from.uri = *sip::SipUri::Parse("sip:alice@a.example.com");
+    from.SetTag("tag-alice");
+    ack.SetFrom(from);
+    sip::NameAddr to;
+    to.uri = *sip::SipUri::Parse("sip:bob@b.example.com");
+    to.SetTag("tag-bob");
+    ack.SetTo(to);
+    ack.SetCallId(call_id);
+    ack.SetCseq(sip::CSeq{cseq, sip::Method::kAck});
+    return ack;
+  };
+
+  // Establish the dialog: INVITE / 200 / ACK.
+  const auto invite = MakeInvite(call_id);
+  vids.Inspect(SipDgram(invite, kProxyA, kProxyB), true);
+  vids.Inspect(SipDgram(MakeOk(invite), kProxyB, kProxyA), false);
+  vids.Inspect(SipDgram(make_ack(1), kProxyA, kProxyB), true);
+  ASSERT_EQ(vids.fact_base().CallByMedia(kCalleeMedia), call_id);
+
+  // Pre-serialized refresh cycle: re-INVITE with both tags and CSeq 2, its
+  // 200, its ACK. The measured loop replays the same three datagrams.
+  auto reinvite = MakeInvite(call_id);
+  auto to = *reinvite.To();
+  to.SetTag("tag-bob");
+  reinvite.SetTo(to);
+  reinvite.SetCseq(sip::CSeq{2, sip::Method::kInvite});
+  net::Datagram cycle[3] = {
+      SipDgram(reinvite, kProxyA, kProxyB),
+      SipDgram(MakeOk(reinvite), kProxyB, kProxyA),
+      SipDgram(make_ack(2), kProxyA, kProxyB),
+  };
+  const bool from_outside[3] = {true, false, true};
+
+  // Warmup: settle string/map capacities, cross the INVITE-flood threshold
+  // so its machine parks in the deduplicated attack self-loop.
+  for (int i = 0; i < 600; ++i) {
+    for (int p = 0; p < 3; ++p) vids.Inspect(cycle[p], from_outside[p]);
+  }
+
+  g_alloc_count.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 200; ++i) {
+    for (int p = 0; p < 3; ++p) vids.Inspect(cycle[p], from_outside[p]);
+  }
+  g_counting.store(false);
+
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "steady-state in-dialog SIP inspection touched the heap";
+  EXPECT_GT(vids.stats().sip_packets, 600u);
 }
 
 }  // namespace
