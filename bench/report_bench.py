@@ -2,7 +2,7 @@
 """Merges a google-benchmark JSON run into the tracked BENCH_micro.json.
 
 Usage: report_bench.py <BENCH_micro.json> <run-label> <gbench-output.json>
-           [--metrics <metrics-snapshot.json>] [--check]
+           [--metrics <metrics-snapshot.json>] [--check] [--scaling]
            [--require-zero-alloc <bench>]... [--allow-allocs <bench>]...
            [--baseline <tracked.json> <label>]
 
@@ -28,6 +28,13 @@ After merging, the run is screened:
 Violations of the first two are fatal with --check (exit 1); cpu
 regressions stay warnings — CI runners are too noisy to gate on latency
 alone.
+
+--scaling screens the BM_ShardedIngest rows: the 4-shard pipeline must
+deliver >= 2x the single-shard throughput. The gate only binds when the
+run was recorded on a host with >= 4 cores (the benchmark publishes a
+`cores` counter) — a 1-core container serializes the workers, so there
+the screen reports a loud SKIP and exits 0 instead of recording a
+meaningless failure.
 """
 import json
 import sys
@@ -46,6 +53,39 @@ def warn_regressions(results: dict, against: dict, label: str) -> None:
             print(f"WARNING: {name} regressed {pct:.1f}% vs "
                   f"'{label}' ({before} -> {after} cpu ns)",
                   file=sys.stderr)
+
+
+def screen_scaling(last: dict, check: bool) -> int:
+    """Gates 4-shard vs 1-shard BM_ShardedIngest throughput at 2x."""
+    entries = {}
+    for name, entry in last["results"].items():
+        if not name.startswith("BM_ShardedIngest/"):
+            continue
+        if "shards" in entry and "items_per_second" in entry:
+            entries[int(entry["shards"])] = entry
+    if 1 not in entries or 4 not in entries:
+        print("SCALING: 1- and 4-shard BM_ShardedIngest rows not both "
+              "present in the run; nothing to screen", file=sys.stderr)
+        return 1 if check else 0
+    cores = int(entries[4].get("cores", 0))
+    if cores < 4:
+        print(f"SCALING: SKIPPED — the run was recorded on {cores} core(s). "
+              f"Four workers cannot outrun one on fewer than 4 cores; the "
+              f"2x gate only binds for runs recorded on >= 4 cores.",
+              file=sys.stderr)
+        return 0
+    one = entries[1]["items_per_second"]
+    four = entries[4]["items_per_second"]
+    ratio = four / one if one > 0 else 0.0
+    if ratio < 2.0:
+        print(f"VIOLATION: 4-shard throughput is {ratio:.2f}x single-shard "
+              f"({four:.0f} vs {one:.0f} items/s); the sharded engine must "
+              f"deliver >= 2x on a >= 4-core host", file=sys.stderr)
+        return 1 if check else 0
+    print(f"SCALING: OK — 4 shards deliver {ratio:.2f}x single-shard "
+          f"throughput ({four:.0f} vs {one:.0f} items/s, {cores} cores)",
+          file=sys.stderr)
+    return 0
 
 
 def screen(tracked: dict, check: bool, require_zero: list,
@@ -106,6 +146,9 @@ def main() -> int:
     check = "--check" in args
     if check:
         args.remove("--check")
+    scaling = "--scaling" in args
+    if scaling:
+        args.remove("--scaling")
 
     def take_values(flag: str, count: int = 1) -> list:
         taken = []
@@ -142,6 +185,11 @@ def main() -> int:
         }
         if "allocs_per_iter" in bench:
             entry["allocs_per_iter"] = round(bench["allocs_per_iter"], 3)
+        # Scaling-row context: throughput plus the shard/host counters the
+        # --scaling screen interprets.
+        for key in ("items_per_second", "shards", "cores", "ingest_stalls"):
+            if key in bench:
+                entry[key] = round(bench[key], 3)
         results[bench["name"]] = entry
 
     try:
@@ -180,6 +228,8 @@ def main() -> int:
                 baseline = json.load(f)
     status = screen(tracked, check, require_zero, allow_allocs,
                     baseline, baseline_label)
+    if scaling:
+        status = max(status, screen_scaling(tracked["runs"][-1], check))
 
     with open(tracked_path, "w") as f:
         json.dump(tracked, f, indent=2)

@@ -8,8 +8,13 @@
 // any quantity failed to plateau — the CI gate against IDS-side leaks.
 //
 // Usage: soak [--calls=N] [--rate=CPS] [--seed=S] [--sample-every=SEC]
-//             [--attack-every=N] [--pause=SEC] [--tap] [--duration=SEC]
-//             [--csv=FILE] [--check]
+//             [--attack-every=N] [--pause=SEC] [--shards=N] [--tap]
+//             [--duration=SEC] [--csv=FILE] [--check]
+//
+// --shards=N drives the same workload through the sharded multi-worker
+// engine (N worker threads behind SPSC rings) instead of the direct
+// single-threaded Vids; the report then also prints wall-clock ingest
+// throughput for the scaling table.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +59,8 @@ int main(int argc, char** argv) {
       config.attack_every = static_cast<uint64_t>(value);
     } else if (ParseFlag(arg, "--pause", &value)) {
       config.pause = sim::Duration::Seconds(value);
+    } else if (ParseFlag(arg, "--shards", &value)) {
+      config.shards = static_cast<int>(value);
     } else if (ParseFlag(arg, "--duration", &value)) {
       duration_s = value;
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
@@ -79,7 +86,12 @@ int main(int argc, char** argv) {
                 duration_s);
     report = load::RunTapSoak(config, sim::Duration::Seconds(duration_s));
   } else {
-    std::printf("direct mode: %llu calls at %.0f/s (attack burst every "
+    if (config.shards > 0) {
+      std::printf("sharded mode (%d workers): ", config.shards);
+    } else {
+      std::printf("direct mode: ");
+    }
+    std::printf("%llu calls at %.0f/s (attack burst every "
                 "%llu calls, %.0fs mid-run pause)\n",
                 static_cast<unsigned long long>(config.total_calls),
                 config.calls_per_second,
@@ -96,6 +108,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.calls_started),
               static_cast<unsigned long long>(report.packets_inspected),
               static_cast<unsigned long long>(report.alerts_total));
+  if (report.wall_ns > 0) {
+    std::printf("wall time: %.2fs, ingest throughput: %.0f packets/s\n",
+                static_cast<double>(report.wall_ns) / 1e9,
+                report.packets_per_second);
+  }
   std::printf("verdict: %s\n",
               report.bounded ? "BOUNDED (all quantities plateaued)"
                              : "UNBOUNDED GROWTH DETECTED");

@@ -1,11 +1,16 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace vids::common {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// Serializes decorate+sink so concurrent worker-thread writes cannot
+// interleave bytes or race the installed sink/clock std::functions.
+std::mutex g_mutex;
 Log::Sink g_sink;    // empty → stderr
 Log::Clock g_clock;  // empty → no time prefix
 
@@ -22,10 +27,18 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void Log::SetLevel(LogLevel level) { g_level = level; }
-LogLevel Log::Level() { return g_level; }
-void Log::SetSink(Sink sink) { g_sink = std::move(sink); }
-void Log::SetClock(Clock clock) { g_clock = std::move(clock); }
+void Log::SetLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel Log::Level() { return g_level.load(std::memory_order_relaxed); }
+void Log::SetSink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+void Log::SetClock(Clock clock) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_clock = std::move(clock);
+}
 
 void Log::Write(LogLevel level, const std::string& message) {
   Write(level, std::string_view(), message);
@@ -33,36 +46,44 @@ void Log::Write(LogLevel level, const std::string& message) {
 
 void Log::Write(LogLevel level, std::string_view component,
                 const std::string& message) {
-  if (level < g_level) return;
+  if (level < Level()) return;
   // Decorate once, up front, so custom sinks and the stderr default agree
   // on what a line looks like.
   std::string decorated;
   const std::string* out = &message;
-  if (g_clock || !component.empty()) {
-    decorated.reserve(message.size() + component.size() + 24);
-    if (g_clock) {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "[t=%.6fs] ",
-                    static_cast<double>(g_clock()) * 1e-9);
-      decorated += buf;
+  Sink sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_clock || !component.empty()) {
+      decorated.reserve(message.size() + component.size() + 24);
+      if (g_clock) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "[t=%.6fs] ",
+                      static_cast<double>(g_clock()) * 1e-9);
+        decorated += buf;
+      }
+      if (!component.empty()) {
+        decorated += '[';
+        decorated += component;
+        decorated += "] ";
+      }
+      decorated += message;
+      out = &decorated;
     }
-    if (!component.empty()) {
-      decorated += '[';
-      decorated += component;
-      decorated += "] ";
+    if (!g_sink) {
+      // Default path emits under the lock, so concurrent worker-thread
+      // lines cannot interleave bytes on stderr.
+      std::fprintf(stderr, "[%s] %s\n", LevelName(level), out->c_str());
+      return;
     }
-    decorated += message;
-    out = &decorated;
+    // Run on a copy, invoked outside the lock: a sink that calls SetSink
+    // from inside its own invocation (tests installing a one-shot sink, a
+    // sink removing itself mid-run) would otherwise destroy the
+    // std::function it is executing — or deadlock on g_mutex. A custom
+    // sink shared by worker threads must be thread-safe itself.
+    sink = g_sink;
   }
-  if (g_sink) {
-    // Run on a copy: a sink that calls SetSink from inside its own
-    // invocation (tests installing a one-shot sink, a sink removing itself
-    // mid-run) would otherwise destroy the std::function it is executing.
-    const Sink sink = g_sink;
-    sink(level, *out);
-  } else {
-    std::fprintf(stderr, "[%s] %s\n", LevelName(level), out->c_str());
-  }
+  sink(level, *out);
 }
 
 }  // namespace vids::common

@@ -1,8 +1,13 @@
 // Minimal leveled logger.
 //
 // The simulator and vIDS components log through this sink so tests can
-// silence output and examples can show protocol traces. Not thread-safe by
-// design: the discrete-event simulator is single-threaded.
+// silence output and examples can show protocol traces. Write() is
+// thread-safe: shard worker threads log alerts concurrently, so the
+// decorate+sink section is serialized by a mutex and the level check is a
+// relaxed atomic (the disabled-level fast path takes no lock). Installed
+// sinks and clocks must themselves tolerate being called under that lock
+// from any thread. SetLevel/SetSink/SetClock remain configuration-time
+// calls — make them before worker threads start.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,109 @@
+// Single-producer / single-consumer lock-free ring buffer.
+//
+// The sharded IDS engine (src/vids/sharded_ids.*) moves packets from the
+// router thread to each shard worker — and alerts/aggregate events back —
+// over exactly-one-writer/exactly-one-reader queues, so the classic SPSC
+// ring with release/acquire index handoff is all the synchronization the
+// data plane needs. Design points:
+//
+//  - Fixed power-of-two capacity, allocated once at construction. The hot
+//    path never allocates; a full ring is backpressure, not growth.
+//  - In-place slot construction: the producer calls BeginPush() to get a
+//    pointer at the reserved slot, *reuses* whatever the slot already holds
+//    (a Datagram's payload string keeps its capacity across laps — this is
+//    what keeps the steady-state ingest path allocation-free), then
+//    CommitPush() publishes it. The consumer mirrors with Front()/Pop().
+//  - head_ (consumer-owned) and tail_ (producer-owned) live on separate
+//    cache lines; each side keeps a cached copy of the other's index and
+//    only re-reads the shared atomic when the cache says full/empty, so an
+//    uncontended push or pop is one relaxed load + one release store.
+//
+// Memory ordering: CommitPush stores tail_ with release; Front loads it
+// with acquire. Everything the producer wrote before the commit — the slot
+// contents AND any relaxed-atomic side state (per-shard metric counters,
+// the worker's frontier timestamp) — is therefore visible to the consumer
+// after it observes the new tail. Pop stores head_ with release so the
+// producer's acquire re-read knows the slot is reusable. This pairing is
+// the happens-before edge the whole sharded engine leans on; see
+// DESIGN.md §11.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace vids::common {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2). The ring holds
+  /// at most `capacity` elements; slots are default-constructed up front.
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Producer: reserve the next slot for writing, or nullptr if the ring is
+  /// full. The returned slot retains its previous contents (reuse its
+  /// buffers instead of reassigning fresh ones). Call CommitPush() to
+  /// publish; until then the consumer cannot see the slot.
+  T* BeginPush() {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return nullptr;  // full
+    }
+    return &slots_[tail & mask_];
+  }
+
+  /// Producer: publish the slot handed out by the last BeginPush().
+  void CommitPush() {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  /// Consumer: peek the oldest element, or nullptr if the ring is empty.
+  /// The element stays valid until Pop().
+  T* Front() {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return nullptr;  // empty
+    }
+    return &slots_[head & mask_];
+  }
+
+  /// Consumer: release the slot returned by Front(). The element is NOT
+  /// destroyed — the producer will reuse it in place on a later lap.
+  void Pop() {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  /// Approximate occupancy; exact only from the producer or consumer thread.
+  size_t SizeApprox() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+
+  // Consumer-owned index + the producer's cached copy of it.
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) size_t head_cache_ = 0;   // producer-local
+  // Producer-owned index + the consumer's cached copy of it.
+  alignas(64) std::atomic<size_t> tail_{0};
+  alignas(64) size_t tail_cache_ = 0;   // consumer-local
+};
+
+}  // namespace vids::common

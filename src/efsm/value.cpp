@@ -1,8 +1,9 @@
 #include "efsm/value.h"
 
+#include <atomic>
 #include <deque>
+#include <mutex>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 
 namespace vids::efsm {
@@ -11,12 +12,30 @@ namespace {
 
 const Value kUnset{};
 
-// Append-only intern pool. A deque keeps the name storage stable so the
-// index map can key on views into it. Meyers singleton: safe to intern from
-// static initializers of other translation units.
+// Append-only intern pool, shared by every engine in the process (ArgKey
+// ids cross thread boundaries: a shard worker's hook events are decoded by
+// the sharded coordinator). Readers are lock-free: lookup probes an
+// open-addressing table of entry pointers published with release stores,
+// so the single-threaded per-packet path pays no lock. Writers (first
+// intern of a new name — cold, names are static spellings in code)
+// serialize on a mutex. A deque keeps entry addresses stable; slots are
+// never emptied, so a reader that hits nullptr has seen every entry
+// published before its probe began and falls through to the write path.
+// Meyers singleton: safe to intern from static initializers of other
+// translation units.
+constexpr size_t kMaxKeys = 4096;
+constexpr size_t kTableSize = 8192;  // power of two, 2x keys keeps probes short
+
+struct InternEntry {
+  std::string name;
+  uint16_t id;
+};
+
 struct ArgKeyPool {
-  std::deque<std::string> names;
-  std::unordered_map<std::string_view, uint16_t> index;
+  std::atomic<InternEntry*> slots[kTableSize] = {};
+  std::atomic<InternEntry*> by_id[kMaxKeys] = {};
+  std::mutex write_mu;
+  std::deque<InternEntry> storage;  // guarded by write_mu
 };
 
 ArgKeyPool& Pool() {
@@ -24,30 +43,55 @@ ArgKeyPool& Pool() {
   return pool;
 }
 
+size_t ProbeStart(std::string_view name) {
+  return std::hash<std::string_view>{}(name) & (kTableSize - 1);
+}
+
+InternEntry* FindPublished(ArgKeyPool& pool, std::string_view name,
+                           size_t& probe) {
+  probe = ProbeStart(name);
+  for (;;) {
+    InternEntry* entry = pool.slots[probe].load(std::memory_order_acquire);
+    if (entry == nullptr) return nullptr;
+    if (entry->name == name) return entry;
+    probe = (probe + 1) & (kTableSize - 1);
+  }
+}
+
 }  // namespace
 
 ArgKey ArgKey::Intern(std::string_view name) {
   ArgKeyPool& pool = Pool();
-  const auto it = pool.index.find(name);
-  if (it != pool.index.end()) return ArgKey(it->second);
-  if (pool.names.size() >= kInvalidId) {
+  size_t probe = 0;
+  if (const InternEntry* entry = FindPublished(pool, name, probe)) {
+    return ArgKey(entry->id);
+  }
+  std::lock_guard<std::mutex> lock(pool.write_mu);
+  // Re-probe under the lock: another thread may have interned `name`
+  // between the lock-free miss and lock acquisition.
+  if (const InternEntry* entry = FindPublished(pool, name, probe)) {
+    return ArgKey(entry->id);
+  }
+  if (pool.storage.size() >= kMaxKeys) {
     throw std::length_error("ArgKey: intern pool exhausted");
   }
-  const auto id = static_cast<uint16_t>(pool.names.size());
-  const std::string& stored = pool.names.emplace_back(name);
-  pool.index.emplace(std::string_view(stored), id);
+  const auto id = static_cast<uint16_t>(pool.storage.size());
+  InternEntry& stored = pool.storage.emplace_back(
+      InternEntry{std::string(name), id});
+  pool.by_id[id].store(&stored, std::memory_order_release);
+  pool.slots[probe].store(&stored, std::memory_order_release);
   return ArgKey(id);
 }
 
 std::string_view ArgKey::name() const {
   if (!valid()) return "<invalid>";
-  return Pool().names[id_];
+  return NameOfId(id_);
 }
 
 std::string_view ArgKey::NameOfId(uint16_t id) {
-  const ArgKeyPool& pool = Pool();
-  if (id >= pool.names.size()) return "<invalid>";
-  return pool.names[id];
+  if (id >= kMaxKeys) return "<invalid>";
+  const InternEntry* entry = Pool().by_id[id].load(std::memory_order_acquire);
+  return entry ? std::string_view(entry->name) : "<invalid>";
 }
 
 std::string ToString(const Value& value) {

@@ -31,9 +31,12 @@ using Value = std::variant<std::monostate, int64_t, double, std::string, bool>;
 std::string ToString(const Value& value);
 
 /// An interned identifier for an event-argument or state-variable name.
-/// Interning is append-only and process-wide; the pool is not synchronized
-/// (the simulator is single-threaded by design). Equality and lookup on a
-/// key are integer operations; `name()` recovers the original spelling.
+/// Interning is append-only and process-wide, and thread-safe: ids must
+/// agree across the sharded engine's worker threads (a shard's hook events
+/// are decoded by the coordinator). Lookup of an already-interned name is
+/// lock-free; only the first intern of a new spelling takes a mutex.
+/// Equality and lookup on a key are integer operations; `name()` recovers
+/// the original spelling.
 class ArgKey {
  public:
   /// The default-constructed key is invalid and compares unequal to every

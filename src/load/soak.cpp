@@ -1,6 +1,7 @@
 #include "load/soak.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "sip/message.h"
 #include "testbed/testbed.h"
 #include "vids/ids.h"
+#include "vids/sharded_ids.h"
 
 namespace vids::load {
 namespace {
@@ -126,6 +128,33 @@ SoakSample Snapshot(ids::Vids& vids, sim::Time when, uint64_t calls_started,
   s.alert_sigs = vids.alert_sig_count();
   s.alerts_retained = vids.alerts().size();
   s.alerts_total = vids.metrics().GetCounter("vids.alerts").value();
+  return s;
+}
+
+// Sharded-mode snapshot. Caller must have flushed the engine: shard state
+// is only coherent (and data-race-free) behind the Flush barrier.
+SoakSample Snapshot(ids::ShardedIds& engine, sim::Time when,
+                    uint64_t calls_started, uint64_t packets) {
+  SoakSample s;
+  s.when = when;
+  s.calls_started = calls_started;
+  s.packets_inspected = packets;
+  s.memory_bytes = engine.MemoryBytes();
+  for (int i = 0; i < engine.shards(); ++i) {
+    const auto& vids = engine.shard_vids(i);
+    const auto& fb = vids.fact_base();
+    s.calls += fb.call_count();
+    s.keyed += fb.keyed_count();
+    s.tombstones += fb.tombstone_count();
+    s.media_index += fb.media_index_count();
+    s.alert_sigs += vids.alert_sig_count();
+  }
+  // The coordinator replays the aggregate (flood/DRDoS) alerts itself;
+  // those never touch any shard's "vids.alerts" counter.
+  auto merged = engine.MergedMetrics();
+  s.alerts_total = merged.GetCounter("vids.alerts").value() +
+                   merged.GetCounter("sharded.coord_alerts").value();
+  s.alerts_retained = engine.alerts().size();
   return s;
 }
 
@@ -266,14 +295,20 @@ struct SoakDriver::Impl {
     sim::Duration spacing;
   };
 
-  Impl(SoakConfig cfg, sim::Scheduler& sch, ids::Vids& ids)
+  Impl(SoakConfig cfg, sim::Scheduler& sch, ids::Vids* ids,
+       ids::ShardedIds* sharded_ids)
       : config(std::move(cfg)),
         scheduler(sch),
         vids(ids),
+        sharded(sharded_ids),
         rng(config.seed, "soak") {}
 
   void Feed(const net::Datagram& dgram, bool from_outside) {
-    vids.Inspect(dgram, from_outside);
+    if (sharded != nullptr) {
+      sharded->Ingest(dgram, from_outside, scheduler.Now());
+    } else {
+      vids->Inspect(dgram, from_outside);
+    }
     ++packets;
   }
 
@@ -463,13 +498,21 @@ struct SoakDriver::Impl {
   }
 
   size_t TrackedState() const {
-    const auto& fb = vids.fact_base();
+    if (sharded != nullptr) return sharded->TrackedState();
+    const auto& fb = vids->fact_base();
     return fb.call_count() + fb.keyed_count() + fb.tombstone_count() +
            fb.media_index_count();
   }
 
   void TakeSample() {
-    samples.push_back(Snapshot(vids, scheduler.Now(), started, packets));
+    if (sharded != nullptr) {
+      // Barrier first: shard state may only be read once every in-flight
+      // packet is processed and the shard clocks have caught up to now.
+      sharded->Flush(scheduler.Now());
+      samples.push_back(Snapshot(*sharded, scheduler.Now(), started, packets));
+    } else {
+      samples.push_back(Snapshot(*vids, scheduler.Now(), started, packets));
+    }
   }
 
   void ArmSampler() {
@@ -483,7 +526,8 @@ struct SoakDriver::Impl {
 
   SoakConfig config;
   sim::Scheduler& scheduler;
-  ids::Vids& vids;
+  ids::Vids* vids;
+  ids::ShardedIds* sharded;
   common::Stream rng;
   uint64_t started = 0;
   uint64_t packets = 0;
@@ -494,9 +538,19 @@ struct SoakDriver::Impl {
 };
 
 SoakDriver::SoakDriver(SoakConfig config) {
-  vids_ = std::make_unique<ids::Vids>(scheduler_, config.detection);
-  vids_->set_max_retained_alerts(config.max_retained_alerts);
-  impl_ = std::make_unique<Impl>(std::move(config), scheduler_, *vids_);
+  if (config.shards > 0) {
+    ids::ShardedConfig sharded;
+    sharded.shards = config.shards;
+    sharded.ring_capacity = config.ring_capacity;
+    sharded.detection = config.detection;
+    sharded.max_retained_alerts = config.max_retained_alerts;
+    sharded_ = std::make_unique<ids::ShardedIds>(sharded);
+  } else {
+    vids_ = std::make_unique<ids::Vids>(scheduler_, config.detection);
+    vids_->set_max_retained_alerts(config.max_retained_alerts);
+  }
+  impl_ = std::make_unique<Impl>(std::move(config), scheduler_, vids_.get(),
+                                 sharded_.get());
 }
 
 SoakDriver::~SoakDriver() = default;
@@ -505,18 +559,29 @@ SoakReport SoakDriver::Run() {
   impl_->TakeSample();  // t=0 baseline
   impl_->ScheduleNextArrival();
   impl_->ArmSampler();
+  const auto wall_start = std::chrono::steady_clock::now();
   scheduler_.Run();     // drains arrivals, pause, teardowns and reclamation
+  if (sharded_) sharded_->Flush(scheduler_.Now());  // drain the pipeline too
+  const auto wall_end = std::chrono::steady_clock::now();
   impl_->TakeSample();  // post-drain
   SoakReport report;
   report.samples = impl_->samples;
   report.calls_started = impl_->started;
   report.packets_inspected = impl_->packets;
-  report.alerts_total = vids_->metrics().GetCounter("vids.alerts").value();
+  report.alerts_total = report.samples.back().alerts_total;
+  report.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       wall_end - wall_start)
+                       .count();
+  if (report.wall_ns > 0) {
+    report.packets_per_second = static_cast<double>(report.packets_inspected) *
+                                1e9 / static_cast<double>(report.wall_ns);
+  }
   report.findings =
       CheckPlateau(report.samples, impl_->config.max_retained_alerts);
   for (const PlateauFinding& f : report.findings) {
     report.bounded = report.bounded && f.bounded;
   }
+  if (sharded_) sharded_->Stop();
   return report;
 }
 

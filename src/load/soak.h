@@ -27,6 +27,7 @@
 
 namespace vids::ids {
 class Vids;
+class ShardedIds;
 }
 
 namespace vids::load {
@@ -66,6 +67,13 @@ struct SoakConfig {
   /// Cap handed to Vids::set_max_retained_alerts (0 = unlimited).
   size_t max_retained_alerts = 10'000;
   ids::DetectionConfig detection{};
+  /// 0 = classic single-threaded drive straight into Vids::Inspect().
+  /// N >= 1 routes the same workload through a ShardedIds with N worker
+  /// threads; samples then cover the summed shard state plus the
+  /// coordinator's router/replay maps.
+  int shards = 0;
+  /// Per-ring slot count for the sharded engine (ignored when shards == 0).
+  size_t ring_capacity = 1024;
 };
 
 /// One fixed-interval snapshot of everything that must stay bounded.
@@ -103,6 +111,12 @@ struct SoakReport {
   uint64_t alerts_total = 0;
   std::vector<PlateauFinding> findings;
   bool bounded = true;  // every finding bounded
+  /// Wall-clock nanoseconds spent driving the workload (scheduler start to
+  /// final pipeline drain) and the resulting ingest throughput. These are
+  /// real-time measurements, so they vary with the host; the simulated
+  /// samples above do not.
+  int64_t wall_ns = 0;
+  double packets_per_second = 0.0;
 
   /// Human-readable sample table + verdicts.
   std::string Summary() const;
@@ -118,23 +132,29 @@ std::vector<PlateauFinding> CheckPlateau(const std::vector<SoakSample>& samples,
                                          size_t max_retained_alerts = 0);
 
 /// Direct-drive soak: synthesizes the workload as datagrams fed straight
-/// into Vids::Inspect() on a private scheduler.
+/// into Vids::Inspect() on a private scheduler (config.shards == 0), or
+/// into a ShardedIds pipeline with worker threads (config.shards >= 1).
 class SoakDriver {
  public:
   explicit SoakDriver(SoakConfig config);
   ~SoakDriver();
 
   /// Runs the full workload to completion (arrivals, pause, drain) and
-  /// returns the sampled report.
+  /// returns the sampled report. In sharded mode the engine is flushed and
+  /// stopped before this returns.
   SoakReport Run();
 
+  /// The engine under test. vids() is only valid in classic mode
+  /// (config.shards == 0); sharded() is null there and set otherwise.
   ids::Vids& vids() { return *vids_; }
+  ids::ShardedIds* sharded() { return sharded_.get(); }
   sim::Scheduler& scheduler() { return scheduler_; }
 
  private:
   struct Impl;
   sim::Scheduler scheduler_;
   std::unique_ptr<ids::Vids> vids_;
+  std::unique_ptr<ids::ShardedIds> sharded_;
   std::unique_ptr<Impl> impl_;
 };
 

@@ -39,6 +39,32 @@ int64_t Histogram::Quantile(double q) const {
   return max_;
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    GetCounter(name).Inc(counter.value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    GetGauge(name).Add(gauge.value());
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    GetHistogram(name).MergeFrom(histogram);
+  }
+}
+
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;

@@ -14,11 +14,22 @@
 // writes into a shared dummy slot, so the hot path carries no branch.
 //
 // Exporters: ToJson() (machine-readable snapshot, deterministic key order)
-// and ToPrometheus() (text exposition format). Not thread-safe by design:
-// the discrete-event simulator is single-threaded.
+// and ToPrometheus() (text exposition format).
+//
+// Threading model (sharded engine): every registry has exactly ONE writer
+// thread — each shard worker owns its Vids' registry, the coordinator owns
+// the merged one. Counter/Gauge slots are relaxed atomics under a
+// single-writer discipline (the update is a plain load+add+store, which
+// compiles to the same unlocked add as the old uint64_t += — the
+// single-threaded path pays nothing) so a reader thread that has
+// synchronized with the writer through a ring-buffer release/acquire edge
+// can read them without a data race. Histograms stay plain: they are only
+// read at quiescent points (post-Flush), where the same happens-before edge
+// covers them.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -37,25 +48,53 @@ inline int64_t MonotonicNanos() {
       .count();
 }
 
-/// A monotonically increasing event count.
+/// A monotonically increasing event count. Single-writer relaxed atomic:
+/// Inc is a plain unlocked add (not fetch_add — there is never a second
+/// writer to race with), value() is safe from any thread that established
+/// happens-before with the writer.
 class Counter {
  public:
-  void Inc(uint64_t n = 1) { value_ += n; }
-  uint64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Inc(uint64_t n = 1) {
+    value_.store(value_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
-/// A point-in-time level (queue depth, live group count).
+/// A point-in-time level (queue depth, live group count). Same
+/// single-writer relaxed-atomic discipline as Counter.
 class Gauge {
  public:
-  void Set(int64_t v) { value_ = v; }
-  void Add(int64_t d) { value_ += d; }
-  int64_t value() const { return value_; }
+  Gauge() = default;
+  Gauge(const Gauge& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  Gauge& operator=(const Gauge& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) {
+    value_.store(value_.load(std::memory_order_relaxed) + d,
+                 std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Fixed-bucket log2 histogram: value v lands in bucket bit_width(v), so
@@ -88,6 +127,10 @@ class Histogram {
   /// Upper bound of the bucket holding the q-quantile (0 <= q <= 1), clamped
   /// to the observed [min, max]. Returns 0 when empty.
   int64_t Quantile(double q) const;
+
+  /// Folds `other` into this histogram (bucket-wise sum; min/max widen).
+  /// Used by the sharded engine's post-Flush metric merge.
+  void MergeFrom(const Histogram& other);
 
   static size_t BucketOf(int64_t v) {
     if (v <= 0) return 0;
@@ -146,6 +189,12 @@ class MetricsRegistry {
 
   /// Prometheus text exposition format ('.' and '-' become '_').
   std::string ToPrometheus() const;
+
+  /// Folds every metric of `other` into this registry: counters and gauges
+  /// add their values, histograms merge bucket-wise. Slots missing here are
+  /// registered. The sharded engine rebuilds its merged snapshot by merging
+  /// each quiescent shard registry into a fresh one.
+  void MergeFrom(const MetricsRegistry& other);
 
   size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();

@@ -280,6 +280,23 @@ void CallStateFactBase::IndexMedia(const net::Endpoint& endpoint,
   m_media_index_->Set(static_cast<int64_t>(media_index_.size()));
 }
 
+void CallStateFactBase::RetractMedia(const net::Endpoint& endpoint) {
+  const uint64_t key = endpoint.PackedKey();
+  const auto it = media_index_.find(key);
+  if (it == media_index_.end()) return;
+  if (it->second.group != nullptr) {
+    obs::Record rec;
+    rec.type = obs::RecordType::kFactRetract;
+    rec.when_ns = scheduler_.Now().nanos();
+    rec.aux = FactAux::kMediaRetracted | key;
+    it->second.group->flight_recorder().Record(rec);
+  }
+  // The owning call's reverse media_keys entry stays; Sweep's ownership
+  // check tolerates keys that no longer resolve to this call.
+  media_index_.erase(it);
+  m_media_index_->Set(static_cast<int64_t>(media_index_.size()));
+}
+
 std::optional<std::string> CallStateFactBase::CallByMedia(
     const net::Endpoint& endpoint) const {
   const auto it = media_index_.find(endpoint.PackedKey());

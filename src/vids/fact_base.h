@@ -91,6 +91,11 @@ class CallStateFactBase {
 
   /// Media-endpoint index: negotiated RTP destinations → owning call.
   void IndexMedia(const net::Endpoint& endpoint, const std::string& call_id);
+  /// Drops the endpoint's index entry, stamping a retraction record into the
+  /// owning call's flight log. Used by the sharded engine when an SDP
+  /// re-negotiation moves the endpoint to a call owned by a different shard
+  /// — this shard must stop claiming the media stream. No-op when unknown.
+  void RetractMedia(const net::Endpoint& endpoint);
   std::optional<std::string> CallByMedia(const net::Endpoint& endpoint) const;
   /// Zero-copy variant: the indexed call's group, or nullptr when the
   /// endpoint is unknown or its call no longer exists.

@@ -59,7 +59,9 @@ sim::Duration Vids::Inspect(const net::Datagram& dgram, bool from_outside) {
                      .machine = "classifier",
                      .group = dgram.dst.ToString(),
                      .state = "",
-                     .detail = "from " + dgram.src.ToString()});
+                     .detail = "from " + dgram.src.ToString(),
+                     .trigger = "",
+                     .provenance = {}});
     return cost_.rtp_cost;  // rejecting junk is cheap
   }
   if (packet->proto == PacketProto::kSip) {
@@ -97,7 +99,9 @@ void Vids::HandleSip(const ClassifiedPacket& packet) {
                      .machine = "classifier",
                      .group = "",
                      .state = "",
-                     .detail = ""});
+                     .detail = "",
+                     .trigger = "",
+                     .provenance = {}});
     return;
   }
   if (fact_base_.IsTombstoned(packet.call_key)) {
@@ -113,12 +117,19 @@ void Vids::HandleSip(const ClassifiedPacket& packet) {
   const std::string* kind = packet.event.ArgStr(argkey::kKind);
   const bool is_response = kind != nullptr && *kind == "response";
   if (created && is_response) {
-    auto& drdos_group = fact_base_.GetOrCreateDrdosGroup(packet.dst.ip);
-    efsm::Event unsolicited;
-    unsolicited.name = std::string(kUnsolicitedEvent);
-    unsolicited.args = packet.event.args;
-    if (auto* machine = drdos_group.Find("drdos")) {
-      drdos_group.DeliverData(*machine, unsolicited);
+    if (aggregate_hook_) {
+      // Sharded deployment: the victim-keyed count spans shards, so the
+      // event goes up to the coordinator's window counter instead.
+      aggregate_hook_(AggregateKind::kUnsolicitedResponse, std::string_view(),
+                      packet);
+    } else {
+      auto& drdos_group = fact_base_.GetOrCreateDrdosGroup(packet.dst.ip);
+      efsm::Event unsolicited;
+      unsolicited.name = std::string(kUnsolicitedEvent);
+      unsolicited.args = packet.event.args;
+      if (auto* machine = drdos_group.Find("drdos")) {
+        drdos_group.DeliverData(*machine, unsolicited);
+      }
     }
   }
 
@@ -136,9 +147,14 @@ void Vids::HandleSip(const ClassifiedPacket& packet) {
   if (!is_response && !packet.dest_key.empty()) {
     const std::string* method = packet.event.ArgStr(argkey::kMethod);
     if (method != nullptr && *method == "INVITE") {
-      auto& flood_group = fact_base_.GetOrCreateInviteFlood(packet.dest_key);
-      if (auto* machine = flood_group.Find("invite-flood")) {
-        flood_group.DeliverData(*machine, packet.event);
+      if (aggregate_hook_) {
+        aggregate_hook_(AggregateKind::kInviteRequest, packet.dest_key,
+                        packet);
+      } else {
+        auto& flood_group = fact_base_.GetOrCreateInviteFlood(packet.dest_key);
+        if (auto* machine = flood_group.Find("invite-flood")) {
+          flood_group.DeliverData(*machine, packet.event);
+        }
       }
     }
   }

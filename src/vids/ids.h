@@ -131,6 +131,26 @@ class Vids : public efsm::Observer {
     transition_trace_ = std::move(trace);
   }
 
+  /// Cross-call aggregate feeds (the two detectors whose counting key spans
+  /// calls and therefore spans shards in the sharded engine).
+  enum class AggregateKind : uint8_t {
+    kUnsolicitedResponse,  // DRDoS reflection, keyed by victim (dst) IP
+    kInviteRequest,        // INVITE flood, keyed by destination AOR
+  };
+  /// When an aggregate hook is installed the DRDoS and INVITE-flood window
+  /// counters are NOT fed locally; the hook receives every event that would
+  /// have fed them instead (key = dest AOR for kInviteRequest, empty for
+  /// kUnsolicitedResponse — the victim IP is packet.dst.ip). ShardedIds
+  /// installs one on every shard and replays the events into coordinator-
+  /// side window counters, so the aggregate detectors see the global event
+  /// stream regardless of how calls are partitioned. All other detection
+  /// (per-call, per-media-endpoint) is untouched.
+  using AggregateHook = std::function<void(
+      AggregateKind, std::string_view key, const ClassifiedPacket& packet)>;
+  void set_aggregate_hook(AggregateHook hook) {
+    aggregate_hook_ = std::move(hook);
+  }
+
   Stats stats() const;
   CallStateFactBase& fact_base() { return fact_base_; }
   const CallStateFactBase& fact_base() const { return fact_base_; }
@@ -211,6 +231,7 @@ class Vids : public efsm::Observer {
   size_t max_retained_alerts_ = 0;  // 0 = keep everything
   std::function<void(const Alert&)> alert_callback_;
   TransitionTrace transition_trace_;
+  AggregateHook aggregate_hook_;
   /// Dedup: last alert time per (group, machine, classification). Bounded:
   /// PruneAlertSigs (driven by the fact-base sweep) expires stale entries
   /// and evicts those of reclaimed groups.

@@ -1,0 +1,613 @@
+#include "vids/sharded_ids.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "rtp/rtcp.h"
+#include "vids/classifier.h"
+#include "vids/patterns.h"
+
+namespace vids::ids {
+
+namespace {
+
+// Call-ID → shard. FNV-1a over the raw bytes: Call-IDs are adversarial
+// input, but the partition only needs balance, not collision resistance —
+// a skewed shard is a throughput problem, never a correctness one.
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Endpoint key → shard. PackedKey is structured (ip << 16 | port), so mix
+// it before taking the residue.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Field-wise copy that reuses the destination's string capacities — the
+// ring-slot analog of the classifier's AssignStr.
+void AssignAlert(Alert& dst, const Alert& src) {
+  dst.when = src.when;
+  dst.kind = src.kind;
+  dst.classification.assign(src.classification);
+  dst.machine.assign(src.machine);
+  dst.group.assign(src.group);
+  dst.state.assign(src.state);
+  dst.detail.assign(src.detail);
+  dst.trigger.assign(src.trigger);
+  dst.provenance.resize(src.provenance.size());
+  for (size_t i = 0; i < src.provenance.size(); ++i) {
+    dst.provenance[i].assign(src.provenance[i]);
+  }
+}
+
+// How long a worker spins on an empty ring before backing off to a short
+// sleep (keeps an idle engine off 100% CPU without adding visible latency).
+constexpr int kIdleSpins = 256;
+
+}  // namespace
+
+ShardedIds::ShardedIds(ShardedConfig config)
+    : config_(config),
+      m_ingest_stalls_(&coord_metrics_.GetCounter("sharded.ingest_stalls")),
+      m_retracts_(&coord_metrics_.GetCounter("sharded.ownership_transfers")),
+      m_agg_events_(&coord_metrics_.GetCounter("sharded.agg_events")),
+      m_coord_alerts_(&coord_metrics_.GetCounter("sharded.coord_alerts")),
+      m_coord_suppressed_(
+          &coord_metrics_.GetCounter("sharded.coord_alerts_suppressed")),
+      m_sip_routed_(&coord_metrics_.GetCounter("sharded.sip_routed")),
+      m_rtp_owner_routed_(
+          &coord_metrics_.GetCounter("sharded.endpoint_owner_routed")),
+      m_rtp_hash_routed_(
+          &coord_metrics_.GetCounter("sharded.endpoint_hash_routed")),
+      m_flushes_(&coord_metrics_.GetCounter("sharded.flushes")) {
+  config_.shards = std::max(1, config_.shards);
+  const int n = config_.shards;
+  pending_.resize(static_cast<size_t>(n));
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>(config_.ring_capacity);
+    shard->scheduler = std::make_unique<sim::Scheduler>();
+    shard->vids = std::make_unique<Vids>(*shard->scheduler, config_.detection,
+                                         config_.cost);
+    // The coordinator keeps the merged history; the shard only needs enough
+    // retained tail for its own internal bookkeeping.
+    shard->vids->set_max_retained_alerts(4);
+    Shard* sp = shard.get();
+    shard->vids->set_alert_callback([this, sp](const Alert& alert) {
+      PushUp(*sp, [&](UpMsg& up) {
+        up.kind = UpMsg::Kind::kAlert;
+        up.when_ns = alert.when.nanos();
+        AssignAlert(up.alert, alert);
+      });
+    });
+    // Always hook the aggregate feeds — even with one shard — so flood and
+    // DRDoS detection take the identical (replayed) code path for every
+    // shard count. Equivalence across N is then true by construction.
+    shard->vids->set_aggregate_hook(
+        [this, sp](Vids::AggregateKind kind, std::string_view key,
+                   const ClassifiedPacket& packet) {
+          const std::string* src = packet.event.ArgStr(argkey::kSrcIp);
+          const std::string* dst = packet.event.ArgStr(argkey::kDstIp);
+          PushUp(*sp, [&](UpMsg& up) {
+            up.kind = UpMsg::Kind::kAgg;
+            up.when_ns = sp->scheduler->Now().nanos();
+            up.agg = kind;
+            if (kind == Vids::AggregateKind::kInviteRequest) {
+              up.key.assign(key);
+            } else {
+              // DRDoS is keyed by the victim (destination) host.
+              up.key.assign(dst != nullptr ? std::string_view(*dst)
+                                           : std::string_view());
+            }
+            up.src_ip.assign(src != nullptr ? std::string_view(*src)
+                                            : std::string_view());
+            up.dst_ip.assign(dst != nullptr ? std::string_view(*dst)
+                                            : std::string_view());
+          });
+        });
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* sp = shard.get();
+    sp->thread = std::thread([this, sp] { WorkerLoop(*sp); });
+  }
+}
+
+ShardedIds::~ShardedIds() { Stop(); }
+
+// ------------------------------------------------------------- worker side
+
+template <typename Fill>
+void ShardedIds::PushUp(Shard& shard, Fill&& fill) {
+  UpMsg* slot = shard.up.BeginPush();
+  while (slot == nullptr) {
+    // The coordinator drains up-rings whenever it waits on a full
+    // down-ring, so this cannot deadlock against a blocked producer.
+    ++shard.up_stalls;
+    std::this_thread::yield();
+    slot = shard.up.BeginPush();
+  }
+  fill(*slot);
+  shard.up.CommitPush();
+}
+
+void ShardedIds::WorkerLoop(Shard& shard) {
+  net::Datagram scratch;
+  int idle = 0;
+  for (;;) {
+    ShardMsg* msg = shard.down.Front();
+    if (msg == nullptr) {
+      if (++idle >= kIdleSpins) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      } else {
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    idle = 0;
+    const int64_t when_ns = msg->when_ns;
+    const sim::Time when = sim::Time::FromNanos(when_ns);
+    switch (msg->kind) {
+      case ShardMsg::Kind::kPacket: {
+        const bool from_outside = msg->from_outside;
+        scratch.src = msg->dgram.src;
+        scratch.dst = msg->dgram.dst;
+        scratch.kind = msg->dgram.kind;
+        scratch.padding_bytes = msg->dgram.padding_bytes;
+        scratch.sent_time = msg->dgram.sent_time;
+        scratch.id = msg->dgram.id;
+        // Swap, don't copy: the slot inherits the scratch's warm buffer for
+        // the producer's next assign — steady state moves zero heap.
+        scratch.payload.swap(msg->dgram.payload);
+        shard.down.Pop();
+        // Advance this shard's private clock so detection timers (flood
+        // windows, RTCP grace, sweeps) fire exactly as in the single
+        // engine: all events <= `when` run before the packet is inspected,
+        // matching the scheduler's timer-before-same-time-packet order.
+        if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
+        shard.vids->Inspect(scratch, from_outside);
+        break;
+      }
+      case ShardMsg::Kind::kRetractMedia: {
+        const net::Endpoint endpoint = msg->endpoint;
+        shard.down.Pop();
+        if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
+        shard.vids->fact_base().RetractMedia(endpoint);
+        break;
+      }
+      case ShardMsg::Kind::kFlush: {
+        const uint64_t token = msg->token;
+        shard.down.Pop();
+        if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
+        PushUp(shard, [&](UpMsg& up) {
+          up.kind = UpMsg::Kind::kFlushAck;
+          up.when_ns = when_ns;
+          up.token = token;
+        });
+        break;
+      }
+      case ShardMsg::Kind::kStop:
+        shard.down.Pop();
+        return;
+    }
+    // Publish the frontier *after* every upstream message for this time is
+    // in the ring: an acquire read of processed_ns therefore covers them.
+    shard.processed_ns.store(when_ns, std::memory_order_release);
+  }
+}
+
+// ---------------------------------------------------------------- routing
+
+template <typename Fill>
+void ShardedIds::PushDown(int shard_index, Fill&& fill) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_index)];
+  ShardMsg* slot = shard.down.BeginPush();
+  while (slot == nullptr) {
+    // Backpressure, not loss. Keep draining the up-rings while waiting so a
+    // worker blocked pushing alerts upstream can make progress — this pair
+    // of rules is what makes the ring cycle deadlock-free.
+    m_ingest_stalls_->Inc();
+    DrainUp();
+    std::this_thread::yield();
+    slot = shard.down.BeginPush();
+  }
+  fill(*slot);
+  shard.down.CommitPush();
+}
+
+int ShardedIds::ShardOfCallId(std::string_view call_id) const {
+  return static_cast<int>(Fnv1a(call_id) % shards_.size());
+}
+
+int ShardedIds::RouteEndpoint(const net::Endpoint& endpoint, int64_t when_ns) {
+  const auto it = media_owner_.find(endpoint.PackedKey());
+  if (it != media_owner_.end()) {
+    it->second.last_seen_ns = when_ns;  // refresh: live streams never expire
+    m_rtp_owner_routed_->Inc();
+    return it->second.shard;
+  }
+  m_rtp_hash_routed_->Inc();
+  return static_cast<int>(SplitMix64(endpoint.PackedKey()) % shards_.size());
+}
+
+void ShardedIds::SnoopSdp(std::string_view body, int shard, int64_t when_ns) {
+  // Line scan for "c=... <ip>" / "m=audio <port>". This mirrors what the
+  // shard-side classifier will extract; the router only needs the endpoint
+  // → shard binding, not a full SDP model.
+  std::optional<net::IpAddress> ip;
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    const size_t eol = body.find('\n', pos);
+    std::string_view line =
+        body.substr(pos, (eol == std::string_view::npos ? body.size() : eol) -
+                             pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.size() > 2 && line[0] == 'c' && line[1] == '=') {
+      // "c=IN IP4 10.0.0.1" — the address is the last token.
+      const size_t sp = line.rfind(' ');
+      if (sp != std::string_view::npos) {
+        ip = net::IpAddress::Parse(line.substr(sp + 1));
+      }
+    } else if (line.rfind("m=audio ", 0) == 0) {
+      uint32_t port = 0;
+      for (size_t i = 8; i < line.size() && line[i] >= '0' && line[i] <= '9';
+           ++i) {
+        port = port * 10 + static_cast<uint32_t>(line[i] - '0');
+        if (port > 65535) break;
+      }
+      if (ip.has_value() && port > 0 && port <= 65535) {
+        const net::Endpoint endpoint{*ip, static_cast<uint16_t>(port)};
+        auto [it, inserted] = media_owner_.try_emplace(endpoint.PackedKey());
+        if (!inserted && it->second.shard != shard) {
+          // Re-negotiation moved the endpoint to a call on another shard:
+          // tell the old owner to drop its media-index claim. The message
+          // rides the ring, so it lands behind every packet already routed
+          // there — FIFO keeps the handover ordered.
+          m_retracts_->Inc();
+          PushDown(it->second.shard, [&](ShardMsg& msg) {
+            msg.kind = ShardMsg::Kind::kRetractMedia;
+            msg.when_ns = when_ns;
+            msg.endpoint = endpoint;
+          });
+        }
+        it->second.shard = shard;
+        it->second.last_seen_ns = when_ns;
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+}
+
+void ShardedIds::Ingest(const net::Datagram& dgram, bool from_outside,
+                        sim::Time when) {
+  if (workers_joined_) return;  // stopped engines drop quietly
+  const int64_t when_ns = when.nanos();
+  last_ingest_ns_ = std::max(last_ingest_ns_, when_ns);
+
+  // Replicate the classifier's dispatch order (classifier.cpp) so the
+  // router and the shard-side classifier agree on what a packet is:
+  // RTCP sniff first, then the hint-ordered SIP attempt, then endpoint
+  // routing for RTP and everything else. The kSip-vs-content check is
+  // byte-accurate (the same lazy parser); the kRtp hint is trusted — a
+  // payload labeled RTP never reaches the SIP router, which is exactly the
+  // classifier's behavior for parseable RTP.
+  int target;
+  if (rtp::LooksLikeRtcp(dgram.payload) && dgram.dst.port >= 1) {
+    // Fold RTCP onto its media endpoint (port − 1) so the control and media
+    // halves of one stream meet on one shard, as in Vids::HandleRtcp.
+    const net::Endpoint media{dgram.dst.ip,
+                              static_cast<uint16_t>(dgram.dst.port - 1)};
+    target = RouteEndpoint(media, when_ns);
+  } else if (dgram.kind != net::PayloadKind::kRtp &&
+             router_lazy_.Index(dgram.payload)) {
+    const auto call_id = router_lazy_.CallId();
+    target = ShardOfCallId(call_id.value_or(std::string_view()));
+    m_sip_routed_->Inc();
+    if (call_id.has_value() && !router_lazy_.body().empty()) {
+      SnoopSdp(router_lazy_.body(), target, when_ns);
+    }
+  } else {
+    target = RouteEndpoint(dgram.dst, when_ns);
+  }
+
+  PushDown(target, [&](ShardMsg& msg) {
+    msg.kind = ShardMsg::Kind::kPacket;
+    msg.when_ns = when_ns;
+    msg.from_outside = from_outside;
+    msg.dgram.src = dgram.src;
+    msg.dgram.dst = dgram.dst;
+    msg.dgram.kind = dgram.kind;
+    msg.dgram.padding_bytes = dgram.padding_bytes;
+    msg.dgram.sent_time = dgram.sent_time;
+    msg.dgram.id = dgram.id;
+    msg.dgram.payload.assign(dgram.payload);  // reuses the slot's capacity
+  });
+
+  // Opportunistic upstream drain so alerts surface and the aggregate
+  // replay keeps pace without the driver having to call Pump().
+  if ((++ingest_count_ & 31U) == 0) DrainUp();
+}
+
+// ------------------------------------------------------------ coordinator
+
+void ShardedIds::Pump() { DrainUp(); }
+
+void ShardedIds::DrainUp() {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    while (UpMsg* msg = shard.up.Front()) {
+      switch (msg->kind) {
+        case UpMsg::Kind::kAlert: {
+          Alert alert = msg->alert;
+          shard.up.Pop();
+          EmitAlert(std::move(alert));
+          break;
+        }
+        case UpMsg::Kind::kAgg: {
+          m_agg_events_->Inc();
+          AggEvent event;
+          event.when_ns = msg->when_ns;
+          event.kind = msg->agg;
+          event.key = msg->key;
+          event.src_ip = msg->src_ip;
+          event.dst_ip = msg->dst_ip;
+          shard.up.Pop();
+          pending_[i].push_back(std::move(event));
+          break;
+        }
+        case UpMsg::Kind::kFlushAck: {
+          const uint64_t token = msg->token;
+          shard.up.Pop();
+          if (token == flush_token_) ++flush_acks_;
+          break;
+        }
+      }
+    }
+  }
+  ReplayAggregates(/*force_all=*/false);
+}
+
+void ShardedIds::ReplayAggregates(bool force_all) {
+  // Safe-replay frontier: every shard has fully processed all its packets
+  // up to min(processed_ns), and (release/acquire through the rings) every
+  // aggregate event at or before it is already in pending_. Events beyond
+  // the frontier wait — a slow shard may still emit an earlier one.
+  int64_t frontier = INT64_MAX;
+  if (!force_all) {
+    for (const auto& shard : shards_) {
+      frontier = std::min(frontier,
+                          shard->processed_ns.load(std::memory_order_acquire));
+    }
+  }
+  // K-way merge by event time. Ties across shards are replayed in shard
+  // order; the window counters are order-insensitive within one instant
+  // (counts and alert times depend only on the multiset of event times).
+  for (;;) {
+    int best = -1;
+    int64_t best_t = INT64_MAX;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].empty()) continue;
+      const int64_t t = pending_[i].front().when_ns;
+      if (t <= frontier && t < best_t) {
+        best_t = t;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    AggEvent event = std::move(pending_[static_cast<size_t>(best)].front());
+    pending_[static_cast<size_t>(best)].pop_front();
+    ReplayOne(event);
+  }
+}
+
+void ShardedIds::ReplayOne(const AggEvent& event) {
+  // Exact replay of patterns.cpp BuildWindowCounter + the Vids alert dedup:
+  //  - first event arms T1 (deadline) and sets count = 1;
+  //  - the timer is NOT restarted by further events; at expiry the counter
+  //    resets (lazily: a scheduler timer at `deadline` fires before a
+  //    packet at the same instant, hence the >= check);
+  //  - count > threshold is the attack state; every further event re-enters
+  //    it, deduplicated within alert_dedup_window.
+  const bool invite = event.kind == Vids::AggregateKind::kInviteRequest;
+  auto& windows = invite ? invite_windows_ : drdos_windows_;
+  const int64_t threshold = invite ? config_.detection.invite_flood_threshold
+                                   : config_.detection.drdos_threshold;
+  const int64_t window_ns = (invite ? config_.detection.invite_flood_window
+                                    : config_.detection.drdos_window)
+                                .nanos();
+  const int64_t t = event.when_ns;
+  WinState& w = windows.try_emplace(event.key).first->second;
+  w.last_event_ns = t;
+  if (w.armed && t >= w.deadline_ns) {
+    w.armed = false;
+    w.count = 0;
+  }
+  if (!w.armed) {
+    w.armed = true;
+    w.count = 1;
+    w.deadline_ns = t + window_ns;
+    return;
+  }
+  ++w.count;
+  if (w.count <= threshold) return;  // "within threshold N"
+
+  // Attack state (entry or self-loop).
+  const int64_t dedup_ns = config_.detection.alert_dedup_window.nanos();
+  if (w.alerted_once && t - w.last_alert_ns < dedup_ns) {
+    m_coord_suppressed_->Inc();
+    return;
+  }
+  w.alerted_once = true;
+  w.last_alert_ns = t;
+  m_coord_alerts_->Inc();
+
+  Alert alert;
+  alert.when = sim::Time::FromNanos(t);
+  alert.kind = AlertKind::kAttackPattern;
+  alert.classification =
+      std::string(invite ? kAttackInviteFlood : kAttackDrdos);
+  alert.machine = invite ? "invite-flood" : "drdos";
+  alert.group = (invite ? "flood|" : "drdos|") + event.key;
+  alert.state = alert.classification;
+  alert.detail =
+      "src=" + (event.src_ip.empty() ? std::string("?") : event.src_ip) +
+      " dst=" + (event.dst_ip.empty() ? std::string("?") : event.dst_ip);
+  alert.trigger = alert.machine +
+                  ": aggregate window counter surged beyond threshold N "
+                  "within T1 (coordinator replay)";
+  EmitAlert(std::move(alert));
+}
+
+void ShardedIds::EmitAlert(Alert alert) {
+  if (alert_callback_) alert_callback_(alert);
+  alerts_.push_back(std::move(alert));
+  if (config_.max_retained_alerts != 0 &&
+      alerts_.size() > config_.max_retained_alerts) {
+    alerts_.erase(alerts_.begin(),
+                  alerts_.begin() +
+                      static_cast<ptrdiff_t>(alerts_.size() / 2));
+  }
+}
+
+void ShardedIds::Flush(sim::Time now) {
+  if (workers_joined_) {
+    ReplayAggregates(/*force_all=*/true);
+    return;
+  }
+  m_flushes_->Inc();
+  const int64_t now_ns = std::max(now.nanos(), last_ingest_ns_);
+  ++flush_token_;
+  flush_acks_ = 0;
+  for (int i = 0; i < shards(); ++i) {
+    PushDown(i, [&](ShardMsg& msg) {
+      msg.kind = ShardMsg::Kind::kFlush;
+      msg.when_ns = now_ns;
+      msg.token = flush_token_;
+    });
+  }
+  while (flush_acks_ < shards_.size()) {
+    DrainUp();
+    if (flush_acks_ < shards_.size()) std::this_thread::yield();
+  }
+  // Every shard acked: frontiers are at now_ns, all aggregate events up to
+  // it are pending (or already replayed) — finish the replay and prune.
+  DrainUp();
+  PruneCoordinator(now_ns);
+}
+
+void ShardedIds::PruneCoordinator(int64_t now_ns) {
+  // A media-owner entry is refreshed by every RTP hit, so idleness past the
+  // shard-side state horizon (tombstone TTL + keyed idle timeout) means no
+  // shard still holds state for the endpoint; routing can safely fall back
+  // to the hash. (Streams with longer in-stream gaps would re-route — the
+  // keyed group they'd rejoin was reclaimed at the 30 s idle timeout
+  // anyway, so the fresh-count behavior matches the single engine.)
+  const int64_t owner_horizon_ns =
+      (config_.detection.tombstone_ttl + config_.detection.keyed_idle_timeout)
+          .nanos();
+  std::erase_if(media_owner_, [&](const auto& kv) {
+    return now_ns - kv.second.last_seen_ns > owner_horizon_ns;
+  });
+
+  const int64_t dedup_ns = config_.detection.alert_dedup_window.nanos();
+  const int64_t idle_ns = config_.detection.keyed_idle_timeout.nanos();
+  const auto prune_windows = [&](StringKeyed<WinState>& windows) {
+    std::erase_if(windows, [&](const auto& kv) {
+      const WinState& w = kv.second;
+      // Dropping a WinState is equivalent to the timer having fired and the
+      // dedup signature having been evicted — only safe once both are past.
+      const bool window_over = !w.armed || now_ns >= w.deadline_ns;
+      const bool dedup_over =
+          !w.alerted_once || now_ns - w.last_alert_ns >= dedup_ns;
+      return window_over && dedup_over && now_ns - w.last_event_ns > idle_ns;
+    });
+  };
+  prune_windows(invite_windows_);
+  prune_windows(drdos_windows_);
+}
+
+void ShardedIds::Stop() {
+  if (workers_joined_) return;
+  for (int i = 0; i < shards(); ++i) {
+    PushDown(i, [](ShardMsg& msg) { msg.kind = ShardMsg::Kind::kStop; });
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  workers_joined_ = true;
+  // Workers are gone; ring contents are final. Drain and replay everything.
+  DrainUp();
+  ReplayAggregates(/*force_all=*/true);
+}
+
+// ------------------------------------------------------------- inspection
+
+size_t ShardedIds::CountAlerts(AlertKind kind) const {
+  size_t count = 0;
+  for (const auto& alert : alerts_) {
+    if (alert.kind == kind) ++count;
+  }
+  return count;
+}
+
+size_t ShardedIds::CountAlerts(std::string_view classification) const {
+  size_t count = 0;
+  for (const auto& alert : alerts_) {
+    if (alert.classification == classification) ++count;
+  }
+  return count;
+}
+
+obs::MetricsRegistry ShardedIds::MergedMetrics() const {
+  obs::MetricsRegistry merged;
+  merged.MergeFrom(coord_metrics_);
+  uint64_t up_stalls = 0;
+  for (const auto& shard : shards_) {
+    merged.MergeFrom(shard->vids->metrics());
+    up_stalls += shard->up_stalls;
+  }
+  merged.GetCounter("sharded.worker_stalls").Inc(up_stalls);
+  merged.GetGauge("sharded.shards").Set(shards());
+  return merged;
+}
+
+size_t ShardedIds::TrackedState() const {
+  size_t total =
+      media_owner_.size() + invite_windows_.size() + drdos_windows_.size();
+  for (const auto& shard : shards_) {
+    const CallStateFactBase& fb = shard->vids->fact_base();
+    total += fb.call_count() + fb.keyed_count() + fb.tombstone_count() +
+             fb.media_index_count();
+  }
+  return total;
+}
+
+size_t ShardedIds::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& shard : shards_) {
+    bytes += shard->vids->fact_base().MemoryBytes();
+    bytes += (shard->down.capacity() * sizeof(ShardMsg) +
+              shard->up.capacity() * sizeof(UpMsg));
+  }
+  bytes += media_owner_.size() * (sizeof(uint64_t) + sizeof(OwnerEntry));
+  for (const auto* windows : {&invite_windows_, &drdos_windows_}) {
+    for (const auto& [key, w] : *windows) {
+      bytes += key.capacity() + sizeof(WinState);
+    }
+  }
+  for (const auto& queue : pending_) bytes += queue.size() * sizeof(AggEvent);
+  return bytes;
+}
+
+}  // namespace vids::ids

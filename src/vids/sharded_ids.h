@@ -1,0 +1,278 @@
+// Sharded multi-worker vIDS engine.
+//
+// The paper's vIDS keeps its state strictly per call (one EFSM group per
+// Call-ID) and per key (media endpoint, destination AOR, victim host) —
+// there is no cross-call coupling in the fact base itself. That makes the
+// engine horizontally partitionable: ShardedIds runs N complete, private
+// `Vids` instances ("shards"), one worker thread each, and a router on the
+// ingest thread that hash-partitions traffic so every piece of keyed state
+// is only ever touched by one thread:
+//
+//   SIP            → FNV-1a(Call-ID) mod N. All packets of a dialog land on
+//                    one shard, so call groups, tombstones and the per-call
+//                    patterns behave exactly as in the single engine.
+//   RTP            → media-endpoint owner map (maintained by an SDP snoop
+//                    on the routed SIP traffic: the endpoint belongs to the
+//                    shard of the call that negotiated it), falling back to
+//                    a hash of the destination endpoint for unnegotiated
+//                    media. Either way one endpoint → one shard, so the
+//                    per-endpoint pattern groups (RTP flood, media spam,
+//                    RTCP BYE) count a coherent stream.
+//   RTCP           → folded onto its media endpoint (port − 1) and routed
+//                    like RTP, so the ghost-media machine sees both halves.
+//   anything else  → hash of the destination endpoint.
+//
+// Packets travel on fixed-capacity SPSC rings (common/spsc_ring.h), one
+// down-ring per shard; a full ring is backpressure (the producer drains the
+// upstream rings while it waits), never an allocation or a drop. Ring slots
+// are reused in place, so the PR-4 zero-allocation inspect path extends
+// through the handoff: steady-state ingest copies payload bytes into a
+// warm slot string and the worker swaps them out, allocation-free.
+//
+// The two detectors whose counting key spans calls — INVITE flooding (per
+// destination AOR) and DRDoS reflection (per victim host) — cannot live in
+// any one shard, because their events originate on whichever shard the
+// carrying dialog hashed to. Shards therefore do not feed those window
+// counters locally (Vids::set_aggregate_hook); they forward each would-be
+// event up an SPSC ring, and the coordinator replays the merged,
+// time-ordered event stream into its own window counters with the exact
+// BuildWindowCounter semantics. The replay is gated on the *frontier* (the
+// minimum packet time any shard has fully processed, published with
+// release/acquire ordering), so events are replayed in global time order
+// even though shards drain at different speeds. The alert multiset is
+// therefore identical for every shard count — sharded_ids_test pins
+// shards=1 vs shards=4 vs the plain single-threaded Vids.
+//
+// Thread-ownership invariants (see DESIGN.md §11):
+//   - each shard's Scheduler + Vids are touched only by its worker thread;
+//   - the rings are strict SPSC (ingest thread ↔ one worker);
+//   - the coordinator reads shard state (metrics, fact base) only after a
+//     Flush() barrier, which round-trips a token through both rings and so
+//     carries a happens-before edge over everything the worker did;
+//   - alerts, aggregate events and acks flow only upstream.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/spsc_ring.h"
+#include "common/strings.h"
+#include "net/datagram.h"
+#include "obs/metrics.h"
+#include "sim/scheduler.h"
+#include "sip/lazy_message.h"
+#include "vids/alert.h"
+#include "vids/config.h"
+#include "vids/ids.h"
+
+namespace vids::ids {
+
+struct ShardedConfig {
+  /// Number of worker shards (>= 1). 1 reproduces the single-engine
+  /// behavior with the pipeline in place.
+  int shards = 1;
+  /// Per-ring slot count (rounded up to a power of two). A full ring
+  /// backpressures the producer; it never drops or allocates.
+  size_t ring_capacity = 1024;
+  DetectionConfig detection{};
+  CostModel cost{};
+  /// Cap on the coordinator's merged alert history (0 = unlimited); same
+  /// drop-oldest-half policy as Vids::set_max_retained_alerts.
+  size_t max_retained_alerts = 0;
+};
+
+class ShardedIds {
+ public:
+  explicit ShardedIds(ShardedConfig config);
+  ~ShardedIds();
+  ShardedIds(const ShardedIds&) = delete;
+  ShardedIds& operator=(const ShardedIds&) = delete;
+
+  /// Routes one packet to its shard. `when` is the packet's (simulated)
+  /// arrival time and must be non-decreasing across calls. Blocks only when
+  /// the target ring is full (backpressure), draining upstream traffic
+  /// while it waits. Call from one thread only.
+  void Ingest(const net::Datagram& dgram, bool from_outside, sim::Time when);
+
+  /// Drains upstream rings: collects shard alerts, advances the aggregate
+  /// replay to the current frontier. Cheap when nothing is pending; called
+  /// opportunistically by Ingest, periodically by drivers.
+  void Pump();
+
+  /// Quiescence barrier: every packet ingested so far is fully processed,
+  /// every shard's detection timers have advanced to `now`, all aggregate
+  /// events up to `now` are replayed, and shard state (metrics(),
+  /// fact_base()) may be read from the calling thread until the next
+  /// Ingest. Also prunes the router's idle media-owner entries.
+  void Flush(sim::Time now);
+
+  /// Stops and joins the workers, then drains everything still in flight.
+  /// Idempotent; the destructor calls it.
+  void Stop();
+
+  /// Merged alert stream: shard alerts in arrival order interleaved with
+  /// coordinator (aggregate) alerts in replay order. Sort by `when` for a
+  /// deterministic view.
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  size_t CountAlerts(AlertKind kind) const;
+  size_t CountAlerts(std::string_view classification) const;
+  void set_alert_callback(std::function<void(const Alert&)> cb) {
+    alert_callback_ = std::move(cb);
+  }
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Shard access for post-Flush inspection (tests, the soak sampler).
+  Vids& shard_vids(int i) { return *shards_[static_cast<size_t>(i)]->vids; }
+  const Vids& shard_vids(int i) const {
+    return *shards_[static_cast<size_t>(i)]->vids;
+  }
+
+  /// Fresh registry holding every shard's metrics folded together plus the
+  /// coordinator's own "sharded.*" counters. Post-Flush only.
+  obs::MetricsRegistry MergedMetrics() const;
+
+  /// Total tracked state across shards (calls + keyed groups + tombstones +
+  /// media index) plus the coordinator's router/replay maps. Post-Flush.
+  size_t TrackedState() const;
+  /// Total state footprint in bytes (fact bases + coordinator maps).
+  /// Post-Flush.
+  size_t MemoryBytes() const;
+
+  /// Times the producer found a down-ring full and had to wait.
+  uint64_t ingest_stalls() const { return m_ingest_stalls_->value(); }
+  /// Media-ownership transfers routed between shards so far.
+  uint64_t ownership_transfers() const { return m_retracts_->value(); }
+
+ private:
+  // ---- messages ----
+  struct ShardMsg {
+    enum class Kind : uint8_t { kPacket, kRetractMedia, kFlush, kStop };
+    Kind kind = Kind::kPacket;
+    int64_t when_ns = 0;
+    bool from_outside = false;
+    net::Datagram dgram;     // kPacket (payload string reused in place)
+    net::Endpoint endpoint;  // kRetractMedia
+    uint64_t token = 0;      // kFlush
+  };
+  struct UpMsg {
+    enum class Kind : uint8_t { kAlert, kAgg, kFlushAck };
+    Kind kind = Kind::kAlert;
+    int64_t when_ns = 0;
+    Alert alert;                 // kAlert (strings reused in place)
+    Vids::AggregateKind agg{};   // kAgg
+    std::string key;             // kAgg: dest AOR (INVITE) / victim IP (DRDoS)
+    std::string src_ip;          // kAgg: for the alert detail
+    std::string dst_ip;
+    uint64_t token = 0;          // kFlushAck
+  };
+
+  struct Shard {
+    common::SpscRing<ShardMsg> down;
+    common::SpscRing<UpMsg> up;
+    std::unique_ptr<sim::Scheduler> scheduler;
+    std::unique_ptr<Vids> vids;
+    std::thread thread;
+    /// Highest packet/flush time this worker has fully processed. Written
+    /// (release) after the worker pushed every upstream message for that
+    /// time, so an acquire read covers them.
+    std::atomic<int64_t> processed_ns{0};
+    /// Times this worker found its up-ring full (worker-owned plain slot;
+    /// the coordinator folds it into MergedMetrics post-Flush).
+    uint64_t up_stalls = 0;
+
+    explicit Shard(size_t ring_capacity)
+        : down(ring_capacity), up(ring_capacity) {}
+  };
+
+  /// One forwarded aggregate-feed event, queued until the frontier passes.
+  struct AggEvent {
+    int64_t when_ns = 0;
+    Vids::AggregateKind kind{};
+    std::string key;
+    std::string src_ip;
+    std::string dst_ip;
+  };
+
+  /// Coordinator-side replay of patterns.cpp's BuildWindowCounter (plus the
+  /// Vids-level alert dedup): armed window, event count, lazy timer expiry.
+  struct WinState {
+    bool armed = false;
+    int64_t count = 0;
+    int64_t deadline_ns = 0;
+    int64_t last_alert_ns = 0;
+    bool alerted_once = false;
+    int64_t last_event_ns = 0;
+  };
+
+  struct OwnerEntry {
+    int shard = 0;
+    int64_t last_seen_ns = 0;
+  };
+
+  // ---- worker side ----
+  void WorkerLoop(Shard& shard);
+  // Fill-callbacks are template parameters (not std::function) so the
+  // per-packet push never allocates a callable. Defined in the .cpp — only
+  // that TU instantiates them.
+  template <typename Fill>
+  void PushUp(Shard& shard, Fill&& fill);
+
+  // ---- router (ingest thread) ----
+  int RouteEndpoint(const net::Endpoint& endpoint, int64_t when_ns);
+  int ShardOfCallId(std::string_view call_id) const;
+  void SnoopSdp(std::string_view body, int shard, int64_t when_ns);
+  template <typename Fill>
+  void PushDown(int shard, Fill&& fill);
+
+  // ---- coordinator (ingest thread) ----
+  void DrainUp();
+  void ReplayAggregates(bool force_all);
+  void ReplayOne(const AggEvent& event);
+  void EmitAlert(Alert alert);
+  void PruneCoordinator(int64_t now_ns);
+
+  ShardedConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool workers_joined_ = false;
+  int64_t last_ingest_ns_ = 0;
+  uint64_t ingest_count_ = 0;
+  uint64_t flush_token_ = 0;
+  size_t flush_acks_ = 0;
+
+  sip::LazyMessage router_lazy_;
+  /// media endpoint (PackedKey) → owning shard. Entries refresh on every
+  /// RTP hit and are pruned once idle past the shard-side state horizon.
+  std::unordered_map<uint64_t, OwnerEntry> media_owner_;
+
+  template <typename T>
+  using StringKeyed =
+      std::unordered_map<std::string, T, common::StringHash, std::equal_to<>>;
+  StringKeyed<WinState> invite_windows_;  // key = destination AOR
+  StringKeyed<WinState> drdos_windows_;   // key = victim IP (dotted)
+  std::vector<std::deque<AggEvent>> pending_;  // per-shard, time-ordered
+
+  std::vector<Alert> alerts_;
+  std::function<void(const Alert&)> alert_callback_;
+
+  obs::MetricsRegistry coord_metrics_;
+  obs::Counter* m_ingest_stalls_;
+  obs::Counter* m_retracts_;
+  obs::Counter* m_agg_events_;
+  obs::Counter* m_coord_alerts_;
+  obs::Counter* m_coord_suppressed_;
+  obs::Counter* m_sip_routed_;
+  obs::Counter* m_rtp_owner_routed_;
+  obs::Counter* m_rtp_hash_routed_;
+  obs::Counter* m_flushes_;
+};
+
+}  // namespace vids::ids

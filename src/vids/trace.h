@@ -8,7 +8,7 @@
 // fresh scheduler — reproducing the online run's alerts offline.
 //
 // Format, one packet per line:
-//   <nanos> <in|out> <src ip:port> <dst ip:port> <sip|rtp|other> \
+//   <nanos> <in|out> <src ip:port> <dst ip:port> <sip|rtp|other>
 //       <padding-bytes> <hex payload>
 #pragma once
 

@@ -1,0 +1,564 @@
+// Tests of the sharded multi-worker engine: SPSC ring semantics, the
+// shards=N vs shards=1 vs plain-Vids alert-equivalence guarantee, ring
+// backpressure (stall, never drop), and cross-shard media-ownership
+// transfer. The threaded cases double as the TSan stress surface — CI
+// runs this binary under -fsanitize=thread, scaled up via
+// SHARDED_STRESS_PACKETS.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/spsc_ring.h"
+#include "rtp/packet.h"
+#include "sdp/sdp.h"
+#include "sip/message.h"
+#include "vids/alert.h"
+#include "vids/ids.h"
+#include "vids/patterns.h"
+#include "vids/sharded_ids.h"
+
+namespace vids::ids {
+namespace {
+
+// ------------------------------------------------------------ SpscRing
+
+TEST(SpscRing, RoundsCapacityUpToPowerOfTwo) {
+  EXPECT_EQ(common::SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(common::SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(common::SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(common::SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, FifoAcrossWraparound) {
+  common::SpscRing<int> ring(4);
+  EXPECT_EQ(ring.Front(), nullptr);  // empty
+  int next_push = 0;
+  int next_pop = 0;
+  // Many full/empty cycles so head and tail wrap the 4-slot buffer often.
+  for (int round = 0; round < 100; ++round) {
+    while (int* slot = ring.BeginPush()) {
+      *slot = next_push++;
+      ring.CommitPush();
+    }
+    EXPECT_EQ(ring.SizeApprox(), ring.capacity());
+    EXPECT_EQ(ring.BeginPush(), nullptr);  // full: rejected, not overwritten
+    while (int* front = ring.Front()) {
+      EXPECT_EQ(*front, next_pop++);
+      ring.Pop();
+    }
+    EXPECT_EQ(ring.Front(), nullptr);
+  }
+  EXPECT_EQ(next_push, next_pop);
+  EXPECT_EQ(next_push, 400);
+}
+
+TEST(SpscRing, SlotsAreReusedInPlace) {
+  // The zero-allocation handoff depends on Pop() leaving the slot object
+  // alive: after a full lap, BeginPush must hand back the same object
+  // (same address, warm string capacity) it handed out last lap.
+  common::SpscRing<std::string> ring(2);
+  std::string* first = ring.BeginPush();
+  ASSERT_NE(first, nullptr);
+  first->assign("warm-capacity-probe-string");
+  const size_t capacity_before = first->capacity();
+  ring.CommitPush();
+  ring.Pop();
+  std::string* second = ring.BeginPush();  // slot 1
+  ASSERT_NE(second, nullptr);
+  ring.CommitPush();
+  ring.Pop();
+  std::string* again = ring.BeginPush();  // back to slot 0
+  ASSERT_EQ(again, first);
+  EXPECT_GE(again->capacity(), capacity_before);
+}
+
+TEST(SpscRing, TwoThreadStressKeepsOrderAndLosesNothing) {
+  const int n = [] {
+    if (const char* s = std::getenv("SHARDED_STRESS_PACKETS")) {
+      return std::max(1000, std::atoi(s));
+    }
+    return 200'000;
+  }();
+  common::SpscRing<int> ring(64);
+  std::thread producer([&] {
+    for (int i = 0; i < n;) {
+      if (int* slot = ring.BeginPush()) {
+        *slot = i++;
+        ring.CommitPush();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int expected = 0;
+  long long sum = 0;
+  while (expected < n) {
+    if (int* front = ring.Front()) {
+      ASSERT_EQ(*front, expected);  // strict FIFO under concurrency
+      sum += *front;
+      ++expected;
+      ring.Pop();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2);
+  EXPECT_EQ(ring.Front(), nullptr);
+}
+
+// ------------------------------------------------- trace infrastructure
+
+const net::Endpoint kProxyA{net::IpAddress(10, 1, 0, 1), 5060};
+const net::Endpoint kProxyB{net::IpAddress(10, 2, 0, 1), 5060};
+const net::Endpoint kAttacker{net::IpAddress(10, 9, 0, 66), 5060};
+
+struct TracePacket {
+  net::Datagram dgram;
+  bool from_outside = true;
+  sim::Time when;
+};
+
+net::Datagram SipDgram(const sip::Message& message, net::Endpoint src,
+                       net::Endpoint dst) {
+  net::Datagram dgram;
+  dgram.src = src;
+  dgram.dst = dst;
+  dgram.payload = message.Serialize();
+  dgram.kind = net::PayloadKind::kSip;
+  return dgram;
+}
+
+net::Datagram RtpDgram(uint32_t ssrc, uint16_t seq, uint32_t ts,
+                       net::Endpoint src, net::Endpoint dst) {
+  rtp::RtpHeader header;
+  header.ssrc = ssrc;
+  header.sequence_number = seq;
+  header.timestamp = ts;
+  header.payload_type = 18;
+  net::Datagram dgram;
+  dgram.src = src;
+  dgram.dst = dst;
+  dgram.payload = header.Serialize();
+  dgram.kind = net::PayloadKind::kRtp;
+  return dgram;
+}
+
+sip::Message MakeInvite(const std::string& call_id, const std::string& callee,
+                        net::Endpoint offer_media, net::Endpoint via_sentby) {
+  auto invite = sip::Message::MakeRequest(
+      sip::Method::kInvite,
+      *sip::SipUri::Parse("sip:" + callee + "@b.example.com"));
+  sip::Via via;
+  via.sent_by = via_sentby;
+  via.branch = "z9hG4bK" + call_id;
+  invite.PushVia(via);
+  sip::NameAddr from;
+  from.uri = *sip::SipUri::Parse("sip:alice@a.example.com");
+  from.SetTag("tag-" + call_id);
+  invite.SetFrom(from);
+  sip::NameAddr to;
+  to.uri = *sip::SipUri::Parse("sip:" + callee + "@b.example.com");
+  invite.SetTo(to);
+  invite.SetCallId(call_id);
+  invite.SetCseq(sip::CSeq{1, sip::Method::kInvite});
+  invite.SetBody(sdp::MakeAudioOffer(offer_media).Serialize(),
+                 "application/sdp");
+  return invite;
+}
+
+sip::Message MakeResponse(const sip::Message& request, int status,
+                          std::optional<net::Endpoint> answer_media) {
+  auto response = sip::Message::MakeResponse(status);
+  for (const auto via : request.Headers("Via")) {
+    response.AddHeader("Via", via);
+  }
+  response.SetFrom(*request.From());
+  auto to = *request.To();
+  to.SetTag("tag-callee");
+  response.SetTo(to);
+  response.SetCallId(std::string(*request.CallId()));
+  response.SetCseq(*request.Cseq());
+  if (answer_media) {
+    response.SetBody(sdp::MakeAudioOffer(*answer_media).Serialize(),
+                     "application/sdp");
+  }
+  return response;
+}
+
+sip::Message MakeInDialog(sip::Method method, const std::string& call_id,
+                          uint32_t cseq, net::Endpoint via_sentby) {
+  auto request = sip::Message::MakeRequest(
+      method, *sip::SipUri::Parse("sip:bob@b.example.com"));
+  sip::Via via;
+  via.sent_by = via_sentby;
+  via.branch = "z9hG4bK" + std::string(sip::MethodName(method)) + call_id;
+  request.PushVia(via);
+  sip::NameAddr from;
+  from.uri = *sip::SipUri::Parse("sip:alice@a.example.com");
+  from.SetTag("tag-" + call_id);
+  request.SetFrom(from);
+  sip::NameAddr to;
+  to.uri = *sip::SipUri::Parse("sip:bob@b.example.com");
+  to.SetTag("tag-callee");
+  request.SetTo(to);
+  request.SetCallId(call_id);
+  request.SetCseq(sip::CSeq{cseq, method});
+  return request;
+}
+
+// Builds an attack-scenario trace with monotonically increasing timestamps.
+// All steps are 17 ms — deliberately off every detection-window boundary so
+// timer-vs-packet ties can't depend on floating sweep cadence.
+class TraceBuilder {
+ public:
+  void Step() { now_ = now_ + sim::Duration::Millis(17); }
+
+  void Add(net::Datagram dgram, bool from_outside) {
+    trace_.push_back({std::move(dgram), from_outside, now_});
+  }
+
+  // Benign INVITE/180/200/ACK handshake negotiating both media endpoints.
+  void EstablishCall(const std::string& call_id, net::Endpoint caller_media,
+                     net::Endpoint callee_media) {
+    const auto invite = MakeInvite(call_id, "bob", caller_media, kProxyA);
+    Add(SipDgram(invite, kProxyA, kProxyB), true);
+    Step();
+    Add(SipDgram(MakeResponse(invite, 180, std::nullopt), kProxyB, kProxyA),
+        false);
+    Step();
+    Add(SipDgram(MakeResponse(invite, 200, callee_media), kProxyB, kProxyA),
+        false);
+    Step();
+    Add(SipDgram(MakeInDialog(sip::Method::kAck, call_id, 1, caller_media),
+                 caller_media, callee_media),
+        true);
+    Step();
+  }
+
+  const std::vector<TracePacket>& trace() const { return trace_; }
+  sim::Time now() const { return now_; }
+
+ private:
+  std::vector<TracePacket> trace_;
+  sim::Time now_ = sim::Time::FromNanos(0);
+};
+
+// Everything that must be identical across engine shapes. `trigger` and
+// `provenance` are deliberately excluded: the coordinator's replayed
+// aggregate alerts describe their evidence differently (no shard-local
+// flight recorder), which is a documented presentation difference.
+using AlertSig =
+    std::tuple<int64_t, int, std::string, std::string, std::string,
+               std::string>;
+
+AlertSig SigOf(const Alert& alert) {
+  return {alert.when.nanos(), static_cast<int>(alert.kind),
+          alert.classification, alert.group, alert.machine, alert.detail};
+}
+
+std::vector<AlertSig> SortedSigs(const std::vector<Alert>& alerts) {
+  std::vector<AlertSig> sigs;
+  sigs.reserve(alerts.size());
+  for (const Alert& alert : alerts) sigs.push_back(SigOf(alert));
+  std::sort(sigs.begin(), sigs.end());
+  return sigs;
+}
+
+std::vector<Alert> RunPlain(const std::vector<TracePacket>& trace) {
+  sim::Scheduler scheduler;
+  Vids vids(scheduler);
+  for (const TracePacket& p : trace) {
+    if (p.when > scheduler.Now()) scheduler.RunUntil(p.when);
+    vids.Inspect(p.dgram, p.from_outside);
+  }
+  return vids.alerts();
+}
+
+std::vector<Alert> RunSharded(const std::vector<TracePacket>& trace,
+                              int shards) {
+  ShardedConfig config;
+  config.shards = shards;
+  ShardedIds engine(config);
+  sim::Time last;
+  for (const TracePacket& p : trace) {
+    engine.Ingest(p.dgram, p.from_outside, p.when);
+    last = p.when;
+  }
+  engine.Flush(last);
+  engine.Stop();
+  return engine.alerts();
+}
+
+// Benign calls interleaved with every attack scenario whose detection the
+// sharded engine re-plumbs: the two cross-call aggregates (INVITE flood,
+// DRDoS) plus call-local attacks (BYE DoS, CANCEL DoS, RTP flood) that
+// must keep working untouched on whatever shard their state hashed to.
+std::vector<TracePacket> AttackScenarioTrace() {
+  TraceBuilder b;
+  DetectionConfig detection;
+
+  // A few benign calls with media on distinct Call-IDs/endpoints.
+  for (int c = 0; c < 4; ++c) {
+    const std::string call_id = "benign-" + std::to_string(c) + "@trace";
+    const net::Endpoint caller{net::IpAddress(10, 1, 0, 10),
+                               static_cast<uint16_t>(20000 + 2 * c)};
+    const net::Endpoint callee{net::IpAddress(10, 2, 0, 10),
+                               static_cast<uint16_t>(30000 + 2 * c)};
+    b.EstablishCall(call_id, caller, callee);
+    for (int i = 1; i <= 6; ++i) {
+      b.Add(RtpDgram(0x600u + static_cast<uint32_t>(c),
+                     static_cast<uint16_t>(i), 160u * static_cast<uint32_t>(i),
+                     caller, callee),
+            true);
+      b.Step();
+    }
+  }
+
+  // BYE DoS: a spoofed BYE from a third party against an open call.
+  b.EstablishCall("bye-dos@trace", {net::IpAddress(10, 1, 0, 11), 21000},
+                  {net::IpAddress(10, 2, 0, 11), 31000});
+  b.Add(SipDgram(MakeInDialog(sip::Method::kBye, "bye-dos@trace", 9,
+                              kAttacker),
+                 kAttacker, kProxyB),
+        true);
+  b.Step();
+
+  // CANCEL DoS: pending INVITE answered by a foreign-source CANCEL.
+  {
+    const auto invite =
+        MakeInvite("cancel-dos@trace", "carol",
+                   {net::IpAddress(10, 1, 0, 12), 22000}, kProxyA);
+    b.Add(SipDgram(invite, kProxyA, kProxyB), true);
+    b.Step();
+    b.Add(SipDgram(MakeResponse(invite, 180, std::nullopt), kProxyB, kProxyA),
+          false);
+    b.Step();
+    auto cancel = sip::Message::MakeRequest(
+        sip::Method::kCancel, *sip::SipUri::Parse("sip:carol@b.example.com"));
+    for (const auto via : invite.Headers("Via")) {
+      cancel.AddHeader("Via", via);
+    }
+    cancel.SetFrom(*invite.From());
+    cancel.SetTo(*invite.To());
+    cancel.SetCallId("cancel-dos@trace");
+    cancel.SetCseq(sip::CSeq{1, sip::Method::kCancel});
+    b.Add(SipDgram(cancel, kAttacker, kProxyB), true);
+    b.Step();
+  }
+
+  // INVITE flood: distinct Call-IDs (hence scattered across shards) aimed
+  // at one AOR — the aggregate the coordinator must count globally.
+  for (int k = 0; k <= detection.invite_flood_threshold + 2; ++k) {
+    const std::string call_id = "flood-" + std::to_string(k) + "@trace";
+    b.Add(SipDgram(MakeInvite(call_id, "floodee",
+                              net::Endpoint{kAttacker.ip, 42000}, kAttacker),
+                   kAttacker, kProxyB),
+          true);
+    b.Step();
+  }
+
+  // DRDoS reflection: unsolicited 200s, each a fresh Call-ID, converging on
+  // one victim host — the other cross-shard aggregate.
+  {
+    const net::Endpoint victim{net::IpAddress(10, 9, 1, 77), 5060};
+    const auto probe = MakeInvite(
+        "refl-probe", "victim", {net::IpAddress(10, 1, 0, 30), 23000},
+        kProxyB);
+    for (int k = 0; k <= detection.drdos_threshold + 2; ++k) {
+      auto response = MakeResponse(probe, 200, std::nullopt);
+      response.SetCallId("refl-" + std::to_string(k) + "@trace");
+      b.Add(SipDgram(response, kProxyB, victim), false);
+      b.Step();
+    }
+  }
+
+  // RTP flood at one (unnegotiated) victim endpoint. Single key, so it
+  // lands wholly on one shard — must alert there exactly as in the plain
+  // engine. Tight spacing: the threshold must be crossed inside one window.
+  {
+    const net::Endpoint victim{net::IpAddress(10, 2, 9, 5), 40000};
+    const net::Endpoint source{net::IpAddress(10, 9, 0, 66), 41000};
+    for (int k = 0; k <= detection.rtp_flood_threshold + 10; ++k) {
+      b.Add(RtpDgram(0xF100Du, static_cast<uint16_t>(k),
+                     160u * static_cast<uint32_t>(k), source, victim),
+            true);
+      if (k % 50 == 49) b.Step();  // stay well inside the 1 s window
+    }
+    b.Step();
+  }
+
+  return b.trace();
+}
+
+// ------------------------------------------------------- equivalence
+
+TEST(ShardedEquivalence, OneShardMatchesPlainVids) {
+  const auto trace = AttackScenarioTrace();
+  const auto plain = SortedSigs(RunPlain(trace));
+  const auto sharded = SortedSigs(RunSharded(trace, 1));
+  EXPECT_FALSE(plain.empty());  // the trace must actually trigger attacks
+  EXPECT_EQ(plain, sharded);
+}
+
+TEST(ShardedEquivalence, FourShardsMatchPlainVids) {
+  const auto trace = AttackScenarioTrace();
+  const auto plain = SortedSigs(RunPlain(trace));
+  const auto sharded = SortedSigs(RunSharded(trace, 4));
+  EXPECT_FALSE(plain.empty());
+  EXPECT_EQ(plain, sharded);
+}
+
+TEST(ShardedEquivalence, ShardCountsAgreeWithEachOther) {
+  const auto trace = AttackScenarioTrace();
+  const auto one = SortedSigs(RunSharded(trace, 1));
+  const auto two = SortedSigs(RunSharded(trace, 2));
+  const auto eight = SortedSigs(RunSharded(trace, 8));
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(ShardedEquivalence, TraceCoversEveryRelevantClassification) {
+  // Guard the guard: if a future change silently stops the trace from
+  // triggering an attack class, the equivalence tests would still "pass".
+  const auto trace = AttackScenarioTrace();
+  ShardedConfig config;
+  config.shards = 4;
+  ShardedIds engine(config);
+  sim::Time last;
+  for (const TracePacket& p : trace) {
+    engine.Ingest(p.dgram, p.from_outside, p.when);
+    last = p.when;
+  }
+  engine.Flush(last);
+  engine.Stop();
+  EXPECT_GE(engine.CountAlerts(kAttackInviteFlood), 1u);
+  EXPECT_GE(engine.CountAlerts(kAttackDrdos), 1u);
+  EXPECT_GE(engine.CountAlerts(kAttackRtpFlood), 1u);
+}
+
+// ------------------------------------------------------ backpressure
+
+TEST(ShardedBackpressure, TinyRingsStallButLoseNothing) {
+  ShardedConfig config;
+  config.shards = 2;
+  config.ring_capacity = 2;  // virtually every burst overruns the ring
+  ShardedIds engine(config);
+  const sim::Time t0 = sim::Time::FromNanos(1);
+  uint64_t fed = 0;
+  for (int k = 0; k < 4000; ++k) {
+    const net::Endpoint victim{net::IpAddress(10, 2, 9, 1),
+                               static_cast<uint16_t>(40000 + 2 * (k % 8))};
+    engine.Ingest(RtpDgram(0xB00Du + static_cast<uint32_t>(k % 8),
+                           static_cast<uint16_t>(k),
+                           160u * static_cast<uint32_t>(k),
+                           {net::IpAddress(10, 9, 0, 66), 41000}, victim),
+                  true, t0);
+    ++fed;
+  }
+  engine.Flush(t0);
+  uint64_t inspected = 0;
+  for (int i = 0; i < engine.shards(); ++i) {
+    inspected += engine.shard_vids(i).stats().packets;
+  }
+  EXPECT_EQ(inspected, fed);
+  EXPECT_GT(engine.ingest_stalls(), 0u);
+  engine.Stop();
+}
+
+// ------------------------------------------------ ownership transfer
+
+TEST(ShardedOwnership, RenegotiationMovesMediaBetweenShards) {
+  ShardedConfig config;
+  config.shards = 4;
+  ShardedIds engine(config);
+  const net::Endpoint media{net::IpAddress(10, 5, 0, 10), 40000};
+  TraceBuilder b;
+  b.Step();
+  // Call A negotiates `media`; then a sequence of calls with different
+  // Call-IDs renegotiate the same endpoint. FNV scatters the Call-IDs over
+  // 4 shards, so some consecutive owner pair differs and a RetractMedia
+  // must cross shards (probability of all 17 landing identically: 4^-16).
+  b.Add(SipDgram(MakeInvite("xfer-a@trace", "bob", media, kProxyA), kProxyA,
+                 kProxyB),
+        true);
+  b.Step();
+  for (int i = 0; i < 16; ++i) {
+    const std::string call_id = "xfer-b-" + std::to_string(i) + "@trace";
+    b.Add(SipDgram(MakeInvite(call_id, "bob", media, kProxyA), kProxyA,
+                   kProxyB),
+          true);
+    b.Step();
+  }
+  sim::Time last;
+  for (const TracePacket& p : b.trace()) {
+    engine.Ingest(p.dgram, p.from_outside, p.when);
+    last = p.when;
+  }
+  engine.Flush(last);
+  EXPECT_GT(engine.ownership_transfers(), 0u);
+  // Exactly one shard may still claim the endpoint: every superseded
+  // claim was retracted (cross-shard) or overwritten (same shard).
+  size_t media_entries = 0;
+  for (int i = 0; i < engine.shards(); ++i) {
+    media_entries += engine.shard_vids(i).fact_base().media_index_count();
+  }
+  EXPECT_EQ(media_entries, 1u);
+  engine.Stop();
+}
+
+// ------------------------------------------------------------- stress
+
+TEST(ShardedStress, MixedTrafficUnderChurn) {
+  // Wide mixed workload for the sanitizers: all shards busy, rings cycling,
+  // periodic Flush barriers interleaved with traffic. Scaled up in the CI
+  // TSan lane via SHARDED_STRESS_PACKETS.
+  int packets = 20'000;
+  if (const char* s = std::getenv("SHARDED_STRESS_PACKETS")) {
+    packets = std::max(1000, std::atoi(s));
+  }
+  ShardedConfig config;
+  config.shards = 4;
+  config.ring_capacity = 64;
+  ShardedIds engine(config);
+  sim::Time now = sim::Time::FromNanos(1);
+  uint64_t fed = 0;
+  for (int k = 0; k < packets; ++k) {
+    now = now + sim::Duration::Micros(97);
+    if (k % 20 == 0) {
+      const std::string call_id =
+          "stress-" + std::to_string(k / 20) + "@trace";
+      const net::Endpoint caller{net::IpAddress(10, 1, 0, 10),
+                                 static_cast<uint16_t>(20000 + (k / 10) % 500)};
+      engine.Ingest(
+          SipDgram(MakeInvite(call_id, "bob", caller, kProxyA), kProxyA,
+                   kProxyB),
+          true, now);
+    } else {
+      const net::Endpoint dst{net::IpAddress(10, 2, 0, 10),
+                              static_cast<uint16_t>(30000 + 2 * (k % 64))};
+      engine.Ingest(RtpDgram(0x51000u + static_cast<uint32_t>(k % 64),
+                             static_cast<uint16_t>(k),
+                             160u * static_cast<uint32_t>(k),
+                             {net::IpAddress(10, 1, 0, 10), 20002}, dst),
+                    true, now);
+    }
+    ++fed;
+    if (k % 5000 == 4999) engine.Flush(now);
+  }
+  engine.Flush(now);
+  uint64_t inspected = 0;
+  for (int i = 0; i < engine.shards(); ++i) {
+    inspected += engine.shard_vids(i).stats().packets;
+  }
+  EXPECT_EQ(inspected, fed);
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace vids::ids

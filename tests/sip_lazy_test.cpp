@@ -55,7 +55,9 @@ void ExpectNameAddrParity(const NameAddrView* lazy,
   const auto lazy_tag = lazy->Tag();
   const auto full_tag = full->Tag();
   ASSERT_EQ(lazy_tag.has_value(), full_tag.has_value()) << wire;
-  if (lazy_tag.has_value()) EXPECT_EQ(*lazy_tag, *full_tag) << wire;
+  if (lazy_tag.has_value()) {
+    EXPECT_EQ(*lazy_tag, *full_tag) << wire;
+  }
 }
 
 // The parity property itself: both parsers agree on acceptance, and on

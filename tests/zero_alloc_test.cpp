@@ -35,10 +35,16 @@ void* operator new[](std::size_t size) {
   throw std::bad_alloc{};
 }
 
+// GCC pairs allocation functions by body and flags free() on a pointer
+// from the malloc-backed replacement operator new above — a false
+// positive, as both sides of the pair are replaced together.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace vids::ids {
 namespace {
