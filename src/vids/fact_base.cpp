@@ -297,6 +297,19 @@ void CallStateFactBase::RetractMedia(const net::Endpoint& endpoint) {
   m_media_index_->Set(static_cast<int64_t>(media_index_.size()));
 }
 
+void CallStateFactBase::DropMediaKeyedGroup(const net::Endpoint& endpoint) {
+  const auto it = keyed_bin_.find(MediaKey(endpoint));
+  if (it == keyed_bin_.end()) return;
+  if (sweep_listener_) {
+    // Same contract as a sweep reclaim: the analysis engine evicts the
+    // group's alert-dedup signatures together with the state.
+    const std::vector<std::string> reclaimed{it->second.group->name()};
+    sweep_listener_(scheduler_.Now(), reclaimed);
+  }
+  keyed_bin_.erase(it);
+  m_keyed_groups_->Set(static_cast<int64_t>(keyed_count()));
+}
+
 std::optional<std::string> CallStateFactBase::CallByMedia(
     const net::Endpoint& endpoint) const {
   const auto it = media_index_.find(endpoint.PackedKey());

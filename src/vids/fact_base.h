@@ -96,6 +96,13 @@ class CallStateFactBase {
   /// re-negotiation moves the endpoint to a call owned by a different shard
   /// — this shard must stop claiming the media stream. No-op when unknown.
   void RetractMedia(const net::Endpoint& endpoint);
+  /// Drops the endpoint's per-endpoint keyed pattern group (media-spam /
+  /// RTP-flood / RTCP-BYE counters) and its alert-dedup signatures, as if
+  /// the group had just been swept. Used by the sharded engine when media
+  /// ownership of the endpoint moves to another shard: the loser's partial
+  /// counts must die deterministically rather than linger until the idle
+  /// sweep and split the stream's counting. No-op when absent.
+  void DropMediaKeyedGroup(const net::Endpoint& endpoint);
   std::optional<std::string> CallByMedia(const net::Endpoint& endpoint) const;
   /// Zero-copy variant: the indexed call's group, or nullptr when the
   /// endpoint is unknown or its call no longer exists.

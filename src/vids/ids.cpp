@@ -7,6 +7,31 @@
 
 namespace vids::ids {
 
+namespace {
+
+// Dotted-quad into a caller-provided stack buffer (the classifier's
+// AssignIp shape) — the aggregate hook's DRDoS key must always be the
+// victim IP from the packet itself, never an event arg that could be
+// absent, and formatting it here keeps the hook path allocation-free.
+std::string_view FormatIpv4(char (&buf)[16], net::IpAddress ip) {
+  char* out = buf;
+  const uint32_t bits = ip.bits();
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    const uint32_t octet = (bits >> shift) & 0xFF;
+    if (octet >= 100) {
+      *out++ = static_cast<char>('0' + octet / 100);
+      *out++ = static_cast<char>('0' + octet / 10 % 10);
+    } else if (octet >= 10) {
+      *out++ = static_cast<char>('0' + octet / 10);
+    }
+    *out++ = static_cast<char>('0' + octet % 10);
+    if (shift != 0) *out++ = '.';
+  }
+  return {buf, static_cast<size_t>(out - buf)};
+}
+
+}  // namespace
+
 Vids::Vids(sim::Scheduler& scheduler, DetectionConfig detection,
            CostModel cost)
     : scheduler_(scheduler),
@@ -119,9 +144,12 @@ void Vids::HandleSip(const ClassifiedPacket& packet) {
   if (created && is_response) {
     if (aggregate_hook_) {
       // Sharded deployment: the victim-keyed count spans shards, so the
-      // event goes up to the coordinator's window counter instead.
-      aggregate_hook_(AggregateKind::kUnsolicitedResponse, std::string_view(),
-                      packet);
+      // event goes up to the coordinator's window counter instead. The key
+      // is the victim IP straight from the packet, matching the keying of
+      // GetOrCreateDrdosGroup below.
+      char victim[16];
+      aggregate_hook_(AggregateKind::kUnsolicitedResponse,
+                      FormatIpv4(victim, packet.dst.ip), packet);
     } else {
       auto& drdos_group = fact_base_.GetOrCreateDrdosGroup(packet.dst.ip);
       efsm::Event unsolicited;

@@ -139,8 +139,9 @@ class Vids : public efsm::Observer {
   };
   /// When an aggregate hook is installed the DRDoS and INVITE-flood window
   /// counters are NOT fed locally; the hook receives every event that would
-  /// have fed them instead (key = dest AOR for kInviteRequest, empty for
-  /// kUnsolicitedResponse — the victim IP is packet.dst.ip). ShardedIds
+  /// have fed them instead (key = dest AOR for kInviteRequest, dotted
+  /// victim IP — packet.dst.ip, always present — for
+  /// kUnsolicitedResponse). ShardedIds
   /// installs one on every shard and replays the events into coordinator-
   /// side window counters, so the aggregate detectors see the global event
   /// stream regardless of how calls are partitioned. All other detection

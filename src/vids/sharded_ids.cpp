@@ -60,6 +60,8 @@ ShardedIds::ShardedIds(ShardedConfig config)
     : config_(config),
       m_ingest_stalls_(&coord_metrics_.GetCounter("sharded.ingest_stalls")),
       m_retracts_(&coord_metrics_.GetCounter("sharded.ownership_transfers")),
+      m_early_retracts_(
+          &coord_metrics_.GetCounter("sharded.early_media_retracts")),
       m_agg_events_(&coord_metrics_.GetCounter("sharded.agg_events")),
       m_coord_alerts_(&coord_metrics_.GetCounter("sharded.coord_alerts")),
       m_coord_suppressed_(
@@ -102,13 +104,9 @@ ShardedIds::ShardedIds(ShardedConfig config)
             up.kind = UpMsg::Kind::kAgg;
             up.when_ns = sp->scheduler->Now().nanos();
             up.agg = kind;
-            if (kind == Vids::AggregateKind::kInviteRequest) {
-              up.key.assign(key);
-            } else {
-              // DRDoS is keyed by the victim (destination) host.
-              up.key.assign(dst != nullptr ? std::string_view(*dst)
-                                           : std::string_view());
-            }
+            // Dest AOR (INVITE flood) or dotted victim IP (DRDoS) — the
+            // hook contract guarantees the key is populated for both.
+            up.key.assign(key);
             up.src_ip.assign(src != nullptr ? std::string_view(*src)
                                             : std::string_view());
             up.dst_ip.assign(dst != nullptr ? std::string_view(*dst)
@@ -130,11 +128,19 @@ ShardedIds::~ShardedIds() { Stop(); }
 template <typename Fill>
 void ShardedIds::PushUp(Shard& shard, Fill&& fill) {
   UpMsg* slot = shard.up.BeginPush();
+  int idle = 0;
   while (slot == nullptr) {
-    // The coordinator drains up-rings whenever it waits on a full
-    // down-ring, so this cannot deadlock against a blocked producer.
+    // The coordinator drains up-rings whenever it waits on a full down-ring
+    // and while it waits for workers to finish in Stop(), so this cannot
+    // deadlock against a blocked producer. It can still be a long wait if
+    // the driver thread simply goes quiet between Ingest/Pump calls — back
+    // off to a short sleep like WorkerLoop instead of spinning at 100% CPU.
     ++shard.up_stalls;
-    std::this_thread::yield();
+    if (++idle >= kIdleSpins) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    } else {
+      std::this_thread::yield();
+    }
     slot = shard.up.BeginPush();
   }
   fill(*slot);
@@ -182,7 +188,11 @@ void ShardedIds::WorkerLoop(Shard& shard) {
         const net::Endpoint endpoint = msg->endpoint;
         shard.down.Pop();
         if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
+        // This shard lost ownership of the endpoint: drop both the media
+        // index binding and the per-endpoint keyed counters, so exactly one
+        // shard counts the stream from the claim onward.
         shard.vids->fact_base().RetractMedia(endpoint);
+        shard.vids->fact_base().DropMediaKeyedGroup(endpoint);
         break;
       }
       case ShardMsg::Kind::kFlush: {
@@ -198,6 +208,9 @@ void ShardedIds::WorkerLoop(Shard& shard) {
       }
       case ShardMsg::Kind::kStop:
         shard.down.Pop();
+        // After this store no further up-messages are pushed; Stop() drains
+        // until every worker has raised it, then joins.
+        shard.done.store(true, std::memory_order_release);
         return;
     }
     // Publish the frontier *after* every upstream message for this time is
@@ -268,6 +281,23 @@ void ShardedIds::SnoopSdp(std::string_view body, int shard, int64_t when_ns) {
       if (ip.has_value() && port > 0 && port <= 65535) {
         const net::Endpoint endpoint{*ip, static_cast<uint16_t>(port)};
         auto [it, inserted] = media_owner_.try_emplace(endpoint.PackedKey());
+        if (inserted) {
+          // First claim. Media that arrived before this negotiation was
+          // hash-routed; if that fallback shard is not the new owner, tell
+          // it to drop its partial per-endpoint state so the stream's
+          // counters live on exactly one shard from here on (the pre-claim
+          // counts are discarded, deterministically — see DESIGN.md §11).
+          const int hash_shard = static_cast<int>(
+              SplitMix64(endpoint.PackedKey()) % shards_.size());
+          if (hash_shard != shard) {
+            m_early_retracts_->Inc();
+            PushDown(hash_shard, [&](ShardMsg& msg) {
+              msg.kind = ShardMsg::Kind::kRetractMedia;
+              msg.when_ns = when_ns;
+              msg.endpoint = endpoint;
+            });
+          }
+        }
         if (!inserted && it->second.shard != shard) {
           // Re-negotiation moved the endpoint to a call on another shard:
           // tell the old owner to drop its media-index claim. The message
@@ -344,6 +374,19 @@ void ShardedIds::Ingest(const net::Datagram& dgram, bool from_outside,
 void ShardedIds::Pump() { DrainUp(); }
 
 void ShardedIds::DrainUp() {
+  // Snapshot the replay frontier BEFORE draining. A shard pushes every
+  // aggregate event for time T (release through the ring) before it
+  // publishes processed_ns = T (release), so an acquire load of
+  // processed_ns >= T guarantees those events are already in the ring and
+  // land in pending_ below. Loading the frontier after the drain instead
+  // would let an event pushed mid-drain sit at-or-before a fresher
+  // frontier while missing from pending_ — and a later-timestamped event
+  // from another shard would replay ahead of it, out of order.
+  int64_t frontier = INT64_MAX;
+  for (const auto& shard : shards_) {
+    frontier = std::min(frontier,
+                        shard->processed_ns.load(std::memory_order_acquire));
+  }
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
     while (UpMsg* msg = shard.up.Front()) {
@@ -375,21 +418,18 @@ void ShardedIds::DrainUp() {
       }
     }
   }
-  ReplayAggregates(/*force_all=*/false);
+  ReplayAggregates(frontier);
 }
 
-void ShardedIds::ReplayAggregates(bool force_all) {
-  // Safe-replay frontier: every shard has fully processed all its packets
-  // up to min(processed_ns), and (release/acquire through the rings) every
+void ShardedIds::ReplayAggregates(int64_t frontier) {
+  // Safe-replay frontier (snapshotted by the caller before its drain):
+  // every shard has fully processed all its packets up to it, and every
   // aggregate event at or before it is already in pending_. Events beyond
-  // the frontier wait — a slow shard may still emit an earlier one.
-  int64_t frontier = INT64_MAX;
-  if (!force_all) {
-    for (const auto& shard : shards_) {
-      frontier = std::min(frontier,
-                          shard->processed_ns.load(std::memory_order_acquire));
-    }
-  }
+  // the frontier wait — a slow shard may still emit an earlier one. (An
+  // event a shard pushes after the snapshot can tie the frontier exactly,
+  // never undercut it: per-ring times are non-decreasing and the window
+  // counters are order-insensitive within one instant, so a same-instant
+  // straggler replayed in a later batch lands on identical state.)
   // K-way merge by event time. Ties across shards are replayed in shard
   // order; the window counters are order-insensitive within one instant
   // (counts and alert times depend only on the multiset of event times).
@@ -482,7 +522,7 @@ void ShardedIds::EmitAlert(Alert alert) {
 
 void ShardedIds::Flush(sim::Time now) {
   if (workers_joined_) {
-    ReplayAggregates(/*force_all=*/true);
+    ReplayAggregates(INT64_MAX);
     return;
   }
   m_flushes_->Inc();
@@ -542,13 +582,29 @@ void ShardedIds::Stop() {
   for (int i = 0; i < shards(); ++i) {
     PushDown(i, [](ShardMsg& msg) { msg.kind = ShardMsg::Kind::kStop; });
   }
+  // A worker with down-ring backlog keeps emitting up-messages on its way
+  // to the kStop and blocks in PushUp if its up-ring fills — so keep
+  // draining until every worker has passed its kStop; only then is join()
+  // guaranteed to return.
+  for (;;) {
+    bool all_done = true;
+    for (const auto& shard : shards_) {
+      if (!shard->done.load(std::memory_order_acquire)) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    DrainUp();
+    std::this_thread::yield();
+  }
   for (auto& shard : shards_) {
     if (shard->thread.joinable()) shard->thread.join();
   }
   workers_joined_ = true;
   // Workers are gone; ring contents are final. Drain and replay everything.
   DrainUp();
-  ReplayAggregates(/*force_all=*/true);
+  ReplayAggregates(INT64_MAX);
 }
 
 // ------------------------------------------------------------- inspection

@@ -151,6 +151,9 @@ class ShardedIds {
   uint64_t ingest_stalls() const { return m_ingest_stalls_->value(); }
   /// Media-ownership transfers routed between shards so far.
   uint64_t ownership_transfers() const { return m_retracts_->value(); }
+  /// First-SDP-claim retractions sent to an endpoint's hash-fallback shard
+  /// (early media arrived before its negotiation; see SnoopSdp).
+  uint64_t early_media_retracts() const { return m_early_retracts_->value(); }
 
  private:
   // ---- messages ----
@@ -188,6 +191,12 @@ class ShardedIds {
     /// Times this worker found its up-ring full (worker-owned plain slot;
     /// the coordinator folds it into MergedMetrics post-Flush).
     uint64_t up_stalls = 0;
+    /// Set (release) by the worker after it popped kStop, just before it
+    /// returns. Stop() keeps draining the up-rings until every worker has
+    /// raised this — a worker with down-ring backlog can be blocked in
+    /// PushUp on a full up-ring, and joining it without draining would
+    /// deadlock.
+    std::atomic<bool> done{false};
 
     explicit Shard(size_t ring_capacity)
         : down(ring_capacity), up(ring_capacity) {}
@@ -235,7 +244,11 @@ class ShardedIds {
 
   // ---- coordinator (ingest thread) ----
   void DrainUp();
-  void ReplayAggregates(bool force_all);
+  /// Replays pending aggregate events with when_ns <= `frontier` in global
+  /// time order. The frontier must have been snapshotted (min processed_ns,
+  /// acquire) BEFORE the drain that filled pending_; INT64_MAX replays
+  /// everything (only valid once the rings are final).
+  void ReplayAggregates(int64_t frontier);
   void ReplayOne(const AggEvent& event);
   void EmitAlert(Alert alert);
   void PruneCoordinator(int64_t now_ns);
@@ -266,6 +279,7 @@ class ShardedIds {
   obs::MetricsRegistry coord_metrics_;
   obs::Counter* m_ingest_stalls_;
   obs::Counter* m_retracts_;
+  obs::Counter* m_early_retracts_;
   obs::Counter* m_agg_events_;
   obs::Counter* m_coord_alerts_;
   obs::Counter* m_coord_suppressed_;

@@ -471,6 +471,62 @@ TEST(ShardedBackpressure, TinyRingsStallButLoseNothing) {
   engine.Stop();
 }
 
+// ---------------------------------------------------- aggregate hooks
+
+TEST(AggregateHook, DrdosKeyIsVictimIpFromPacket) {
+  // The DRDoS replay key must be the packet's destination IP itself (the
+  // same key GetOrCreateDrdosGroup uses), not an event arg that could be
+  // absent — an empty-key fallback would collapse all victims into one
+  // shared window counter.
+  sim::Scheduler scheduler;
+  Vids vids(scheduler);
+  std::vector<std::string> keys;
+  vids.set_aggregate_hook([&](Vids::AggregateKind kind, std::string_view key,
+                              const ClassifiedPacket&) {
+    if (kind == Vids::AggregateKind::kUnsolicitedResponse) {
+      keys.emplace_back(key);
+    }
+  });
+  const net::Endpoint victim{net::IpAddress(10, 9, 1, 77), 5060};
+  const auto probe = MakeInvite(
+      "refl-probe", "victim", {net::IpAddress(10, 1, 0, 30), 23000}, kProxyB);
+  auto response = MakeResponse(probe, 200, std::nullopt);
+  response.SetCallId("refl-key@trace");
+  vids.Inspect(SipDgram(response, kProxyB, victim), false);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "10.9.1.77");
+}
+
+// ----------------------------------------------------------- shutdown
+
+TEST(ShardedShutdown, StopWithoutFlushDrainsBacklog) {
+  // Regression: Stop() used to push kStop and block in join() without
+  // draining the up-rings. With tiny rings and aggregate-heavy traffic a
+  // worker fills its up-ring while the kStop still waits behind down-ring
+  // backlog, and PushUp then blocks forever against a joining coordinator
+  // (the deadlock shows up as a test timeout). Stop() must keep draining
+  // until every worker has exited — and still surface every alert, since
+  // the destructor takes exactly this path with no prior Flush().
+  DetectionConfig detection;
+  ShardedConfig config;
+  config.shards = 2;
+  config.ring_capacity = 2;
+  ShardedIds engine(config);
+  TraceBuilder b;
+  b.Step();
+  const net::Endpoint victim{net::IpAddress(10, 9, 1, 77), 5060};
+  const auto probe = MakeInvite(
+      "refl-probe", "victim", {net::IpAddress(10, 1, 0, 30), 23000}, kProxyB);
+  for (int k = 0; k < detection.drdos_threshold + 50; ++k) {
+    auto response = MakeResponse(probe, 200, std::nullopt);
+    response.SetCallId("refl-stop-" + std::to_string(k) + "@trace");
+    engine.Ingest(SipDgram(response, kProxyB, victim), false, b.now());
+    b.Step();
+  }
+  engine.Stop();  // deliberately no Flush() first
+  EXPECT_GE(engine.CountAlerts(kAttackDrdos), 1u);
+}
+
 // ------------------------------------------------ ownership transfer
 
 TEST(ShardedOwnership, RenegotiationMovesMediaBetweenShards) {
@@ -510,6 +566,79 @@ TEST(ShardedOwnership, RenegotiationMovesMediaBetweenShards) {
   }
   EXPECT_EQ(media_entries, 1u);
   engine.Stop();
+}
+
+TEST(ShardedOwnership, EarlyMediaStateCollapsesOntoClaimingShard) {
+  // RTP that arrives before its SDP negotiation is hash-routed and builds
+  // per-endpoint keyed counters on the fallback shard. When the SDP claim
+  // lands on a different shard, the router must retract the fallback
+  // shard's partial state, so exactly one keyed media group per endpoint
+  // survives — split counters would make near-threshold detections depend
+  // on the hash layout.
+  ShardedConfig config;
+  config.shards = 4;
+  ShardedIds engine(config);
+  TraceBuilder b;
+  b.Step();
+  constexpr int kCalls = 8;
+  const auto callee_media = [](int c) {
+    return net::Endpoint{net::IpAddress(10, 2, 0, 10),
+                         static_cast<uint16_t>(30000 + 2 * c)};
+  };
+  const auto caller_media = [](int c) {
+    return net::Endpoint{net::IpAddress(10, 1, 0, 10),
+                         static_cast<uint16_t>(20000 + 2 * c)};
+  };
+  // Early media: RTP to each callee endpoint before any SDP mentions it.
+  for (int c = 0; c < kCalls; ++c) {
+    for (int i = 0; i < 3; ++i) {
+      b.Add(RtpDgram(0x700u + static_cast<uint32_t>(c),
+                     static_cast<uint16_t>(i), 160u * static_cast<uint32_t>(i),
+                     caller_media(c), callee_media(c)),
+            true);
+      b.Step();
+    }
+  }
+  // Then each call negotiates its endpoint, and media keeps flowing.
+  for (int c = 0; c < kCalls; ++c) {
+    b.EstablishCall("early-" + std::to_string(c) + "@trace", caller_media(c),
+                    callee_media(c));
+    b.Add(RtpDgram(0x700u + static_cast<uint32_t>(c), 100, 16000u,
+                   caller_media(c), callee_media(c)),
+          true);
+    b.Step();
+  }
+  sim::Time last;
+  for (const TracePacket& p : b.trace()) {
+    engine.Ingest(p.dgram, p.from_outside, p.when);
+    last = p.when;
+  }
+  engine.Flush(last);
+  // One keyed media group per endpoint across ALL shards: the pre-claim
+  // state on the hash-fallback shard was dropped when the negotiating
+  // call's shard claimed the endpoint.
+  size_t keyed = 0;
+  for (int i = 0; i < engine.shards(); ++i) {
+    keyed += engine.shard_vids(i).fact_base().keyed_count();
+  }
+  EXPECT_EQ(keyed, static_cast<size_t>(kCalls));
+  // With 16 claims over 4 shards, some hash-fallback shard must differ
+  // from its claimant (routing is deterministic, so this is stable).
+  EXPECT_GT(engine.early_media_retracts(), 0u);
+  engine.Stop();
+}
+
+TEST(FactBase, DropMediaKeyedGroupRemovesKeyedState) {
+  sim::Scheduler scheduler;
+  Vids vids(scheduler);
+  auto& fb = vids.fact_base();
+  const net::Endpoint endpoint{net::IpAddress(10, 2, 9, 5), 40000};
+  fb.GetOrCreateMediaGroup(endpoint);
+  EXPECT_EQ(fb.keyed_count(), 1u);
+  fb.DropMediaKeyedGroup(endpoint);
+  EXPECT_EQ(fb.keyed_count(), 0u);
+  fb.DropMediaKeyedGroup(endpoint);  // no-op when absent
+  EXPECT_EQ(fb.keyed_count(), 0u);
 }
 
 // ------------------------------------------------------------- stress
