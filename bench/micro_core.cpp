@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/spsc_ring.h"
 #include "rtp/packet.h"
 #include "sdp/sdp.h"
 #include "sip/message.h"
@@ -397,7 +398,7 @@ void BM_VidsInspectRtpInSession(benchmark::State& state) {
 }
 BENCHMARK(BM_VidsInspectRtpInSession);
 
-void BM_ShardedIngest(benchmark::State& state) {
+void RunShardedIngestBench(benchmark::State& state, ids::ShardedConfig config) {
   // End-to-end pipeline throughput of the sharded engine: router + SPSC
   // handoff + N workers inspecting in parallel. Steady-state in-session RTP
   // across pre-opened calls whose media endpoints were negotiated over SIP,
@@ -406,7 +407,6 @@ void BM_ShardedIngest(benchmark::State& state) {
   // shard counts — and against the `cores` counter, since a 1-core host
   // serializes the workers and cannot show scaling.
   const int shards = static_cast<int>(state.range(0));
-  ids::ShardedConfig config;
   config.shards = shards;
   config.ring_capacity = 4096;
   // Benign steady-state media at frozen simulated time would otherwise sit
@@ -476,7 +476,63 @@ void BM_ShardedIngest(benchmark::State& state) {
   state.counters["ingest_stalls"] =
       static_cast<double>(engine.ingest_stalls());
 }
+
+void BM_ShardedIngest(benchmark::State& state) {
+  // Slot-at-a-time configuration (batch_max = 1): the PR-5 handoff,
+  // unchanged semantics and no wall-clock reads on the ingest path — the
+  // single-core no-regression baseline.
+  ids::ShardedConfig config;
+  config.batch_max = 1;
+  config.agg_hold = sim::Duration::Seconds(0);
+  RunShardedIngestBench(state, config);
+}
 BENCHMARK(BM_ShardedIngest)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ShardedIngestBatched(benchmark::State& state) {
+  // Default batched configuration: up to batch_max slots per
+  // release/acquire pair on both rings, bounded-latency partial flush, and
+  // the shard-local aggregate staging path (DESIGN.md §12).
+  RunShardedIngestBench(state, ids::ShardedConfig{});
+}
+BENCHMARK(BM_ShardedIngestBatched)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_RingBatchPushPop(benchmark::State& state) {
+  // Raw SPSC ring cost of the batched producer/consumer ops, single
+  // threaded so it measures the index machinery (and the zero-alloc slot
+  // reuse), not scheduler noise. One iteration = one K-slot batch pushed,
+  // committed, read and popped.
+  const size_t batch = static_cast<size_t>(state.range(0));
+  common::SpscRing<std::string> ring(batch * 4);
+  const std::string payload(160, 'r');  // one G.729-sized RTP packet
+  // Warm lap: give every slot its capacity so the timed region reuses it.
+  for (size_t lap = 0; lap < ring.capacity() / batch; ++lap) {
+    for (size_t i = 0; i < batch; ++i) ring.BeginPushN()->assign(payload);
+    ring.CommitPushN();
+    ring.PopN(ring.FrontN(batch));
+  }
+  size_t moved = 0;
+  {
+    AllocCounter allocs(state);
+    for (auto _ : state) {
+      for (size_t i = 0; i < batch; ++i) ring.BeginPushN()->assign(payload);
+      ring.CommitPushN();
+      const size_t n = ring.FrontN(batch);
+      for (size_t i = 0; i < n; ++i) {
+        benchmark::DoNotOptimize(ring.At(i).data());
+      }
+      ring.PopN(n);
+      moved += n;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(moved));
+  state.counters["batch"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_RingBatchPushPop)->Arg(1)->Arg(8)->Arg(32);
 
 /// Runs a short in-session RTP scenario (same shape as
 /// BM_VidsInspectRtpInSession) and writes the IDS metric registry snapshot

@@ -29,14 +29,21 @@ Violations of the first two are fatal with --check (exit 1); cpu
 regressions stay warnings — CI runners are too noisy to gate on latency
 alone.
 
+Every appended run records the host's core count as `cpu_count` in its
+metadata (from the gbench context, falling back to os.cpu_count()), so a
+number taken on a 1-core container can never masquerade as a real
+scaling measurement later.
+
 --scaling screens the BM_ShardedIngest rows: the 4-shard pipeline must
 deliver >= 2x the single-shard throughput. The gate only binds when the
-run was recorded on a host with >= 4 cores (the benchmark publishes a
-`cores` counter) — a 1-core container serializes the workers, so there
-the screen reports a loud SKIP and exits 0 instead of recording a
-meaningless failure.
+run was recorded on a host with >= 4 cores (the run-level `cpu_count`,
+falling back to the benchmark's `cores` counter) — a 1-core container
+serializes the workers, so there the screen reports a loud SKIP naming
+the recorded core count and exits 0 instead of recording a meaningless
+failure.
 """
 import json
+import os
 import sys
 
 REGRESSION_TOLERANCE = 1.10
@@ -67,7 +74,7 @@ def screen_scaling(last: dict, check: bool) -> int:
         print("SCALING: 1- and 4-shard BM_ShardedIngest rows not both "
               "present in the run; nothing to screen", file=sys.stderr)
         return 1 if check else 0
-    cores = int(entries[4].get("cores", 0))
+    cores = int(last.get("cpu_count") or entries[4].get("cores", 0))
     if cores < 4:
         print(f"SCALING: SKIPPED — the run was recorded on {cores} core(s). "
               f"Four workers cannot outrun one on fewer than 4 cores; the "
@@ -201,8 +208,12 @@ def main() -> int:
     tracked["benchmarks"] = sorted(
         set(tracked.get("benchmarks", [])) | set(results)
     )
+    # Host core count stamped into the run: gbench records num_cpus in its
+    # context; fall back to the merging host if the run file lacks one.
+    cpu_count = run.get("context", {}).get("num_cpus") or os.cpu_count() or 0
     tracked["runs"] = [r for r in tracked["runs"] if r["label"] != label]
-    tracked["runs"].append({"label": label, "results": results})
+    tracked["runs"].append({"label": label, "cpu_count": int(cpu_count),
+                            "results": results})
 
     if metrics_path is not None:
         with open(metrics_path) as f:

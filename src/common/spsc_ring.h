@@ -26,6 +26,16 @@
 // producer's acquire re-read knows the slot is reusable. This pairing is
 // the happens-before edge the whole sharded engine leans on; see
 // DESIGN.md §11.
+//
+// Batched operations (DESIGN.md §12): the producer can reserve several
+// slots with repeated BeginPushN() calls and publish them all with a
+// single CommitPushN() — one release store for the whole batch. The
+// consumer mirrors with FrontN()/At()/PopN(): one acquire load exposes up
+// to K items, one release store retires them. Per-slot cost of the index
+// handoff therefore drops from one acquire/release pair per element to
+// one pair per batch. The single-element Begin/Commit/Front/Pop are the
+// K = 1 case of the same machinery, so single and batched calls can be
+// interleaved freely from the owning thread.
 #pragma once
 
 #include <atomic>
@@ -51,42 +61,77 @@ class SpscRing {
 
   size_t capacity() const { return mask_ + 1; }
 
-  /// Producer: reserve the next slot for writing, or nullptr if the ring is
-  /// full. The returned slot retains its previous contents (reuse its
-  /// buffers instead of reassigning fresh ones). Call CommitPush() to
-  /// publish; until then the consumer cannot see the slot.
-  T* BeginPush() {
-    const size_t tail = tail_.load(std::memory_order_relaxed);
+  // ---- producer side ----
+
+  /// Reserve the next slot after any still-unpublished batch slots, or
+  /// nullptr if the ring (counting the open batch) is full. The returned
+  /// slot retains its previous contents (reuse its buffers instead of
+  /// reassigning fresh ones). Nothing is visible to the consumer until
+  /// CommitPushN() publishes the whole open batch.
+  T* BeginPushN() {
+    const size_t tail = tail_.load(std::memory_order_relaxed) + pending_;
     if (tail - head_cache_ > mask_) {
       head_cache_ = head_.load(std::memory_order_acquire);
       if (tail - head_cache_ > mask_) return nullptr;  // full
     }
+    ++pending_;
     return &slots_[tail & mask_];
   }
 
-  /// Producer: publish the slot handed out by the last BeginPush().
-  void CommitPush() {
-    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+  /// Publish every slot reserved since the last commit: one release store
+  /// regardless of batch size. No-op when the batch is empty.
+  void CommitPushN() {
+    if (pending_ == 0) return;
+    tail_.store(tail_.load(std::memory_order_relaxed) + pending_,
+                std::memory_order_release);
+    pending_ = 0;
+  }
+
+  /// Slots reserved but not yet published (producer-side view).
+  size_t open_push() const { return pending_; }
+
+  /// Producer: reserve the next slot for writing, or nullptr if the ring is
+  /// full. Single-slot case of BeginPushN(); CommitPush() publishes it.
+  T* BeginPush() { return BeginPushN(); }
+
+  /// Producer: publish the open batch (for single-slot use, exactly the
+  /// slot handed out by the last BeginPush()).
+  void CommitPush() { CommitPushN(); }
+
+  // ---- consumer side ----
+
+  /// Number of items ready to read, capped at `max`. Re-reads the shared
+  /// tail only when the cached copy cannot already satisfy `max`, so a
+  /// consumer draining K at a time pays one acquire load per batch.
+  size_t FrontN(size_t max) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    size_t avail = tail_cache_ - head;
+    if (avail < max) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+    }
+    return avail < max ? avail : max;
+  }
+
+  /// The i-th oldest readable element; `i` must be < the last FrontN()
+  /// result. Valid until PopN() retires it.
+  T& At(size_t i) {
+    return slots_[(head_.load(std::memory_order_relaxed) + i) & mask_];
+  }
+
+  /// Consumer: retire the oldest `n` elements with one release store. The
+  /// elements are NOT destroyed — the producer reuses them in place.
+  void PopN(size_t n) {
+    head_.store(head_.load(std::memory_order_relaxed) + n,
                 std::memory_order_release);
   }
 
   /// Consumer: peek the oldest element, or nullptr if the ring is empty.
   /// The element stays valid until Pop().
-  T* Front() {
-    const size_t head = head_.load(std::memory_order_relaxed);
-    if (head == tail_cache_) {
-      tail_cache_ = tail_.load(std::memory_order_acquire);
-      if (head == tail_cache_) return nullptr;  // empty
-    }
-    return &slots_[head & mask_];
-  }
+  T* Front() { return FrontN(1) != 0 ? &At(0) : nullptr; }
 
-  /// Consumer: release the slot returned by Front(). The element is NOT
-  /// destroyed — the producer will reuse it in place on a later lap.
-  void Pop() {
-    head_.store(head_.load(std::memory_order_relaxed) + 1,
-                std::memory_order_release);
-  }
+  /// Consumer: release the slot returned by Front().
+  void Pop() { PopN(1); }
 
   /// Approximate occupancy; exact only from the producer or consumer thread.
   size_t SizeApprox() const {
@@ -101,6 +146,7 @@ class SpscRing {
   // Consumer-owned index + the producer's cached copy of it.
   alignas(64) std::atomic<size_t> head_{0};
   alignas(64) size_t head_cache_ = 0;   // producer-local
+  size_t pending_ = 0;                  // producer-local: open-batch size
   // Producer-owned index + the consumer's cached copy of it.
   alignas(64) std::atomic<size_t> tail_{0};
   alignas(64) size_t tail_cache_ = 0;   // consumer-local

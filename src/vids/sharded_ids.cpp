@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <optional>
 
 #include "rtp/rtcp.h"
@@ -43,16 +44,15 @@ void AssignAlert(Alert& dst, const Alert& src) {
   dst.group.assign(src.group);
   dst.state.assign(src.state);
   dst.detail.assign(src.detail);
-  dst.trigger.assign(src.trigger);
   dst.provenance.resize(src.provenance.size());
   for (size_t i = 0; i < src.provenance.size(); ++i) {
     dst.provenance[i].assign(src.provenance[i]);
   }
 }
 
-// How long a worker spins on an empty ring before backing off to a short
-// sleep (keeps an idle engine off 100% CPU without adding visible latency).
-constexpr int kIdleSpins = 256;
+// Hard cap on a shard's held-back aggregate events. A flood that outruns
+// agg_hold aging forces a full ship instead of unbounded staging growth.
+constexpr size_t kMaxHeldAggEvents = 1024;
 
 }  // namespace
 
@@ -71,9 +71,27 @@ ShardedIds::ShardedIds(ShardedConfig config)
           &coord_metrics_.GetCounter("sharded.endpoint_owner_routed")),
       m_rtp_hash_routed_(
           &coord_metrics_.GetCounter("sharded.endpoint_hash_routed")),
-      m_flushes_(&coord_metrics_.GetCounter("sharded.flushes")) {
+      m_flushes_(&coord_metrics_.GetCounter("sharded.flushes")),
+      m_escalations_(&coord_metrics_.GetCounter("sharded.agg_escalations")) {
   config_.shards = std::max(1, config_.shards);
+  config_.batch_max = std::max<size_t>(1, config_.batch_max);
   const int n = config_.shards;
+  // Escalation share: by pigeonhole, if a key sees more than `threshold`
+  // events inside one window globally, some shard saw at least
+  // ceil((threshold + 1) / shards) of them — so a shard whose local sketch
+  // holds that many events within a window-span knows the key could be in
+  // an over-threshold window and turns it hot. Fractions below 1.0 shrink
+  // the share (earlier escalation, more eager shipping); above 1.0 would
+  // let a real flood hide below every shard's share, so clamp.
+  const double frac = std::clamp(config_.agg_escalation_fraction, 0.0, 1.0);
+  const auto share = [&](int threshold) {
+    const double target =
+        frac * static_cast<double>(threshold + 1) / static_cast<double>(n);
+    return std::max<int64_t>(1, static_cast<int64_t>(std::ceil(target)));
+  };
+  esc_invite_share_ = share(config_.detection.invite_flood_threshold);
+  esc_drdos_share_ = share(config_.detection.drdos_threshold);
+
   pending_.resize(static_cast<size_t>(n));
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -100,18 +118,12 @@ ShardedIds::ShardedIds(ShardedConfig config)
                    const ClassifiedPacket& packet) {
           const std::string* src = packet.event.ArgStr(argkey::kSrcIp);
           const std::string* dst = packet.event.ArgStr(argkey::kDstIp);
-          PushUp(*sp, [&](UpMsg& up) {
-            up.kind = UpMsg::Kind::kAgg;
-            up.when_ns = sp->scheduler->Now().nanos();
-            up.agg = kind;
-            // Dest AOR (INVITE flood) or dotted victim IP (DRDoS) — the
-            // hook contract guarantees the key is populated for both.
-            up.key.assign(key);
-            up.src_ip.assign(src != nullptr ? std::string_view(*src)
-                                            : std::string_view());
-            up.dst_ip.assign(dst != nullptr ? std::string_view(*dst)
-                                            : std::string_view());
-          });
+          // Dest AOR (INVITE flood) or dotted victim IP (DRDoS) — the hook
+          // contract guarantees the key is populated for both.
+          BufferAggEvent(
+              *sp, kind, key,
+              src != nullptr ? std::string_view(*src) : std::string_view(),
+              dst != nullptr ? std::string_view(*dst) : std::string_view());
         });
     shards_.push_back(std::move(shard));
   }
@@ -127,96 +139,252 @@ ShardedIds::~ShardedIds() { Stop(); }
 
 template <typename Fill>
 void ShardedIds::PushUp(Shard& shard, Fill&& fill) {
-  UpMsg* slot = shard.up.BeginPush();
-  int idle = 0;
-  while (slot == nullptr) {
-    // The coordinator drains up-rings whenever it waits on a full down-ring
-    // and while it waits for workers to finish in Stop(), so this cannot
-    // deadlock against a blocked producer. It can still be a long wait if
-    // the driver thread simply goes quiet between Ingest/Pump calls — back
-    // off to a short sleep like WorkerLoop instead of spinning at 100% CPU.
-    ++shard.up_stalls;
-    if (++idle >= kIdleSpins) {
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    } else {
-      std::this_thread::yield();
-    }
-    slot = shard.up.BeginPush();
+  UpMsg* slot = shard.up.BeginPushN();
+  if (slot == nullptr) {
+    // Publish whatever the open batch holds — the coordinator can only
+    // free slots it can see — then wait for room. The coordinator drains
+    // up-rings whenever it waits on a full down-ring and while it waits in
+    // Flush()/Stop(), so this cannot deadlock against a blocked producer.
+    // It can still be a long wait if the driver thread goes quiet between
+    // Ingest/Pump calls — back off to a short sleep instead of spinning.
+    shard.up.CommitPushN();
+    common::SpinBackoff backoff(config_.idle_spins, config_.idle_sleep_us);
+    do {
+      ++shard.up_stalls;
+      backoff.Pause();
+      slot = shard.up.BeginPushN();
+    } while (slot == nullptr);
   }
   fill(*slot);
-  shard.up.CommitPush();
+  // No commit here: WorkerLoop publishes the whole batch of upstream
+  // messages with one release store at batch end.
+}
+
+void ShardedIds::BufferAggEvent(Shard& shard, Vids::AggregateKind kind,
+                                std::string_view key, std::string_view src_ip,
+                                std::string_view dst_ip) {
+  AggLocal& a = shard.agg;
+  const int64_t t = shard.scheduler->Now().nanos();
+
+  // Stage the event. Retired slots keep their string capacities; compact
+  // by sliding the live tail down (swap, not copy) so the vector's size is
+  // bounded by the peak number of simultaneously-held events.
+  if (a.end == a.buf.size() && a.begin > 0) {
+    const size_t live = a.live();
+    for (size_t i = 0; i < live; ++i) {
+      HeldAggEvent& dst = a.buf[i];
+      HeldAggEvent& src = a.buf[a.begin + i];
+      dst.when_ns = src.when_ns;
+      dst.kind = src.kind;
+      dst.key.swap(src.key);
+      dst.src_ip.swap(src.src_ip);
+      dst.dst_ip.swap(src.dst_ip);
+    }
+    a.begin = 0;
+    a.end = live;
+  }
+  if (a.end == a.buf.size()) a.buf.emplace_back();
+  HeldAggEvent& e = a.buf[a.end++];
+  e.when_ns = t;
+  e.kind = kind;
+  e.key.assign(key);
+  e.src_ip.assign(src_ip);
+  e.dst_ip.assign(dst_ip);
+  ++a.events_buffered;
+  if (a.live() > kMaxHeldAggEvents) {
+    ShipAggPrefix(shard, t);  // ships everything: `t` is the newest time
+  }
+
+  // Sliding sketch: record the key's last `share` event times; when all of
+  // them (including this one) fall inside one window-span, escalate.
+  const bool invite = kind == Vids::AggregateKind::kInviteRequest;
+  auto& sketches = invite ? a.invite_sketch : a.drdos_sketch;
+  const size_t share =
+      static_cast<size_t>(invite ? esc_invite_share_ : esc_drdos_share_);
+  const int64_t window_ns = (invite ? config_.detection.invite_flood_window
+                                    : config_.detection.drdos_window)
+                                .nanos();
+  auto it = sketches.find(key);
+  if (it == sketches.end()) {
+    it = sketches.emplace(std::string(key), AggSketch{}).first;
+  }
+  AggSketch& s = it->second;
+  s.last_event_ns = t;
+  if (s.hot) return;
+  if (s.recent.size() != share) s.recent.assign(share, INT64_MIN);
+  s.recent[s.next] = t;
+  s.next = (s.next + 1) % share;
+  // After the insert, recent[next] is the oldest of the stored `share`
+  // times; all of them within (t - window, t] means the local count alone
+  // could be part of a globally over-threshold window.
+  const int64_t oldest = s.recent[s.next];
+  if (oldest == INT64_MIN || oldest <= t - window_ns) return;
+  s.hot = true;
+  ++a.hot_keys;
+  PushUp(shard, [&](UpMsg& up) {
+    up.kind = UpMsg::Kind::kAggHot;
+    up.when_ns = t;
+    up.agg = kind;
+    up.key.assign(key);
+    up.src_ip.clear();
+    up.dst_ip.clear();
+  });
+}
+
+void ShardedIds::ShipAggPrefix(Shard& shard, int64_t horizon) {
+  AggLocal& a = shard.agg;
+  while (a.begin < a.end && a.buf[a.begin].when_ns <= horizon) {
+    const HeldAggEvent& e = a.buf[a.begin];
+    PushUp(shard, [&](UpMsg& up) {
+      up.kind = UpMsg::Kind::kAgg;
+      up.when_ns = e.when_ns;
+      up.agg = e.kind;
+      up.key.assign(e.key);
+      up.src_ip.assign(e.src_ip);
+      up.dst_ip.assign(e.dst_ip);
+    });
+    ++a.begin;
+    ++a.events_shipped;
+  }
+  if (a.begin == a.end) {
+    a.begin = 0;
+    a.end = 0;
+  }
+}
+
+void ShardedIds::PruneAggSketches(Shard& shard, int64_t now_ns) {
+  // Mirror the coordinator's window pruning: a sketch idle past the keyed
+  // horizon can restart cold (hot keys cool down — hotness only affects
+  // ship latency, never which events ship, so cooling is always safe).
+  const int64_t idle_ns = config_.detection.keyed_idle_timeout.nanos();
+  const auto prune = [&](StringKeyed<AggSketch>& sketches) {
+    std::erase_if(sketches, [&](const auto& kv) {
+      const AggSketch& s = kv.second;
+      if (now_ns - s.last_event_ns <= idle_ns) return false;
+      if (s.hot) --shard.agg.hot_keys;
+      return true;
+    });
+  };
+  prune(shard.agg.invite_sketch);
+  prune(shard.agg.drdos_sketch);
 }
 
 void ShardedIds::WorkerLoop(Shard& shard) {
   net::Datagram scratch;
-  int idle = 0;
-  for (;;) {
-    ShardMsg* msg = shard.down.Front();
-    if (msg == nullptr) {
-      if (++idle >= kIdleSpins) {
-        std::this_thread::sleep_for(std::chrono::microseconds(50));
-      } else {
-        std::this_thread::yield();
-      }
+  common::SpinBackoff backoff(config_.idle_spins, config_.idle_sleep_us);
+  const size_t batch_max = config_.batch_max;
+  const int64_t hold_ns = config_.agg_hold.nanos();
+  int64_t watermark = 0;
+  bool stopping = false;
+  while (!stopping) {
+    const size_t n = shard.down.FrontN(batch_max);
+    if (n == 0) {
+      backoff.Pause();
       continue;
     }
-    idle = 0;
-    const int64_t when_ns = msg->when_ns;
-    const sim::Time when = sim::Time::FromNanos(when_ns);
-    switch (msg->kind) {
-      case ShardMsg::Kind::kPacket: {
-        const bool from_outside = msg->from_outside;
-        scratch.src = msg->dgram.src;
-        scratch.dst = msg->dgram.dst;
-        scratch.kind = msg->dgram.kind;
-        scratch.padding_bytes = msg->dgram.padding_bytes;
-        scratch.sent_time = msg->dgram.sent_time;
-        scratch.id = msg->dgram.id;
-        // Swap, don't copy: the slot inherits the scratch's warm buffer for
-        // the producer's next assign — steady state moves zero heap.
-        scratch.payload.swap(msg->dgram.payload);
-        shard.down.Pop();
-        // Advance this shard's private clock so detection timers (flood
-        // windows, RTCP grace, sweeps) fire exactly as in the single
-        // engine: all events <= `when` run before the packet is inspected,
-        // matching the scheduler's timer-before-same-time-packet order.
-        if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
-        shard.vids->Inspect(scratch, from_outside);
-        break;
+    backoff.Reset();
+    size_t consumed = 0;
+    for (size_t i = 0; i < n && !stopping; ++i) {
+      ShardMsg& msg = shard.down.At(i);
+      ++consumed;
+      const int64_t when_ns = msg.when_ns;
+      const sim::Time when = sim::Time::FromNanos(when_ns);
+      switch (msg.kind) {
+        case ShardMsg::Kind::kPacket: {
+          scratch.src = msg.dgram.src;
+          scratch.dst = msg.dgram.dst;
+          scratch.kind = msg.dgram.kind;
+          scratch.padding_bytes = msg.dgram.padding_bytes;
+          scratch.sent_time = msg.dgram.sent_time;
+          scratch.id = msg.dgram.id;
+          // Swap, don't copy: the slot inherits the scratch's warm buffer
+          // for the producer's next assign — steady state moves zero heap.
+          scratch.payload.swap(msg.dgram.payload);
+          // Advance this shard's private clock so detection timers (flood
+          // windows, RTCP grace, sweeps) fire exactly as in the single
+          // engine: all events <= `when` run before the packet is
+          // inspected, matching the scheduler's timer-before-same-time-
+          // packet order.
+          if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
+          shard.vids->Inspect(scratch, msg.from_outside);
+          watermark = std::max(watermark, when_ns);
+          break;
+        }
+        case ShardMsg::Kind::kRetractMedia: {
+          if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
+          // This shard lost ownership of the endpoint: drop both the media
+          // index binding and the per-endpoint keyed counters, so exactly
+          // one shard counts the stream from the claim onward.
+          shard.vids->fact_base().RetractMedia(msg.endpoint);
+          shard.vids->fact_base().DropMediaKeyedGroup(msg.endpoint);
+          watermark = std::max(watermark, when_ns);
+          break;
+        }
+        case ShardMsg::Kind::kFlush: {
+          if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
+          // The barrier promises every aggregate event up to `when` is
+          // replayable: ship the whole staging buffer before the ack.
+          ShipAggPrefix(shard, INT64_MAX);
+          PruneAggSketches(shard, when_ns);
+          PushUp(shard, [&](UpMsg& up) {
+            up.kind = UpMsg::Kind::kFlushAck;
+            up.when_ns = when_ns;
+            up.token = msg.token;
+          });
+          watermark = std::max(watermark, when_ns);
+          break;
+        }
+        case ShardMsg::Kind::kAggHot: {
+          // Some shard escalated this key: bypass the hold locally too, so
+          // this shard's frontier keeps pace and the coordinator's merged
+          // replay of the hot key is not gated on our cold buffer.
+          const bool invite = msg.agg == Vids::AggregateKind::kInviteRequest;
+          auto& sketches =
+              invite ? shard.agg.invite_sketch : shard.agg.drdos_sketch;
+          auto it = sketches.find(msg.key);
+          if (it == sketches.end()) {
+            it = sketches.emplace(msg.key, AggSketch{}).first;
+          }
+          AggSketch& s = it->second;
+          if (!s.hot) {
+            s.hot = true;
+            ++shard.agg.hot_keys;
+          }
+          s.last_event_ns = std::max(s.last_event_ns, msg.when_ns);
+          break;
+        }
+        case ShardMsg::Kind::kStop: {
+          // Final ship so Stop()'s terminal replay sees every event.
+          ShipAggPrefix(shard, INT64_MAX);
+          stopping = true;
+          break;
+        }
       }
-      case ShardMsg::Kind::kRetractMedia: {
-        const net::Endpoint endpoint = msg->endpoint;
-        shard.down.Pop();
-        if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
-        // This shard lost ownership of the endpoint: drop both the media
-        // index binding and the per-endpoint keyed counters, so exactly one
-        // shard counts the stream from the claim onward.
-        shard.vids->fact_base().RetractMedia(endpoint);
-        shard.vids->fact_base().DropMediaKeyedGroup(endpoint);
-        break;
-      }
-      case ShardMsg::Kind::kFlush: {
-        const uint64_t token = msg->token;
-        shard.down.Pop();
-        if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
-        PushUp(shard, [&](UpMsg& up) {
-          up.kind = UpMsg::Kind::kFlushAck;
-          up.when_ns = when_ns;
-          up.token = token;
-        });
-        break;
-      }
-      case ShardMsg::Kind::kStop:
-        shard.down.Pop();
-        // After this store no further up-messages are pushed; Stop() drains
-        // until every worker has raised it, then joins.
-        shard.done.store(true, std::memory_order_release);
-        return;
     }
-    // Publish the frontier *after* every upstream message for this time is
-    // in the ring: an acquire read of processed_ns therefore covers them.
-    shard.processed_ns.store(when_ns, std::memory_order_release);
+    if (!stopping && shard.agg.live() != 0) {
+      // Cold events age out after agg_hold; while any key is hot the whole
+      // buffer ships every batch so replay tracks the packet frontier.
+      ShipAggPrefix(shard, shard.agg.hot_keys > 0 ? watermark
+                                                  : watermark - hold_ns);
+    }
+    // One release store publishes every upstream message of this batch
+    // (alerts, aggregate ships, escalations, acks) ...
+    shard.up.CommitPushN();
+    // ... one more retires the consumed down slots ...
+    shard.down.PopN(consumed);
+    // ... then the frontiers. agg_complete first: the events it vouches
+    // for are already committed above, so an acquire read that observes
+    // the new frontier also observes them in the ring (DESIGN.md §12).
+    const int64_t agg_complete = shard.agg.live() == 0
+                                     ? watermark
+                                     : shard.agg.buf[shard.agg.begin].when_ns -
+                                           1;
+    shard.agg_complete_ns.store(agg_complete, std::memory_order_release);
+    shard.processed_ns.store(watermark, std::memory_order_release);
   }
+  // After this store no further up-messages are pushed; Stop() drains
+  // until every worker has raised it, then joins.
+  shard.done.store(true, std::memory_order_release);
 }
 
 // ---------------------------------------------------------------- routing
@@ -224,18 +392,27 @@ void ShardedIds::WorkerLoop(Shard& shard) {
 template <typename Fill>
 void ShardedIds::PushDown(int shard_index, Fill&& fill) {
   Shard& shard = *shards_[static_cast<size_t>(shard_index)];
-  ShardMsg* slot = shard.down.BeginPush();
-  while (slot == nullptr) {
-    // Backpressure, not loss. Keep draining the up-rings while waiting so a
-    // worker blocked pushing alerts upstream can make progress — this pair
-    // of rules is what makes the ring cycle deadlock-free.
-    m_ingest_stalls_->Inc();
-    DrainUp();
-    std::this_thread::yield();
-    slot = shard.down.BeginPush();
+  ShardMsg* slot = shard.down.BeginPushN();
+  if (slot == nullptr) {
+    // Backpressure, not loss. Publish the open batch (the worker can only
+    // drain what it can see) and keep draining the up-rings while waiting
+    // so a worker blocked pushing alerts upstream can make progress — this
+    // pair of rules is what makes the ring cycle deadlock-free.
+    shard.down.CommitPushN();
+    do {
+      m_ingest_stalls_->Inc();
+      DrainUp();
+      std::this_thread::yield();
+      slot = shard.down.BeginPushN();
+    } while (slot == nullptr);
   }
   fill(*slot);
-  shard.down.CommitPush();
+  if (shard.down.open_push() >= config_.batch_max) shard.down.CommitPushN();
+}
+
+void ShardedIds::CommitAllDown() {
+  for (auto& shard : shards_) shard->down.CommitPushN();
+  down_open_ = false;
 }
 
 int ShardedIds::ShardOfCallId(std::string_view call_id) const {
@@ -364,6 +541,30 @@ void ShardedIds::Ingest(const net::Datagram& dgram, bool from_outside,
     msg.dgram.payload.assign(dgram.payload);  // reuses the slot's capacity
   });
 
+  // Bounded-latency flush: a partial batch is published once it has been
+  // open for batch_flush_us of wall clock (checked here, so the bound
+  // holds while the ingest thread keeps calling Ingest/Pump — see
+  // DESIGN.md §12). The batch_max == 1 configuration commits in PushDown
+  // and never touches the clock.
+  if (config_.batch_max > 1) {
+    bool any_open = false;
+    for (const auto& shard : shards_) {
+      if (shard->down.open_push() != 0) {
+        any_open = true;
+        break;
+      }
+    }
+    if (!any_open) {
+      down_open_ = false;
+    } else if (!down_open_) {
+      down_open_ = true;
+      down_open_since_ = std::chrono::steady_clock::now();
+    } else if (std::chrono::steady_clock::now() - down_open_since_ >=
+               std::chrono::microseconds(config_.batch_flush_us)) {
+      CommitAllDown();
+    }
+  }
+
   // Opportunistic upstream drain so alerts surface and the aggregate
   // replay keeps pace without the driver having to call Pump().
   if ((++ingest_count_ & 31U) == 0) DrainUp();
@@ -371,65 +572,108 @@ void ShardedIds::Ingest(const net::Datagram& dgram, bool from_outside,
 
 // ------------------------------------------------------------ coordinator
 
-void ShardedIds::Pump() { DrainUp(); }
+void ShardedIds::Pump() {
+  CommitAllDown();
+  DrainUp();
+}
 
 void ShardedIds::DrainUp() {
-  // Snapshot the replay frontier BEFORE draining. A shard pushes every
-  // aggregate event for time T (release through the ring) before it
-  // publishes processed_ns = T (release), so an acquire load of
-  // processed_ns >= T guarantees those events are already in the ring and
-  // land in pending_ below. Loading the frontier after the drain instead
-  // would let an event pushed mid-drain sit at-or-before a fresher
-  // frontier while missing from pending_ — and a later-timestamped event
-  // from another shard would replay ahead of it, out of order.
+  // Snapshot the replay frontier BEFORE draining. A shard commits every
+  // aggregate event it vouches for (release through the ring) before it
+  // publishes agg_complete_ns (release), so an acquire load of
+  // agg_complete_ns >= T guarantees those events are already in the ring
+  // and land in pending_ below. Loading the frontier after the drain
+  // instead would let an event committed mid-drain sit at-or-before a
+  // fresher frontier while missing from pending_ — and a later-timestamped
+  // event from another shard would replay ahead of it, out of order.
   int64_t frontier = INT64_MAX;
   for (const auto& shard : shards_) {
-    frontier = std::min(frontier,
-                        shard->processed_ns.load(std::memory_order_acquire));
+    frontier = std::min(
+        frontier, shard->agg_complete_ns.load(std::memory_order_acquire));
   }
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
-    while (UpMsg* msg = shard.up.Front()) {
-      switch (msg->kind) {
-        case UpMsg::Kind::kAlert: {
-          Alert alert = msg->alert;
-          shard.up.Pop();
-          EmitAlert(std::move(alert));
-          break;
-        }
-        case UpMsg::Kind::kAgg: {
-          m_agg_events_->Inc();
-          AggEvent event;
-          event.when_ns = msg->when_ns;
-          event.kind = msg->agg;
-          event.key = msg->key;
-          event.src_ip = msg->src_ip;
-          event.dst_ip = msg->dst_ip;
-          shard.up.Pop();
-          pending_[i].push_back(std::move(event));
-          break;
-        }
-        case UpMsg::Kind::kFlushAck: {
-          const uint64_t token = msg->token;
-          shard.up.Pop();
-          if (token == flush_token_) ++flush_acks_;
-          break;
+    for (;;) {
+      const size_t n = shard.up.FrontN(config_.batch_max);
+      if (n == 0) break;
+      for (size_t j = 0; j < n; ++j) {
+        UpMsg& msg = shard.up.At(j);
+        switch (msg.kind) {
+          case UpMsg::Kind::kAlert:
+            EmitAlert(msg.alert);  // copies; the slot keeps its buffers
+            break;
+          case UpMsg::Kind::kAgg: {
+            m_agg_events_->Inc();
+            AggEvent event;
+            event.when_ns = msg.when_ns;
+            event.kind = msg.agg;
+            event.key = msg.key;
+            event.src_ip = msg.src_ip;
+            event.dst_ip = msg.dst_ip;
+            pending_[i].push_back(std::move(event));
+            break;
+          }
+          case UpMsg::Kind::kAggHot: {
+            m_escalations_->Inc();
+            auto& hot = msg.agg == Vids::AggregateKind::kInviteRequest
+                            ? hot_invite_
+                            : hot_drdos_;
+            auto it = hot.find(msg.key);
+            if (it == hot.end()) {
+              hot.emplace(msg.key, msg.when_ns);
+              hot_pending_.push_back(
+                  HotBroadcast{msg.agg, msg.key, msg.when_ns});
+            } else {
+              it->second = std::max(it->second, msg.when_ns);
+            }
+            break;
+          }
+          case UpMsg::Kind::kFlushAck:
+            if (msg.token == flush_token_) ++flush_acks_;
+            break;
         }
       }
+      shard.up.PopN(n);
     }
   }
   ReplayAggregates(frontier);
+  BroadcastHotKeys();
+}
+
+void ShardedIds::BroadcastHotKeys() {
+  // Not while stopping: a worker past its kStop never drains its down-ring,
+  // so a push into a full one would wait forever. (The events behind the
+  // escalation still replay — Stop()'s terminal drain is ungated.)
+  if (broadcasting_ || stopping_ || hot_pending_.empty()) return;
+  broadcasting_ = true;
+  // Index loop, not iterators: PushDown can hit backpressure and re-enter
+  // DrainUp, which may append more escalations; the loop picks them up.
+  for (size_t b = 0; b < hot_pending_.size(); ++b) {
+    for (int s = 0; s < shards(); ++s) {
+      PushDown(s, [&](ShardMsg& msg) {
+        const HotBroadcast& hb = hot_pending_[b];  // re-index: DrainUp may
+        msg.kind = ShardMsg::Kind::kAggHot;        // have grown the vector
+        msg.when_ns = hb.when_ns;
+        msg.agg = hb.agg;
+        msg.key.assign(hb.key);
+      });
+    }
+  }
+  hot_pending_.clear();
+  CommitAllDown();
+  broadcasting_ = false;
 }
 
 void ShardedIds::ReplayAggregates(int64_t frontier) {
   // Safe-replay frontier (snapshotted by the caller before its drain):
-  // every shard has fully processed all its packets up to it, and every
-  // aggregate event at or before it is already in pending_. Events beyond
-  // the frontier wait — a slow shard may still emit an earlier one. (An
-  // event a shard pushes after the snapshot can tie the frontier exactly,
-  // never undercut it: per-ring times are non-decreasing and the window
-  // counters are order-insensitive within one instant, so a same-instant
-  // straggler replayed in a later batch lands on identical state.)
+  // every shard guarantees all its aggregate events at or before it are
+  // already in pending_. Events beyond the frontier wait — a slow or
+  // still-buffering shard may yet emit an earlier one. (An event a shard
+  // commits after the snapshot can tie the frontier exactly, never
+  // undercut it: per-ring times are non-decreasing, a shard's buffer only
+  // holds times above its published frontier, and the window counters are
+  // order-insensitive within one instant, so a same-instant straggler
+  // replayed in a later batch lands on identical state.)
   // K-way merge by event time. Ties across shards are replayed in shard
   // order; the window counters are order-insensitive within one instant
   // (counts and alert times depend only on the multiset of event times).
@@ -536,12 +780,25 @@ void ShardedIds::Flush(sim::Time now) {
       msg.token = flush_token_;
     });
   }
+  CommitAllDown();
   while (flush_acks_ < shards_.size()) {
     DrainUp();
     if (flush_acks_ < shards_.size()) std::this_thread::yield();
   }
-  // Every shard acked: frontiers are at now_ns, all aggregate events up to
-  // it are pending (or already replayed) — finish the replay and prune.
+  // Every shard acked — but an ack becomes visible with the batch's ring
+  // commit, which precedes the shard's frontier store. Wait until every
+  // aggregate-complete frontier actually reached now_ns, then the final
+  // drain's (snapshot-before-drain) replay covers everything up to it.
+  for (;;) {
+    int64_t agg_frontier = INT64_MAX;
+    for (const auto& shard : shards_) {
+      agg_frontier = std::min(
+          agg_frontier, shard->agg_complete_ns.load(std::memory_order_acquire));
+    }
+    if (agg_frontier >= now_ns) break;
+    DrainUp();
+    std::this_thread::yield();
+  }
   DrainUp();
   PruneCoordinator(now_ns);
 }
@@ -575,13 +832,24 @@ void ShardedIds::PruneCoordinator(int64_t now_ns) {
   };
   prune_windows(invite_windows_);
   prune_windows(drdos_windows_);
+  // Hot-key records age out on the same horizon as the worker sketches, so
+  // a key that cools everywhere can re-escalate (and re-broadcast) later.
+  const auto prune_hot = [&](StringKeyed<int64_t>& hot) {
+    std::erase_if(hot, [&](const auto& kv) {
+      return now_ns - kv.second > idle_ns;
+    });
+  };
+  prune_hot(hot_invite_);
+  prune_hot(hot_drdos_);
 }
 
 void ShardedIds::Stop() {
   if (workers_joined_) return;
+  stopping_ = true;  // no more down-ring broadcasts from here on
   for (int i = 0; i < shards(); ++i) {
     PushDown(i, [](ShardMsg& msg) { msg.kind = ShardMsg::Kind::kStop; });
   }
+  CommitAllDown();
   // A worker with down-ring backlog keeps emitting up-messages on its way
   // to the kStop and blocks in PushUp if its up-ring fills — so keep
   // draining until every worker has passed its kStop; only then is join()
@@ -602,7 +870,8 @@ void ShardedIds::Stop() {
     if (shard->thread.joinable()) shard->thread.join();
   }
   workers_joined_ = true;
-  // Workers are gone; ring contents are final. Drain and replay everything.
+  // Workers are gone; ring contents are final (every shard shipped its
+  // whole staging buffer at kStop). Drain and replay everything.
   DrainUp();
   ReplayAggregates(INT64_MAX);
 }
@@ -629,11 +898,17 @@ obs::MetricsRegistry ShardedIds::MergedMetrics() const {
   obs::MetricsRegistry merged;
   merged.MergeFrom(coord_metrics_);
   uint64_t up_stalls = 0;
+  uint64_t agg_buffered = 0;
+  uint64_t agg_shipped = 0;
   for (const auto& shard : shards_) {
     merged.MergeFrom(shard->vids->metrics());
     up_stalls += shard->up_stalls;
+    agg_buffered += shard->agg.events_buffered;
+    agg_shipped += shard->agg.events_shipped;
   }
   merged.GetCounter("sharded.worker_stalls").Inc(up_stalls);
+  merged.GetCounter("sharded.agg_events_buffered").Inc(agg_buffered);
+  merged.GetCounter("sharded.agg_events_shipped").Inc(agg_shipped);
   merged.GetGauge("sharded.shards").Set(shards());
   return merged;
 }
@@ -655,12 +930,23 @@ size_t ShardedIds::MemoryBytes() const {
     bytes += shard->vids->fact_base().MemoryBytes();
     bytes += (shard->down.capacity() * sizeof(ShardMsg) +
               shard->up.capacity() * sizeof(UpMsg));
+    bytes += shard->agg.buf.capacity() * sizeof(HeldAggEvent);
+    for (const auto* sketches :
+         {&shard->agg.invite_sketch, &shard->agg.drdos_sketch}) {
+      for (const auto& [key, sketch] : *sketches) {
+        bytes += key.capacity() + sizeof(AggSketch) +
+                 sketch.recent.capacity() * sizeof(int64_t);
+      }
+    }
   }
   bytes += media_owner_.size() * (sizeof(uint64_t) + sizeof(OwnerEntry));
   for (const auto* windows : {&invite_windows_, &drdos_windows_}) {
     for (const auto& [key, w] : *windows) {
       bytes += key.capacity() + sizeof(WinState);
     }
+  }
+  for (const auto* hot : {&hot_invite_, &hot_drdos_}) {
+    for (const auto& [key, t] : *hot) bytes += key.capacity() + sizeof(int64_t);
   }
   for (const auto& queue : pending_) bytes += queue.size() * sizeof(AggEvent);
   return bytes;

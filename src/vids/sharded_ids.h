@@ -33,15 +33,22 @@
 // destination AOR) and DRDoS reflection (per victim host) — cannot live in
 // any one shard, because their events originate on whichever shard the
 // carrying dialog hashed to. Shards therefore do not feed those window
-// counters locally (Vids::set_aggregate_hook); they forward each would-be
-// event up an SPSC ring, and the coordinator replays the merged,
-// time-ordered event stream into its own window counters with the exact
-// BuildWindowCounter semantics. The replay is gated on the *frontier* (the
-// minimum packet time any shard has fully processed, published with
-// release/acquire ordering), so events are replayed in global time order
-// even though shards drain at different speeds. The alert multiset is
-// therefore identical for every shard count — sharded_ids_test pins
-// shards=1 vs shards=4 vs the plain single-threaded Vids.
+// counters locally (Vids::set_aggregate_hook). Each shard *buffers* its
+// would-be events in a local, time-ordered staging buffer and keeps a
+// per-key sliding sketch of its most recent event times; events ship
+// upstream in batches once they age past `agg_hold`, or immediately when
+// the sketch detects that the shard's local share of a key could be part
+// of a global over-threshold window (escalation: the key turns *hot* on
+// every shard and bypasses the buffer from then on). The coordinator
+// replays the merged, time-ordered event stream into its own window
+// counters with the exact BuildWindowCounter semantics. The replay is
+// gated on the *aggregate-complete frontier* (the minimum time up to
+// which every shard guarantees all its aggregate events are already in
+// the ring, published with release/acquire ordering), so events are
+// replayed in global time order even though shards buffer and drain at
+// different speeds. The alert multiset is therefore identical for every
+// shard count — sharded_ids_test pins shards=1 vs shards=4 vs the plain
+// single-threaded Vids. See DESIGN.md §12 for the exactness argument.
 //
 // Thread-ownership invariants (see DESIGN.md §11):
 //   - each shard's Scheduler + Vids are touched only by its worker thread;
@@ -53,6 +60,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -63,6 +71,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/spsc_ring.h"
 #include "common/strings.h"
 #include "net/datagram.h"
@@ -87,6 +96,34 @@ struct ShardedConfig {
   /// Cap on the coordinator's merged alert history (0 = unlimited); same
   /// drop-oldest-half policy as Vids::set_max_retained_alerts.
   size_t max_retained_alerts = 0;
+
+  // --- batching (DESIGN.md §12) ---
+  /// Max ring slots published/consumed per release/acquire pair. 1
+  /// reproduces the PR-5 slot-at-a-time handoff exactly; larger values
+  /// amortize the index fences and the consumer wakeups over the batch.
+  size_t batch_max = 32;
+  /// Bound on how long (wall clock) a partial producer batch may stay
+  /// unpublished while the ingest thread keeps calling Ingest()/Pump().
+  /// Flush() and Stop() always publish immediately.
+  int64_t batch_flush_us = 50;
+  /// Busy-wait shape for the worker loops: yields before the first sleep,
+  /// then the idle sleep. See common/backoff.h for the defaults.
+  int idle_spins = common::kSpinsBeforeSleep;
+  int64_t idle_sleep_us = common::kIdleSleepMicros;
+
+  // --- coordinator-free aggregate path (DESIGN.md §12) ---
+  /// How long (simulated time) a shard may hold a cold aggregate event
+  /// locally before shipping it upstream. Larger values batch harder and
+  /// delay cold-key replay by at most this much; alerts carry event
+  /// timestamps, so the alert multiset is unaffected. 0 ships every event
+  /// at the end of the batch that produced it (PR-5 behavior, batched).
+  sim::Duration agg_hold = sim::Duration::Millis(250);
+  /// Fraction of the per-shard escalation share at which a key turns hot.
+  /// The share is ceil((threshold + 1) / shards): by pigeonhole at least
+  /// one shard reaches it inside any globally over-threshold window, so
+  /// values <= 1.0 preserve exact alerts (lower escalates earlier and
+  /// ships more events eagerly; values above 1.0 are clamped to 1.0).
+  double agg_escalation_fraction = 1.0;
 };
 
 class ShardedIds {
@@ -154,28 +191,82 @@ class ShardedIds {
   /// First-SDP-claim retractions sent to an endpoint's hash-fallback shard
   /// (early media arrived before its negotiation; see SnoopSdp).
   uint64_t early_media_retracts() const { return m_early_retracts_->value(); }
+  /// Shard-local sketch escalations reported to the coordinator: keys whose
+  /// local event density alone proved they could sit inside a globally
+  /// over-threshold window, and so turned hot (DESIGN.md §12).
+  uint64_t aggregate_escalations() const { return m_escalations_->value(); }
 
  private:
+  template <typename T>
+  using StringKeyed =
+      std::unordered_map<std::string, T, common::StringHash, std::equal_to<>>;
+
   // ---- messages ----
   struct ShardMsg {
-    enum class Kind : uint8_t { kPacket, kRetractMedia, kFlush, kStop };
+    enum class Kind : uint8_t {
+      kPacket,
+      kRetractMedia,
+      kFlush,
+      kStop,
+      kAggHot,  // coordinator broadcast: `key` escalated on some shard
+    };
     Kind kind = Kind::kPacket;
     int64_t when_ns = 0;
     bool from_outside = false;
-    net::Datagram dgram;     // kPacket (payload string reused in place)
-    net::Endpoint endpoint;  // kRetractMedia
-    uint64_t token = 0;      // kFlush
+    net::Datagram dgram;        // kPacket (payload string reused in place)
+    net::Endpoint endpoint;     // kRetractMedia
+    uint64_t token = 0;         // kFlush
+    Vids::AggregateKind agg{};  // kAggHot
+    std::string key;            // kAggHot (reused in place)
   };
   struct UpMsg {
-    enum class Kind : uint8_t { kAlert, kAgg, kFlushAck };
+    enum class Kind : uint8_t { kAlert, kAgg, kAggHot, kFlushAck };
     Kind kind = Kind::kAlert;
     int64_t when_ns = 0;
     Alert alert;                 // kAlert (strings reused in place)
-    Vids::AggregateKind agg{};   // kAgg
+    Vids::AggregateKind agg{};   // kAgg / kAggHot
     std::string key;             // kAgg: dest AOR (INVITE) / victim IP (DRDoS)
     std::string src_ip;          // kAgg: for the alert detail
     std::string dst_ip;
     uint64_t token = 0;          // kFlushAck
+  };
+
+  /// One shard-local held-back aggregate event (worker-owned).
+  struct HeldAggEvent {
+    int64_t when_ns = 0;
+    Vids::AggregateKind kind{};
+    std::string key;
+    std::string src_ip;
+    std::string dst_ip;
+  };
+
+  /// Per-key sliding sketch of this shard's most recent aggregate-event
+  /// times (worker-owned). `recent` is a ring of the last E event times,
+  /// E = the shard's escalation share: when all E land inside one
+  /// detection window, the shard's local count alone proves the key could
+  /// be inside a globally over-threshold window, and the key turns hot.
+  struct AggSketch {
+    std::vector<int64_t> recent;
+    size_t next = 0;
+    bool hot = false;
+    int64_t last_event_ns = 0;
+  };
+
+  /// Worker-owned aggregate staging state. The coordinator may read it
+  /// only behind a Flush() barrier (TrackedState/MemoryBytes).
+  struct AggLocal {
+    std::vector<HeldAggEvent> buf;  // time-ordered; [begin, end) live
+    size_t begin = 0;
+    size_t end = 0;
+    StringKeyed<AggSketch> invite_sketch;
+    StringKeyed<AggSketch> drdos_sketch;
+    /// Keys currently hot on this shard. While nonzero the whole buffer is
+    /// shipped at every batch end, so hot-key replay tracks the packet
+    /// frontier instead of lagging by agg_hold.
+    size_t hot_keys = 0;
+    uint64_t events_buffered = 0;  // total hook events staged
+    uint64_t events_shipped = 0;   // total shipped upstream
+    size_t live() const { return end - begin; }
   };
 
   struct Shard {
@@ -188,6 +279,12 @@ class ShardedIds {
     /// (release) after the worker pushed every upstream message for that
     /// time, so an acquire read covers them.
     std::atomic<int64_t> processed_ns{0};
+    /// Aggregate-complete frontier: every aggregate event this shard will
+    /// ever emit with when_ns <= this value is already published in the
+    /// up-ring. Written (release) after the batch's ships are committed;
+    /// the coordinator's replay gate is the min of these across shards.
+    std::atomic<int64_t> agg_complete_ns{0};
+    AggLocal agg;
     /// Times this worker found its up-ring full (worker-owned plain slot;
     /// the coordinator folds it into MergedMetrics post-Flush).
     uint64_t up_stalls = 0;
@@ -234,6 +331,19 @@ class ShardedIds {
   // that TU instantiates them.
   template <typename Fill>
   void PushUp(Shard& shard, Fill&& fill);
+  /// Aggregate hook target (worker thread): stages the event in the
+  /// shard-local buffer, updates the key's sliding sketch, and escalates
+  /// the key to hot when the sketch crosses the shard's share.
+  void BufferAggEvent(Shard& shard, Vids::AggregateKind kind,
+                      std::string_view key, std::string_view src_ip,
+                      std::string_view dst_ip);
+  /// Ships every held event with when_ns <= `horizon` upstream, in order,
+  /// into the open up-batch (not yet committed). Updates agg bookkeeping;
+  /// the caller publishes agg_complete_ns after committing.
+  void ShipAggPrefix(Shard& shard, int64_t horizon);
+  /// Drops sketch entries idle past the keyed horizon (worker thread;
+  /// runs on kFlush so the maps stay bounded like the coordinator's).
+  void PruneAggSketches(Shard& shard, int64_t now_ns);
 
   // ---- router (ingest thread) ----
   int RouteEndpoint(const net::Endpoint& endpoint, int64_t when_ns);
@@ -241,17 +351,23 @@ class ShardedIds {
   void SnoopSdp(std::string_view body, int shard, int64_t when_ns);
   template <typename Fill>
   void PushDown(int shard, Fill&& fill);
+  /// Publishes every shard's open down-batch (one release store each).
+  void CommitAllDown();
 
   // ---- coordinator (ingest thread) ----
   void DrainUp();
   /// Replays pending aggregate events with when_ns <= `frontier` in global
-  /// time order. The frontier must have been snapshotted (min processed_ns,
-  /// acquire) BEFORE the drain that filled pending_; INT64_MAX replays
-  /// everything (only valid once the rings are final).
+  /// time order. The frontier must have been snapshotted (min
+  /// agg_complete_ns, acquire) BEFORE the drain that filled pending_;
+  /// INT64_MAX replays everything (only valid once the rings are final).
   void ReplayAggregates(int64_t frontier);
   void ReplayOne(const AggEvent& event);
   void EmitAlert(Alert alert);
   void PruneCoordinator(int64_t now_ns);
+  /// Re-broadcasts queued shard escalations (kAggHot) down every ring.
+  /// Deferred out of the drain loop and guarded against re-entry: PushDown
+  /// can call DrainUp while it waits out backpressure.
+  void BroadcastHotKeys();
 
   ShardedConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -266,12 +382,38 @@ class ShardedIds {
   /// RTP hit and are pruned once idle past the shard-side state horizon.
   std::unordered_map<uint64_t, OwnerEntry> media_owner_;
 
-  template <typename T>
-  using StringKeyed =
-      std::unordered_map<std::string, T, common::StringHash, std::equal_to<>>;
   StringKeyed<WinState> invite_windows_;  // key = destination AOR
   StringKeyed<WinState> drdos_windows_;   // key = victim IP (dotted)
   std::vector<std::deque<AggEvent>> pending_;  // per-shard, time-ordered
+
+  /// Keys already broadcast hot, by kind → last escalation time. Dedups the
+  /// broadcast (several shards may escalate one key); pruned with the
+  /// window states once idle.
+  StringKeyed<int64_t> hot_invite_;
+  StringKeyed<int64_t> hot_drdos_;
+  struct HotBroadcast {
+    Vids::AggregateKind agg{};
+    std::string key;
+    int64_t when_ns = 0;
+  };
+  /// Escalations collected during DrainUp, broadcast after the drain (a
+  /// broadcast can hit backpressure, which re-enters DrainUp).
+  std::vector<HotBroadcast> hot_pending_;
+  bool broadcasting_ = false;
+  /// True once Stop() started: no more down-ring broadcasts (a worker past
+  /// its kStop never drains them, so a full ring would wait forever).
+  bool stopping_ = false;
+
+  /// Producer-batch flush bookkeeping (ingest thread; batch_max > 1 only,
+  /// so the batch_max == 1 configuration never reads the clock).
+  bool down_open_ = false;
+  std::chrono::steady_clock::time_point down_open_since_{};
+
+  /// Per-shard escalation shares: ceil(fraction * (threshold + 1) / shards)
+  /// local events inside one window turn a key hot. Computed once in the
+  /// constructor.
+  int64_t esc_invite_share_ = 1;
+  int64_t esc_drdos_share_ = 1;
 
   std::vector<Alert> alerts_;
   std::function<void(const Alert&)> alert_callback_;
@@ -287,6 +429,7 @@ class ShardedIds {
   obs::Counter* m_rtp_owner_routed_;
   obs::Counter* m_rtp_hash_routed_;
   obs::Counter* m_flushes_;
+  obs::Counter* m_escalations_;
 };
 
 }  // namespace vids::ids

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -224,6 +225,27 @@ TEST(Rng, NormalHasRoughlyRightMoments) {
   const double stddev = std::sqrt(sum_sq / n - mean * mean);
   EXPECT_NEAR(mean, 10.0, 0.15);
   EXPECT_NEAR(stddev, 3.0, 0.15);
+}
+
+// ---------------------------------------------------------------- backoff
+
+TEST(SpinBackoff, SleepsOnlyAfterSpinBudgetAndResetRestartsIt) {
+  // sleep_micros = 0 keeps the test fast: the sleep path still counts via
+  // sleeps() but degrades to a yield.
+  SpinBackoff backoff(/*spins=*/4, /*sleep_micros=*/0);
+  for (int i = 0; i < 3; ++i) backoff.Pause();
+  EXPECT_EQ(backoff.sleeps(), 0u);  // still inside the spin budget
+  for (int i = 0; i < 5; ++i) backoff.Pause();
+  EXPECT_EQ(backoff.sleeps(), 5u);  // every pause past the budget sleeps
+  backoff.Reset();                  // useful work: spin again
+  for (int i = 0; i < 3; ++i) backoff.Pause();
+  EXPECT_EQ(backoff.sleeps(), 5u);
+}
+
+TEST(SpinBackoff, DefaultsComeFromNamedConstants) {
+  SpinBackoff backoff;
+  for (int i = 0; i < kSpinsBeforeSleep - 1; ++i) backoff.Pause();
+  EXPECT_EQ(backoff.sleeps(), 0u);
 }
 
 }  // namespace

@@ -112,6 +112,141 @@ TEST(SpscRing, TwoThreadStressKeepsOrderAndLosesNothing) {
   EXPECT_EQ(ring.Front(), nullptr);
 }
 
+TEST(SpscRingBatched, WraparoundAtCapacityBoundaries) {
+  // Batches of every size from 1 to capacity, pushed/popped repeatedly so
+  // the open batch regularly straddles the index wraparound.
+  common::SpscRing<int> ring(8);
+  const size_t cap = ring.capacity();
+  int next_push = 0;
+  int next_pop = 0;
+  for (size_t batch = 1; batch <= cap; ++batch) {
+    for (int round = 0; round < 25; ++round) {
+      size_t pushed = 0;
+      while (pushed < batch) {
+        int* slot = ring.BeginPushN();
+        ASSERT_NE(slot, nullptr);  // ring is drained between rounds
+        *slot = next_push++;
+        ++pushed;
+      }
+      EXPECT_EQ(ring.open_push(), batch);
+      ring.CommitPushN();
+      EXPECT_EQ(ring.open_push(), 0u);
+      const size_t n = ring.FrontN(cap);
+      ASSERT_EQ(n, batch);
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(ring.At(i), next_pop++);
+      ring.PopN(n);
+      EXPECT_EQ(ring.FrontN(cap), 0u);
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+}
+
+TEST(SpscRingBatched, PartialBatchInvisibleUntilCommit) {
+  common::SpscRing<int> ring(8);
+  // Reserved-but-uncommitted slots must not be readable…
+  for (int i = 0; i < 3; ++i) {
+    int* slot = ring.BeginPushN();
+    ASSERT_NE(slot, nullptr);
+    *slot = i;
+    EXPECT_EQ(ring.FrontN(8), 0u) << "uncommitted slot leaked to consumer";
+  }
+  // …but they do count against capacity: the ring is full counting the
+  // open batch, and rejects rather than hands out an in-flight slot twice.
+  for (int i = 3; i < 8; ++i) {
+    int* slot = ring.BeginPushN();
+    ASSERT_NE(slot, nullptr);
+    *slot = i;
+  }
+  EXPECT_EQ(ring.BeginPushN(), nullptr);
+  ring.CommitPushN();  // one publish for all 8
+  ASSERT_EQ(ring.FrontN(8), 8u);
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(ring.At(i), static_cast<int>(i));
+  ring.PopN(8);
+}
+
+TEST(SpscRingBatched, InterleavedSingleAndBatchedOps) {
+  // Single push/pop is the K = 1 case of the batched machinery, so mixing
+  // them must preserve FIFO exactly.
+  common::SpscRing<int> ring(8);
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 50; ++round) {
+    // Two singles, then a batch of three.
+    for (int i = 0; i < 2; ++i) {
+      int* slot = ring.BeginPush();
+      ASSERT_NE(slot, nullptr);
+      *slot = next_push++;
+      ring.CommitPush();
+    }
+    for (int i = 0; i < 3; ++i) {
+      int* slot = ring.BeginPushN();
+      ASSERT_NE(slot, nullptr);
+      *slot = next_push++;
+    }
+    ring.CommitPushN();
+    // One single pop, then drain the rest batched.
+    int* front = ring.Front();
+    ASSERT_NE(front, nullptr);
+    EXPECT_EQ(*front, next_pop++);
+    ring.Pop();
+    const size_t n = ring.FrontN(8);
+    ASSERT_EQ(n, 4u);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(ring.At(i), next_pop++);
+    ring.PopN(n);
+  }
+  EXPECT_EQ(next_push, next_pop);
+}
+
+TEST(SpscRingBatched, TwoThreadStressKeepsOrderAndLosesNothing) {
+  // The batched analog of the single-op stress above, and the TSan surface
+  // for the one-release-store-per-batch publish: producer commits variable
+  // partial batches, consumer drains variable batch sizes.
+  const int n = [] {
+    if (const char* s = std::getenv("SHARDED_STRESS_PACKETS")) {
+      return std::max(1000, std::atoi(s));
+    }
+    return 200'000;
+  }();
+  common::SpscRing<int> ring(64);
+  std::thread producer([&] {
+    int i = 0;
+    while (i < n) {
+      // Vary the batch size so commits land on every ring offset.
+      const int want = 1 + (i % 7);
+      int reserved = 0;
+      while (reserved < want && i < n) {
+        int* slot = ring.BeginPushN();
+        if (slot == nullptr) break;  // full: publish what we have
+        *slot = i++;
+        ++reserved;
+      }
+      if (reserved > 0) {
+        ring.CommitPushN();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int expected = 0;
+  long long sum = 0;
+  while (expected < n) {
+    const size_t avail = ring.FrontN(1 + static_cast<size_t>(expected % 13));
+    if (avail == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (size_t i = 0; i < avail; ++i) {
+      ASSERT_EQ(ring.At(i), expected);  // strict FIFO under concurrency
+      sum += ring.At(i);
+      ++expected;
+    }
+    ring.PopN(avail);
+  }
+  producer.join();
+  EXPECT_EQ(sum, static_cast<long long>(n) * (n - 1) / 2);
+  EXPECT_EQ(ring.FrontN(1), 0u);
+}
+
 // ------------------------------------------------- trace infrastructure
 
 const net::Endpoint kProxyA{net::IpAddress(10, 1, 0, 1), 5060};
@@ -280,10 +415,8 @@ std::vector<Alert> RunPlain(const std::vector<TracePacket>& trace) {
   return vids.alerts();
 }
 
-std::vector<Alert> RunSharded(const std::vector<TracePacket>& trace,
-                              int shards) {
-  ShardedConfig config;
-  config.shards = shards;
+std::vector<Alert> RunShardedCfg(const std::vector<TracePacket>& trace,
+                                 ShardedConfig config) {
   ShardedIds engine(config);
   sim::Time last;
   for (const TracePacket& p : trace) {
@@ -293,6 +426,13 @@ std::vector<Alert> RunSharded(const std::vector<TracePacket>& trace,
   engine.Flush(last);
   engine.Stop();
   return engine.alerts();
+}
+
+std::vector<Alert> RunSharded(const std::vector<TracePacket>& trace,
+                              int shards) {
+  ShardedConfig config;
+  config.shards = shards;
+  return RunShardedCfg(trace, config);
 }
 
 // Benign calls interleaved with every attack scenario whose detection the
@@ -421,6 +561,59 @@ TEST(ShardedEquivalence, ShardCountsAgreeWithEachOther) {
   const auto eight = SortedSigs(RunSharded(trace, 8));
   EXPECT_EQ(one, two);
   EXPECT_EQ(one, eight);
+}
+
+TEST(ShardedEquivalence, BatchingKnobsNeverChangeAlerts) {
+  // The alert multiset must be invariant across the whole batching matrix:
+  // slot-at-a-time (batch_max = 1, the PR-5 handoff), deep batching with
+  // immediate aggregate shipping (agg_hold = 0), and deep batching with a
+  // hold so large that cold events only ever ship at Flush/Stop (so the
+  // escalation path and the barrier ships carry everything).
+  const auto trace = AttackScenarioTrace();
+  const auto baseline = SortedSigs(RunSharded(trace, 4));  // defaults
+  EXPECT_FALSE(baseline.empty());
+
+  ShardedConfig unbatched;
+  unbatched.shards = 4;
+  unbatched.batch_max = 1;
+  unbatched.agg_hold = sim::Duration::Seconds(0);
+  EXPECT_EQ(baseline, SortedSigs(RunShardedCfg(trace, unbatched)));
+
+  ShardedConfig eager;
+  eager.shards = 4;
+  eager.batch_max = 64;
+  eager.agg_hold = sim::Duration::Seconds(0);
+  EXPECT_EQ(baseline, SortedSigs(RunShardedCfg(trace, eager)));
+
+  ShardedConfig lazy;
+  lazy.shards = 4;
+  lazy.batch_max = 64;
+  lazy.agg_hold = sim::Duration::Seconds(3600);
+  lazy.agg_escalation_fraction = 0.5;  // escalate extra-early, ship eagerly
+  EXPECT_EQ(baseline, SortedSigs(RunShardedCfg(trace, lazy)));
+}
+
+TEST(ShardedEquivalence, FloodEscalatesShardSketchesToHot) {
+  // With an hour-long hold, cold events would only surface at the Flush
+  // barrier — so any timely shipping during the flood must come from the
+  // sketch escalation. Verify it fires, and that alerts stay exact.
+  const auto trace = AttackScenarioTrace();
+  ShardedConfig config;
+  config.shards = 4;
+  config.agg_hold = sim::Duration::Seconds(3600);
+  ShardedIds engine(config);
+  sim::Time last;
+  for (const TracePacket& p : trace) {
+    engine.Ingest(p.dgram, p.from_outside, p.when);
+    last = p.when;
+  }
+  engine.Flush(last);
+  // invite_flood_threshold = 5 on 4 shards → share = ceil(6/4) = 2: the
+  // 8-INVITE flood puts ≥ 2 same-window events on some shard. Same math
+  // for the 13-response DRDoS burst.
+  EXPECT_GT(engine.aggregate_escalations(), 0u);
+  engine.Stop();
+  EXPECT_EQ(SortedSigs(RunSharded(trace, 4)), SortedSigs(engine.alerts()));
 }
 
 TEST(ShardedEquivalence, TraceCoversEveryRelevantClassification) {
