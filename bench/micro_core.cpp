@@ -13,11 +13,13 @@
 #include <cstring>
 #include <fstream>
 #include <new>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/spsc_ring.h"
+#include "obs/metrics.h"
 #include "rtp/packet.h"
 #include "sdp/sdp.h"
 #include "sip/message.h"
@@ -398,7 +400,8 @@ void BM_VidsInspectRtpInSession(benchmark::State& state) {
 }
 BENCHMARK(BM_VidsInspectRtpInSession);
 
-void RunShardedIngestBench(benchmark::State& state, ids::ShardedConfig config) {
+void RunShardedIngestBench(benchmark::State& state, ids::ShardedConfig config,
+                           bool count_allocs = false) {
   // End-to-end pipeline throughput of the sharded engine: router + SPSC
   // handoff + N workers inspecting in parallel. Steady-state in-session RTP
   // across pre-opened calls whose media endpoints were negotiated over SIP,
@@ -459,11 +462,18 @@ void RunShardedIngestBench(benchmark::State& state, ids::ShardedConfig config) {
   engine.Flush(t0);  // warmup fully absorbed before the timed region
 
   size_t next = 0;
-  for (auto _ : state) {
-    const size_t i = next;
-    next = (next + 1) % kCalls;
-    patch(media[i], ++seq[i], ts[i] += 80);
-    engine.Ingest(media[i], true, t0);
+  {
+    // The counter covers every thread: worker-side allocations during the
+    // timed window land in allocs_per_iter too, which is the point — the
+    // whole pipeline must be allocation-free in steady state.
+    std::optional<AllocCounter> allocs;
+    if (count_allocs) allocs.emplace(state);
+    for (auto _ : state) {
+      const size_t i = next;
+      next = (next + 1) % kCalls;
+      patch(media[i], ++seq[i], ts[i] += 80);
+      engine.Ingest(media[i], true, t0);
+    }
   }
   // Ring backpressure ties the timed ingest rate to worker throughput to
   // within one ring of slack — negligible over the iteration counts the
@@ -484,6 +494,10 @@ void BM_ShardedIngest(benchmark::State& state) {
   ids::ShardedConfig config;
   config.batch_max = 1;
   config.agg_hold = sim::Duration::Seconds(0);
+  // Pin the observability knobs off too: this row is the no-regression
+  // baseline, so its ingest path must not read the wall clock at all.
+  config.trace_sample_period = 0;
+  config.watchdog_stall_ms = 0;
   RunShardedIngestBench(state, config);
 }
 BENCHMARK(BM_ShardedIngest)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
@@ -500,6 +514,41 @@ BENCHMARK(BM_ShardedIngestBatched)
     ->Arg(4)
     ->Arg(8)
     ->UseRealTime();
+
+void BM_ShardedPipelineSpans(benchmark::State& state) {
+  // Cost of the pipeline span layer on the default batched engine:
+  // range(1) is trace_sample_period (0 = sampling off). The /1/0 row is
+  // the zero-alloc gate — with sampling off the span path must be one
+  // always-false branch and no clock read, so steady-state ingest stays
+  // allocation-free; the sampled rows price the MonotonicNanos() pair plus
+  // three histogram records per sampled packet.
+  ids::ShardedConfig config;
+  config.trace_sample_period = static_cast<uint32_t>(state.range(1));
+  config.watchdog_stall_ms = 0;  // isolate span cost from watchdog polls
+  state.counters["trace_period"] = static_cast<double>(state.range(1));
+  RunShardedIngestBench(state, config, /*count_allocs=*/true);
+}
+BENCHMARK(BM_ShardedPipelineSpans)
+    ->Args({1, 0})
+    ->Args({1, 64})
+    ->Args({4, 64})
+    ->UseRealTime();
+
+void BM_HistogramRecord(benchmark::State& state) {
+  // One log2-bucket histogram record — the unit cost each sampled span
+  // pays three times. Values cycle across buckets so the bucket index
+  // computation is not branch-predicted away.
+  obs::Histogram histogram;
+  static constexpr int64_t kValues[] = {80, 1200, 65000, 900000};
+  benchmark::DoNotOptimize(&histogram);
+  size_t i = 0;
+  AllocCounter allocs(state);
+  for (auto _ : state) {
+    histogram.Record(kValues[i++ & 3]);
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramRecord);
 
 void BM_RingBatchPushPop(benchmark::State& state) {
   // Raw SPSC ring cost of the batched producer/consumer ops, single
@@ -573,6 +622,66 @@ void WriteMetricsSnapshot(const char* path) {
   out << vids.metrics().ToJson();
 }
 
+/// Runs the sharded pipeline with every packet spanned (trace period 1)
+/// and writes the merged cross-shard snapshot to `path`: per-shard
+/// `shard.N.lat.*` latency histograms, ring high-water marks, and
+/// flush-reason counters. report_bench.py --latency renders the p50/p95/p99
+/// table from this file.
+void WritePipelineSnapshot(const char* path) {
+  ids::ShardedConfig config;
+  config.shards = 4;
+  config.trace_sample_period = 1;
+  ids::ShardedIds engine(config);
+
+  const sim::Time t0 = sim::Time::FromNanos(1);
+  constexpr int kCalls = 8;
+  std::vector<net::Datagram> media;
+  for (int i = 0; i < kCalls; ++i) {
+    const net::Endpoint offer{net::IpAddress(10, 1, 0, 10),
+                              static_cast<uint16_t>(21000 + 2 * i)};
+    net::Datagram invite;
+    invite.src = kProxyA;
+    invite.dst = kProxyB;
+    invite.kind = net::PayloadKind::kSip;
+    invite.payload =
+        TypicalInvite("span-snapshot-" + std::to_string(i), offer).Serialize();
+    engine.Ingest(invite, true, t0);
+
+    rtp::RtpHeader header;
+    header.ssrc = 0x51000000u + static_cast<uint32_t>(i);
+    net::Datagram dgram;
+    dgram.src = net::Endpoint{net::IpAddress(10, 2, 0, 10),
+                              static_cast<uint16_t>(31000 + 2 * i)};
+    dgram.dst = offer;
+    dgram.kind = net::PayloadKind::kRtp;
+    dgram.payload = header.Serialize();
+    media.push_back(std::move(dgram));
+  }
+  // In-session media at frozen simulated time deliberately crosses the
+  // RTP-flood threshold: the resulting alerts exercise the ingest->alert
+  // histogram alongside the per-packet spans.
+  std::vector<uint16_t> seq(kCalls, 0);
+  std::vector<uint32_t> ts(kCalls, 0);
+  for (int k = 0; k < 500; ++k) {
+    for (int i = 0; i < kCalls; ++i) {
+      auto& dgram = media[static_cast<size_t>(i)];
+      const uint16_t s = ++seq[static_cast<size_t>(i)];
+      const uint32_t t = ts[static_cast<size_t>(i)] += 80;
+      dgram.payload[2] = static_cast<char>(s >> 8);
+      dgram.payload[3] = static_cast<char>(s & 0xFF);
+      dgram.payload[4] = static_cast<char>(t >> 24);
+      dgram.payload[5] = static_cast<char>((t >> 16) & 0xFF);
+      dgram.payload[6] = static_cast<char>((t >> 8) & 0xFF);
+      dgram.payload[7] = static_cast<char>(t & 0xFF);
+      engine.Ingest(dgram, true, t0);
+    }
+  }
+  engine.Flush(t0);
+
+  std::ofstream out(path);
+  out << engine.MergedMetrics().ToJson();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -582,6 +691,9 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   if (const char* path = std::getenv("VIDS_METRICS_OUT")) {
     WriteMetricsSnapshot(path);
+  }
+  if (const char* path = std::getenv("VIDS_PIPELINE_OUT")) {
+    WritePipelineSnapshot(path);
   }
   return 0;
 }

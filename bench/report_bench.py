@@ -3,6 +3,7 @@
 
 Usage: report_bench.py <BENCH_micro.json> <run-label> <gbench-output.json>
            [--metrics <metrics-snapshot.json>] [--check] [--scaling]
+           [--latency <pipeline-metrics.json>]
            [--require-zero-alloc <bench>]... [--allow-allocs <bench>]...
            [--baseline <tracked.json> <label>]
 
@@ -33,6 +34,16 @@ Every appended run records the host's core count as `cpu_count` in its
 metadata (from the gbench context, falling back to os.cpu_count()), so a
 number taken on a 1-core container can never masquerade as a real
 scaling measurement later.
+
+--latency attaches the merged pipeline snapshot (the JSON written by
+micro_core with VIDS_PIPELINE_OUT set) to the run entry as
+"pipeline_latency" and prints a p50/p95/p99 table of every `lat.*`
+histogram in it — both the cross-shard aggregates and the per-shard
+`shard.N.lat.*` series. It also gates the span layer's zero-cost claim:
+every BM_ShardedPipelineSpans row whose trace period argument is 0
+(sampling off) must report allocs_per_iter == 0, and at least one such
+row must exist — a missing or nonzero counter is fatal regardless of
+--check, because it means the "sampling off is free" number is broken.
 
 --scaling screens the BM_ShardedIngest rows: the 4-shard pipeline must
 deliver >= 2x the single-shard throughput. The gate only binds when the
@@ -93,6 +104,49 @@ def screen_scaling(last: dict, check: bool) -> int:
           f"throughput ({four:.0f} vs {one:.0f} items/s, {cores} cores)",
           file=sys.stderr)
     return 0
+
+
+def screen_latency(last: dict, snapshot: dict) -> int:
+    """Prints the pipeline latency table; gates the sampling-off rows."""
+    hists = snapshot.get("histograms", {})
+    rows = [(name, h) for name, h in sorted(hists.items())
+            if name.startswith("lat.") or ".lat." in name]
+    if not rows:
+        print("VIOLATION: the pipeline snapshot has no 'lat.*' histograms "
+              "(span sampling came unwired?)", file=sys.stderr)
+        return 1
+    print(f"{'pipeline histogram':<36} {'count':>9} {'p50_ns':>12} "
+          f"{'p95_ns':>12} {'p99_ns':>12}")
+    for name, h in rows:
+        print(f"{name:<36} {h['count']:>9} {h['p50']:>12} {h['p95']:>12} "
+              f"{h['p99']:>12}")
+
+    status = 0
+    off_rows = 0
+    for name, entry in sorted(last["results"].items()):
+        if not name.startswith("BM_ShardedPipelineSpans/"):
+            continue
+        parts = name.split("/")  # BM_.../<shards>/<period>[/real_time]
+        if len(parts) < 3 or parts[2] != "0":
+            continue
+        off_rows += 1
+        allocs = entry.get("allocs_per_iter")
+        if allocs is None:
+            print(f"VIOLATION: {name} runs with sampling off but does not "
+                  f"report allocs_per_iter (the allocation counter came "
+                  f"unwired)", file=sys.stderr)
+            status = 1
+        elif allocs != 0:
+            print(f"VIOLATION: {name} allocates with span sampling off "
+                  f"({allocs} allocs/iter; the disabled span path must be "
+                  f"free)", file=sys.stderr)
+            status = 1
+    if off_rows == 0:
+        print("VIOLATION: no BM_ShardedPipelineSpans sampling-off row in "
+              "the run; the zero-cost gate has nothing to screen",
+              file=sys.stderr)
+        status = 1
+    return status
 
 
 def screen(tracked: dict, check: bool, require_zero: list,
@@ -171,6 +225,8 @@ def main() -> int:
 
     metrics = take_values("--metrics")
     metrics_path = metrics[-1] if metrics else None
+    latency = take_values("--latency")
+    latency_path = latency[-1] if latency else None
     require_zero = take_values("--require-zero-alloc")
     allow_allocs = take_values("--allow-allocs")
     baselines = take_values("--baseline", count=2)
@@ -218,6 +274,11 @@ def main() -> int:
     if metrics_path is not None:
         with open(metrics_path) as f:
             tracked["runs"][-1]["metrics"] = json.load(f)
+    latency_snapshot = None
+    if latency_path is not None:
+        with open(latency_path) as f:
+            latency_snapshot = json.load(f)
+        tracked["runs"][-1]["pipeline_latency"] = latency_snapshot
 
     if len(tracked["runs"]) >= 2:
         base = tracked["runs"][0]["results"]
@@ -241,6 +302,9 @@ def main() -> int:
                     baseline, baseline_label)
     if scaling:
         status = max(status, screen_scaling(tracked["runs"][-1], check))
+    if latency_snapshot is not None:
+        status = max(status,
+                     screen_latency(tracked["runs"][-1], latency_snapshot))
 
     with open(tracked_path, "w") as f:
         json.dump(tracked, f, indent=2)

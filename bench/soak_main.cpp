@@ -8,13 +8,16 @@
 // any quantity failed to plateau — the CI gate against IDS-side leaks.
 //
 // Usage: soak [--calls=N] [--rate=CPS] [--seed=S] [--sample-every=SEC]
-//             [--attack-every=N] [--pause=SEC] [--shards=N] [--tap]
-//             [--duration=SEC] [--csv=FILE] [--check]
+//             [--attack-every=N] [--pause=SEC] [--shards=N] [--trace=N]
+//             [--tap] [--duration=SEC] [--csv=FILE] [--check]
 //
 // --shards=N drives the same workload through the sharded multi-worker
 // engine (N worker threads behind SPSC rings) instead of the direct
 // single-threaded Vids; the report then also prints wall-clock ingest
-// throughput for the scaling table.
+// throughput for the scaling table. --trace=N sets the pipeline span
+// sampling period for sharded runs (1-in-N packets, 0 = off), so the
+// soak's alert totals double as the proof that span sampling never
+// changes detection behavior.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +64,8 @@ int main(int argc, char** argv) {
       config.pause = sim::Duration::Seconds(value);
     } else if (ParseFlag(arg, "--shards", &value)) {
       config.shards = static_cast<int>(value);
+    } else if (ParseFlag(arg, "--trace", &value)) {
+      config.trace_sample_period = static_cast<uint32_t>(value);
     } else if (ParseFlag(arg, "--duration", &value)) {
       duration_s = value;
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {

@@ -1,20 +1,30 @@
 // Live metrics dashboard: the enterprise testbed under call workload and
 // attack load, summarized as periodic top-style frames from the metrics
-// registries, then a flight-recorder provenance dump for the last alert.
+// registries, then a flight-recorder provenance dump for the last alert,
+// and finally the sharded pipeline under load with per-shard columns.
 //
 //   $ ./build/examples/metrics_dashboard
 //
-// Each frame shows the two observability planes side by side: the
-// environment registry (what the network is doing — scheduler, SIP
-// transactions, RTP senders) and the IDS registry (what the vIDS sees —
-// packets, EFSM transitions and their sampled latency, alerts by
-// classification).
+// The first act shows the two single-engine observability planes side by
+// side: the environment registry (what the network is doing — scheduler,
+// SIP transactions, RTP senders) and the IDS registry (what the vIDS sees
+// — packets, EFSM transitions and their sampled latency, alerts by
+// classification). The second act switches to the multi-worker pipeline
+// view: a ShardedIds under synthetic call + media load, every packet
+// spanned, rendered as one row per shard — ring-depth high-water mark,
+// end-to-end ingest->inspect latency quantiles, span count — from the
+// merged cross-shard snapshot that the Prometheus exporter also serves.
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "rtp/packet.h"
+#include "sdp/sdp.h"
+#include "sip/message.h"
 #include "testbed/testbed.h"
+#include "vids/sharded_ids.h"
 
 using namespace vids;
 
@@ -80,6 +90,126 @@ void PrintFrame(testbed::Testbed& bed, uint64_t last_transitions,
   std::printf("\n");
 }
 
+/// One frame of the pipeline view: per-shard ring depth / latency / span
+/// columns out of the merged snapshot. The snapshot is taken after a
+/// Flush() barrier, so every worker-written series in it is quiescent.
+void PrintPipelineFrame(const ids::ShardedIds& engine,
+                        const obs::MetricsRegistry& merged) {
+  std::printf("  shard |  ring depth hwm | e2e p50      p99        | spans\n");
+  char name[64];
+  for (int i = 0; i < engine.shards(); ++i) {
+    std::snprintf(name, sizeof(name), "shard.%d.ring.down_depth_hwm", i);
+    const obs::Gauge* depth = merged.FindGauge(name);
+    std::snprintf(name, sizeof(name), "shard.%d.lat.e2e", i);
+    const obs::Histogram* e2e = merged.FindHistogram(name);
+    std::printf("  %5d | %15lld |", i,
+                depth == nullptr ? 0LL
+                                 : static_cast<long long>(depth->value()));
+    if (e2e != nullptr && e2e->count() > 0) {
+      std::printf(" %9.3fms %9.3fms |",
+                  static_cast<double>(e2e->Quantile(0.5)) / 1e6,
+                  static_cast<double>(e2e->Quantile(0.99)) / 1e6);
+    } else {
+      std::printf(" %9s   %9s   |", "-", "-");
+    }
+    std::printf(" %llu\n",
+                e2e == nullptr
+                    ? 0ULL
+                    : static_cast<unsigned long long>(e2e->count()));
+  }
+  const auto counter = [&merged](std::string_view n) -> uint64_t {
+    const obs::Counter* c = merged.FindCounter(n);
+    return c == nullptr ? 0 : c->value();
+  };
+  std::printf("  flushes: full=%llu deadline=%llu barrier=%llu   "
+              "alerts=%llu\n",
+              static_cast<unsigned long long>(
+                  counter("pipeline.flush.full")),
+              static_cast<unsigned long long>(
+                  counter("pipeline.flush.deadline")),
+              static_cast<unsigned long long>(
+                  counter("pipeline.flush.barrier")),
+              static_cast<unsigned long long>(counter("vids.alerts")));
+}
+
+/// Drives a ShardedIds with synthetic calls + in-session media (every
+/// packet spanned) and renders the per-shard pipeline frames.
+void RunPipelineView() {
+  ids::ShardedConfig config;
+  config.shards = 4;
+  config.trace_sample_period = 1;
+  ids::ShardedIds engine(config);
+
+  const net::Endpoint proxy_a{net::IpAddress(10, 1, 0, 1), 5060};
+  const net::Endpoint proxy_b{net::IpAddress(10, 2, 0, 1), 5060};
+  constexpr int kCalls = 8;
+  const sim::Time t0 = sim::Time::FromNanos(1);
+  std::vector<net::Datagram> media;
+  for (int i = 0; i < kCalls; ++i) {
+    const net::Endpoint offer{net::IpAddress(10, 1, 0, 10),
+                              static_cast<uint16_t>(40000 + 2 * i)};
+    auto invite = sip::Message::MakeRequest(
+        sip::Method::kInvite, *sip::SipUri::Parse("sip:bob@b.example.com"));
+    sip::Via via;
+    via.sent_by = proxy_a;
+    via.branch = "z9hG4bKdash" + std::to_string(i);
+    invite.PushVia(via);
+    sip::NameAddr from;
+    from.uri = *sip::SipUri::Parse("sip:alice@a.example.com");
+    from.SetTag("tag-alice");
+    invite.SetFrom(from);
+    sip::NameAddr to;
+    to.uri = *sip::SipUri::Parse("sip:bob@b.example.com");
+    invite.SetTo(to);
+    invite.SetCallId("dashboard-" + std::to_string(i));
+    invite.SetCseq(sip::CSeq{1, sip::Method::kInvite});
+    invite.SetBody(sdp::MakeAudioOffer(offer).Serialize(), "application/sdp");
+
+    net::Datagram d_invite;
+    d_invite.src = proxy_a;
+    d_invite.dst = proxy_b;
+    d_invite.kind = net::PayloadKind::kSip;
+    d_invite.payload = invite.Serialize();
+    engine.Ingest(d_invite, true, t0);
+
+    rtp::RtpHeader header;
+    header.ssrc = 0xDA000000u + static_cast<uint32_t>(i);
+    net::Datagram dgram;
+    dgram.src = net::Endpoint{net::IpAddress(10, 2, 0, 10),
+                              static_cast<uint16_t>(42000 + 2 * i)};
+    dgram.dst = offer;
+    dgram.kind = net::PayloadKind::kRtp;
+    dgram.payload = header.Serialize();
+    media.push_back(std::move(dgram));
+  }
+
+  std::printf("\nsharded pipeline view: %d workers, every packet spanned\n",
+              engine.shards());
+  std::vector<uint16_t> seq(kCalls, 0);
+  std::vector<uint32_t> ts(kCalls, 0);
+  for (int frame = 0; frame < 3; ++frame) {
+    for (int k = 0; k < 150; ++k) {
+      for (int i = 0; i < kCalls; ++i) {
+        auto& dgram = media[static_cast<size_t>(i)];
+        const uint16_t s = ++seq[static_cast<size_t>(i)];
+        const uint32_t t = ts[static_cast<size_t>(i)] += 160;
+        dgram.payload[2] = static_cast<char>(s >> 8);
+        dgram.payload[3] = static_cast<char>(s & 0xFF);
+        dgram.payload[4] = static_cast<char>(t >> 24);
+        dgram.payload[5] = static_cast<char>((t >> 16) & 0xFF);
+        dgram.payload[6] = static_cast<char>((t >> 8) & 0xFF);
+        dgram.payload[7] = static_cast<char>(t & 0xFF);
+        engine.Ingest(dgram, true, t0);
+      }
+    }
+    engine.Flush(t0);  // barrier: quiesce every shard before the snapshot
+    std::printf("---- pipeline frame %d (+%d media packets) ----\n",
+                frame + 1, 150 * kCalls);
+    PrintPipelineFrame(engine, engine.MergedMetrics());
+  }
+  engine.Stop();
+}
+
 }  // namespace
 
 int main() {
@@ -133,5 +263,8 @@ int main() {
 
   std::printf("\nfinal IDS registry snapshot:\n%s",
               bed.vids()->metrics().ToJson().c_str());
+
+  // Act two: the same observability stack on the multi-worker pipeline.
+  RunPipelineView();
   return 0;
 }

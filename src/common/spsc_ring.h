@@ -139,6 +139,14 @@ class SpscRing {
            head_.load(std::memory_order_acquire);
   }
 
+  /// Occupancy as the producer sees it, counting the open (uncommitted)
+  /// batch. Producer thread only. May overestimate — head_cache_ refreshes
+  /// only when a push finds the ring full — which is the right bias for a
+  /// high-water-mark gauge: depth is never under-reported.
+  size_t SizeFromProducer() const {
+    return tail_.load(std::memory_order_relaxed) + pending_ - head_cache_;
+  }
+
  private:
   std::vector<T> slots_;
   size_t mask_ = 0;

@@ -544,6 +544,7 @@ SoakDriver::SoakDriver(SoakConfig config) {
     sharded.ring_capacity = config.ring_capacity;
     sharded.detection = config.detection;
     sharded.max_retained_alerts = config.max_retained_alerts;
+    sharded.trace_sample_period = config.trace_sample_period;
     sharded_ = std::make_unique<ids::ShardedIds>(sharded);
   } else {
     vids_ = std::make_unique<ids::Vids>(scheduler_, config.detection);

@@ -74,6 +74,11 @@ struct SoakConfig {
   int shards = 0;
   /// Per-ring slot count for the sharded engine (ignored when shards == 0).
   size_t ring_capacity = 1024;
+  /// Pipeline span sampling period handed to ShardedIds (ignored when
+  /// shards == 0): 1-in-N ingested packets carries a latency span. The
+  /// default matches ShardedConfig; 0 disables sampling so the soak can
+  /// also prove the untraced path, and 1 spans every packet.
+  uint32_t trace_sample_period = 1024;
 };
 
 /// One fixed-interval snapshot of everything that must stay bounded.

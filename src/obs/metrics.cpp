@@ -65,20 +65,46 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   }
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other,
+                                std::string_view prefix) {
+  std::string name;  // one scratch key reused across the whole fold
+  const auto prefixed = [&](std::string_view suffix) -> const std::string& {
+    name.assign(prefix);
+    name.append(suffix);
+    return name;
+  };
+  for (const auto& [suffix, counter] : other.counters_) {
+    GetCounter(prefixed(suffix)).Inc(counter.value());
+  }
+  for (const auto& [suffix, gauge] : other.gauges_) {
+    GetGauge(prefixed(suffix)).Add(gauge.value());
+  }
+  for (const auto& [suffix, histogram] : other.histograms_) {
+    GetHistogram(prefixed(suffix)).MergeFrom(histogram);
+  }
+}
+
+// Get* descend the tree once: lower_bound both answers the lookup and, on a
+// miss, hints the insert at the right position. The per-shard merge path
+// registers dozens of prefixed names per snapshot, so the old find+emplace
+// double walk (which also constructed a throwaway 500-byte Histogram
+// argument before knowing whether the key existed) paid twice per metric.
+// std::map storage keeps every previously returned reference stable across
+// any number of later registrations.
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  const auto it = counters_.find(name);
-  if (it != counters_.end()) return it->second;
-  return counters_.emplace(std::string(name), Counter{}).first->second;
+  const auto it = counters_.lower_bound(name);
+  if (it != counters_.end() && it->first == name) return it->second;
+  return counters_.try_emplace(it, std::string(name))->second;
 }
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  const auto it = gauges_.find(name);
-  if (it != gauges_.end()) return it->second;
-  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+  const auto it = gauges_.lower_bound(name);
+  if (it != gauges_.end() && it->first == name) return it->second;
+  return gauges_.try_emplace(it, std::string(name))->second;
 }
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  const auto it = histograms_.find(name);
-  if (it != histograms_.end()) return it->second;
-  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+  const auto it = histograms_.lower_bound(name);
+  if (it != histograms_.end() && it->first == name) return it->second;
+  return histograms_.try_emplace(it, std::string(name))->second;
 }
 
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
@@ -131,6 +157,7 @@ std::string MetricsRegistry::ToJson(bool include_histograms) const {
       out << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": "
           << h.count() << ", \"sum\": " << h.sum() << ", \"min\": " << h.min()
           << ", \"max\": " << h.max() << ", \"p50\": " << h.Quantile(0.5)
+          << ", \"p95\": " << h.Quantile(0.95)
           << ", \"p99\": " << h.Quantile(0.99) << "}";
       first = false;
     }
@@ -148,32 +175,79 @@ std::string PromName(std::string_view name) {
   }
   return out;
 }
+
+/// Splits a merged-snapshot name into its Prometheus family name and label
+/// set: "shard.3.lat.e2e" → family "lat_e2e", labels `shard="3"`. Names
+/// without the shard prefix (including "sharded.*") pass through unlabeled.
+struct PromSeries {
+  std::string name;
+  std::string labels;  // without braces; empty = no labels
+};
+PromSeries PromSplit(std::string_view name) {
+  constexpr std::string_view kShard = "shard.";
+  if (name.substr(0, kShard.size()) == kShard) {
+    size_t digits_end = kShard.size();
+    while (digits_end < name.size() && name[digits_end] >= '0' &&
+           name[digits_end] <= '9') {
+      ++digits_end;
+    }
+    if (digits_end > kShard.size() && digits_end + 1 < name.size() &&
+        name[digits_end] == '.') {
+      return {PromName(name.substr(digits_end + 1)),
+              "shard=\"" +
+                  std::string(name.substr(kShard.size(),
+                                          digits_end - kShard.size())) +
+                  "\""};
+    }
+  }
+  return {PromName(name), ""};
+}
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheus() const {
   std::ostringstream out;
+  // With shard labels, several registry entries can map onto one metric
+  // family; the TYPE header must appear once per family, not per series.
+  std::map<std::string, bool> typed;
+  const auto type_line = [&](const std::string& family, const char* type) {
+    if (typed.emplace(family, true).second) {
+      out << "# TYPE " << family << " " << type << "\n";
+    }
+  };
+  const auto series = [](const PromSeries& s,
+                         std::string_view extra = {}) -> std::string {
+    if (s.labels.empty() && extra.empty()) return s.name;
+    std::string line = s.name + "{" + s.labels;
+    if (!s.labels.empty() && !extra.empty()) line += ",";
+    line.append(extra);
+    line += "}";
+    return line;
+  };
   for (const auto& [name, counter] : counters_) {
-    const std::string p = PromName(name);
-    out << "# TYPE " << p << " counter\n" << p << " " << counter.value()
-        << "\n";
+    const PromSeries s = PromSplit(name);
+    type_line(s.name, "counter");
+    out << series(s) << " " << counter.value() << "\n";
   }
   for (const auto& [name, gauge] : gauges_) {
-    const std::string p = PromName(name);
-    out << "# TYPE " << p << " gauge\n" << p << " " << gauge.value() << "\n";
+    const PromSeries s = PromSplit(name);
+    type_line(s.name, "gauge");
+    out << series(s) << " " << gauge.value() << "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    const std::string p = PromName(name);
-    out << "# TYPE " << p << " histogram\n";
+    const PromSeries s = PromSplit(name);
+    type_line(s.name, "histogram");
+    const PromSeries bucket{s.name + "_bucket", s.labels};
     uint64_t cumulative = 0;
     for (size_t b = 0; b < Histogram::kBuckets; ++b) {
       if (h.buckets()[b] == 0) continue;
       cumulative += h.buckets()[b];
-      out << p << "_bucket{le=\"" << Histogram::BucketBound(b) << "\"} "
-          << cumulative << "\n";
+      out << series(bucket, "le=\"" + std::to_string(Histogram::BucketBound(b)) +
+                                "\"")
+          << " " << cumulative << "\n";
     }
-    out << p << "_bucket{le=\"+Inf\"} " << h.count() << "\n"
-        << p << "_sum " << h.sum() << "\n"
-        << p << "_count " << h.count() << "\n";
+    out << series(bucket, "le=\"+Inf\"") << " " << h.count() << "\n"
+        << series({s.name + "_sum", s.labels}) << " " << h.sum() << "\n"
+        << series({s.name + "_count", s.labels}) << " " << h.count() << "\n";
   }
   return out.str();
 }

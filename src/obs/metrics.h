@@ -187,7 +187,10 @@ class MetricsRegistry {
   /// values, so replay/equality checks pass include_histograms = false.
   std::string ToJson(bool include_histograms = true) const;
 
-  /// Prometheus text exposition format ('.' and '-' become '_').
+  /// Prometheus text exposition format ('.' and '-' become '_'). Metric
+  /// names of the form "shard.<N>.<rest>" (the sharded engine's merged
+  /// snapshot) are exported as `<rest>{shard="<N>"}` so one metric family
+  /// carries every shard as a labeled series.
   std::string ToPrometheus() const;
 
   /// Folds every metric of `other` into this registry: counters and gauges
@@ -195,6 +198,10 @@ class MetricsRegistry {
   /// registered. The sharded engine rebuilds its merged snapshot by merging
   /// each quiescent shard registry into a fresh one.
   void MergeFrom(const MetricsRegistry& other);
+  /// Same fold, but every metric of `other` lands under `prefix` + its name.
+  /// The sharded engine uses prefix "shard.<N>." to keep per-shard series
+  /// next to the cross-shard aggregates in one snapshot.
+  void MergeFrom(const MetricsRegistry& other, std::string_view prefix);
 
   size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();

@@ -10,6 +10,7 @@ std::string_view AlertKindName(AlertKind kind) {
     case AlertKind::kSpecDeviation: return "DEVIATION";
     case AlertKind::kMalformed: return "MALFORMED";
     case AlertKind::kNondeterminism: return "NONDETERMINISM";
+    case AlertKind::kEngineHealth: return "ENGINE_HEALTH";
   }
   return "?";
 }

@@ -22,9 +22,18 @@ enum class AlertKind : uint8_t {
   /// A machine definition fired multiple predicates at once (§4.1 wants
   /// them mutually disjoint) — a bug in the ruleset, surfaced loudly.
   kNondeterminism,
+  /// The engine itself is unhealthy: the sharded coordinator's watchdog
+  /// detected a worker that stopped draining its ring (DESIGN.md §13).
+  /// About the monitor, not the traffic — excluded from detection-equality
+  /// comparisons and from the soak harness's alerts_total.
+  kEngineHealth,
 };
 
 std::string_view AlertKindName(AlertKind kind);
+
+/// Classification string of the watchdog's stalled-worker EngineHealth
+/// alert (tests and the soak harness match on it).
+inline constexpr std::string_view kEngineWorkerStall = "engine worker stall";
 
 struct Alert {
   sim::Time when;

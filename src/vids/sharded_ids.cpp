@@ -72,10 +72,30 @@ ShardedIds::ShardedIds(ShardedConfig config)
       m_rtp_hash_routed_(
           &coord_metrics_.GetCounter("sharded.endpoint_hash_routed")),
       m_flushes_(&coord_metrics_.GetCounter("sharded.flushes")),
-      m_escalations_(&coord_metrics_.GetCounter("sharded.agg_escalations")) {
+      m_escalations_(&coord_metrics_.GetCounter("sharded.agg_escalations")),
+      m_watchdog_stalls_(
+          &coord_metrics_.GetCounter("sharded.watchdog_stalls")),
+      m_flush_full_(&coord_metrics_.GetCounter("pipeline.flush.full")),
+      m_flush_deadline_(&coord_metrics_.GetCounter("pipeline.flush.deadline")),
+      m_flush_barrier_(&coord_metrics_.GetCounter("pipeline.flush.barrier")),
+      m_batch_committed_(
+          &coord_metrics_.GetHistogram("pipeline.batch.committed")) {
   config_.shards = std::max(1, config_.shards);
   config_.batch_max = std::max<size_t>(1, config_.batch_max);
   const int n = config_.shards;
+  if (config_.trace_sample_period > 0) {
+    uint32_t period = 1;
+    while (period < config_.trace_sample_period) period <<= 1;
+    trace_on_ = true;
+    trace_mask_ = period - 1;
+  }
+  watchdog_threshold_ns_ = config_.watchdog_stall_ms * 1'000'000;
+  // Poll well inside the deadline (threshold/8, floor 1 ms) so an episode
+  // accrues several consecutive checks before it can alert — the
+  // continuity guard in WatchdogCheck() needs at least two.
+  watchdog_poll_ns_ =
+      std::max<int64_t>(watchdog_threshold_ns_ / 8, 1'000'000);
+  health_.resize(static_cast<size_t>(n));
   // Escalation share: by pigeonhole, if a key sees more than `threshold`
   // events inside one window globally, some shard saw at least
   // ceil((threshold + 1) / shards) of them — so a shard whose local sketch
@@ -96,14 +116,31 @@ ShardedIds::ShardedIds(ShardedConfig config)
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>(config_.ring_capacity);
+    shard->index = i;
     shard->scheduler = std::make_unique<sim::Scheduler>();
     shard->vids = std::make_unique<Vids>(*shard->scheduler, config_.detection,
                                          config_.cost);
     // The coordinator keeps the merged history; the shard only needs enough
     // retained tail for its own internal bookkeeping.
     shard->vids->set_max_retained_alerts(4);
+    // Resolve the worker's pipeline metric slots now, before its thread
+    // starts — from then on a Record() is a plain array increment into the
+    // worker-private registry (no cross-shard atomics, no lookups).
+    shard->lat_ingest_to_dequeue =
+        &shard->pipeline.GetHistogram("lat.ingest_to_dequeue");
+    shard->lat_inspect = &shard->pipeline.GetHistogram("lat.inspect");
+    shard->lat_e2e = &shard->pipeline.GetHistogram("lat.e2e");
+    shard->lat_ingest_to_alert =
+        &shard->pipeline.GetHistogram("lat.ingest_to_alert");
+    shard->batch_consumed = &shard->pipeline.GetHistogram("batch.consumed");
     Shard* sp = shard.get();
     shard->vids->set_alert_callback([this, sp](const Alert& alert) {
+      // A sampled packet that alerted: the open span's enqueue time is
+      // still posted, so the emit stage of the trail gets its latency.
+      if (sp->span_open_enqueue_ns != 0) {
+        sp->lat_ingest_to_alert->Record(obs::MonotonicNanos() -
+                                        sp->span_open_enqueue_ns);
+      }
       PushUp(*sp, [&](UpMsg& up) {
         up.kind = UpMsg::Kind::kAlert;
         up.when_ns = alert.when.nanos();
@@ -156,8 +193,31 @@ void ShardedIds::PushUp(Shard& shard, Fill&& fill) {
     } while (slot == nullptr);
   }
   fill(*slot);
+  if (const auto depth = static_cast<uint64_t>(shard.up.SizeFromProducer());
+      depth > shard.up_hwm) {
+    shard.up_hwm = depth;
+  }
   // No commit here: WorkerLoop publishes the whole batch of upstream
   // messages with one release store at batch end.
+}
+
+void ShardedIds::RecordSpan(Shard& shard, int64_t t0, int64_t t_dequeue) {
+  const int64_t t_done = obs::MonotonicNanos();
+  shard.lat_ingest_to_dequeue->Record(t_dequeue - t0);
+  shard.lat_inspect->Record(t_done - t_dequeue);
+  shard.lat_e2e->Record(t_done - t0);
+  obs::Record rec;
+  rec.type = obs::RecordType::kSpan;
+  rec.when_ns = t0;
+  rec.aux = static_cast<uint64_t>(t_done - t0);
+  const auto micros = [](int64_t ns, int64_t cap) {
+    const int64_t us = ns / 1000;
+    return us > cap ? cap : (us < 0 ? int64_t{0} : us);
+  };
+  rec.a = static_cast<uint16_t>(micros(t_dequeue - t0, 65535));
+  rec.from = static_cast<int16_t>(micros(t_done - t_dequeue, 32767));
+  rec.to = static_cast<int16_t>(shard.index);
+  shard.spans.Record(rec);
 }
 
 void ShardedIds::BufferAggEvent(Shard& shard, Vids::AggregateKind kind,
@@ -274,6 +334,9 @@ void ShardedIds::WorkerLoop(Shard& shard) {
   common::SpinBackoff backoff(config_.idle_spins, config_.idle_sleep_us);
   const size_t batch_max = config_.batch_max;
   const int64_t hold_ns = config_.agg_hold.nanos();
+  // Heartbeats only exist for the watchdog; the disabled configuration
+  // (BM_ShardedIngest's pinned hot path) never reads the wall clock here.
+  const bool heartbeat = watchdog_threshold_ns_ > 0;
   int64_t watermark = 0;
   bool stopping = false;
   while (!stopping) {
@@ -291,6 +354,15 @@ void ShardedIds::WorkerLoop(Shard& shard) {
       const sim::Time when = sim::Time::FromNanos(when_ns);
       switch (msg.kind) {
         case ShardMsg::Kind::kPacket: {
+          // Sampled span: note the dequeue time and post the enqueue time
+          // where the alert callback can see it. Unsampled packets (and
+          // the sampling-off configuration) take one never-true branch.
+          const int64_t span_t0 = msg.span_enqueue_ns;
+          int64_t span_dequeue = 0;
+          if (span_t0 != 0) {
+            span_dequeue = obs::MonotonicNanos();
+            shard.span_open_enqueue_ns = span_t0;
+          }
           scratch.src = msg.dgram.src;
           scratch.dst = msg.dgram.dst;
           scratch.kind = msg.dgram.kind;
@@ -307,6 +379,10 @@ void ShardedIds::WorkerLoop(Shard& shard) {
           // packet order.
           if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
           shard.vids->Inspect(scratch, msg.from_outside);
+          if (span_t0 != 0) {
+            RecordSpan(shard, span_t0, span_dequeue);
+            shard.span_open_enqueue_ns = 0;
+          }
           watermark = std::max(watermark, when_ns);
           break;
         }
@@ -353,6 +429,16 @@ void ShardedIds::WorkerLoop(Shard& shard) {
           s.last_event_ns = std::max(s.last_event_ns, msg.when_ns);
           break;
         }
+        case ShardMsg::Kind::kWedge: {
+          // Deliberate stall (tests): sleep mid-batch. The batch is not
+          // retired and the heartbeat below is not reached, so the ring
+          // stays non-empty with a frozen heartbeat — exactly the state
+          // the watchdog must detect.
+          while (shard.wedged.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          break;
+        }
         case ShardMsg::Kind::kStop: {
           // Final ship so Stop()'s terminal replay sees every event.
           ShipAggPrefix(shard, INT64_MAX);
@@ -367,6 +453,10 @@ void ShardedIds::WorkerLoop(Shard& shard) {
       ShipAggPrefix(shard, shard.agg.hot_keys > 0 ? watermark
                                                   : watermark - hold_ns);
     }
+    // Worker-owned plain metric fields must be written before the commit
+    // below: the coordinator reads `shard.pipeline` after acquiring the
+    // flush ack published by this very batch.
+    shard.batch_consumed->Record(static_cast<int64_t>(consumed));
     // One release store publishes every upstream message of this batch
     // (alerts, aggregate ships, escalations, acks) ...
     shard.up.CommitPushN();
@@ -381,6 +471,12 @@ void ShardedIds::WorkerLoop(Shard& shard) {
                                            1;
     shard.agg_complete_ns.store(agg_complete, std::memory_order_release);
     shard.processed_ns.store(watermark, std::memory_order_release);
+    // Heartbeat last: it vouches for the whole retired batch. A worker
+    // that wedges or blocks mid-batch never reaches this store.
+    if (heartbeat) {
+      shard.last_progress_ns.store(obs::MonotonicNanos(),
+                                   std::memory_order_release);
+    }
   }
   // After this store no further up-messages are pushed; Stop() drains
   // until every worker has raised it, then joins.
@@ -398,20 +494,45 @@ void ShardedIds::PushDown(int shard_index, Fill&& fill) {
     // drain what it can see) and keep draining the up-rings while waiting
     // so a worker blocked pushing alerts upstream can make progress — this
     // pair of rules is what makes the ring cycle deadlock-free.
+    if (const size_t open = shard.down.open_push(); open != 0) {
+      m_batch_committed_->Record(static_cast<int64_t>(open));
+      m_flush_full_->Inc();
+    }
     shard.down.CommitPushN();
     do {
       m_ingest_stalls_->Inc();
+      ++shard.down_stalls;
       DrainUp();
       std::this_thread::yield();
       slot = shard.down.BeginPushN();
     } while (slot == nullptr);
   }
   fill(*slot);
-  if (shard.down.open_push() >= config_.batch_max) shard.down.CommitPushN();
+  if (const auto depth = static_cast<uint64_t>(shard.down.SizeFromProducer());
+      depth > shard.down_hwm) {
+    shard.down_hwm = depth;
+  }
+  if (shard.down.open_push() >= config_.batch_max) {
+    m_batch_committed_->Record(static_cast<int64_t>(shard.down.open_push()));
+    m_flush_full_->Inc();
+    shard.down.CommitPushN();
+  }
 }
 
-void ShardedIds::CommitAllDown() {
-  for (auto& shard : shards_) shard->down.CommitPushN();
+void ShardedIds::CommitAllDown(FlushReason reason) {
+  obs::Counter* flush_reason = m_flush_barrier_;
+  switch (reason) {
+    case FlushReason::kFull: flush_reason = m_flush_full_; break;
+    case FlushReason::kDeadline: flush_reason = m_flush_deadline_; break;
+    case FlushReason::kBarrier: flush_reason = m_flush_barrier_; break;
+  }
+  for (auto& shard : shards_) {
+    if (const size_t open = shard->down.open_push(); open != 0) {
+      m_batch_committed_->Record(static_cast<int64_t>(open));
+      flush_reason->Inc();
+    }
+    shard->down.CommitPushN();
+  }
   down_open_ = false;
 }
 
@@ -528,9 +649,18 @@ void ShardedIds::Ingest(const net::Datagram& dgram, bool from_outside,
     target = RouteEndpoint(dgram.dst, when_ns);
   }
 
+  // Span sampling: one in trace_sample_period packets gets its enqueue
+  // wall time stamped into the slot; the worker closes the span. With
+  // sampling off this is a single always-false branch — no clock read.
+  int64_t span_ns = 0;
+  if (trace_on_ && ((++trace_tick_ & trace_mask_) == 0)) {
+    span_ns = obs::MonotonicNanos();
+  }
+
   PushDown(target, [&](ShardMsg& msg) {
     msg.kind = ShardMsg::Kind::kPacket;
     msg.when_ns = when_ns;
+    msg.span_enqueue_ns = span_ns;  // always assigned: slots are reused
     msg.from_outside = from_outside;
     msg.dgram.src = dgram.src;
     msg.dgram.dst = dgram.dst;
@@ -561,7 +691,7 @@ void ShardedIds::Ingest(const net::Datagram& dgram, bool from_outside,
       down_open_since_ = std::chrono::steady_clock::now();
     } else if (std::chrono::steady_clock::now() - down_open_since_ >=
                std::chrono::microseconds(config_.batch_flush_us)) {
-      CommitAllDown();
+      CommitAllDown(FlushReason::kDeadline);
     }
   }
 
@@ -573,11 +703,68 @@ void ShardedIds::Ingest(const net::Datagram& dgram, bool from_outside,
 // ------------------------------------------------------------ coordinator
 
 void ShardedIds::Pump() {
-  CommitAllDown();
+  CommitAllDown(FlushReason::kBarrier);
   DrainUp();
 }
 
+void ShardedIds::WatchdogCheck() {
+  if (watchdog_threshold_ns_ == 0 || workers_joined_) return;
+  const int64_t now = obs::MonotonicNanos();
+  if (now - last_watchdog_check_ns_ < watchdog_poll_ns_) return;
+  // Episode continuity: an open stall episode only counts toward the
+  // deadline while the coordinator itself keeps checking. If *we* went
+  // quiet (driver paused between Ingest/Pump calls — a worker blocked in
+  // PushUp with a frozen heartbeat is then OUR doing, not a stall), the
+  // gap shows up here and every episode re-anchors instead of alerting.
+  const bool continuous =
+      last_watchdog_check_ns_ != 0 &&
+      now - last_watchdog_check_ns_ <= watchdog_threshold_ns_ / 2;
+  last_watchdog_check_ns_ = now;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    ShardHealth& h = health_[i];
+    const size_t depth = shard.down.SizeApprox();
+    const int64_t hb = shard.last_progress_ns.load(std::memory_order_acquire);
+    if (depth == 0) {
+      // Nothing pending — an idle worker is healthy however old its
+      // heartbeat is (idle-then-burst must not alert).
+      h.hb_seen = hb;
+      h.pending_since_ns = 0;
+      h.alerted = false;
+      continue;
+    }
+    if (!continuous || h.pending_since_ns == 0 || hb != h.hb_seen) {
+      // Progress since last check (or no episode yet): anchor a fresh
+      // episode at the first continuously-observed no-progress instant.
+      h.hb_seen = hb;
+      h.pending_since_ns = now;
+      h.alerted = false;
+      continue;
+    }
+    if (!h.alerted && now - h.pending_since_ns >= watchdog_threshold_ns_) {
+      // Pending work, no progress, continuously observed for a full
+      // deadline: the worker is stalled. One alert per episode.
+      h.alerted = true;
+      m_watchdog_stalls_->Inc();
+      Alert alert;
+      alert.when = sim::Time::FromNanos(last_ingest_ns_);
+      alert.kind = AlertKind::kEngineHealth;
+      alert.classification = std::string(kEngineWorkerStall);
+      alert.machine = "watchdog";
+      alert.group = "shard|" + std::to_string(i);
+      alert.state = "stalled";
+      alert.detail = "ring_depth=" + std::to_string(depth) + " stalled_ms=" +
+                     std::to_string((now - h.pending_since_ns) / 1'000'000);
+      alert.trigger =
+          "watchdog: down-ring non-empty with no worker progress past the "
+          "stall deadline";
+      EmitAlert(std::move(alert));
+    }
+  }
+}
+
 void ShardedIds::DrainUp() {
+  WatchdogCheck();
   // Snapshot the replay frontier BEFORE draining. A shard commits every
   // aggregate event it vouches for (release through the ring) before it
   // publishes agg_complete_ns (release), so an acquire load of
@@ -660,7 +847,7 @@ void ShardedIds::BroadcastHotKeys() {
     }
   }
   hot_pending_.clear();
-  CommitAllDown();
+  CommitAllDown(FlushReason::kBarrier);
   broadcasting_ = false;
 }
 
@@ -780,7 +967,7 @@ void ShardedIds::Flush(sim::Time now) {
       msg.token = flush_token_;
     });
   }
-  CommitAllDown();
+  CommitAllDown(FlushReason::kBarrier);
   while (flush_acks_ < shards_.size()) {
     DrainUp();
     if (flush_acks_ < shards_.size()) std::this_thread::yield();
@@ -849,7 +1036,7 @@ void ShardedIds::Stop() {
   for (int i = 0; i < shards(); ++i) {
     PushDown(i, [](ShardMsg& msg) { msg.kind = ShardMsg::Kind::kStop; });
   }
-  CommitAllDown();
+  CommitAllDown(FlushReason::kBarrier);
   // A worker with down-ring backlog keeps emitting up-messages on its way
   // to the kStop and blocks in PushUp if its up-ring fills — so keep
   // draining until every worker has passed its kStop; only then is join()
@@ -876,6 +1063,21 @@ void ShardedIds::Stop() {
   ReplayAggregates(INT64_MAX);
 }
 
+void ShardedIds::WedgeWorkerForTest(int shard_index) {
+  Shard& shard = *shards_[static_cast<size_t>(shard_index)];
+  shard.wedged.store(true, std::memory_order_release);
+  PushDown(shard_index, [&](ShardMsg& msg) {
+    msg.kind = ShardMsg::Kind::kWedge;
+    msg.when_ns = last_ingest_ns_;
+  });
+  CommitAllDown(FlushReason::kBarrier);
+}
+
+void ShardedIds::UnwedgeWorkerForTest(int shard_index) {
+  shards_[static_cast<size_t>(shard_index)]->wedged.store(
+      false, std::memory_order_release);
+}
+
 // ------------------------------------------------------------- inspection
 
 size_t ShardedIds::CountAlerts(AlertKind kind) const {
@@ -900,8 +1102,23 @@ obs::MetricsRegistry ShardedIds::MergedMetrics() const {
   uint64_t up_stalls = 0;
   uint64_t agg_buffered = 0;
   uint64_t agg_shipped = 0;
+  std::string prefix;
   for (const auto& shard : shards_) {
     merged.MergeFrom(shard->vids->metrics());
+    // Pipeline histograms fold twice: bare (cross-shard aggregate, what
+    // the latency table reads) and under "shard.<i>." (the per-shard
+    // series the Prometheus exporter turns into shard="<i>" labels).
+    merged.MergeFrom(shard->pipeline);
+    prefix.assign("shard.");
+    prefix.append(std::to_string(shard->index));
+    prefix.push_back('.');
+    merged.MergeFrom(shard->pipeline, prefix);
+    merged.GetGauge(prefix + "ring.down_depth_hwm")
+        .Set(static_cast<int64_t>(shard->down_hwm));
+    merged.GetGauge(prefix + "ring.up_depth_hwm")
+        .Set(static_cast<int64_t>(shard->up_hwm));
+    merged.GetCounter(prefix + "ring.down_stalls").Inc(shard->down_stalls);
+    merged.GetCounter(prefix + "ring.up_stalls").Inc(shard->up_stalls);
     up_stalls += shard->up_stalls;
     agg_buffered += shard->agg.events_buffered;
     agg_shipped += shard->agg.events_shipped;

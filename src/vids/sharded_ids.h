@@ -75,6 +75,7 @@
 #include "common/spsc_ring.h"
 #include "common/strings.h"
 #include "net/datagram.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "sim/scheduler.h"
 #include "sip/lazy_message.h"
@@ -124,6 +125,22 @@ struct ShardedConfig {
   /// values <= 1.0 preserve exact alerts (lower escalates earlier and
   /// ships more events eagerly; values above 1.0 are clamped to 1.0).
   double agg_escalation_fraction = 1.0;
+
+  // --- pipeline observability (DESIGN.md §13) ---
+  /// Sample one in this many ingested packets for a pipeline span: the
+  /// ingest thread stamps the enqueue wall time, the worker records
+  /// ingest→dequeue / inspect / end-to-end (and, if the packet alerted,
+  /// ingest→alert) into its shard-local latency histograms plus a kSpan
+  /// flight record. Rounded up to a power of two. 0 disables tracing: the
+  /// ingest path then carries a single always-false branch — no clock
+  /// read, no counter tick — and the worker's span branch never takes.
+  uint32_t trace_sample_period = 1024;
+  /// Watchdog deadline (wall clock): a worker whose down-ring stays
+  /// non-empty while its heartbeat does not advance for this long raises
+  /// one structured EngineHealth alert per stall episode, so a wedged
+  /// worker can never hang the engine silently. 0 disables the watchdog
+  /// (and the worker's per-batch heartbeat clock read).
+  int64_t watchdog_stall_ms = 2000;
 };
 
 class ShardedIds {
@@ -196,6 +213,21 @@ class ShardedIds {
   /// over-threshold window, and so turned hot (DESIGN.md §12).
   uint64_t aggregate_escalations() const { return m_escalations_->value(); }
 
+  /// Worker-stall episodes the watchdog has alerted on (one per episode).
+  uint64_t watchdog_stalls() const { return m_watchdog_stalls_->value(); }
+
+  /// The shard's last 32 sampled pipeline spans (kSpan flight records,
+  /// oldest first). Post-Flush only.
+  const obs::FlightRecorder& shard_spans(int i) const {
+    return shards_[static_cast<size_t>(i)]->spans;
+  }
+
+  /// Test hooks: deliberately stall / release a worker mid-batch so the
+  /// watchdog's stall detection can be exercised. A wedged worker keeps
+  /// its down-ring non-empty and its heartbeat frozen until un-wedged.
+  void WedgeWorkerForTest(int shard);
+  void UnwedgeWorkerForTest(int shard);
+
  private:
   template <typename T>
   using StringKeyed =
@@ -209,9 +241,13 @@ class ShardedIds {
       kFlush,
       kStop,
       kAggHot,  // coordinator broadcast: `key` escalated on some shard
+      kWedge,   // test hook: the worker sleeps until un-wedged (watchdog)
     };
     Kind kind = Kind::kPacket;
     int64_t when_ns = 0;
+    /// Pipeline span: wall-clock enqueue time of a sampled kPacket, 0 for
+    /// unsampled ones (always assigned — ring slots are reused in place).
+    int64_t span_enqueue_ns = 0;
     bool from_outside = false;
     net::Datagram dgram;        // kPacket (payload string reused in place)
     net::Endpoint endpoint;     // kRetractMedia
@@ -275,6 +311,42 @@ class ShardedIds {
     std::unique_ptr<sim::Scheduler> scheduler;
     std::unique_ptr<Vids> vids;
     std::thread thread;
+    int index = 0;
+
+    // --- pipeline observability (DESIGN.md §13) ---
+    /// Worker-private metrics: latency + batch histograms, no cross-shard
+    /// atomics on the hot path. The worker is the only writer; the
+    /// coordinator folds it into MergedMetrics() behind a Flush() barrier
+    /// (both bare and under the "shard.<i>." prefix). Slots are resolved
+    /// in the constructor, before the worker thread starts.
+    obs::MetricsRegistry pipeline;
+    obs::Histogram* lat_ingest_to_dequeue = nullptr;
+    obs::Histogram* lat_inspect = nullptr;
+    obs::Histogram* lat_e2e = nullptr;
+    obs::Histogram* lat_ingest_to_alert = nullptr;
+    obs::Histogram* batch_consumed = nullptr;
+    /// Last 32 sampled spans as kSpan flight records (worker-owned;
+    /// post-Flush read via shard_spans()).
+    obs::FlightRecorder spans;
+    /// Enqueue wall time of the sampled packet currently being inspected
+    /// (worker-owned plain slot; lets the alert callback attribute an
+    /// ingest→alert latency to the span). 0 between sampled packets.
+    int64_t span_open_enqueue_ns = 0;
+    /// Down-ring depth high-water mark + backpressure stalls (ingest-thread
+    /// owned — the ring's producer side) and the up-ring mirror
+    /// (worker-owned). Folded into MergedMetrics() post-Flush.
+    uint64_t down_hwm = 0;
+    uint64_t down_stalls = 0;
+    uint64_t up_hwm = 0;
+    /// Watchdog heartbeat: wall-clock time of the last batch this worker
+    /// fully retired, release-stored after the batch's frontier stores
+    /// (only when the watchdog is enabled — the disabled config never
+    /// reads the clock). A worker that is wedged, spinning in PushUp, or
+    /// dead stops advancing it.
+    std::atomic<int64_t> last_progress_ns{0};
+    /// Test hook: while set, the worker sleeps inside its current batch
+    /// (heartbeat frozen, down-ring non-empty) — a deliberate stall.
+    std::atomic<bool> wedged{false};
     /// Highest packet/flush time this worker has fully processed. Written
     /// (release) after the worker pushed every upstream message for that
     /// time, so an acquire read covers them.
@@ -324,8 +396,29 @@ class ShardedIds {
     int64_t last_seen_ns = 0;
   };
 
+  /// Why a producer batch was published — the flush-reason histogram's
+  /// dimensions (DESIGN.md §13).
+  enum class FlushReason : uint8_t {
+    kFull,      // batch_max reached, or backpressure forced the open batch
+    kDeadline,  // batch_flush_us wall-clock bound expired
+    kBarrier,   // Pump/Flush/Stop/broadcast published everything
+  };
+
+  /// Coordinator-side view of one worker's health (ingest thread only).
+  /// A stall episode is anchored when the shard's down-ring first shows
+  /// pending work with an unchanged heartbeat, and cleared by any progress.
+  struct ShardHealth {
+    int64_t hb_seen = -1;
+    int64_t pending_since_ns = 0;  // 0 = no open episode
+    bool alerted = false;
+  };
+
   // ---- worker side ----
   void WorkerLoop(Shard& shard);
+  /// Records a sampled packet's span: latency histograms + a kSpan flight
+  /// record. `t0` is the enqueue wall time, `t_dequeue` the worker's
+  /// dequeue wall time; called right after Inspect returns.
+  void RecordSpan(Shard& shard, int64_t t0, int64_t t_dequeue);
   // Fill-callbacks are template parameters (not std::function) so the
   // per-packet push never allocates a callable. Defined in the .cpp — only
   // that TU instantiates them.
@@ -351,8 +444,9 @@ class ShardedIds {
   void SnoopSdp(std::string_view body, int shard, int64_t when_ns);
   template <typename Fill>
   void PushDown(int shard, Fill&& fill);
-  /// Publishes every shard's open down-batch (one release store each).
-  void CommitAllDown();
+  /// Publishes every shard's open down-batch (one release store each),
+  /// recording each nonzero batch's size and the given flush reason.
+  void CommitAllDown(FlushReason reason);
 
   // ---- coordinator (ingest thread) ----
   void DrainUp();
@@ -368,6 +462,11 @@ class ShardedIds {
   /// Deferred out of the drain loop and guarded against re-entry: PushDown
   /// can call DrainUp while it waits out backpressure.
   void BroadcastHotKeys();
+  /// Stall detector (ingest thread, called from DrainUp and throttled to
+  /// ~threshold/8): raises one EngineHealth alert per worker-stall episode.
+  /// Every blocking loop (backpressure, Flush, Stop) drains through here,
+  /// so a wedged worker surfaces instead of hanging silently.
+  void WatchdogCheck();
 
   ShardedConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -409,6 +508,20 @@ class ShardedIds {
   bool down_open_ = false;
   std::chrono::steady_clock::time_point down_open_since_{};
 
+  /// Span sampling (ingest thread). trace_on_/trace_mask_ are derived from
+  /// trace_sample_period once in the constructor; the off configuration
+  /// leaves trace_on_ false and the sampling check is one dead branch.
+  bool trace_on_ = false;
+  uint32_t trace_mask_ = 0;
+  uint32_t trace_tick_ = 0;
+
+  /// Watchdog (ingest thread). threshold 0 = disabled; checks throttle to
+  /// poll_ns so the hot path reads the clock at most once per poll window.
+  int64_t watchdog_threshold_ns_ = 0;
+  int64_t watchdog_poll_ns_ = 0;
+  int64_t last_watchdog_check_ns_ = 0;
+  std::vector<ShardHealth> health_;
+
   /// Per-shard escalation shares: ceil(fraction * (threshold + 1) / shards)
   /// local events inside one window turn a key hot. Computed once in the
   /// constructor.
@@ -430,6 +543,12 @@ class ShardedIds {
   obs::Counter* m_rtp_hash_routed_;
   obs::Counter* m_flushes_;
   obs::Counter* m_escalations_;
+  obs::Counter* m_watchdog_stalls_;
+  obs::Counter* m_flush_full_;
+  obs::Counter* m_flush_deadline_;
+  obs::Counter* m_flush_barrier_;
+  /// Size of every published nonzero producer batch (ingest thread).
+  obs::Histogram* m_batch_committed_;
 };
 
 }  // namespace vids::ids

@@ -65,6 +65,77 @@ TEST(Metrics, HistogramQuantilesAreFactorOfTwoEstimates) {
   EXPECT_GE(h.Quantile(0.0), h.min());
 }
 
+TEST(Metrics, HistogramQuantileEdgeCases) {
+  // Empty: every quantile is 0.
+  Histogram empty;
+  EXPECT_EQ(empty.Quantile(0.0), 0);
+  EXPECT_EQ(empty.Quantile(0.5), 0);
+  EXPECT_EQ(empty.Quantile(1.0), 0);
+
+  // Single value: every quantile collapses onto it (the bucket bound is
+  // clamped to the observed [min, max]).
+  Histogram one;
+  one.Record(300);
+  EXPECT_EQ(one.Quantile(0.0), 300);
+  EXPECT_EQ(one.Quantile(0.5), 300);
+  EXPECT_EQ(one.Quantile(1.0), 300);
+
+  // Several values in one bucket: still clamped into [min, max].
+  Histogram bucket;
+  bucket.Record(130);
+  bucket.Record(150);
+  bucket.Record(170);
+  const int64_t p50 = bucket.Quantile(0.5);
+  EXPECT_GE(p50, 130);
+  EXPECT_LE(p50, 170);
+  // q below 0 / above 1 clamp to the extremes rather than misindexing.
+  EXPECT_EQ(bucket.Quantile(-0.5), 130);
+  EXPECT_EQ(bucket.Quantile(1.5), 170);
+
+  // Non-positive samples land in bucket 0 and stay representable.
+  Histogram zeros;
+  zeros.Record(0);
+  zeros.Record(-7);
+  EXPECT_EQ(zeros.Quantile(0.0), -7);
+  EXPECT_EQ(zeros.Quantile(1.0), 0);
+}
+
+TEST(Metrics, HistogramMergeFromIsAssociative) {
+  const auto fill = [](Histogram& h, int seed, int n) {
+    for (int i = 0; i < n; ++i) h.Record(seed * 37 + i * i - 5);
+  };
+  Histogram a, b, c;
+  fill(a, 1, 40);
+  fill(b, 90, 25);
+  fill(c, 3000, 7);
+
+  Histogram left;  // (a ⊕ b) ⊕ c
+  left.MergeFrom(a);
+  left.MergeFrom(b);
+  left.MergeFrom(c);
+  Histogram bc;  // a ⊕ (b ⊕ c)
+  bc.MergeFrom(b);
+  bc.MergeFrom(c);
+  Histogram right;
+  right.MergeFrom(a);
+  right.MergeFrom(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_EQ(left.sum(), right.sum());
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+  EXPECT_EQ(left.buckets(), right.buckets());
+
+  // Merging an empty histogram is the identity (min/max must not widen
+  // toward the empty histogram's zero-initialized fields).
+  Histogram id;
+  id.MergeFrom(a);
+  id.MergeFrom(Histogram{});
+  EXPECT_EQ(id.count(), a.count());
+  EXPECT_EQ(id.min(), a.min());
+  EXPECT_EQ(id.max(), a.max());
+}
+
 TEST(Metrics, NullSinksAreSharedSingletons) {
   Counter& c1 = NullCounter();
   Counter& c2 = NullCounter();
@@ -128,6 +199,75 @@ TEST(MetricsRegistry, ToPrometheusSanitizesNames) {
   EXPECT_NE(text.find("sip_tx_timer_fires 7"), std::string::npos);
   EXPECT_NE(text.find("sim_queue_depth 3"), std::string::npos);
   EXPECT_EQ(text.find("sip.tx"), std::string::npos);
+}
+
+TEST(MetricsRegistry, GetReferencesStayStableAcrossRegistrations) {
+  // Components cache the returned reference at construction; later
+  // registrations (e.g. the merged snapshot's prefixed names) must never
+  // invalidate it.
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("pinned.count");
+  Histogram& h = reg.GetHistogram("pinned.lat");
+  for (int i = 0; i < 200; ++i) {
+    reg.GetCounter("churn.c." + std::to_string(i));
+    reg.GetHistogram("churn.h." + std::to_string(i));
+  }
+  c.Inc(5);
+  h.Record(64);
+  EXPECT_EQ(reg.FindCounter("pinned.count")->value(), 5u);
+  EXPECT_EQ(reg.FindHistogram("pinned.lat")->count(), 1u);
+  EXPECT_EQ(&c, &reg.GetCounter("pinned.count"));
+  EXPECT_EQ(&h, &reg.GetHistogram("pinned.lat"));
+}
+
+TEST(MetricsRegistry, PrefixedMergeFoldsUnderShardNames) {
+  MetricsRegistry shard;
+  shard.GetCounter("ring.down_stalls").Inc(3);
+  shard.GetGauge("ring.depth").Set(9);
+  shard.GetHistogram("lat.e2e").Record(4000);
+  shard.GetHistogram("lat.e2e").Record(12000);
+
+  MetricsRegistry merged;
+  merged.MergeFrom(shard, "shard.0.");
+  merged.MergeFrom(shard, "shard.1.");
+  merged.MergeFrom(shard);  // bare fold alongside the prefixed ones
+
+  EXPECT_EQ(merged.FindCounter("shard.0.ring.down_stalls")->value(), 3u);
+  EXPECT_EQ(merged.FindCounter("shard.1.ring.down_stalls")->value(), 3u);
+  EXPECT_EQ(merged.FindCounter("ring.down_stalls")->value(), 3u);
+  EXPECT_EQ(merged.FindGauge("shard.1.ring.depth")->value(), 9);
+  const Histogram* h = merged.FindHistogram("shard.0.lat.e2e");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->sum(), 16000);
+  // Prefixed merge accumulates like the bare one.
+  merged.MergeFrom(shard, "shard.0.");
+  EXPECT_EQ(merged.FindCounter("shard.0.ring.down_stalls")->value(), 6u);
+  EXPECT_EQ(merged.FindHistogram("shard.0.lat.e2e")->count(), 4u);
+}
+
+TEST(MetricsRegistry, ToPrometheusTurnsShardPrefixesIntoLabels) {
+  MetricsRegistry reg;
+  reg.GetHistogram("shard.0.lat.e2e").Record(1000);
+  reg.GetHistogram("shard.1.lat.e2e").Record(3000);
+  reg.GetCounter("shard.12.ring.down_stalls").Inc(4);
+  reg.GetCounter("sharded.flushes").Inc(2);  // 'e' after "shard." — no label
+
+  const std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("lat_e2e_count{shard=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_e2e_count{shard=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_e2e_sum{shard=\"0\"} 1000"), std::string::npos);
+  EXPECT_NE(text.find("{shard=\"0\",le="), std::string::npos);
+  EXPECT_NE(text.find("ring_down_stalls{shard=\"12\"} 4"), std::string::npos);
+  // The family TYPE header appears once even with several shard series.
+  const std::string type_line = "# TYPE lat_e2e histogram";
+  const size_t first = text.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos);
+  // Names that merely start with "shard" but carry no numeric segment pass
+  // through unlabeled.
+  EXPECT_NE(text.find("sharded_flushes 2"), std::string::npos);
+  EXPECT_EQ(text.find("sharded_flushes{"), std::string::npos);
 }
 
 // --------------------------------------------------------- flight recorder

@@ -7,11 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
+
+#include "obs/flight_recorder.h"
 
 #include "common/spsc_ring.h"
 #include "rtp/packet.h"
@@ -834,6 +837,178 @@ TEST(FactBase, DropMediaKeyedGroupRemovesKeyedState) {
   EXPECT_EQ(fb.keyed_count(), 0u);
 }
 
+// ----------------------------------------------------- pipeline spans
+
+TEST(PipelineSpans, SampledSpansPopulateLatencyHistograms) {
+  ShardedConfig config;
+  config.shards = 2;
+  config.trace_sample_period = 1;  // sample every packet
+  ShardedIds engine(config);
+  const auto trace = AttackScenarioTrace();
+  sim::Time last;
+  for (const TracePacket& p : trace) {
+    engine.Ingest(p.dgram, p.from_outside, p.when);
+    last = p.when;
+  }
+  engine.Flush(last);
+
+  const auto merged = engine.MergedMetrics();
+  // Every packet was sampled: the cross-shard aggregate histograms hold
+  // one span per packet, with the three stages in agreement.
+  const auto* e2e = merged.FindHistogram("lat.e2e");
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->count(), trace.size());
+  EXPECT_GT(e2e->sum(), 0);
+  const auto* dequeue = merged.FindHistogram("lat.ingest_to_dequeue");
+  const auto* inspect = merged.FindHistogram("lat.inspect");
+  ASSERT_NE(dequeue, nullptr);
+  ASSERT_NE(inspect, nullptr);
+  EXPECT_EQ(dequeue->count(), e2e->count());
+  EXPECT_EQ(inspect->count(), e2e->count());
+  // The attack trace alerts, so the emit stage recorded too.
+  const auto* to_alert = merged.FindHistogram("lat.ingest_to_alert");
+  ASSERT_NE(to_alert, nullptr);
+  EXPECT_GT(to_alert->count(), 0u);
+  // Per-shard series exist under the shard prefix and sum to the total.
+  uint64_t per_shard = 0;
+  uint64_t span_records = 0;
+  for (int i = 0; i < engine.shards(); ++i) {
+    const auto* h = merged.FindHistogram("shard." + std::to_string(i) +
+                                         ".lat.e2e");
+    ASSERT_NE(h, nullptr) << "shard " << i;
+    per_shard += h->count();
+    // The worker also logged kSpan flight records (ring of the last 32).
+    const auto& spans = engine.shard_spans(i);
+    span_records += spans.total_recorded();
+    spans.ForEach([&](const obs::Record& r) {
+      EXPECT_EQ(r.type, obs::RecordType::kSpan);
+      EXPECT_EQ(r.to, static_cast<int16_t>(i));
+      EXPECT_GT(r.when_ns, 0);
+    });
+  }
+  EXPECT_EQ(per_shard, e2e->count());
+  EXPECT_EQ(span_records, e2e->count());
+  // Batch + queue visibility rode along.
+  EXPECT_GT(merged.FindHistogram("batch.consumed")->count(), 0u);
+  EXPECT_GT(merged.FindHistogram("pipeline.batch.committed")->count(), 0u);
+  ASSERT_NE(merged.FindGauge("shard.0.ring.down_depth_hwm"), nullptr);
+  engine.Stop();
+}
+
+TEST(PipelineSpans, SamplingOffRecordsNothing) {
+  ShardedConfig config;
+  config.shards = 2;
+  config.trace_sample_period = 0;  // tracing disabled
+  ShardedIds engine(config);
+  const auto trace = AttackScenarioTrace();
+  sim::Time last;
+  for (const TracePacket& p : trace) {
+    engine.Ingest(p.dgram, p.from_outside, p.when);
+    last = p.when;
+  }
+  engine.Flush(last);
+  const auto merged = engine.MergedMetrics();
+  EXPECT_EQ(merged.FindHistogram("lat.e2e")->count(), 0u);
+  EXPECT_EQ(merged.FindHistogram("lat.ingest_to_alert")->count(), 0u);
+  for (int i = 0; i < engine.shards(); ++i) {
+    EXPECT_EQ(engine.shard_spans(i).total_recorded(), 0u);
+  }
+  engine.Stop();
+}
+
+TEST(PipelineSpans, SamplingNeverChangesAlerts) {
+  const auto trace = AttackScenarioTrace();
+  const auto baseline = SortedSigs(RunSharded(trace, 4));  // default period
+  ShardedConfig every;
+  every.shards = 4;
+  every.trace_sample_period = 1;
+  EXPECT_EQ(baseline, SortedSigs(RunShardedCfg(trace, every)));
+  ShardedConfig off;
+  off.shards = 4;
+  off.trace_sample_period = 0;
+  off.watchdog_stall_ms = 0;
+  EXPECT_EQ(baseline, SortedSigs(RunShardedCfg(trace, off)));
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST(Watchdog, WedgedWorkerRaisesEngineHealthAlert) {
+  ShardedConfig config;
+  config.shards = 2;
+  config.watchdog_stall_ms = 50;
+  ShardedIds engine(config);
+  // A little traffic first, so the engine is provably healthy when the
+  // wedge lands.
+  TraceBuilder b;
+  b.Step();
+  b.EstablishCall("wedge@trace", {net::IpAddress(10, 1, 0, 10), 20000},
+                  {net::IpAddress(10, 2, 0, 10), 30000});
+  for (const TracePacket& p : b.trace()) {
+    engine.Ingest(p.dgram, p.from_outside, p.when);
+  }
+  engine.Flush(b.now());
+  EXPECT_EQ(engine.CountAlerts(AlertKind::kEngineHealth), 0u);
+
+  // Wedge worker 0: its down-ring keeps the kWedge message (never retired
+  // while wedged), its heartbeat freezes. Keep pumping so the watchdog's
+  // episode stays continuously observed; it must alert within the
+  // deadline — generous wall cap for sanitizer builds.
+  engine.WedgeWorkerForTest(0);
+  const auto cap = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (engine.CountAlerts(AlertKind::kEngineHealth) == 0 &&
+         std::chrono::steady_clock::now() < cap) {
+    engine.Pump();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(engine.CountAlerts(AlertKind::kEngineHealth), 1u)
+      << "watchdog failed to flag a wedged worker within 30 s";
+  // One alert per stall episode, aimed at the wedged shard.
+  EXPECT_EQ(engine.CountAlerts(AlertKind::kEngineHealth), 1u);
+  EXPECT_EQ(engine.watchdog_stalls(), 1u);
+  for (const Alert& alert : engine.alerts()) {
+    if (alert.kind != AlertKind::kEngineHealth) continue;
+    EXPECT_EQ(alert.classification, kEngineWorkerStall);
+    EXPECT_EQ(alert.machine, "watchdog");
+    EXPECT_EQ(alert.group, "shard|0");
+  }
+
+  // Release the worker: the engine must recover and stop cleanly, and the
+  // closed episode must not re-alert.
+  engine.UnwedgeWorkerForTest(0);
+  engine.Flush(b.now());
+  EXPECT_EQ(engine.CountAlerts(AlertKind::kEngineHealth), 1u);
+  engine.Stop();
+}
+
+TEST(Watchdog, CleanTrafficAndStopRaiseNoFalsePositives) {
+  // The watchdog stays armed with a tight deadline while normal traffic,
+  // Flush barriers, and Stop() all run — none of it may look like a stall
+  // (episodes must anchor on pending-work-without-progress, not on idle
+  // gaps or driver pauses).
+  ShardedConfig config;
+  config.shards = 2;
+  config.watchdog_stall_ms = 250;
+  ShardedIds engine(config);
+  const auto trace = AttackScenarioTrace();
+  sim::Time last;
+  for (const TracePacket& p : trace) {
+    engine.Ingest(p.dgram, p.from_outside, p.when);
+    last = p.when;
+  }
+  engine.Flush(last);
+  // A driver pause with the watchdog armed (idle-then-burst): no episode
+  // may carry across the quiet gap.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const sim::Duration offset = last - sim::Time::FromNanos(0);
+  for (const TracePacket& p : trace) {
+    engine.Ingest(p.dgram, p.from_outside, p.when + offset);
+  }
+  engine.Flush(last + offset);
+  engine.Stop();
+  EXPECT_EQ(engine.CountAlerts(AlertKind::kEngineHealth), 0u);
+  EXPECT_EQ(engine.watchdog_stalls(), 0u);
+}
+
 // ------------------------------------------------------------- stress
 
 TEST(ShardedStress, MixedTrafficUnderChurn) {
@@ -879,6 +1054,10 @@ TEST(ShardedStress, MixedTrafficUnderChurn) {
     inspected += engine.shard_vids(i).stats().packets;
   }
   EXPECT_EQ(inspected, fed);
+  // Default-on span sampling and watchdog rode through the whole soak:
+  // no stall alert may appear on a healthy run.
+  EXPECT_EQ(engine.CountAlerts(AlertKind::kEngineHealth), 0u);
+  EXPECT_EQ(engine.watchdog_stalls(), 0u);
   engine.Stop();
 }
 
