@@ -1,0 +1,63 @@
+// PacketSource: the capture front end's contract with the engine.
+//
+// A source yields timestamped datagrams in non-decreasing time order via a
+// pull-batch API, and owns the logical clock for the stream: `clock()` is
+// the highest timestamp the source vouches for, so a driver that has
+// drained the source may advance its scheduler to `clock()` and know that
+// every TTL sweep, aggregate window and watchdog deadline it fires is
+// consistent with the traffic it saw. Implementations: the simulator
+// refactored behind SimSource, the TraceLog text format (TraceLogSource)
+// and a hand-rolled classic-pcap file reader (PcapFileSource).
+//
+// Contract (DESIGN.md §14):
+//  - PullBatch appends up to `max` packets to `out` (cleared first) and
+//    returns how many it delivered. 0 means end of stream — permanently;
+//    callers must not retry.
+//  - Timestamps are non-decreasing across the whole stream. Ties are
+//    delivered in capture order.
+//  - `out` is caller-owned scratch: drivers reuse one vector across calls
+//    so a steady-state source can run without per-batch allocation.
+//  - `error()` is empty while the stream is healthy. A source that hits a
+//    framing or I/O fault sets it, delivers whatever it decoded before the
+//    fault, and then returns 0 from PullBatch. EOF with an empty error()
+//    is a clean end of capture.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/datagram.h"
+#include "sim/time.h"
+
+namespace vids::capture {
+
+/// One captured packet: arrival instant on the source's clock, the
+/// direction verdict (outside the protected perimeter?) and the datagram.
+struct TimedPacket {
+  sim::Time when;
+  bool from_outside = false;
+  net::Datagram dgram;
+};
+
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  /// Clears `out`, appends up to `max` packets and returns the count.
+  /// Returns 0 at end of stream (clean EOF or fault — check error()).
+  virtual size_t PullBatch(std::vector<TimedPacket>& out, size_t max) = 0;
+
+  /// The stream's logical clock: the highest timestamp this source vouches
+  /// no future packet will precede. After EOF this is the instant drivers
+  /// should run their schedulers up to.
+  virtual sim::Time clock() const = 0;
+
+  /// Empty while healthy; a human-readable fault description (with the
+  /// offending record/line position where known) once the stream broke.
+  virtual const std::string& error() const = 0;
+
+  bool ok() const { return error().empty(); }
+};
+
+}  // namespace vids::capture

@@ -1,0 +1,128 @@
+// Classic pcap (libpcap savefile) reader and writer — no libpcap.
+//
+// The reader is a hand parser for the format an operator actually hands a
+// tap-deployed IDS: classic pcap (magic 0xa1b2c3d4 microsecond or
+// 0xa1b23c4d nanosecond, either byte order), linktype Ethernet (with up to
+// two stacked 802.1Q/802.1ad VLAN tags) or raw IPv4, carrying UDP. Frames
+// that are not UDP/IPv4 (ARP, TCP, fragments, …) are skipped and counted;
+// a structurally broken file (bad magic, record running past EOF) stops
+// the stream with `error()` set after delivering everything decoded up to
+// the fault. Snaplen-truncated records are preserved as torn packets: the
+// bytes beyond `incl_len` become `Datagram::padding_bytes`
+// (= orig_len - incl_len), so wire sizes round-trip without filler.
+//
+// The writer exists so the corpus generator (tools/make_corpus) and the
+// round-trip tests can fabricate deterministic captures in both byte
+// orders; it emits one UDP/IPv4/Ethernet frame per datagram with MACs
+// derived from the IPs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "capture/packet_source.h"
+#include "net/address.h"
+#include "net/datagram.h"
+#include "sim/time.h"
+
+namespace vids::capture {
+
+struct PcapReadOptions {
+  /// Direction inference: packets whose *source* address lies inside this
+  /// subnet are marked from_outside = false, everything else
+  /// from_outside = true. Unset => all traffic is treated as outside (the
+  /// conservative tap-on-the-perimeter default).
+  std::optional<net::Subnet> inside;
+
+  /// Rebase timestamps so the first packet arrives at t = 0 on the sim
+  /// clock. Detection is time-translation-invariant, so verdict counts are
+  /// unaffected; disable to keep absolute capture epochs.
+  bool rebase_to_first = true;
+};
+
+/// Decode tallies, for operator output and skip-accounting in tests.
+struct PcapStats {
+  uint64_t records = 0;            ///< records decoded, delivered or not
+  uint64_t delivered = 0;          ///< UDP datagrams handed to the engine
+  uint64_t skipped_non_ip = 0;     ///< non-IPv4 ethertype / IP version
+  uint64_t skipped_non_udp = 0;    ///< IPv4 but protocol != UDP
+  uint64_t skipped_fragment = 0;   ///< IPv4 fragments (no reassembly)
+  uint64_t skipped_malformed = 0;  ///< headers truncated inside the snap
+};
+
+class PcapFileSource : public PacketSource {
+ public:
+  /// Parses the global header eagerly; on a bad header the source is
+  /// created with error() set and yields nothing.
+  explicit PcapFileSource(std::string bytes, PcapReadOptions options = {});
+
+  /// Reads `path` into memory. An unreadable file yields a source with
+  /// error() set (uniform handling with in-stream faults).
+  static std::unique_ptr<PcapFileSource> Open(const std::string& path,
+                                              PcapReadOptions options = {});
+
+  size_t PullBatch(std::vector<TimedPacket>& out, size_t max) override;
+  sim::Time clock() const override { return clock_; }
+  const std::string& error() const override { return error_; }
+
+  const PcapStats& stats() const { return stats_; }
+  bool nanosecond() const { return nanosecond_; }
+  bool swapped() const { return swapped_; }
+  uint32_t linktype() const { return linktype_; }
+
+ private:
+  /// Decodes records until one UDP packet materializes. Returns false at
+  /// end of stream (clean EOF or fault — error_ distinguishes).
+  bool DecodeNext(TimedPacket& out);
+
+  uint32_t ReadU32(size_t offset) const;
+  uint16_t ReadU16(size_t offset) const;
+
+  std::string data_;
+  PcapReadOptions options_;
+  size_t offset_ = 0;
+  bool swapped_ = false;
+  bool nanosecond_ = false;
+  uint32_t linktype_ = 0;
+  int64_t first_ts_ns_ = -1;
+  sim::Time clock_;
+  uint64_t next_id_ = 1;
+  PcapStats stats_;
+  std::string error_;
+};
+
+struct PcapWriteOptions {
+  bool big_endian = false;  ///< emit the byte-swapped magic + headers
+  bool nanosecond = true;   ///< 0xa1b23c4d nanosecond-resolution magic
+  bool vlan = false;        ///< wrap every frame in one 802.1Q tag
+  /// Capture epoch: sim t=0 maps to this many seconds after the Unix
+  /// epoch. Fixed (not wall clock) so corpus regeneration is
+  /// byte-deterministic.
+  int64_t epoch_base_s = 1'600'000'000;
+};
+
+class PcapWriter {
+ public:
+  explicit PcapWriter(PcapWriteOptions options = {});
+
+  /// Appends one frame. `dgram.padding_bytes` becomes the snap-truncated
+  /// tail: the IP/UDP headers claim payload + padding bytes, but only
+  /// `payload` is stored (orig_len - incl_len = padding).
+  void Add(sim::Time when, const net::Datagram& dgram);
+
+  const std::string& bytes() const { return bytes_; }
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  void PutU16(uint16_t value);
+  void PutU32(uint32_t value);
+
+  PcapWriteOptions options_;
+  std::string bytes_;
+  uint16_t next_ip_id_ = 1;
+};
+
+}  // namespace vids::capture

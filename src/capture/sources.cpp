@@ -1,0 +1,44 @@
+#include "capture/sources.h"
+
+namespace vids::capture {
+
+void SimSource::Append(sim::Time when, const net::Datagram& dgram,
+                       bool from_outside) {
+  if (!packets_.empty() && when < packets_.back().when) {
+    when = packets_.back().when;
+  }
+  packets_.push_back(TimedPacket{when, from_outside, dgram});
+}
+
+net::InlineTap::Monitor SimSource::Recorder(sim::Scheduler& scheduler) {
+  return [this, &scheduler](const net::Datagram& dgram, bool from_outside) {
+    Append(scheduler.Now(), dgram, from_outside);
+  };
+}
+
+size_t SimSource::PullBatch(std::vector<TimedPacket>& out, size_t max) {
+  out.clear();
+  while (out.size() < max && cursor_ < packets_.size()) {
+    out.push_back(packets_[cursor_++]);
+    clock_ = out.back().when;
+  }
+  return out.size();
+}
+
+void SimSource::Rewind() {
+  cursor_ = 0;
+  clock_ = sim::Time();
+}
+
+size_t TraceLogSource::PullBatch(std::vector<TimedPacket>& out, size_t max) {
+  out.clear();
+  const auto& records = log_.records();
+  while (out.size() < max && cursor_ < records.size()) {
+    const ids::TraceRecord& record = records[cursor_++];
+    out.push_back(TimedPacket{record.when, record.from_outside, record.dgram});
+    clock_ = record.when;
+  }
+  return out.size();
+}
+
+}  // namespace vids::capture

@@ -1,0 +1,65 @@
+// The two non-pcap PacketSource implementations.
+//
+// SimSource is the simulator path refactored behind the capture contract:
+// an in-memory, time-ordered packet buffer. Fill it directly (tests,
+// corpus generators) or attach Recorder() as an inline-tap monitor so a
+// simulated network run is captured behind the same interface the pcap
+// reader implements — the engine then cannot tell a testbed from a wire.
+//
+// TraceLogSource adapts the TraceLog text format (vids/trace.h): a parsed
+// trace streams through the same pull-batch API, so the offline-replay
+// path and the pcap path share one driver (capture/replay.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "capture/packet_source.h"
+#include "net/inline_tap.h"
+#include "vids/trace.h"
+
+namespace vids::capture {
+
+class SimSource : public PacketSource {
+ public:
+  /// Appends one packet. Timestamps must be non-decreasing; an earlier
+  /// `when` is clamped to the last appended time (the contract forbids
+  /// rewinds, and the scheduler-driven Recorder can never produce one).
+  void Append(sim::Time when, const net::Datagram& dgram, bool from_outside);
+
+  /// A tap monitor recording everything it sees at the scheduler's current
+  /// time. `scheduler` and this object must outlive the tap's use.
+  net::InlineTap::Monitor Recorder(sim::Scheduler& scheduler);
+
+  size_t PullBatch(std::vector<TimedPacket>& out, size_t max) override;
+  sim::Time clock() const override { return clock_; }
+  const std::string& error() const override { return error_; }
+
+  size_t size() const { return packets_.size(); }
+  /// Resets the read cursor so the buffer can be replayed again.
+  void Rewind();
+
+ private:
+  std::vector<TimedPacket> packets_;
+  size_t cursor_ = 0;
+  sim::Time clock_;
+  std::string error_;
+};
+
+/// Streams a parsed TraceLog. Non-owning: `log` must outlive the source.
+class TraceLogSource : public PacketSource {
+ public:
+  explicit TraceLogSource(const ids::TraceLog& log) : log_(log) {}
+
+  size_t PullBatch(std::vector<TimedPacket>& out, size_t max) override;
+  sim::Time clock() const override { return clock_; }
+  const std::string& error() const override { return error_; }
+
+ private:
+  const ids::TraceLog& log_;
+  size_t cursor_ = 0;
+  sim::Time clock_;
+  std::string error_;
+};
+
+}  // namespace vids::capture

@@ -14,6 +14,7 @@
 #include "testbed/testbed.h"
 #include "vids/ids.h"
 #include "vids/sharded_ids.h"
+#include "vids/trace.h"
 
 namespace vids::load {
 namespace {
@@ -304,6 +305,9 @@ struct SoakDriver::Impl {
         rng(config.seed, "soak") {}
 
   void Feed(const net::Datagram& dgram, bool from_outside) {
+    if (config.capture != nullptr) {
+      config.capture->Append(scheduler.Now(), dgram, from_outside);
+    }
     if (sharded != nullptr) {
       sharded->Ingest(dgram, from_outside, scheduler.Now());
     } else {

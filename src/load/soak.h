@@ -28,6 +28,7 @@
 namespace vids::ids {
 class Vids;
 class ShardedIds;
+class TraceLog;
 }
 
 namespace vids::load {
@@ -79,6 +80,12 @@ struct SoakConfig {
   /// default matches ShardedConfig; 0 disables sampling so the soak can
   /// also prove the untraced path, and 1 spans every packet.
   uint32_t trace_sample_period = 1024;
+  /// When set, every generated datagram is also appended here (with its
+  /// feed time and direction) — the capture hook behind the offline
+  /// round-trip property tests: a soak run's trace must
+  /// Serialize→Parse→ReplayInto to the online run's exact alert list and
+  /// metric snapshot. Must outlive the driver. Not owned.
+  ids::TraceLog* capture = nullptr;
 };
 
 /// One fixed-interval snapshot of everything that must stay bounded.

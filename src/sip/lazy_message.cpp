@@ -304,29 +304,35 @@ bool LazyMessage::Index(std::string_view payload) {
   from_state_ = Memo::kUnparsed;
   to_state_ = Memo::kUnparsed;
 
-  // Split head (start line + headers) from body at the blank line.
-  size_t head_end = payload.find("\r\n\r\n");
-  size_t body_start;
-  if (head_end != std::string_view::npos) {
-    body_start = head_end + 4;
-  } else {
-    head_end = payload.find("\n\n");
-    if (head_end == std::string_view::npos) {
-      head_end = payload.size();
-      body_start = payload.size();
-    } else {
-      body_start = head_end + 2;
-    }
-  }
-  const std::string_view head = payload.substr(0, head_end);
-
+  // The head (start line + headers) ends at the *first* blank line,
+  // whichever framing ("\r\n\r\n" or "\n\n") produced it: an LF-framed
+  // message whose binary body happens to contain \r\n\r\n must not have its
+  // head extended into the body (and be rejected as a malformed header).
+  // Detection is inline while walking header lines — no separate terminator
+  // scan of the payload. A lone "\r\n" line inside an LF-framed head is NOT
+  // a terminator (only the exact four-byte "\r\n\r\n" is), so the raw line
+  // is tested against the byte before its own "\r\n" prior to the '\r'
+  // strip.
+  size_t body_start = payload.size();
   bool first_line = true;
   size_t pos = 0;
-  while (pos < head.size()) {
-    const size_t eol = head.find('\n', pos);
-    std::string_view line = head.substr(
-        pos, eol == std::string_view::npos ? head.size() - pos : eol - pos);
-    pos = eol == std::string_view::npos ? head.size() : eol + 1;
+  while (pos < payload.size()) {
+    const size_t eol = payload.find('\n', pos);
+    std::string_view line = payload.substr(
+        pos,
+        eol == std::string_view::npos ? payload.size() - pos : eol - pos);
+    if (eol != std::string_view::npos && pos >= 1) {
+      if (line.empty()) {  // "\n\n": bare-LF blank line
+        body_start = pos + 1;
+        break;
+      }
+      if (line.size() == 1 && line[0] == '\r' && pos >= 2 &&
+          payload[pos - 2] == '\r') {  // "\r\n\r\n": CRLF blank line
+        body_start = pos + 2;
+        break;
+      }
+    }
+    pos = eol == std::string_view::npos ? payload.size() : eol + 1;
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (first_line) {
       first_line = false;

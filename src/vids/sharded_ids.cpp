@@ -377,7 +377,7 @@ void ShardedIds::WorkerLoop(Shard& shard) {
           // engine: all events <= `when` run before the packet is
           // inspected, matching the scheduler's timer-before-same-time-
           // packet order.
-          if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
+          AdvanceShardClock(shard, when);
           shard.vids->Inspect(scratch, msg.from_outside);
           if (span_t0 != 0) {
             RecordSpan(shard, span_t0, span_dequeue);
@@ -387,7 +387,7 @@ void ShardedIds::WorkerLoop(Shard& shard) {
           break;
         }
         case ShardMsg::Kind::kRetractMedia: {
-          if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
+          AdvanceShardClock(shard, when);
           // This shard lost ownership of the endpoint: drop both the media
           // index binding and the per-endpoint keyed counters, so exactly
           // one shard counts the stream from the claim onward.
@@ -397,7 +397,7 @@ void ShardedIds::WorkerLoop(Shard& shard) {
           break;
         }
         case ShardMsg::Kind::kFlush: {
-          if (when > shard.scheduler->Now()) shard.scheduler->RunUntil(when);
+          AdvanceShardClock(shard, when);
           // The barrier promises every aggregate event up to `when` is
           // replayable: ship the whole staging buffer before the ack.
           ShipAggPrefix(shard, INT64_MAX);
@@ -481,6 +481,33 @@ void ShardedIds::WorkerLoop(Shard& shard) {
   // After this store no further up-messages are pushed; Stop() drains
   // until every worker has raised it, then joins.
   shard.done.store(true, std::memory_order_release);
+}
+
+void ShardedIds::AdvanceShardClock(Shard& shard, sim::Time when) {
+  sim::Scheduler& scheduler = *shard.scheduler;
+  if (when <= scheduler.Now()) return;
+  if (watchdog_threshold_ns_ == 0) {
+    scheduler.RunUntil(when);
+    return;
+  }
+  // Catch-up slicing. A capture gap (idle tap, faster-than-real-time
+  // pcap/trace replay) can put hours of simulated time between two ring
+  // messages, and every sweep/timer inside the gap runs here — mid-batch,
+  // before the post-batch heartbeat store is reached. One monolithic
+  // RunUntil would freeze the heartbeat for the whole catch-up and let the
+  // watchdog mis-score genuine progress as a wedged worker. Bounded slices
+  // keep both progress signals live: the wall-clock heartbeat and the
+  // source-time frontier (processed_ns), which WatchdogCheck uses to
+  // re-anchor open episodes.
+  constexpr int64_t kSliceNs = 60'000'000'000;  // one simulated minute
+  while (when.nanos() - scheduler.Now().nanos() > kSliceNs) {
+    scheduler.RunUntil(scheduler.Now() + sim::Duration::Nanos(kSliceNs));
+    shard.processed_ns.store(scheduler.Now().nanos(),
+                             std::memory_order_release);
+    shard.last_progress_ns.store(obs::MonotonicNanos(),
+                                 std::memory_order_release);
+  }
+  scheduler.RunUntil(when);
 }
 
 // ---------------------------------------------------------------- routing
@@ -672,10 +699,13 @@ void ShardedIds::Ingest(const net::Datagram& dgram, bool from_outside,
   });
 
   // Bounded-latency flush: a partial batch is published once it has been
-  // open for batch_flush_us of wall clock (checked here, so the bound
-  // holds while the ingest thread keeps calling Ingest/Pump — see
-  // DESIGN.md §12). The batch_max == 1 configuration commits in PushDown
-  // and never touches the clock.
+  // open for batch_flush_us (checked here, so the bound holds while the
+  // ingest thread keeps calling Ingest/Pump — see DESIGN.md §12). The
+  // bound binds in both clock domains — source time first (an integer
+  // compare, no clock read), then wall clock — so a faster-than-real-time
+  // replay cannot hold a pre-gap packet unpublished while the stream's own
+  // clock races far past it. The batch_max == 1 configuration commits in
+  // PushDown and never touches either clock.
   if (config_.batch_max > 1) {
     bool any_open = false;
     for (const auto& shard : shards_) {
@@ -689,6 +719,10 @@ void ShardedIds::Ingest(const net::Datagram& dgram, bool from_outside,
     } else if (!down_open_) {
       down_open_ = true;
       down_open_since_ = std::chrono::steady_clock::now();
+      down_open_src_ns_ = when_ns;
+    } else if (when_ns - down_open_src_ns_ >=
+               config_.batch_flush_us * 1000) {
+      CommitAllDown(FlushReason::kDeadline);
     } else if (std::chrono::steady_clock::now() - down_open_since_ >=
                std::chrono::microseconds(config_.batch_flush_us)) {
       CommitAllDown(FlushReason::kDeadline);
@@ -725,18 +759,26 @@ void ShardedIds::WatchdogCheck() {
     ShardHealth& h = health_[i];
     const size_t depth = shard.down.SizeApprox();
     const int64_t hb = shard.last_progress_ns.load(std::memory_order_acquire);
+    const int64_t src = shard.processed_ns.load(std::memory_order_acquire);
     if (depth == 0) {
       // Nothing pending — an idle worker is healthy however old its
       // heartbeat is (idle-then-burst must not alert).
       h.hb_seen = hb;
+      h.src_seen = src;
       h.pending_since_ns = 0;
       h.alerted = false;
       continue;
     }
-    if (!continuous || h.pending_since_ns == 0 || hb != h.hb_seen) {
+    if (!continuous || h.pending_since_ns == 0 || hb != h.hb_seen ||
+        src != h.src_seen) {
       // Progress since last check (or no episode yet): anchor a fresh
       // episode at the first continuously-observed no-progress instant.
+      // Source-reported time counts as progress in its own right: under
+      // replay the worker can be busy sweeping a capture gap (or a slice
+      // heartbeat may land between our polls), and a worker whose stream
+      // clock advances is by definition not wedged.
       h.hb_seen = hb;
+      h.src_seen = src;
       h.pending_since_ns = now;
       h.alerted = false;
       continue;

@@ -103,9 +103,12 @@ struct ShardedConfig {
   /// reproduces the PR-5 slot-at-a-time handoff exactly; larger values
   /// amortize the index fences and the consumer wakeups over the batch.
   size_t batch_max = 32;
-  /// Bound on how long (wall clock) a partial producer batch may stay
-  /// unpublished while the ingest thread keeps calling Ingest()/Pump().
-  /// Flush() and Stop() always publish immediately.
+  /// Bound on how long a partial producer batch may stay unpublished while
+  /// the ingest thread keeps calling Ingest()/Pump() — enforced in BOTH
+  /// clock domains: wall clock, and the source timestamps carried by
+  /// Ingest(), so a faster-than-real-time replay (pcap/trace) cannot hold
+  /// packets unpublished across a capture gap that spans almost no wall
+  /// time. Flush() and Stop() always publish immediately.
   int64_t batch_flush_us = 50;
   /// Busy-wait shape for the worker loops: yields before the first sleep,
   /// then the idle sleep. See common/backoff.h for the defaults.
@@ -339,7 +342,8 @@ class ShardedIds {
     uint64_t down_stalls = 0;
     uint64_t up_hwm = 0;
     /// Watchdog heartbeat: wall-clock time of the last batch this worker
-    /// fully retired, release-stored after the batch's frontier stores
+    /// fully retired — or, during a sliced clock catch-up across a capture
+    /// gap (AdvanceShardClock), of the last completed slice. Release-stored
     /// (only when the watchdog is enabled — the disabled config never
     /// reads the clock). A worker that is wedged, spinning in PushUp, or
     /// dead stops advancing it.
@@ -347,9 +351,13 @@ class ShardedIds {
     /// Test hook: while set, the worker sleeps inside its current batch
     /// (heartbeat frozen, down-ring non-empty) — a deliberate stall.
     std::atomic<bool> wedged{false};
-    /// Highest packet/flush time this worker has fully processed. Written
-    /// (release) after the worker pushed every upstream message for that
-    /// time, so an acquire read covers them.
+    /// Source-time progress frontier: the highest packet/flush time this
+    /// worker fully processed (post-batch), or its scheduler's position
+    /// mid-catch-up (watchdog-enabled configs only). Post-batch stores are
+    /// release-ordered after every upstream message for that time; the
+    /// watchdog additionally reads this as source-reported progress so a
+    /// worker sweeping through a replayed capture gap re-anchors its stall
+    /// episode instead of alerting.
     std::atomic<int64_t> processed_ns{0};
     /// Aggregate-complete frontier: every aggregate event this shard will
     /// ever emit with when_ns <= this value is already published in the
@@ -400,21 +408,31 @@ class ShardedIds {
   /// dimensions (DESIGN.md §13).
   enum class FlushReason : uint8_t {
     kFull,      // batch_max reached, or backpressure forced the open batch
-    kDeadline,  // batch_flush_us wall-clock bound expired
+    kDeadline,  // batch_flush_us bound expired (wall clock or source time)
     kBarrier,   // Pump/Flush/Stop/broadcast published everything
   };
 
   /// Coordinator-side view of one worker's health (ingest thread only).
   /// A stall episode is anchored when the shard's down-ring first shows
-  /// pending work with an unchanged heartbeat, and cleared by any progress.
+  /// pending work with an unchanged heartbeat, and cleared by any
+  /// progress — wall-clock heartbeat or source-reported time. The second
+  /// anchor is what keeps faster-than-real-time replay honest: a worker
+  /// sweeping timers across a replayed capture gap advances processed_ns
+  /// even when a heartbeat store has not landed yet.
   struct ShardHealth {
     int64_t hb_seen = -1;
+    int64_t src_seen = -1;
     int64_t pending_since_ns = 0;  // 0 = no open episode
     bool alerted = false;
   };
 
   // ---- worker side ----
   void WorkerLoop(Shard& shard);
+  /// Advances a shard's private scheduler to `when` (no-op if already
+  /// there). With the watchdog enabled, large jumps — replayed capture
+  /// gaps — run in bounded slices with a heartbeat and a processed_ns
+  /// store per slice, so mid-batch catch-up work is visible as progress.
+  void AdvanceShardClock(Shard& shard, sim::Time when);
   /// Records a sampled packet's span: latency histograms + a kSpan flight
   /// record. `t0` is the enqueue wall time, `t_dequeue` the worker's
   /// dequeue wall time; called right after Inspect returns.
@@ -504,9 +522,13 @@ class ShardedIds {
   bool stopping_ = false;
 
   /// Producer-batch flush bookkeeping (ingest thread; batch_max > 1 only,
-  /// so the batch_max == 1 configuration never reads the clock).
+  /// so the batch_max == 1 configuration never reads the clock). The
+  /// deadline binds in both clock domains: down_open_since_ is the wall
+  /// instant the batch opened, down_open_src_ns_ the source timestamp of
+  /// the Ingest that opened it.
   bool down_open_ = false;
   std::chrono::steady_clock::time_point down_open_since_{};
+  int64_t down_open_src_ns_ = 0;
 
   /// Span sampling (ingest thread). trace_on_/trace_mask_ are derived from
   /// trace_sample_period once in the constructor; the off configuration

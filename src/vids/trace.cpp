@@ -21,8 +21,16 @@ std::string ToHex(std::string_view bytes) {
   return out;
 }
 
-std::optional<std::string> FromHex(std::string_view hex) {
-  if (hex.size() % 2 != 0) return std::nullopt;
+/// Decodes a lowercase-hex payload. On failure returns nullopt and names
+/// the defect in `*why` ("odd-length …" vs "non-hex byte …").
+std::optional<std::string> FromHex(std::string_view hex, std::string* why) {
+  if (hex.size() % 2 != 0) {
+    if (why != nullptr) {
+      *why = "odd-length hex payload (" + std::to_string(hex.size()) +
+             " nibbles)";
+    }
+    return std::nullopt;
+  }
   const auto nibble = [](char c) -> int {
     if (c >= '0' && c <= '9') return c - '0';
     if (c >= 'a' && c <= 'f') return c - 'a' + 10;
@@ -33,11 +41,20 @@ std::optional<std::string> FromHex(std::string_view hex) {
   for (size_t i = 0; i < hex.size(); i += 2) {
     const int hi = nibble(hex[i]);
     const int lo = nibble(hex[i + 1]);
-    if (hi < 0 || lo < 0) return std::nullopt;
+    if (hi < 0 || lo < 0) {
+      if (why != nullptr) {
+        *why = "non-hex byte in payload at position " + std::to_string(i);
+      }
+      return std::nullopt;
+    }
     out += static_cast<char>((hi << 4) | lo);
   }
   return out;
 }
+
+/// Largest UDP payload an IPv4 datagram can carry (65535 - 20 - 8); the
+/// bound the padding-consistency check enforces.
+constexpr uint64_t kMaxUdpPayload = 65507;
 
 std::string_view KindName(net::PayloadKind kind) {
   switch (kind) {
@@ -81,33 +98,75 @@ std::string TraceLog::Serialize() const {
   return out.str();
 }
 
-std::optional<TraceLog> TraceLog::Parse(std::string_view text) {
+std::optional<TraceLog> TraceLog::Parse(std::string_view text,
+                                        std::string* error) {
   TraceLog log;
   size_t pos = 0;
+  uint64_t line_no = 0;
+  const auto fail = [&](std::string why) -> std::optional<TraceLog> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + std::move(why);
+    }
+    return std::nullopt;
+  };
   while (pos < text.size()) {
     size_t eol = text.find('\n', pos);
     if (eol == std::string_view::npos) eol = text.size();
     const std::string_view line = common::Trim(text.substr(pos, eol - pos));
     pos = eol + 1;
+    ++line_no;
     if (line.empty()) continue;
     const auto fields = common::Split(line, ' ');
-    if (fields.size() != 7) return std::nullopt;
+    if (fields.size() != 7) {
+      return fail("expected 7 fields, got " + std::to_string(fields.size()));
+    }
     TraceRecord record;
+    // ParseInt (from_chars) already rejects values that overflow int64, but
+    // accepts a leading '-'; a negative instant is never valid on the sim
+    // clock, so reject it here rather than scheduling a pre-epoch packet.
     const auto nanos = common::ParseInt<int64_t>(fields[0]);
+    if (!nanos) {
+      return fail("bad nanosecond timestamp '" + std::string(fields[0]) +
+                  "' (not an integer, or overflows int64)");
+    }
+    if (*nanos < 0) {
+      return fail("negative nanosecond timestamp " + std::string(fields[0]));
+    }
+    if (fields[1] != "in" && fields[1] != "out") {
+      return fail("bad direction '" + std::string(fields[1]) +
+                  "' (want in|out)");
+    }
     const auto src = net::Endpoint::Parse(fields[2]);
+    if (!src) return fail("bad src endpoint '" + std::string(fields[2]) + "'");
     const auto dst = net::Endpoint::Parse(fields[3]);
+    if (!dst) return fail("bad dst endpoint '" + std::string(fields[3]) + "'");
     const auto kind = ParseKind(fields[4]);
+    if (!kind) {
+      return fail("bad payload kind '" + std::string(fields[4]) +
+                  "' (want sip|rtp|other)");
+    }
     const auto padding = common::ParseInt<uint32_t>(fields[5]);
-    const auto payload = FromHex(fields[6]);
-    if (!nanos || !src || !dst || !kind || !padding || !payload ||
-        (fields[1] != "in" && fields[1] != "out")) {
-      return std::nullopt;
+    if (!padding) {
+      return fail("bad padding-byte count '" + std::string(fields[5]) + "'");
+    }
+    std::string hex_why;
+    auto payload = FromHex(fields[6], &hex_why);
+    if (!payload) return fail(std::move(hex_why));
+    // Wire-size consistency: payload + padding must still fit one UDP/IPv4
+    // datagram, or the recorded packet could never have existed on the wire
+    // (and WireBytes() would silently overstate link occupancy on replay).
+    if (payload->size() + uint64_t{*padding} > kMaxUdpPayload) {
+      return fail("padding " + std::string(fields[5]) + " + payload " +
+                  std::to_string(payload->size()) +
+                  " bytes exceeds the 65507-byte UDP payload bound");
     }
     record.when = sim::Time::FromNanos(*nanos);
     // Timestamps must be non-decreasing: replay schedules each record at its
     // recorded time, and a rewind would silently reorder the packet stream.
     if (!log.records_.empty() && record.when < log.records_.back().when) {
-      return std::nullopt;
+      return fail("timestamp rewind (" + std::string(fields[0]) +
+                  " < previous record's " +
+                  std::to_string(log.records_.back().when.nanos()) + ")");
     }
     record.from_outside = fields[1] == "in";
     record.dgram.src = *src;
@@ -117,6 +176,7 @@ std::optional<TraceLog> TraceLog::Parse(std::string_view text) {
     record.dgram.payload = std::move(*payload);
     log.records_.push_back(std::move(record));
   }
+  if (error != nullptr) error->clear();
   return log;
 }
 

@@ -37,8 +37,14 @@ class TraceLog {
   net::InlineTap::Monitor MakeRecorder(sim::Scheduler& scheduler);
 
   std::string Serialize() const;
-  /// Parses a serialized trace. Returns nullopt on any malformed line.
-  static std::optional<TraceLog> Parse(std::string_view text);
+  /// Parses a serialized trace. Fails closed: any malformed line — wrong
+  /// field count, unparseable/negative/overflowing nanosecond timestamp,
+  /// timestamp rewind, bad endpoint, odd-length or non-hex payload, or a
+  /// padding count that would push the datagram past the 65507-byte UDP
+  /// payload bound — returns nullopt, with a line-numbered description in
+  /// `*error` when provided.
+  static std::optional<TraceLog> Parse(std::string_view text,
+                                       std::string* error = nullptr);
 
   /// Feeds every record into `vids` at its recorded time, on `scheduler`.
   /// By default the scheduler runs to exhaustion (every IDS-internal timer

@@ -223,6 +223,61 @@ TEST(SipLazyParity, HandcraftedRejectCorpus) {
   for (const auto& wire : corpus) ExpectParity(wire);
 }
 
+TEST(SipLazyParity, WireRealisticFramingCorpus) {
+  // Inputs a tap actually sees (the torn_truncated pcap corpus replays
+  // these same shapes end to end): LF-only framing, unterminated final
+  // header lines, Content-Length overruns, binary bodies.
+  const std::string corpus[] = {
+      // No trailing CRLF after the last header.
+      "OPTIONS sip:b@h SIP/2.0\r\nCall-ID: nocrlf",
+      // Compact-form header as the final, unterminated line.
+      "OPTIONS sip:b@h SIP/2.0\r\n"
+      "v: SIP/2.0/UDP 10.9.0.66:5060;branch=z9hG4bKco\r\n"
+      "i:compact-1",
+      // Content-Length far past the end of the captured buffer.
+      "INVITE sip:b@h SIP/2.0\r\nCall-ID: overrun\r\nCSeq: 1 INVITE\r\n"
+      "Content-Length: 9999\r\n\r\nshort",
+      // CRLF-framed head with an LF-only blank line inside the body.
+      "OPTIONS sip:b@h SIP/2.0\r\nCall-ID: crlf-head\r\n"
+      "Content-Length: 8\r\n\r\nAB\n\nCD!!",
+  };
+  for (const auto& wire : corpus) ExpectParity(wire);
+}
+
+TEST(SipLazyParity, LfFramedHeadSplitsAtFirstBlankLine) {
+  // An LF-framed message whose binary body happens to contain \r\n\r\n:
+  // the head/body split must take the earlier blank line (the LF one),
+  // not extend the head into the body hunting for CRLFCRLF. Before the
+  // fix this mis-framed: the headers swallowed "AB" and the message was
+  // spuriously rejected on the Content-Length check.
+  const std::string wire =
+      "OPTIONS sip:bob@b.example.com SIP/2.0\n"
+      "Via: SIP/2.0/UDP 10.9.0.66:5060;branch=z9hG4bKlf\n"
+      "Call-ID: lf-framed-1\n"
+      "CSeq: 1 OPTIONS\n"
+      "Content-Length: 8\n"
+      "\n"
+      "AB\r\n\r\nCD";
+  ExpectParity(wire);
+  LazyMessage lazy;
+  ASSERT_TRUE(lazy.Index(wire));
+  EXPECT_EQ(lazy.body(), "AB\r\n\r\nCD");
+  EXPECT_EQ(lazy.HeaderCount(), 4u);
+  EXPECT_EQ(lazy.CallId(), "lf-framed-1");
+
+  // Mirror image: CRLF blank line first, \n\n later in the body.
+  const std::string mirror =
+      "OPTIONS sip:bob@b.example.com SIP/2.0\r\n"
+      "Call-ID: crlf-framed-1\r\n"
+      "Content-Length: 8\r\n"
+      "\r\n"
+      "AB\n\nCD!!";
+  ExpectParity(mirror);
+  LazyMessage mirror_lazy;
+  ASSERT_TRUE(mirror_lazy.Index(mirror));
+  EXPECT_EQ(mirror_lazy.body(), "AB\n\nCD!!");
+}
+
 TEST(SipLazyParity, CapacityOverflowStaysCorrect) {
   // More headers than the inline span table (32) and more parameters than
   // the inline param list (8): the overflow paths must stay in parity.

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "load/soak.h"
 #include "vids/trace.h"
 #include "testbed/testbed.h"
 
@@ -145,6 +146,100 @@ TEST(TraceLog, ReplayWithDifferentThresholdsChangesVerdicts) {
   Vids offline(offline_scheduler, strict);
   capture.ReplayInto(offline, offline_scheduler);
   EXPECT_GE(offline.CountAlerts(kAttackInviteFlood), 1u);
+}
+
+TEST(TraceLog, ParseErrorsAreLineNumbered) {
+  // Every rejection names the offending line and the defect, so a corrupt
+  // multi-gigabyte capture points straight at its bad record. The first
+  // line is always valid; the defect rides on line 2.
+  const std::string good = "1 in 10.0.0.1:1 10.0.0.2:2 sip 0 ab\n";
+  const struct {
+    const char* line;
+    const char* needle;
+  } cases[] = {
+      {"2 in 10.0.0.1:1 10.0.0.2:2 sip 0 abc", "odd-length hex"},
+      {"2 in 10.0.0.1:1 10.0.0.2:2 sip 0 azzz", "non-hex byte"},
+      {"-5 in 10.0.0.1:1 10.0.0.2:2 sip 0 ab", "negative nanosecond"},
+      {"99999999999999999999999 in 10.0.0.1:1 10.0.0.2:2 sip 0 ab",
+       "bad nanosecond timestamp"},
+      {"2 upward 10.0.0.1:1 10.0.0.2:2 sip 0 ab", "bad direction"},
+      {"2 in 10.0.0.1 10.0.0.2:2 sip 0 ab", "bad src endpoint"},
+      {"2 in 10.0.0.1:1 999.0.0.2:2 sip 0 ab", "bad dst endpoint"},
+      {"2 in 10.0.0.1:1 10.0.0.2:2 quic 0 ab", "bad payload kind"},
+      {"2 in 10.0.0.1:1 10.0.0.2:2 sip -1 ab", "bad padding-byte count"},
+      {"2 in 10.0.0.1:1 10.0.0.2:2 sip 65507 ab", "payload"},
+      {"0 in 10.0.0.1:1 10.0.0.2:2 sip 0 ab", "timestamp rewind"},
+      {"2 in 10.0.0.1:1 10.0.0.2:2 sip 0 ab extra", "expected 7 fields"},
+      {"2 in 10.0.0.1:1 10.0.0.2:2 sip 0", "expected 7 fields"},
+  };
+  for (const auto& c : cases) {
+    std::string error;
+    const auto parsed = TraceLog::Parse(good + c.line, &error);
+    EXPECT_FALSE(parsed.has_value()) << c.line;
+    EXPECT_NE(error.find("line 2"), std::string::npos)
+        << c.line << " -> " << error;
+    EXPECT_NE(error.find(c.needle), std::string::npos)
+        << c.line << " -> " << error;
+  }
+  // Success clears a stale error message.
+  std::string error = "stale";
+  ASSERT_TRUE(TraceLog::Parse(good, &error).has_value());
+  EXPECT_TRUE(error.empty());
+}
+
+TEST(TraceLog, ParseAcceptsMaximumWireSizedRecord) {
+  // padding + payload == 65507 is the largest datagram UDP/IPv4 can carry;
+  // one byte more must fail closed.
+  const std::string ok = "1 in 10.0.0.1:1 10.0.0.2:2 sip 65505 abcd";
+  ASSERT_TRUE(TraceLog::Parse(ok).has_value());
+  std::string error;
+  EXPECT_FALSE(
+      TraceLog::Parse("1 in 10.0.0.1:1 10.0.0.2:2 sip 65506 abcd", &error)
+          .has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
+TEST(TraceLog, SoakRoundTripReproducesOnlineRun) {
+  // The capture hook records every datagram a soak run feeds the online
+  // engine; the serialized text, parsed back and replayed into a fresh
+  // Vids, must reproduce the online alert list and metric registry
+  // bit-for-bit (histograms excluded: they sample wall-clock latency).
+  load::SoakConfig config;
+  config.seed = 77;
+  config.total_calls = 250;
+  config.calls_per_second = 50;
+  config.attack_every = 40;
+  config.pause = sim::Duration::Seconds(20);
+  config.sample_every = sim::Duration::Seconds(10);
+  TraceLog capture;
+  config.capture = &capture;
+  load::SoakDriver driver(config);
+  driver.Run();
+  ASSERT_GT(capture.size(), 0u);
+  ASSERT_GT(driver.vids().alerts().size(), 0u);
+
+  std::string error;
+  const auto parsed = TraceLog::Parse(capture.Serialize(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), capture.size());
+
+  sim::Scheduler offline_scheduler;
+  Vids offline(offline_scheduler, config.detection);
+  offline.set_max_retained_alerts(config.max_retained_alerts);
+  parsed->ReplayInto(offline, offline_scheduler, driver.scheduler().Now());
+
+  const auto& online_alerts = driver.vids().alerts();
+  const auto& offline_alerts = offline.alerts();
+  ASSERT_EQ(offline_alerts.size(), online_alerts.size());
+  for (size_t i = 0; i < online_alerts.size(); ++i) {
+    EXPECT_EQ(offline_alerts[i].when, online_alerts[i].when) << i;
+    EXPECT_EQ(offline_alerts[i].classification,
+              online_alerts[i].classification)
+        << i;
+    EXPECT_EQ(offline_alerts[i].group, online_alerts[i].group) << i;
+  }
+  EXPECT_EQ(offline.metrics().ToJson(/*include_histograms=*/false),
+            driver.vids().metrics().ToJson(/*include_histograms=*/false));
 }
 
 }  // namespace

@@ -1,0 +1,56 @@
+// make_corpus: writes the checked-in pcap corpus (src/capture/corpus.h).
+//
+// Usage: make_corpus [--out=DIR]   (default: tests/corpus)
+//
+// Output is byte-deterministic — fixed capture epoch, no clocks, no
+// randomness — so CI can regenerate into a scratch directory and
+// byte-compare against the checked-in files: the alert-equality replay
+// gate can never drift from the generator that defines it.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "capture/corpus.h"
+#include "capture/pcap.h"
+
+int main(int argc, char** argv) {
+  using namespace vids;
+
+  std::string out_dir = "tests/corpus";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_dir = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: make_corpus [--out=DIR]\n");
+      return 2;
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "make_corpus: cannot create %s: %s\n",
+                 out_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+
+  for (const auto& file : capture::corpus::BuildAll()) {
+    const std::string path = out_dir + "/" + file.name;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "make_corpus: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    const size_t written = std::fwrite(file.bytes.data(), 1,
+                                       file.bytes.size(), f);
+    if (std::fclose(f) != 0 || written != file.bytes.size()) {
+      std::fprintf(stderr, "make_corpus: short write to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("%s: %zu bytes\n", path.c_str(), file.bytes.size());
+  }
+  std::printf("inside subnet for replay: %s\n",
+              capture::corpus::InsideSubnet().ToString().c_str());
+  return 0;
+}
