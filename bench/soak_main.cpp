@@ -8,14 +8,17 @@
 // any quantity failed to plateau — the CI gate against IDS-side leaks.
 //
 // Usage: soak [--calls=N] [--rate=CPS] [--seed=S] [--sample-every=SEC]
-//             [--attack-every=N] [--pause=SEC] [--shards=N] [--trace=N]
-//             [--tap] [--duration=SEC] [--csv=FILE] [--check]
+//             [--attack-every=N] [--pause=SEC] [--shards=N] [--producers=N]
+//             [--trace=N] [--tap] [--duration=SEC] [--csv=FILE] [--check]
 //             [--pcap=FILE] [--inside=CIDR]
 //
 // --shards=N drives the same workload through the sharded multi-worker
 // engine (N worker threads behind SPSC rings) instead of the direct
 // single-threaded Vids; the report then also prints wall-clock ingest
-// throughput for the scaling table. --trace=N sets the pipeline span
+// throughput for the scaling table. --producers=N (sharded only) fans the
+// same stream out over N ingest ports via the MpIngest dispatcher — the
+// alert totals must not move, which is the soak-scale equivalence proof
+// for the multi-producer path. --trace=N sets the pipeline span
 // sampling period for sharded runs (1-in-N packets, 0 = off), so the
 // soak's alert totals double as the proof that span sampling never
 // changes detection behavior.
@@ -26,6 +29,7 @@
 // alert total — real-wire ingress through the same code path as live
 // deployment. --inside=CIDR sets the protected-perimeter subnet for
 // direction inference (the checked-in corpus uses 10.2.0.0/16).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -87,6 +91,8 @@ int main(int argc, char** argv) {
       config.pause = sim::Duration::Seconds(value);
     } else if (ParseFlag(arg, "--shards", &value)) {
       config.shards = static_cast<int>(value);
+    } else if (ParseFlag(arg, "--producers", &value)) {
+      config.producers = static_cast<int>(value);
     } else if (ParseFlag(arg, "--trace", &value)) {
       config.trace_sample_period = static_cast<uint32_t>(value);
     } else if (ParseFlag(arg, "--duration", &value)) {
@@ -116,11 +122,13 @@ int main(int argc, char** argv) {
     if (config.shards > 0) {
       ids::ShardedConfig sharded;
       sharded.shards = config.shards;
+      sharded.producers = std::max(1, config.producers);
       sharded.ring_capacity = config.ring_capacity;
       sharded.detection = config.detection;
       sharded.trace_sample_period = config.trace_sample_period;
       ids::ShardedIds engine(sharded);
-      replay = capture::RunSource(*source, engine);
+      replay = capture::RunSource(*source, engine, config.producers,
+                                  /*batch_size=*/64);
       engine.Stop();
       alerts = engine.alerts().size();
     } else {
@@ -165,7 +173,8 @@ int main(int argc, char** argv) {
     report = load::RunTapSoak(config, sim::Duration::Seconds(duration_s));
   } else {
     if (config.shards > 0) {
-      std::printf("sharded mode (%d workers): ", config.shards);
+      std::printf("sharded mode (%d workers, %d producers): ", config.shards,
+                  std::max(1, config.producers));
     } else {
       std::printf("direct mode: ");
     }
@@ -177,6 +186,15 @@ int main(int argc, char** argv) {
                 config.pause.ToSeconds());
     load::SoakDriver driver(config);
     report = driver.Run();
+    if (const char* dump = std::getenv("SOAK_DUMP_ALERTS");
+        dump != nullptr && driver.sharded() != nullptr) {
+      if (std::FILE* f = std::fopen(dump, "w")) {
+        for (const auto& a : driver.sharded()->alerts()) {
+          std::fprintf(f, "%s\n", a.ToString().c_str());
+        }
+        std::fclose(f);
+      }
+    }
   }
 
   bench::PrintRule();

@@ -94,6 +94,13 @@ class SpscRing {
   /// full. Single-slot case of BeginPushN(); CommitPush() publishes it.
   T* BeginPush() { return BeginPushN(); }
 
+  /// Absolute slot index the NEXT BeginPushN() would hand out (producer
+  /// thread only). Lets a producer address side-band storage paired 1:1
+  /// with the ring's slots (a PayloadArena slab) before reserving the slot.
+  size_t ProducerNextIndex() const {
+    return (tail_.load(std::memory_order_relaxed) + pending_) & mask_;
+  }
+
   /// Producer: publish the open batch (for single-slot use, exactly the
   /// slot handed out by the last BeginPush()).
   void CommitPush() { CommitPushN(); }
@@ -119,6 +126,12 @@ class SpscRing {
     return slots_[(head_.load(std::memory_order_relaxed) + i) & mask_];
   }
 
+  /// Absolute slot index of At(i) (consumer thread only) — the consumer
+  /// half of the ProducerNextIndex() side-band pairing.
+  size_t ConsumerIndex(size_t i) const {
+    return (head_.load(std::memory_order_relaxed) + i) & mask_;
+  }
+
   /// Consumer: retire the oldest `n` elements with one release store. The
   /// elements are NOT destroyed — the producer reuses them in place.
   void PopN(size_t n) {
@@ -141,10 +154,18 @@ class SpscRing {
 
   /// Occupancy as the producer sees it, counting the open (uncommitted)
   /// batch. Producer thread only. May overestimate — head_cache_ refreshes
-  /// only when a push finds the ring full — which is the right bias for a
-  /// high-water-mark gauge: depth is never under-reported.
-  size_t SizeFromProducer() const {
-    return tail_.load(std::memory_order_relaxed) + pending_ - head_cache_;
+  /// lazily — which is the right bias for a high-water-mark gauge: depth is
+  /// never under-reported. The stale cache is bounded here: an apparent
+  /// size above capacity refreshes head_cache_ first, so a per-lane gauge
+  /// read by a producer that never hit backpressure (the common multi-lane
+  /// ingest case — each lane sees a fraction of the traffic and rarely
+  /// fills) can no longer report a many-lap phantom depth.
+  size_t SizeFromProducer() {
+    const size_t tail = tail_.load(std::memory_order_relaxed) + pending_;
+    if (tail - head_cache_ > mask_ + 1) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+    }
+    return tail - head_cache_;
   }
 
  private:

@@ -7,7 +7,9 @@
 
 #include "common/backoff.h"
 #include "common/log.h"
+#include "common/payload_arena.h"
 #include "common/rng.h"
+#include "common/spsc_ring.h"
 #include "common/strings.h"
 
 namespace vids::common {
@@ -246,6 +248,93 @@ TEST(SpinBackoff, DefaultsComeFromNamedConstants) {
   SpinBackoff backoff;
   for (int i = 0; i < kSpinsBeforeSleep - 1; ++i) backoff.Pause();
   EXPECT_EQ(backoff.sleeps(), 0u);
+}
+
+// ---------------------------------------------------------- payload arena
+
+TEST(PayloadArena, StoresAndReadsBackPerSlot) {
+  PayloadArena arena(/*slots=*/4, /*slot_bytes=*/16);
+  EXPECT_EQ(arena.slot_bytes(), 16u);
+  EXPECT_GE(arena.MemoryBytes(), 4u * 16u);
+  const std::string a = "alpha-payload";
+  const std::string b(16, 'x');  // exactly slot_bytes must still fit
+  arena.Store(0, a.data(), a.size());
+  arena.Store(3, b.data(), b.size());
+  EXPECT_EQ(std::string(arena.Slot(0), a.size()), a);
+  EXPECT_EQ(std::string(arena.Slot(3), b.size()), b);
+  // Slots are reused in place, exactly like the paired ring's slots.
+  const std::string c = "beta";
+  arena.Store(0, c.data(), c.size());
+  EXPECT_EQ(std::string(arena.Slot(0), c.size()), c);
+}
+
+TEST(PayloadArena, FitsRespectsSlotBoundsAndDisabledArena) {
+  PayloadArena arena(8, 32);
+  EXPECT_TRUE(arena.Fits(0));
+  EXPECT_TRUE(arena.Fits(32));
+  EXPECT_FALSE(arena.Fits(33));  // jumbo payloads take the fallback path
+  // slot_bytes == 0 disables the fast path entirely: nothing "fits", not
+  // even an empty payload, so callers never touch the zero-byte slab.
+  PayloadArena disabled(8, 0);
+  EXPECT_FALSE(disabled.Fits(0));
+  EXPECT_FALSE(disabled.Fits(1));
+  EXPECT_EQ(disabled.MemoryBytes(), 0u);
+}
+
+// ------------------------------------------- producer-side occupancy gauge
+
+TEST(SpscRing, SizeFromProducerTracksDepthAcrossLaps) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.SizeFromProducer(), 0u);
+  // An open (uncommitted) batch counts: the gauge reports bytes-at-risk in
+  // the lane, not just what the consumer can already see.
+  *ring.BeginPushN() = 1;
+  *ring.BeginPushN() = 2;
+  EXPECT_EQ(ring.SizeFromProducer(), 2u);
+  ring.CommitPushN();
+  EXPECT_EQ(ring.SizeFromProducer(), 2u);
+  // Drive many laps with a consumer that always drains. The gauge may
+  // overestimate (the head cache refreshes lazily — the right bias for a
+  // high-water mark), but it must never under-report the true occupancy
+  // and never exceed capacity. Without the bounded-staleness refresh a
+  // producer that never hits backpressure would report tail-minus-ancient-
+  // head: a many-lap phantom depth growing without bound.
+  for (int lap = 0; lap < 5; ++lap) {
+    ASSERT_EQ(ring.FrontN(4), 2u);
+    ring.PopN(2);
+    for (int i = 0; i < 2; ++i) {
+      int* slot = ring.BeginPush();
+      ASSERT_NE(slot, nullptr);
+      *slot = lap * 10 + i;
+      ring.CommitPush();
+    }
+    EXPECT_GE(ring.SizeFromProducer(), 2u);               // never under
+    EXPECT_LE(ring.SizeFromProducer(), ring.capacity());  // never phantom
+  }
+}
+
+TEST(SpscRing, SizeFromProducerSaturatesAtCapacityWhenFull) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    int* slot = ring.BeginPush();
+    ASSERT_NE(slot, nullptr);
+    *slot = i;
+    ring.CommitPush();
+  }
+  EXPECT_EQ(ring.BeginPush(), nullptr);  // full is backpressure, not growth
+  EXPECT_EQ(ring.SizeFromProducer(), ring.capacity());
+  ring.FrontN(1);
+  ring.PopN(1);
+  // The pop may not be visible yet (overestimate is allowed) but the gauge
+  // stays within [true occupancy, capacity].
+  EXPECT_GE(ring.SizeFromProducer(), ring.capacity() - 1);
+  EXPECT_LE(ring.SizeFromProducer(), ring.capacity());
+  // A successful push refreshes the cache: exact again, at capacity.
+  int* slot = ring.BeginPush();
+  ASSERT_NE(slot, nullptr);
+  *slot = 99;
+  ring.CommitPush();
+  EXPECT_EQ(ring.SizeFromProducer(), ring.capacity());
 }
 
 }  // namespace
