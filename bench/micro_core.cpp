@@ -357,6 +357,53 @@ void BM_VidsInspectSipInDialog(benchmark::State& state) {
 }
 BENCHMARK(BM_VidsInspectSipInDialog);
 
+void BM_VidsInspectSipBehavior(benchmark::State& state) {
+  // Steady-state cost of Inspect() WITH the behavioral layer in the loop:
+  // every iteration is an initial INVITE carrying a User-Agent header, so
+  // it walks the whole FeedBehavior path — From-AOR profile probe, rate
+  // window touch, destination fan-out and UA distinct-ring touches,
+  // open-call slot refresh, scoring. Time is frozen and the Call-ID fixed:
+  // the caller's profile blew past alert_score during warmup (one alert,
+  // emitted before the counter arms), so the timed region exercises the
+  // worst hot case — a fully saturated profile re-scored per packet and
+  // suppressed by the cooldown. The gate: allocs_per_iter must be 0; the
+  // behavioral layer adds no allocation to the steady-state inspect path.
+  sim::Scheduler scheduler;
+  ids::DetectionConfig config;
+  // Benign fixed-destination INVITEs would otherwise park the run inside a
+  // permanent INVITE-flood alarm (see BM_VidsInspectSip).
+  config.invite_flood_threshold = 1 << 20;
+  ids::Vids vids(scheduler, config);
+  auto invite = TypicalInvite("behavior-bench");
+  invite.SetHeader("User-Agent", "bench-softphone/1.0");
+  net::Datagram dgram;
+  dgram.src = kProxyA;
+  dgram.dst = kProxyB;
+  dgram.kind = net::PayloadKind::kSip;
+  dgram.payload = invite.Serialize();
+
+  // Warmup: group + profile creation, the one behavioral alert (rate far
+  // over threshold at frozen time), every capacity settled.
+  for (int i = 0; i < 600; ++i) {
+    vids.Inspect(dgram, true);
+  }
+  if (vids.CountAlerts(ids::AlertKind::kBehavior) != 1) {
+    state.SkipWithError("behavioral warmup alert missing");
+    return;
+  }
+
+  {
+    AllocCounter allocs(state);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(vids.Inspect(dgram, true));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["cooldown_suppressed"] =
+      static_cast<double>(vids.behavior().cooldown_suppressed());
+}
+BENCHMARK(BM_VidsInspectSipBehavior);
+
 void BM_VidsInspectRtpInSession(benchmark::State& state) {
   sim::Scheduler scheduler;
   ids::Vids vids(scheduler);

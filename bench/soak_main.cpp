@@ -10,7 +10,16 @@
 // Usage: soak [--calls=N] [--rate=CPS] [--seed=S] [--sample-every=SEC]
 //             [--attack-every=N] [--pause=SEC] [--shards=N] [--producers=N]
 //             [--trace=N] [--tap] [--duration=SEC] [--csv=FILE] [--check]
-//             [--pcap=FILE] [--inside=CIDR]
+//             [--pcap=FILE] [--inside=CIDR] [--caller-aors=N]
+//             [--spit=N] [--reg-crack=N] [--toll-fraud=N]
+//
+// --spit/--reg-crack/--toll-fraud=N interleave N behavioral-attack bursts
+// (protocol-legal SPIT blasting, distributed registration cracking,
+// low-and-slow toll-fraud fan-out — DESIGN.md §16) with the benign
+// workload; only the behavior profiles can raise on them. --caller-aors=N
+// spreads the benign stream over N caller identities (call-center shape),
+// the false-positive-resistance configuration: per-caller rates stay far
+// under every behavioral threshold.
 //
 // --shards=N drives the same workload through the sharded multi-worker
 // engine (N worker threads behind SPSC rings) instead of the direct
@@ -95,6 +104,14 @@ int main(int argc, char** argv) {
       config.producers = static_cast<int>(value);
     } else if (ParseFlag(arg, "--trace", &value)) {
       config.trace_sample_period = static_cast<uint32_t>(value);
+    } else if (ParseFlag(arg, "--caller-aors", &value)) {
+      config.caller_aors = static_cast<int>(value);
+    } else if (ParseFlag(arg, "--spit", &value)) {
+      config.spit_bursts = static_cast<int>(value);
+    } else if (ParseFlag(arg, "--reg-crack", &value)) {
+      config.reg_crack_bursts = static_cast<int>(value);
+    } else if (ParseFlag(arg, "--toll-fraud", &value)) {
+      config.toll_fraud_bursts = static_cast<int>(value);
     } else if (ParseFlag(arg, "--duration", &value)) {
       duration_s = value;
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {

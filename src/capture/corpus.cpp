@@ -58,7 +58,9 @@ net::Datagram RtpDgram(uint32_t ssrc, uint16_t seq, uint32_t ts, bool marker,
 
 sip::Message MakeInvite(const std::string& call_id,
                         const std::string& callee_user,
-                        net::Endpoint caller_media) {
+                        net::Endpoint caller_media,
+                        const std::string& caller_user = "alice",
+                        const std::string& user_agent = {}) {
   auto invite = sip::Message::MakeRequest(
       sip::Method::kInvite,
       *sip::SipUri::Parse("sip:" + callee_user + "@b.example.com"));
@@ -67,7 +69,7 @@ sip::Message MakeInvite(const std::string& call_id,
   via.branch = "z9hG4bK" + call_id;
   invite.PushVia(via);
   sip::NameAddr from;
-  from.uri = *sip::SipUri::Parse("sip:alice@a.example.com");
+  from.uri = *sip::SipUri::Parse("sip:" + caller_user + "@a.example.com");
   from.SetTag("tag-" + call_id);
   invite.SetFrom(from);
   sip::NameAddr to;
@@ -75,6 +77,7 @@ sip::Message MakeInvite(const std::string& call_id,
   invite.SetTo(to);
   invite.SetCallId(call_id);
   invite.SetCseq(sip::CSeq{1, sip::Method::kInvite});
+  if (!user_agent.empty()) invite.SetHeader("User-Agent", user_agent);
   invite.SetBody(sdp::MakeAudioOffer(caller_media).Serialize(),
                  "application/sdp");
   return invite;
@@ -100,7 +103,8 @@ sip::Message MakeResponse(const sip::Message& request, int status,
 }
 
 sip::Message MakeInDialog(sip::Method method, const std::string& call_id,
-                          uint32_t cseq, const std::string& callee_user) {
+                          uint32_t cseq, const std::string& callee_user,
+                          const std::string& caller_user = "alice") {
   auto request = sip::Message::MakeRequest(
       method, *sip::SipUri::Parse("sip:" + callee_user + "@b.example.com"));
   sip::Via via;
@@ -108,7 +112,7 @@ sip::Message MakeInDialog(sip::Method method, const std::string& call_id,
   via.branch = "z9hG4bK" + std::string(sip::MethodName(method)) + call_id;
   request.PushVia(via);
   sip::NameAddr from;
-  from.uri = *sip::SipUri::Parse("sip:alice@a.example.com");
+  from.uri = *sip::SipUri::Parse("sip:" + caller_user + "@a.example.com");
   from.SetTag("tag-" + call_id);
   request.SetFrom(from);
   sip::NameAddr to;
@@ -258,6 +262,108 @@ std::string BuildTornTruncated() {
   return writer.bytes();
 }
 
+// --------------- behavioral-attack captures (DESIGN.md §16) --------------
+// Every dialog and registration below is protocol-legal — the spec
+// machines run each one to a clean terminal state — so the captures must
+// raise exactly one behavioral alert each and zero spec-machine alerts.
+
+/// One complete clean scenario dialog (no media): INVITE/180/200/ACK at
+/// `t0`, BYE/200 at `t0 + hold`. The caller terminates, so the behavior
+/// profile records the call duration.
+void AddScenarioCall(PcapWriter& writer, sim::Time t0,
+                     const std::string& caller, const std::string& callee,
+                     const std::string& call_id, const std::string& ua,
+                     int index, sim::Duration hold) {
+  const net::Endpoint caller_media{
+      kAttacker.ip, static_cast<uint16_t>(43000 + 2 * index)};
+  const net::Endpoint callee_media{
+      net::IpAddress(10, 2, 0, 10), static_cast<uint16_t>(43001 + 2 * index)};
+  const auto ms = [&](int64_t m) { return t0 + sim::Duration::Millis(m); };
+  const auto invite = MakeInvite(call_id, callee, caller_media, caller, ua);
+  writer.Add(ms(0), SipDgram(invite, kAttacker, kProxyB));
+  writer.Add(ms(20), SipDgram(MakeResponse(invite, 180, std::nullopt),
+                              kProxyB, kAttacker));
+  writer.Add(ms(40), SipDgram(MakeResponse(invite, 200, callee_media),
+                              kProxyB, kAttacker));
+  writer.Add(ms(60),
+             SipDgram(MakeInDialog(sip::Method::kAck, call_id, 1, callee,
+                                   caller),
+                      kAttacker, kProxyB));
+  const auto bye =
+      MakeInDialog(sip::Method::kBye, call_id, 2, callee, caller);
+  writer.Add(t0 + hold, SipDgram(bye, kAttacker, kProxyB));
+  writer.Add(t0 + hold + sim::Duration::Millis(20),
+             SipDgram(MakeResponse(bye, 200, std::nullopt), kProxyB,
+                      kAttacker));
+}
+
+std::string BuildSpitBurst() {
+  // 20 short clean calls from one caller at 150 ms spacing: the 10 s
+  // call-rate window crosses threshold 15 at call 16 and the weighted
+  // score crosses alert_score at call 18 (400 milli-units per call over);
+  // the cooldown then holds the alert count at exactly one.
+  PcapWriter writer;  // little-endian, nanosecond magic
+  const sim::Time t0 = sim::Time::FromNanos(0);
+  for (int k = 0; k < 20; ++k) {
+    AddScenarioCall(writer, t0 + sim::Duration::Millis(150) * k, "spitter",
+                    "spit-victim-" + std::to_string(k),
+                    "spit-" + std::to_string(k), "spitware/1.0", k,
+                    sim::Duration::Seconds(1));
+  }
+  return writer.bytes();
+}
+
+std::string BuildRegCracking() {
+  // 14 REGISTER/401 exchanges against one account, each attempt from a
+  // different source address at 300 ms spacing. The failed-auth streak
+  // (threshold 8) and the distinct-source spread (threshold 4) cross the
+  // alert score together at attempt 10; cooldown dedups the rest.
+  PcapWriter writer;
+  const sim::Time t0 = sim::Time::FromNanos(0);
+  for (int k = 0; k < 14; ++k) {
+    const std::string call_id = "crack-" + std::to_string(k);
+    const net::Endpoint source{
+        net::IpAddress(10, 9, 100, static_cast<uint8_t>(1 + k)), 5060};
+    auto reg = sip::Message::MakeRequest(
+        sip::Method::kRegister, *sip::SipUri::Parse("sip:b.example.com"));
+    sip::Via via;
+    via.sent_by = source;
+    via.branch = "z9hG4bKreg" + call_id;
+    reg.PushVia(via);
+    sip::NameAddr aor;
+    aor.uri = *sip::SipUri::Parse("sip:reg-victim@b.example.com");
+    auto from = aor;
+    from.SetTag("tag-" + call_id);
+    reg.SetFrom(from);
+    reg.SetTo(aor);
+    reg.SetCallId(call_id);
+    reg.SetCseq(sip::CSeq{1, sip::Method::kRegister});
+    const sim::Time t = t0 + sim::Duration::Millis(300) * k;
+    writer.Add(t, SipDgram(reg, source, kProxyB));
+    writer.Add(t + sim::Duration::Millis(20),
+               SipDgram(MakeResponse(reg, 401, std::nullopt), kProxyB,
+                        source));
+  }
+  return writer.bytes();
+}
+
+std::string BuildTollFraud() {
+  // 24 clean calls to distinct premium AORs at 2 s spacing with 5 s holds:
+  // every short-window rate stays far under threshold; only the 60 s
+  // destination fan-out window (threshold 16) accumulates, crossing the
+  // alert score at call 23. Low and slow — the call pattern a spec machine
+  // cannot distinguish from business traffic.
+  PcapWriter writer;
+  const sim::Time t0 = sim::Time::FromNanos(0);
+  for (int k = 0; k < 24; ++k) {
+    AddScenarioCall(writer, t0 + sim::Duration::Seconds(2) * k, "fraudster",
+                    "premium-" + std::to_string(k),
+                    "fraud-" + std::to_string(k), "fraudster-phone/2.1",
+                    100 + k, sim::Duration::Seconds(5));
+  }
+  return writer.bytes();
+}
+
 }  // namespace
 
 std::vector<CorpusFile> BuildAll() {
@@ -265,6 +371,9 @@ std::vector<CorpusFile> BuildAll() {
       {"clean_calls.pcap", BuildCleanCalls()},
       {"invite_flood.pcap", BuildInviteFlood()},
       {"torn_truncated.pcap", BuildTornTruncated()},
+      {"spit_burst.pcap", BuildSpitBurst()},
+      {"reg_cracking.pcap", BuildRegCracking()},
+      {"toll_fraud.pcap", BuildTollFraud()},
   };
 }
 

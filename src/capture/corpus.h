@@ -1,6 +1,6 @@
 // The checked-in pcap corpus, generated — never hand-edited.
 //
-// Three deterministic captures exercise the wire-ingress path end to end:
+// Six deterministic captures exercise the wire-ingress path end to end:
 //   clean_calls.pcap    — complete SIP calls with two-way RTP (LE, ns)
 //   invite_flood.pcap   — clean background + an INVITE flood burst that
 //                         must raise exactly one aggregate alert (BE, µs:
@@ -10,12 +10,26 @@
 //                         compact-form final unterminated headers,
 //                         truncated RTP, empty payloads (LE, ns, VLAN-
 //                         tagged so the 802.1Q skip path is exercised)
+//   spit_burst.pcap     — protocol-legal SPIT: one caller blasting short
+//                         clean calls at distinct victims; only the
+//                         behavioral call-rate profile raises (LE, ns)
+//   reg_cracking.pcap   — distributed registration cracking: clean
+//                         REGISTER/401 exchanges against one account from
+//                         many sources; only the behavioral failed-auth
+//                         streak raises (LE, ns)
+//   toll_fraud.pcap     — low-and-slow toll-fraud fan-out: clean calls to
+//                         distinct premium AORs, paced under every rate
+//                         threshold; only the behavioral 60 s destination
+//                         fan-out window raises (LE, ns)
 //
 // tools/make_corpus writes these to tests/corpus/; CI regenerates and
 // byte-compares them so the checked-in files can never drift from this
 // generator, then replays them through 1-shard and 4-shard engines with
-// an alert-count equality gate. Everything here is fixed-seed and
-// fixed-epoch: regeneration is byte-identical on every platform.
+// an alert-count equality gate. The three behavioral captures must each
+// raise exactly one kBehavior alert and zero spec-machine alerts — that
+// asymmetry is the CI proof of the layer's reason to exist. Everything
+// here is fixed-seed and fixed-epoch: regeneration is byte-identical on
+// every platform.
 #pragma once
 
 #include <string>

@@ -53,7 +53,9 @@ net::Datagram RtpDgram(uint32_t ssrc, uint16_t seq, uint32_t ts, bool marker,
 
 sip::Message MakeInvite(const std::string& call_id,
                         const std::string& callee_user,
-                        net::Endpoint caller_media, net::Endpoint src) {
+                        net::Endpoint caller_media, net::Endpoint src,
+                        const std::string& caller_user = "alice",
+                        const std::string& user_agent = {}) {
   auto invite = sip::Message::MakeRequest(
       sip::Method::kInvite,
       *sip::SipUri::Parse("sip:" + callee_user + "@b.example.com"));
@@ -62,7 +64,7 @@ sip::Message MakeInvite(const std::string& call_id,
   via.branch = "z9hG4bK" + call_id;
   invite.PushVia(via);
   sip::NameAddr from;
-  from.uri = *sip::SipUri::Parse("sip:alice@a.example.com");
+  from.uri = *sip::SipUri::Parse("sip:" + caller_user + "@a.example.com");
   from.SetTag("tag-" + call_id);
   invite.SetFrom(from);
   sip::NameAddr to;
@@ -70,6 +72,7 @@ sip::Message MakeInvite(const std::string& call_id,
   invite.SetTo(to);
   invite.SetCallId(call_id);
   invite.SetCseq(sip::CSeq{1, sip::Method::kInvite});
+  if (!user_agent.empty()) invite.SetHeader("User-Agent", user_agent);
   invite.SetBody(sdp::MakeAudioOffer(caller_media).Serialize(),
                  "application/sdp");
   return invite;
@@ -95,7 +98,8 @@ sip::Message MakeResponse(const sip::Message& request, int status,
 }
 
 sip::Message MakeInDialog(sip::Method method, const std::string& call_id,
-                          uint32_t cseq, net::Endpoint via_sentby) {
+                          uint32_t cseq, net::Endpoint via_sentby,
+                          const std::string& caller_user = "alice") {
   auto request = sip::Message::MakeRequest(
       method, *sip::SipUri::Parse("sip:bob@b.example.com"));
   sip::Via via;
@@ -103,7 +107,7 @@ sip::Message MakeInDialog(sip::Method method, const std::string& call_id,
   via.branch = "z9hG4bK" + std::string(sip::MethodName(method)) + call_id;
   request.PushVia(via);
   sip::NameAddr from;
-  from.uri = *sip::SipUri::Parse("sip:alice@a.example.com");
+  from.uri = *sip::SipUri::Parse("sip:" + caller_user + "@a.example.com");
   from.SetTag("tag-" + call_id);
   request.SetFrom(from);
   sip::NameAddr to;
@@ -113,6 +117,28 @@ sip::Message MakeInDialog(sip::Method method, const std::string& call_id,
   request.SetCallId(call_id);
   request.SetCseq(sip::CSeq{cseq, method});
   return request;
+}
+
+// REGISTER for `target_user`'s account. From == To == the account AOR (no
+// To tag), as a real registration; the behavior layer profiles the To AOR
+// and reads the *response's* destination as the registering source.
+sip::Message MakeRegister(const std::string& call_id,
+                          const std::string& target_user, net::Endpoint src) {
+  auto reg = sip::Message::MakeRequest(
+      sip::Method::kRegister, *sip::SipUri::Parse("sip:b.example.com"));
+  sip::Via via;
+  via.sent_by = src;
+  via.branch = "z9hG4bKreg" + call_id;
+  reg.PushVia(via);
+  sip::NameAddr aor;
+  aor.uri = *sip::SipUri::Parse("sip:" + target_user + "@b.example.com");
+  auto from = aor;
+  from.SetTag("tag-" + call_id);
+  reg.SetFrom(from);
+  reg.SetTo(aor);
+  reg.SetCallId(call_id);
+  reg.SetCseq(sip::CSeq{1, sip::Method::kRegister});
+  return reg;
 }
 
 SoakSample Snapshot(ids::Vids& vids, sim::Time when, uint64_t calls_started,
@@ -288,6 +314,7 @@ struct SoakDriver::Impl {
   // stream positions for both directions.
   struct CallCtx {
     std::string call_id;
+    std::string caller_user;
     net::Endpoint caller_media;
     net::Endpoint callee_media;
     uint32_t ssrc = 0;
@@ -363,9 +390,17 @@ struct SoakDriver::Impl {
     ctx->ssrc = 0x50000000u + static_cast<uint32_t>(index);
     const std::string callee_user =
         "u" + std::to_string(index % std::max(1, config.callee_aors));
+    // Call-center mode: rotate the caller identity so each per-caller
+    // behavior profile carries only 1/caller_aors of the aggregate rate.
+    ctx->caller_user =
+        config.caller_aors <= 1
+            ? "alice"
+            : "cc" + std::to_string(index % static_cast<uint64_t>(
+                                                config.caller_aors));
 
-    const auto invite =
-        MakeInvite(ctx->call_id, callee_user, ctx->caller_media, kProxyA);
+    const auto invite = MakeInvite(ctx->call_id, callee_user,
+                                   ctx->caller_media, kProxyA,
+                                   ctx->caller_user);
     Feed(SipDgram(invite, kProxyA, kProxyB), true);
     Feed(SipDgram(MakeResponse(invite, 180, std::nullopt), kProxyB, kProxyA),
          false);
@@ -373,7 +408,7 @@ struct SoakDriver::Impl {
                   kProxyA),
          false);
     Feed(SipDgram(MakeInDialog(sip::Method::kAck, ctx->call_id, 1,
-                               ctx->caller_media),
+                               ctx->caller_media, ctx->caller_user),
                   ctx->caller_media, ctx->callee_media),
          true);
 
@@ -405,8 +440,8 @@ struct SoakDriver::Impl {
   }
 
   void Teardown(const CallCtx& ctx) {
-    const auto bye =
-        MakeInDialog(sip::Method::kBye, ctx.call_id, 2, ctx.caller_media);
+    const auto bye = MakeInDialog(sip::Method::kBye, ctx.call_id, 2,
+                                  ctx.caller_media, ctx.caller_user);
     Feed(SipDgram(bye, ctx.caller_media, ctx.callee_media), true);
     const auto ok = MakeResponse(bye, 200, std::nullopt);
     Feed(SipDgram(ok, ctx.callee_media, ctx.caller_media), false);
@@ -508,6 +543,113 @@ struct SoakDriver::Impl {
     }
   }
 
+  // ---------------- behavioral-attack scenarios (DESIGN.md §16) ----------
+  // Fixed simulated-time schedules, independent of the Poisson benign
+  // stream, so every run (and every shard/producer count fed the same
+  // stream) sees the identical packet sequence. Burst sizes are sized to
+  // cross the default BehaviorConfig thresholds with margin while staying
+  // inside the engine's fixed distinct-slot rings.
+  static constexpr int kSpitCallsPerBurst = 40;       // rate 15/10s crossed
+  static constexpr int kRegCrackAttemptsPerBurst = 30;  // failures 8/30s
+  static constexpr int kTollFraudCallsPerBurst = 25;    // fanout 16/60s
+
+  void ScheduleScenarios() {
+    for (int b = 0; b < config.spit_bursts; ++b) {
+      const auto base = sim::Duration::Seconds(2 + 45 * b);
+      for (int k = 0; k < kSpitCallsPerBurst; ++k) {
+        scheduler.ScheduleAfter(base + sim::Duration::Millis(150) * k,
+                                [this, b, k] { LaunchSpitCall(b, k); });
+      }
+    }
+    for (int b = 0; b < config.reg_crack_bursts; ++b) {
+      const auto base = sim::Duration::Seconds(10 + 60 * b);
+      for (int k = 0; k < kRegCrackAttemptsPerBurst; ++k) {
+        scheduler.ScheduleAfter(base + sim::Duration::Millis(300) * k,
+                                [this, b, k] { LaunchRegCrackAttempt(b, k); });
+      }
+    }
+    for (int b = 0; b < config.toll_fraud_bursts; ++b) {
+      const auto base = sim::Duration::Seconds(20 + 120 * b);
+      for (int k = 0; k < kTollFraudCallsPerBurst; ++k) {
+        scheduler.ScheduleAfter(base + sim::Duration::Seconds(2) * k,
+                                [this, b, k] { LaunchTollFraudCall(b, k); });
+      }
+    }
+  }
+
+  /// One full clean dialog (INVITE/180/200/ACK now, BYE/200 after `hold`)
+  /// from a scenario caller. Protocol-legal by construction.
+  void ScenarioCall(const std::string& caller, const std::string& callee,
+                    const std::string& call_id, const std::string& ua,
+                    net::Endpoint caller_media, net::Endpoint callee_media,
+                    sim::Duration hold) {
+    const auto invite =
+        MakeInvite(call_id, callee, caller_media, kAttacker, caller, ua);
+    Feed(SipDgram(invite, kAttacker, kProxyB), true);
+    Feed(SipDgram(MakeResponse(invite, 180, std::nullopt), kProxyB, kAttacker),
+         false);
+    Feed(SipDgram(MakeResponse(invite, 200, callee_media), kProxyB, kAttacker),
+         false);
+    Feed(SipDgram(MakeInDialog(sip::Method::kAck, call_id, 1, caller_media,
+                               caller),
+                  caller_media, callee_media),
+         true);
+    scheduler.ScheduleAfter(
+        hold, [this, call_id, caller, caller_media, callee_media] {
+          const auto bye = MakeInDialog(sip::Method::kBye, call_id, 2,
+                                        caller_media, caller);
+          Feed(SipDgram(bye, caller_media, callee_media), true);
+          Feed(SipDgram(MakeResponse(bye, 200, std::nullopt), callee_media,
+                        caller_media),
+               false);
+        });
+  }
+
+  // SPIT: one spitter blasting short calls at distinct victims, 150 ms
+  // apart — the 10 s call-rate window fills past its threshold within
+  // ~2.6 s and the 1 s holds feed the short-call counter as well.
+  void LaunchSpitCall(int b, int k) {
+    ScenarioCall(
+        "spitter" + std::to_string(b), "spit-victim-" + std::to_string(k),
+        "spit-" + std::to_string(b) + "-" + std::to_string(k) + "@load",
+        "spitware/1.0",
+        net::Endpoint{kAttacker.ip, static_cast<uint16_t>(43000 + 2 * k)},
+        net::Endpoint{net::IpAddress(10, 2, 0, 10),
+                      static_cast<uint16_t>(43001 + 2 * k)},
+        sim::Duration::Seconds(1));
+  }
+
+  // Toll fraud, low and slow: 2 s between calls keeps every short-window
+  // rate far under threshold; only the 60 s destination fan-out window
+  // accumulates the distinct premium AORs.
+  void LaunchTollFraudCall(int b, int k) {
+    ScenarioCall(
+        "fraudster" + std::to_string(b), "premium-" + std::to_string(k),
+        "fraud-" + std::to_string(b) + "-" + std::to_string(k) + "@load",
+        "fraudster-phone/2.1",
+        net::Endpoint{kAttacker.ip, static_cast<uint16_t>(45000 + 2 * k)},
+        net::Endpoint{net::IpAddress(10, 2, 0, 10),
+                      static_cast<uint16_t>(45001 + 2 * k)},
+        sim::Duration::Seconds(5));
+  }
+
+  // Distributed registration cracking: every attempt is a clean REGISTER /
+  // 401 exchange in its own dialog-less transaction, each from a different
+  // source address against the same account.
+  void LaunchRegCrackAttempt(int b, int k) {
+    const std::string call_id =
+        "crack-" + std::to_string(b) + "-" + std::to_string(k) + "@load";
+    const net::Endpoint source{
+        net::IpAddress(10, 9, static_cast<uint8_t>(100 + b % 100),
+                       static_cast<uint8_t>(1 + k)),
+        5060};
+    const auto reg =
+        MakeRegister(call_id, "reg-victim-" + std::to_string(b), source);
+    Feed(SipDgram(reg, source, kProxyB), true);
+    Feed(SipDgram(MakeResponse(reg, 401, std::nullopt), kProxyB, source),
+         false);
+  }
+
   size_t TrackedState() const {
     if (sharded != nullptr) return sharded->TrackedState();
     const auto& fb = vids->fact_base();
@@ -576,6 +718,7 @@ SoakDriver::~SoakDriver() = default;
 SoakReport SoakDriver::Run() {
   impl_->TakeSample();  // t=0 baseline
   impl_->ScheduleNextArrival();
+  impl_->ScheduleScenarios();
   impl_->ArmSampler();
   const auto wall_start = std::chrono::steady_clock::now();
   scheduler_.Run();     // drains arrivals, pause, teardowns and reclamation

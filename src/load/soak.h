@@ -52,6 +52,19 @@ struct SoakConfig {
   /// BYE DoS, CANCEL DoS, INVITE flood, RTP flood and DRDoS reflection.
   /// 0 disables attacks.
   uint64_t attack_every = 200;
+  /// Benign caller AORs the clean workload rotates through. The default
+  /// (1) keeps the historical single-caller ("alice") stream; the
+  /// call-center FP soak spreads the same aggregate rate over many callers
+  /// so every per-entity behavior profile stays under threshold.
+  int caller_aors = 1;
+  /// Behavioral-attack scenario bursts (DESIGN.md §16), scheduled at fixed
+  /// simulated times alongside the benign workload; 0 disables. Every
+  /// dialog and registration in these bursts is protocol-legal — the spec
+  /// machines run them to clean terminal states — so only the per-entity
+  /// behavior profiles can raise on them.
+  int spit_bursts = 0;        // one caller blasting rapid short calls
+  int reg_crack_bursts = 0;   // distributed REGISTER cracking vs one AOR
+  int toll_fraud_bursts = 0;  // low-and-slow premium-destination fan-out
   /// Probability that a closed call retransmits its final 200-for-BYE
   /// 2 s later (inside the tombstone TTL: must be dropped silently).
   double late_retransmit_prob = 0.05;

@@ -11,6 +11,7 @@ std::string_view AlertKindName(AlertKind kind) {
     case AlertKind::kMalformed: return "MALFORMED";
     case AlertKind::kNondeterminism: return "NONDETERMINISM";
     case AlertKind::kEngineHealth: return "ENGINE_HEALTH";
+    case AlertKind::kBehavior: return "BEHAVIOR";
   }
   return "?";
 }

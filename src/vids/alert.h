@@ -27,6 +27,12 @@ enum class AlertKind : uint8_t {
   /// About the monitor, not the traffic — excluded from detection-equality
   /// comparisons and from the soak harness's alerts_total.
   kEngineHealth,
+  /// A per-endpoint behavior profile's weighted anomaly score crossed the
+  /// alert threshold (DESIGN.md §16) — protocol-legal traffic whose *shape*
+  /// is hostile (SPIT bursts, registration cracking, toll-fraud fan-out).
+  /// The detail carries the score and its per-feature breakdown; the state
+  /// field carries the severity tier.
+  kBehavior,
 };
 
 std::string_view AlertKindName(AlertKind kind);

@@ -278,6 +278,16 @@ const ClassifiedPacket* PacketClassifier::ClassifySip(
     AssignAbsent(sdp_codec_slot());
     AssignAbsent(sdp_pt_slot());
   }
+  // User-Agent — the behavior layer's endpoint-identity diversity signal
+  // (DESIGN.md §16). Last slot so the pinned positional order above is
+  // untouched.
+  efsm::Value& ua_slot =
+      event.args.Slot(kSlotProtoFirst + 14, argkey::kUserAgent);
+  if (const auto ua = lazy_.Header(sip::HeaderId::kUserAgent)) {
+    AssignStr(ua_slot, *ua);
+  } else {
+    AssignAbsent(ua_slot);
+  }
   return &out;
 }
 

@@ -106,6 +106,7 @@ inline const efsm::ArgKey kSdpIp = efsm::ArgKey::Intern("sdp_ip");
 inline const efsm::ArgKey kSdpPort = efsm::ArgKey::Intern("sdp_port");
 inline const efsm::ArgKey kSdpCodec = efsm::ArgKey::Intern("sdp_codec");
 inline const efsm::ArgKey kSdpPt = efsm::ArgKey::Intern("sdp_pt");
+inline const efsm::ArgKey kUserAgent = efsm::ArgKey::Intern("user_agent");
 // RTP / RTCP.
 inline const efsm::ArgKey kSsrc = efsm::ArgKey::Intern("ssrc");
 inline const efsm::ArgKey kSeq = efsm::ArgKey::Intern("seq");

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "sim/time.h"
+#include "vids/behavior/behavior.h"
 
 namespace vids::ids {
 
@@ -86,6 +87,12 @@ struct DetectionConfig {
   /// (stray retransmits happen; floods do not).
   int drdos_threshold = 10;
   sim::Duration drdos_window = sim::Duration::Seconds(2);
+
+  // --- Behavioral anomaly layer (DESIGN.md §16) ---
+  /// Per-endpoint profiling/scoring thresholds and weights. Rides inside
+  /// DetectionConfig so the sharded engine's per-shard Vids and the
+  /// coordinator's replay-side engine are configured identically for free.
+  behavior::BehaviorConfig behavior;
 };
 
 /// Simulated CPU cost the inline vIDS host charges per analyzed packet.

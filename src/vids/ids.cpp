@@ -38,6 +38,7 @@ Vids::Vids(sim::Scheduler& scheduler, DetectionConfig detection,
       detection_(detection),
       cost_(cost),
       fact_base_(scheduler, detection, this, &registry_),
+      behavior_(detection_.behavior),
       m_packets_(&registry_.GetCounter("vids.packets")),
       m_sip_packets_(&registry_.GetCounter("vids.sip_packets")),
       m_rtp_packets_(&registry_.GetCounter("vids.rtp_packets")),
@@ -48,14 +49,27 @@ Vids::Vids(sim::Scheduler& scheduler, DetectionConfig detection,
       m_transitions_(&registry_.GetCounter("efsm.transitions")),
       m_alerts_(&registry_.GetCounter("vids.alerts")),
       m_alerts_suppressed_(&registry_.GetCounter("vids.alerts_suppressed")),
-      m_alert_sigs_(&registry_.GetGauge("vids.alert_sigs")) {
-  // The fact base's sweep doubles as the dedup table's pruning tick, so the
-  // signature table is reclaimed on the same time-driven cadence as the
-  // call state — including during traffic silence.
+      m_alert_sigs_(&registry_.GetGauge("vids.alert_sigs")),
+      m_behavior_profiles_(&registry_.GetGauge("vids.behavior_profiles")) {
+  // The fact base's sweep doubles as the dedup table's pruning tick and the
+  // behavior layer's profile-reclaim tick, so both tables are reclaimed on
+  // the same time-driven cadence as the call state — including during
+  // traffic silence. BehaviorEngine::Sweep is memory-only by its
+  // determinism contract, so riding an arbitrary cadence is safe.
   fact_base_.set_sweep_listener(
       [this](sim::Time now, const std::vector<std::string>& reclaimed) {
         PruneAlertSigs(now, reclaimed);
+        behavior_.Sweep(now);
+        m_behavior_profiles_->Set(
+            static_cast<int64_t>(behavior_.profile_count()));
       });
+  // Behavioral alerts ride the normal alert path. The engine's own
+  // cooldown (>= the dedup window by contract) means RaiseAlert's dedup
+  // never suppresses one — the emission stream is the engine's alone, so
+  // the sharded coordinator's instance reproduces it byte-for-byte.
+  behavior_.set_alert_sink([this](Alert&& alert) {
+    RaiseAlert(std::move(alert));
+  });
 }
 
 Vids::Stats Vids::stats() const {
@@ -187,12 +201,73 @@ void Vids::HandleSip(const ClassifiedPacket& packet) {
     }
   }
 
+  // Entity-keyed behavior profiles see call starts/ends and REGISTER
+  // finals (DESIGN.md §16). Same placement as the aggregate feeds above:
+  // after the tombstone gate, so a late retransmission of a completed call
+  // never re-feeds a profile.
+  if (detection_.behavior.enabled) FeedBehavior(packet, is_response);
+
   // Only packets that actually carried SDP can move the media index. The
   // group's offer/answer globals persist for the call's whole life, so
   // refreshing on every packet would let an SDP-less BYE re-assert a stale
   // binding and steal an endpoint back from the call that re-negotiated it.
   if (packet.event.ArgStr(argkey::kSdpIp) != nullptr) {
     RefreshMediaIndex(group, packet.call_key);
+  }
+}
+
+void Vids::FeedBehavior(const ClassifiedPacket& packet, bool is_response) {
+  const std::string* method = packet.event.ArgStr(argkey::kMethod);
+  if (method == nullptr) return;
+  if (!is_response && *method == "INVITE" &&
+      packet.event.ArgStr(argkey::kToTag) == nullptr) {
+    // Initial INVITE (no To tag): a call start attributed to the caller.
+    const std::string* from = packet.event.ArgStr(argkey::kFrom);
+    if (from == nullptr) return;
+    if (aggregate_hook_) {
+      aggregate_hook_(AggregateKind::kBehaviorCallStart, *from, packet);
+    } else {
+      const std::string* ua = packet.event.ArgStr(argkey::kUserAgent);
+      behavior_.OnCallStart(
+          scheduler_.Now(), *from, packet.dest_key,
+          ua != nullptr ? std::string_view(*ua) : std::string_view(),
+          behavior::BehaviorEngine::HashKey(packet.call_key));
+    }
+    return;
+  }
+  if (!is_response && *method == "BYE") {
+    const std::string* from = packet.event.ArgStr(argkey::kFrom);
+    if (from == nullptr) return;
+    if (aggregate_hook_) {
+      aggregate_hook_(AggregateKind::kBehaviorCallEnd, *from, packet);
+    } else {
+      behavior_.OnCallEnd(scheduler_.Now(), *from,
+                          behavior::BehaviorEngine::HashKey(packet.call_key));
+    }
+    return;
+  }
+  if (is_response && *method == "REGISTER") {
+    // Final REGISTER responses drive the target's failed-auth streak; the
+    // method arg of a response is its CSeq method. The profiled entity is
+    // the To AOR (the account), the failing "source" the registering
+    // client — the response's destination address.
+    const auto status = packet.event.ArgInt(argkey::kStatus);
+    const std::string* to = packet.event.ArgStr(argkey::kTo);
+    if (!status || to == nullptr) return;
+    const bool auth_failure =
+        *status == 401 || *status == 403 || *status == 407;
+    const bool success = *status >= 200 && *status < 300;
+    if (!auth_failure && !success) return;
+    if (aggregate_hook_) {
+      aggregate_hook_(auth_failure ? AggregateKind::kBehaviorRegFailure
+                                   : AggregateKind::kBehaviorRegSuccess,
+                      *to, packet);
+    } else if (auth_failure) {
+      behavior_.OnRegFailure(scheduler_.Now(), *to,
+                             static_cast<uint64_t>(packet.dst.ip.bits()));
+    } else {
+      behavior_.OnRegSuccess(scheduler_.Now(), *to);
+    }
   }
 }
 

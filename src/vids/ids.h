@@ -131,21 +131,29 @@ class Vids : public efsm::Observer {
     transition_trace_ = std::move(trace);
   }
 
-  /// Cross-call aggregate feeds (the two detectors whose counting key spans
-  /// calls and therefore spans shards in the sharded engine).
+  /// Cross-call aggregate feeds: the detectors whose counting key spans
+  /// calls and therefore spans shards in the sharded engine — the DRDoS /
+  /// INVITE-flood window counters and the entity-keyed behavior profiles
+  /// (a caller's calls scatter across shards with their Call-ID hashes).
   enum class AggregateKind : uint8_t {
     kUnsolicitedResponse,  // DRDoS reflection, keyed by victim (dst) IP
     kInviteRequest,        // INVITE flood, keyed by destination AOR
+    kBehaviorCallStart,    // initial INVITE, keyed by caller AOR (From)
+    kBehaviorCallEnd,      // BYE request, keyed by caller AOR (From)
+    kBehaviorRegFailure,   // REGISTER 401/403/407, keyed by target AOR (To)
+    kBehaviorRegSuccess,   // REGISTER 2xx, keyed by target AOR (To)
   };
-  /// When an aggregate hook is installed the DRDoS and INVITE-flood window
-  /// counters are NOT fed locally; the hook receives every event that would
-  /// have fed them instead (key = dest AOR for kInviteRequest, dotted
-  /// victim IP — packet.dst.ip, always present — for
-  /// kUnsolicitedResponse). ShardedIds
+  /// When an aggregate hook is installed the DRDoS / INVITE-flood window
+  /// counters and the local behavior engine are NOT fed; the hook receives
+  /// every event that would have fed them instead (key = dest AOR for
+  /// kInviteRequest, dotted victim IP — packet.dst.ip, always present —
+  /// for kUnsolicitedResponse, the profiled entity AOR for the behavior
+  /// kinds). ShardedIds
   /// installs one on every shard and replays the events into coordinator-
-  /// side window counters, so the aggregate detectors see the global event
-  /// stream regardless of how calls are partitioned. All other detection
-  /// (per-call, per-media-endpoint) is untouched.
+  /// side window counters and its own BehaviorEngine, so the aggregate
+  /// detectors see the global event stream regardless of how calls are
+  /// partitioned. All other detection (per-call, per-media-endpoint) is
+  /// untouched.
   using AggregateHook = std::function<void(
       AggregateKind, std::string_view key, const ClassifiedPacket& packet)>;
   void set_aggregate_hook(AggregateHook hook) {
@@ -156,6 +164,11 @@ class Vids : public efsm::Observer {
   CallStateFactBase& fact_base() { return fact_base_; }
   const CallStateFactBase& fact_base() const { return fact_base_; }
   const DetectionConfig& detection() const { return detection_; }
+  /// The behavioral anomaly layer (DESIGN.md §16). Fed inline from the
+  /// inspect path unless an aggregate hook forwards the events upstream;
+  /// swept on the fact base's sweep cadence.
+  behavior::BehaviorEngine& behavior() { return behavior_; }
+  const behavior::BehaviorEngine& behavior() const { return behavior_; }
 
   /// The IDS's own metrics registry: "vids.*" event-distributor and fact
   /// base counters, "efsm.*" engine counters, lazily-created per-
@@ -177,6 +190,10 @@ class Vids : public efsm::Observer {
 
  private:
   void HandleSip(const ClassifiedPacket& packet);
+  /// Routes the packet's behavior-profile events (call start/end, REGISTER
+  /// finals) into the local engine, or up the aggregate hook when one is
+  /// installed.
+  void FeedBehavior(const ClassifiedPacket& packet, bool is_response);
   void HandleRtp(const ClassifiedPacket& packet);
   void HandleRtcp(const ClassifiedPacket& packet);
   void RefreshMediaIndex(efsm::MachineGroup& group,
@@ -212,6 +229,7 @@ class Vids : public efsm::Observer {
   // Declared before fact_base_: the fact base registers its metrics here.
   obs::MetricsRegistry registry_;
   CallStateFactBase fact_base_;
+  behavior::BehaviorEngine behavior_;
   // Cached slots into registry_ — hot-path updates are plain increments.
   obs::Counter* m_packets_;
   obs::Counter* m_sip_packets_;
@@ -223,6 +241,7 @@ class Vids : public efsm::Observer {
   obs::Counter* m_alerts_;
   obs::Counter* m_alerts_suppressed_;
   obs::Gauge* m_alert_sigs_;
+  obs::Gauge* m_behavior_profiles_;
   // The transition that fired most recently — the engine reports
   // OnTransition immediately before OnAttackState, so this names an
   // attack alert's trigger without any allocation on the transition path.

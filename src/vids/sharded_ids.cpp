@@ -107,6 +107,7 @@ void ShardedIds::IngestPort::Close() { engine_.PortClose(*this); }
 
 ShardedIds::ShardedIds(ShardedConfig config)
     : config_(config),
+      behavior_(config_.detection.behavior),
       m_agg_events_(&coord_metrics_.GetCounter("sharded.agg_events")),
       m_coord_alerts_(&coord_metrics_.GetCounter("sharded.coord_alerts")),
       m_coord_suppressed_(
@@ -133,6 +134,14 @@ ShardedIds::ShardedIds(ShardedConfig config)
     trace_on_ = true;
     trace_mask_ = period - 1;
   }
+  // Behavioral alerts from the replay-fed coordinator engine enter the
+  // retained history through the same canonical insert as every replayed
+  // aggregate alert. The engine's own cooldown is the only dedup — exactly
+  // like the plain engine, where RaiseAlert's window never fires on them.
+  behavior_.set_alert_sink([this](Alert&& alert) {
+    m_coord_alerts_->Inc();
+    EmitAlert(std::move(alert));
+  });
   watchdog_threshold_ns_ = config_.watchdog_stall_ms * 1'000'000;
   // Poll well inside the deadline (threshold/8, floor 1 ms) so an episode
   // accrues several consecutive checks before it can alert — the
@@ -201,12 +210,40 @@ ShardedIds::ShardedIds(ShardedConfig config)
                    const ClassifiedPacket& packet) {
           const std::string* src = packet.event.ArgStr(argkey::kSrcIp);
           const std::string* dst = packet.event.ArgStr(argkey::kDstIp);
-          // Dest AOR (INVITE flood) or dotted victim IP (DRDoS) — the hook
-          // contract guarantees the key is populated for both.
+          // Behavior kinds carry their per-kind extras: the call-start peer
+          // (destination AOR) and User-Agent, and an aux word — the call-key
+          // hash for start/end (BYE↔INVITE pairing) or the registering
+          // client's IP bits for auth failures (source diversity).
+          std::string_view peer;
+          std::string_view ua;
+          uint64_t aux = 0;
+          switch (kind) {
+            case Vids::AggregateKind::kBehaviorCallStart: {
+              peer = packet.dest_key;
+              if (const std::string* s =
+                      packet.event.ArgStr(argkey::kUserAgent)) {
+                ua = *s;
+              }
+              aux = behavior::BehaviorEngine::HashKey(packet.call_key);
+              break;
+            }
+            case Vids::AggregateKind::kBehaviorCallEnd:
+              aux = behavior::BehaviorEngine::HashKey(packet.call_key);
+              break;
+            case Vids::AggregateKind::kBehaviorRegFailure:
+              aux = static_cast<uint64_t>(packet.dst.ip.bits());
+              break;
+            default:
+              break;
+          }
+          // Dest AOR (INVITE flood), dotted victim IP (DRDoS) or profiled
+          // entity AOR (behavior) — the hook contract guarantees the key is
+          // populated for all kinds.
           BufferAggEvent(
               *sp, kind, key,
               src != nullptr ? std::string_view(*src) : std::string_view(),
-              dst != nullptr ? std::string_view(*dst) : std::string_view());
+              dst != nullptr ? std::string_view(*dst) : std::string_view(),
+              peer, ua, aux);
         });
     shards_.push_back(std::move(shard));
   }
@@ -278,7 +315,8 @@ void ShardedIds::RecordSpan(Shard& shard, int64_t t0, int64_t t_dequeue) {
 
 void ShardedIds::BufferAggEvent(Shard& shard, Vids::AggregateKind kind,
                                 std::string_view key, std::string_view src_ip,
-                                std::string_view dst_ip) {
+                                std::string_view dst_ip, std::string_view peer,
+                                std::string_view ua, uint64_t aux) {
   AggLocal& a = shard.agg;
   const int64_t t = shard.scheduler->Now().nanos();
 
@@ -295,6 +333,9 @@ void ShardedIds::BufferAggEvent(Shard& shard, Vids::AggregateKind kind,
       dst.key.swap(src.key);
       dst.src_ip.swap(src.src_ip);
       dst.dst_ip.swap(src.dst_ip);
+      dst.peer.swap(src.peer);
+      dst.ua.swap(src.ua);
+      dst.aux = src.aux;
     }
     a.begin = 0;
     a.end = live;
@@ -306,9 +347,21 @@ void ShardedIds::BufferAggEvent(Shard& shard, Vids::AggregateKind kind,
   e.key.assign(key);
   e.src_ip.assign(src_ip);
   e.dst_ip.assign(dst_ip);
+  e.peer.assign(peer);
+  e.ua.assign(ua);
+  e.aux = aux;
   ++a.events_buffered;
   if (a.live() > kMaxHeldAggEvents) {
     ShipAggPrefix(shard, t);  // ships everything: `t` is the newest time
+  }
+
+  // Behavior events never escalate: the escalation sketches exist to cut
+  // the ship latency of keys that might cross a flood/DRDoS threshold, and
+  // hotness only affects ship latency, never which events ship — profile
+  // scoring happens solely on the coordinator after the ordered replay.
+  if (kind != Vids::AggregateKind::kUnsolicitedResponse &&
+      kind != Vids::AggregateKind::kInviteRequest) {
+    return;
   }
 
   // Sliding sketch: record the key's last `share` event times; when all of
@@ -344,6 +397,9 @@ void ShardedIds::BufferAggEvent(Shard& shard, Vids::AggregateKind kind,
     up.key.assign(key);
     up.src_ip.clear();
     up.dst_ip.clear();
+    up.peer.clear();
+    up.ua.clear();
+    up.aux = 0;
   });
 }
 
@@ -358,6 +414,9 @@ void ShardedIds::ShipAggPrefix(Shard& shard, int64_t horizon) {
       up.key.assign(e.key);
       up.src_ip.assign(e.src_ip);
       up.dst_ip.assign(e.dst_ip);
+      up.peer.assign(e.peer);
+      up.ua.assign(e.ua);
+      up.aux = e.aux;
     });
     ++a.begin;
     ++a.events_shipped;
@@ -1166,6 +1225,9 @@ void ShardedIds::DrainUp() {
             event.key = msg.key;
             event.src_ip = msg.src_ip;
             event.dst_ip = msg.dst_ip;
+            event.peer = msg.peer;
+            event.ua = msg.ua;
+            event.aux = msg.aux;
             pending_[i].push_back(std::move(event));
             break;
           }
@@ -1252,6 +1314,29 @@ void ShardedIds::ReplayAggregates(int64_t frontier) {
 }
 
 void ShardedIds::ReplayOne(const AggEvent& event) {
+  // Behavior events feed the coordinator-owned engine. The k-way merge
+  // already ordered them by time across shards, so the engine sees the
+  // same time-ordered per-entity stream the plain (unsharded) engine sees
+  // inline — byte-identical alerts by construction (DESIGN.md §16).
+  switch (event.kind) {
+    case Vids::AggregateKind::kBehaviorCallStart:
+      behavior_.OnCallStart(sim::Time::FromNanos(event.when_ns), event.key,
+                            event.peer, event.ua, event.aux);
+      return;
+    case Vids::AggregateKind::kBehaviorCallEnd:
+      behavior_.OnCallEnd(sim::Time::FromNanos(event.when_ns), event.key,
+                          event.aux);
+      return;
+    case Vids::AggregateKind::kBehaviorRegFailure:
+      behavior_.OnRegFailure(sim::Time::FromNanos(event.when_ns), event.key,
+                             event.aux);
+      return;
+    case Vids::AggregateKind::kBehaviorRegSuccess:
+      behavior_.OnRegSuccess(sim::Time::FromNanos(event.when_ns), event.key);
+      return;
+    default:
+      break;
+  }
   // Exact replay of patterns.cpp BuildWindowCounter + the Vids alert dedup:
   //  - first event arms T1 (deadline) and sets count = 1;
   //  - the timer is NOT restarted by further events; at expiry the counter
@@ -1419,6 +1504,11 @@ void ShardedIds::PruneCoordinator(int64_t now_ns) {
   };
   prune_hot(hot_invite_);
   prune_hot(hot_drdos_);
+  // Behavior profiles reclaim on their own idle horizon; the sweep is
+  // memory-only (never scores, never alerts), so running it here — on the
+  // flush cadence rather than the plain engine's fact-base sweep cadence —
+  // cannot perturb alert equivalence (DESIGN.md §16).
+  behavior_.Sweep(sim::Time::FromNanos(now_ns));
 }
 
 void ShardedIds::Stop() {
@@ -1570,12 +1660,14 @@ obs::MetricsRegistry ShardedIds::MergedMetrics() const {
   merged.GetCounter("sharded.agg_events_shipped").Inc(agg_shipped);
   merged.GetGauge("sharded.shards").Set(shards());
   merged.GetGauge("sharded.producers").Set(producers());
+  merged.GetGauge("sharded.behavior_profiles")
+      .Set(static_cast<int64_t>(behavior_.profile_count()));
   return merged;
 }
 
 size_t ShardedIds::TrackedState() const {
-  size_t total =
-      owner_table_->size() + invite_windows_.size() + drdos_windows_.size();
+  size_t total = owner_table_->size() + invite_windows_.size() +
+                 drdos_windows_.size() + behavior_.profile_count();
   for (const auto& shard : shards_) {
     const CallStateFactBase& fb = shard->vids->fact_base();
     total += fb.call_count() + fb.keyed_count() + fb.tombstone_count() +
@@ -1613,6 +1705,7 @@ size_t ShardedIds::MemoryBytes() const {
     for (const auto& [key, t] : *hot) bytes += key.capacity() + sizeof(int64_t);
   }
   for (const auto& queue : pending_) bytes += queue.size() * sizeof(AggEvent);
+  bytes += behavior_.MemoryBytes();
   return bytes;
 }
 

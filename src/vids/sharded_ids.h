@@ -358,6 +358,11 @@ class ShardedIds {
     return *shards_[static_cast<size_t>(i)]->vids;
   }
 
+  /// The coordinator's behavior engine — the single authority for
+  /// behavioral profiles in a sharded deployment, fed by the aggregate
+  /// replay. Post-Flush inspection only.
+  const behavior::BehaviorEngine& behavior() const { return behavior_; }
+
   /// Fresh registry holding every shard's and every port's metrics folded
   /// together plus the coordinator's own "sharded.*" counters. Post-Flush
   /// only.
@@ -442,9 +447,13 @@ class ShardedIds {
     int64_t when_ns = 0;
     Alert alert;                 // kAlert (strings reused in place)
     Vids::AggregateKind agg{};   // kAgg / kAggHot
-    std::string key;             // kAgg: dest AOR (INVITE) / victim IP (DRDoS)
+    std::string key;             // kAgg: dest AOR (INVITE) / victim IP
+                                 // (DRDoS) / profiled entity AOR (behavior)
     std::string src_ip;          // kAgg: for the alert detail
     std::string dst_ip;
+    std::string peer;            // kAgg behavior: destination AOR
+    std::string ua;              // kAgg behavior: User-Agent header
+    uint64_t aux = 0;            // kAgg behavior: call hash / source id
     uint64_t token = 0;          // kFlushAck
   };
 
@@ -455,6 +464,9 @@ class ShardedIds {
     std::string key;
     std::string src_ip;
     std::string dst_ip;
+    std::string peer;
+    std::string ua;
+    uint64_t aux = 0;
   };
 
   /// Per-key sliding sketch of this shard's most recent aggregate-event
@@ -587,6 +599,9 @@ class ShardedIds {
     std::string key;
     std::string src_ip;
     std::string dst_ip;
+    std::string peer;
+    std::string ua;
+    uint64_t aux = 0;
   };
 
   /// Coordinator-side replay of patterns.cpp's BuildWindowCounter (plus the
@@ -650,7 +665,8 @@ class ShardedIds {
   /// the key to hot when the sketch crosses the shard's share.
   void BufferAggEvent(Shard& shard, Vids::AggregateKind kind,
                       std::string_view key, std::string_view src_ip,
-                      std::string_view dst_ip);
+                      std::string_view dst_ip, std::string_view peer,
+                      std::string_view ua, uint64_t aux);
   /// Ships every held event with when_ns <= `horizon` upstream, in order,
   /// into the open up-batch (not yet committed). Updates agg bookkeeping;
   /// the caller publishes agg_complete_ns after committing.
@@ -731,6 +747,12 @@ class ShardedIds {
 
   StringKeyed<WinState> invite_windows_;  // key = destination AOR
   StringKeyed<WinState> drdos_windows_;   // key = victim IP (dotted)
+  /// Coordinator-side behavioral profiling engine (DESIGN.md §16). Fed
+  /// exclusively from the frontier-gated aggregate replay, so it consumes
+  /// the identical globally time-ordered event stream the plain engine's
+  /// inline instance sees — behavioral alerts are byte-identical across
+  /// shard and producer counts by construction. Swept by PruneCoordinator.
+  behavior::BehaviorEngine behavior_;
   std::vector<std::deque<AggEvent>> pending_;  // per-shard, time-ordered
 
   /// Keys already broadcast hot, by kind → last escalation time. Dedups the

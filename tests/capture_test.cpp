@@ -449,7 +449,7 @@ std::map<std::string, int> ReplayClassifications(const std::string& bytes,
 TEST(Corpus, RegenerationIsByteDeterministic) {
   const auto first = corpus::BuildAll();
   const auto second = corpus::BuildAll();
-  ASSERT_EQ(first.size(), 3u);
+  ASSERT_EQ(first.size(), 6u);
   ASSERT_EQ(first.size(), second.size());
   for (size_t i = 0; i < first.size(); ++i) {
     EXPECT_EQ(first[i].name, second[i].name);
@@ -504,6 +504,40 @@ TEST(Corpus, TornCorpusFailsClosedPerPacket) {
   // the LF-framed OPTIONS, the truncated RTP and the runts raise nothing.
   ASSERT_EQ(counts.size(), 1u);
   EXPECT_EQ(counts.at("unparsable packet"), 3);
+}
+
+// Each behavioral capture is protocol-legal end to end: the spec machines
+// and attack patterns must stay silent while the behavior profiles raise
+// exactly one scored alert. This asymmetry — detected by profiling, clean
+// by specification — is the behavioral layer's acceptance gate.
+TEST(Corpus, BehavioralCapturesRaiseExactlyOneBehaviorAlert) {
+  const auto files = corpus::BuildAll();
+  const std::map<std::string, std::string> expected = {
+      {"spit_burst.pcap", "SPIT call burst"},
+      {"reg_cracking.pcap", "registration cracking"},
+      {"toll_fraud.pcap", "toll-fraud fan-out"},
+  };
+  int covered = 0;
+  for (const auto& file : files) {
+    const auto it = expected.find(file.name);
+    if (it == expected.end()) continue;
+    ++covered;
+    PcapReadOptions read;
+    read.inside = corpus::InsideSubnet();
+    PcapFileSource source(file.bytes, read);
+    sim::Scheduler scheduler;
+    ids::Vids vids(scheduler);
+    const ReplayStats replay = RunSource(source, vids, scheduler);
+    EXPECT_TRUE(replay.ok);
+    ASSERT_EQ(vids.alerts().size(), 1u) << file.name;
+    const ids::Alert& alert = vids.alerts().front();
+    EXPECT_EQ(alert.kind, ids::AlertKind::kBehavior) << file.name;
+    EXPECT_EQ(alert.classification, it->second) << file.name;
+    EXPECT_EQ(alert.machine, "behavior-profile") << file.name;
+    // Score provenance: the detail carries the per-feature breakdown.
+    EXPECT_NE(alert.detail.find("score="), std::string::npos) << alert.detail;
+  }
+  EXPECT_EQ(covered, 3);
 }
 
 TEST(Corpus, AlertEqualityAcrossShardCounts) {
